@@ -1,0 +1,29 @@
+"""Shared benchmark helpers.
+
+Each benchmark file regenerates one experiment's workload (E1-E8,
+see DESIGN.md's per-experiment index) under pytest-benchmark, so the
+paper's series can be re-measured with
+``pytest benchmarks/ --benchmark-only``.
+
+Benchmarks assert correctness on every measured run: a benchmark that
+silently measured a broken execution would be meaningless.
+"""
+
+from __future__ import annotations
+
+from repro.analysis.runner import alternating_values
+from repro.macsim import build_simulation, check_consensus
+
+
+def run_consensus_once(graph, factory, scheduler, *,
+                       initial_values=None, expect_correct=True,
+                       max_events=20_000_000):
+    """One complete consensus execution; returns last decision time."""
+    values = initial_values or alternating_values(graph)
+    sim = build_simulation(graph, lambda v: factory(v, values[v]),
+                           scheduler)
+    result = sim.run(max_events=max_events)
+    if expect_correct:
+        report = check_consensus(result.trace, values)
+        assert report.ok, f"consensus violated: {report.decisions}"
+    return result.trace.last_decision_time()

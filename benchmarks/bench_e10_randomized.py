@@ -1,0 +1,52 @@
+"""E10 benchmarks -- Ben-Or randomized consensus under crashes."""
+
+import pytest
+
+from repro.core.randomized import BenOrConsensus
+from repro.macsim import build_simulation, check_consensus, crash_plan
+from repro.macsim.schedulers import RandomDelayScheduler
+from repro.topology import clique
+
+
+@pytest.mark.parametrize("n,f", [(5, 2), (9, 4)])
+def test_benor_with_crash(benchmark, n, f):
+    seeds = iter(range(10 ** 9))
+
+    def run():
+        seed = next(seeds)
+        graph = clique(n)
+        values = {v: v % 2 for v in graph.nodes}
+        sim = build_simulation(
+            graph,
+            lambda v: BenOrConsensus(v + 1, values[v], n, f,
+                                     seed=seed * 13 + v),
+            RandomDelayScheduler(1.0, seed=seed),
+            crashes=[crash_plan(0, 1.5,
+                                still_delivered=frozenset({1}))])
+        result = sim.run(max_events=3_000_000, max_time=5_000.0)
+        report = check_consensus(result.trace, values)
+        assert report.agreement and report.validity
+        assert report.termination
+        return result
+
+    benchmark(run)
+
+
+def test_benor_no_crash_baseline(benchmark):
+    seeds = iter(range(10 ** 9))
+
+    def run():
+        seed = next(seeds)
+        n, f = 7, 3
+        graph = clique(n)
+        values = {v: v % 2 for v in graph.nodes}
+        sim = build_simulation(
+            graph,
+            lambda v: BenOrConsensus(v + 1, values[v], n, f,
+                                     seed=seed * 13 + v),
+            RandomDelayScheduler(1.0, seed=seed))
+        result = sim.run(max_events=3_000_000, max_time=5_000.0)
+        assert check_consensus(result.trace, values).ok
+        return result
+
+    benchmark(run)

@@ -1,0 +1,39 @@
+"""E11 benchmarks -- the F_prog refinement sweep."""
+
+import pytest
+
+from benchmarks._helpers import run_consensus_once
+from repro.core.baselines import GatherAllConsensus
+from repro.core.twophase import TwoPhaseConsensus
+from repro.macsim.schedulers.fprog import EagerDeliveryScheduler
+from repro.topology import clique, line
+
+
+@pytest.mark.parametrize("f_prog", [8.0, 1.0])
+def test_two_phase_fprog_insensitivity(benchmark, f_prog):
+    graph = clique(8)
+    seeds = iter(range(10 ** 9))
+
+    def run():
+        sched = EagerDeliveryScheduler(f_prog, 8.0, seed=next(seeds))
+        t = run_consensus_once(
+            graph, lambda v, val: TwoPhaseConsensus(v + 1, val), sched)
+        assert t == pytest.approx(16.0)  # ack-bound: 2 x F_ack
+        return t
+
+    benchmark(run)
+
+
+@pytest.mark.parametrize("f_prog", [8.0, 1.0])
+def test_gatherall_fprog_sensitivity(benchmark, f_prog):
+    graph = line(10)
+    seeds = iter(range(10 ** 9))
+
+    def run():
+        sched = EagerDeliveryScheduler(f_prog, 8.0, seed=next(seeds))
+        return run_consensus_once(
+            graph,
+            lambda v, val: GatherAllConsensus(v + 1, val, graph.n),
+            sched)
+
+    benchmark(run)

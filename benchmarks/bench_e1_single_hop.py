@@ -1,0 +1,58 @@
+"""E1 benchmarks -- Theorem 4.1: Two-Phase Consensus, single hop.
+
+The series: decision time is O(F_ack), independent of n. The
+benchmark times full executions at several clique sizes; wall-clock
+grows with n (more events to simulate) but the *simulated* decision
+time, asserted inside, stays at 2 rounds.
+"""
+
+import pytest
+
+from benchmarks._helpers import run_consensus_once
+from repro.core.twophase import TwoPhaseConsensus
+from repro.macsim.schedulers import (RandomDelayScheduler,
+                                     SynchronousScheduler)
+from repro.topology import clique
+
+
+def factory(label, value):
+    return TwoPhaseConsensus(uid=label, initial_value=value)
+
+
+@pytest.mark.parametrize("n", [2, 8, 32])
+def test_two_phase_clique_synchronous(benchmark, n):
+    graph = clique(n)
+
+    def run():
+        t = run_consensus_once(graph, factory,
+                               SynchronousScheduler(1.0))
+        assert t <= 2.0  # the Theorem 4.1 claim, re-checked per run
+        return t
+
+    benchmark(run)
+
+
+@pytest.mark.parametrize("f_ack", [1.0, 4.0])
+def test_two_phase_f_ack_scaling(benchmark, f_ack):
+    graph = clique(10)
+
+    def run():
+        t = run_consensus_once(graph, factory,
+                               SynchronousScheduler(f_ack))
+        assert t == 2.0 * f_ack
+        return t
+
+    benchmark(run)
+
+
+def test_two_phase_random_scheduler(benchmark):
+    graph = clique(16)
+    seeds = iter(range(10 ** 9))
+
+    def run():
+        sched = RandomDelayScheduler(1.0, seed=next(seeds))
+        t = run_consensus_once(graph, factory, sched)
+        assert t <= 4.0
+        return t
+
+    benchmark(run)

@@ -1,0 +1,63 @@
+"""E2 benchmarks -- Theorem 4.6: wPAXOS O(D * F_ack) scaling.
+
+Series: decision time vs diameter on lines, vs n on cliques (flat),
+and on 2-D meshes. Each measured run re-asserts consensus and the
+claimed time shape.
+"""
+
+import pytest
+
+from benchmarks._helpers import run_consensus_once
+from repro.core.wpaxos import WPaxosConfig, WPaxosNode
+from repro.macsim.schedulers import SynchronousScheduler
+from repro.topology import clique, grid, line
+
+
+def make_factory(graph):
+    uid = {v: i + 1 for i, v in enumerate(graph.nodes)}
+    return lambda v, val: WPaxosNode(uid[v], val, graph.n,
+                                     WPaxosConfig())
+
+
+@pytest.mark.parametrize("diameter", [9, 19, 39])
+def test_wpaxos_line_diameter_series(benchmark, diameter):
+    graph = line(diameter + 1)
+    factory = make_factory(graph)
+
+    def run():
+        t = run_consensus_once(graph, factory,
+                               SynchronousScheduler(1.0))
+        # Theorem 4.6 shape: bounded constant times D.
+        assert t <= 8.0 * diameter
+        return t
+
+    benchmark(run)
+
+
+@pytest.mark.parametrize("n", [8, 32])
+def test_wpaxos_clique_n_series(benchmark, n):
+    graph = clique(n)
+    factory = make_factory(graph)
+
+    def run():
+        t = run_consensus_once(graph, factory,
+                               SynchronousScheduler(1.0))
+        assert t <= 10.0  # flat in n at D = 1
+        return t
+
+    benchmark(run)
+
+
+@pytest.mark.parametrize("side", [5, 8])
+def test_wpaxos_grid_series(benchmark, side):
+    graph = grid(side, side)
+    diameter = graph.diameter()
+    factory = make_factory(graph)
+
+    def run():
+        t = run_consensus_once(graph, factory,
+                               SynchronousScheduler(1.0))
+        assert t <= 8.0 * diameter
+        return t
+
+    benchmark(run)

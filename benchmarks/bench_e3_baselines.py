@@ -1,0 +1,48 @@
+"""E3 benchmarks -- Section 4.2: wPAXOS vs flooding baselines.
+
+Fixed-diameter bottleneck (star of cliques) with growing n: wPAXOS's
+simulated decision time stays flat while both baselines grow with n.
+The benchmark rows expose all three at two sizes.
+"""
+
+import pytest
+
+from benchmarks._helpers import run_consensus_once
+from repro.core.baselines import GatherAllConsensus, PaxosFloodNode
+from repro.core.wpaxos import WPaxosConfig, WPaxosNode
+from repro.macsim.schedulers import SynchronousScheduler
+from repro.topology import star_of_cliques
+
+SHAPES = {"small": (4, 6), "large": (8, 12)}
+
+
+def _graph(shape):
+    arms, size = SHAPES[shape]
+    return star_of_cliques(arms, size)
+
+
+def _factories(graph):
+    uid = {v: i + 1 for i, v in enumerate(graph.nodes)}
+    n = graph.n
+    return {
+        "wpaxos": lambda v, val: WPaxosNode(uid[v], val, n,
+                                            WPaxosConfig()),
+        "flood-paxos": lambda v, val: PaxosFloodNode(uid[v], val, n),
+        "gatherall": lambda v, val: GatherAllConsensus(uid[v], val, n),
+    }
+
+
+@pytest.mark.parametrize("shape", ["small", "large"])
+@pytest.mark.parametrize("algorithm",
+                         ["wpaxos", "flood-paxos", "gatherall"])
+def test_bottleneck_comparison(benchmark, shape, algorithm):
+    graph = _graph(shape)
+    factory = _factories(graph)[algorithm]
+
+    def run():
+        return run_consensus_once(graph, factory,
+                                  SynchronousScheduler(1.0))
+
+    simulated_time = benchmark(run)
+    if algorithm == "wpaxos":
+        assert simulated_time <= 40.0  # flat regardless of shape

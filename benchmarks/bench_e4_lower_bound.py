@@ -1,0 +1,43 @@
+"""E4 benchmarks -- Theorem 3.10: the floor(D/2) * F_ack bound.
+
+Measures worst-case (max-delay) executions on split-input lines,
+re-asserting inside every run that no correct algorithm decides
+before the bound, and that the eager strawman violates agreement.
+"""
+
+import pytest
+
+from repro.core.baselines import GatherAllConsensus
+from repro.core.wpaxos import WPaxosConfig, WPaxosNode
+from repro.lowerbounds.partition import (eager_violation_demo,
+                                         measure_decision_time)
+
+FACTORIES = {
+    "wpaxos": lambda v, val, n: WPaxosNode(v + 1, val, n,
+                                           WPaxosConfig()),
+    "gatherall": lambda v, val, n: GatherAllConsensus(v + 1, val, n),
+}
+
+
+@pytest.mark.parametrize("algorithm", ["wpaxos", "gatherall"])
+@pytest.mark.parametrize("diameter", [8, 16])
+def test_bound_respected_worst_case(benchmark, algorithm, diameter):
+    factory = FACTORIES[algorithm]
+
+    def run():
+        timing = measure_decision_time(factory, algorithm, diameter,
+                                       f_ack=2.0)
+        assert timing.correct and timing.respects_bound
+        return timing.first_decision
+
+    benchmark(run)
+
+
+@pytest.mark.parametrize("diameter", [8, 16])
+def test_eager_strawman_violation(benchmark, diameter):
+    def run():
+        outcome = eager_violation_demo(diameter)
+        assert outcome.agreement_violated
+        return outcome
+
+    benchmark(run)

@@ -1,0 +1,29 @@
+"""E5 benchmarks -- Theorem 3.3: the Figure 1 anonymity pipeline.
+
+Times the full pipeline (construction checks + two B-executions +
+the A-execution + lock-step comparison), re-asserting the theorem's
+chain on every measured run.
+"""
+
+import pytest
+
+from repro.lowerbounds.anonymity import run_anonymity_demo
+from repro.topology.gadgets import verify_figure1
+
+
+@pytest.mark.parametrize("d,k", [(2, 0), (3, 0)])
+def test_anonymity_pipeline(benchmark, d, k):
+    def run():
+        demo = run_anonymity_demo(d=d, k=k)
+        assert demo.theorem_holds
+        return demo
+
+    benchmark(run)
+
+
+def test_construction_verification(benchmark):
+    def run():
+        for d in (2, 3, 4, 5):
+            assert verify_figure1(d, 1).ok
+
+    benchmark(run)

@@ -1,0 +1,26 @@
+"""E6 benchmarks -- Theorem 3.9: the K_D pipeline."""
+
+import pytest
+
+from repro.lowerbounds.partition import (isolated_line_success,
+                                         kd_violation_demo)
+
+
+@pytest.mark.parametrize("diameter", [3, 5])
+def test_kd_violation_pipeline(benchmark, diameter):
+    def run():
+        demo = kd_violation_demo(diameter)
+        assert demo.agreement_violated
+        assert demo.line1_decisions == {0}
+        assert demo.line2_decisions == {1}
+        return demo
+
+    benchmark(run)
+
+
+@pytest.mark.parametrize("diameter", [5])
+def test_isolated_line_control(benchmark, diameter):
+    def run():
+        assert isolated_line_success(diameter)
+
+    benchmark(run)

@@ -1,0 +1,45 @@
+"""E7 benchmarks -- Theorem 3.2: valency exploration + crash deadlock."""
+
+from repro.lowerbounds.flp import (StepTwoPhase,
+                                   build_witness_deadlock_execution)
+from repro.lowerbounds.steps import StepSystem
+from repro.lowerbounds.valency import (ValencyAnalyzer,
+                                       find_crash_termination_violation)
+from repro.macsim import check_consensus
+from repro.topology import clique
+
+
+def test_exhaustive_valency_exploration(benchmark):
+    def run():
+        system = StepSystem(clique(2), StepTwoPhase(), crash_budget=1)
+        result = ValencyAnalyzer(system).explore(
+            system.initial_configuration((0, 1)))
+        assert result.is_bivalent(result.initial)
+        assert not result.truncated
+        return result.config_count
+
+    benchmark(run)
+
+
+def test_crash_violation_search(benchmark):
+    system = StepSystem(clique(2), StepTwoPhase(), crash_budget=1)
+    result = ValencyAnalyzer(system).explore(
+        system.initial_configuration((0, 1)))
+
+    def run():
+        violation = find_crash_termination_violation(result)
+        assert violation is not None
+        return violation
+
+    benchmark(run)
+
+
+def test_witness_deadlock_execution(benchmark):
+    def run():
+        sim = build_witness_deadlock_execution()
+        res = sim.run(max_time=300.0)
+        report = check_consensus(res.trace, {0: 0, 1: 1, 2: 1})
+        assert not report.termination and report.agreement
+        return res
+
+    benchmark(run)

@@ -1,0 +1,56 @@
+"""E8 benchmarks -- wPAXOS design-choice ablations."""
+
+import pytest
+
+from benchmarks._helpers import run_consensus_once
+from repro.core.wpaxos import WPaxosConfig, WPaxosNode
+from repro.macsim.schedulers import SynchronousScheduler
+from repro.topology import line, star_of_cliques
+
+
+def make_factory(graph, config):
+    uid = {v: i + 1 for i, v in enumerate(graph.nodes)}
+    return lambda v, val: WPaxosNode(uid[v], val, graph.n, config)
+
+
+@pytest.mark.parametrize("aggregation", [True, False],
+                         ids=["agg-on", "agg-off"])
+def test_aggregation_ablation(benchmark, aggregation):
+    graph = star_of_cliques(6, 10)
+    factory = make_factory(graph, WPaxosConfig(aggregation=aggregation))
+
+    def run():
+        return run_consensus_once(graph, factory,
+                                  SynchronousScheduler(1.0))
+
+    simulated = benchmark(run)
+    if aggregation:
+        assert simulated <= 40.0
+    else:
+        assert simulated >= 60.0  # Theta(n) responses at the hub
+
+
+@pytest.mark.parametrize("priority", [True, False],
+                         ids=["prio-on", "prio-off"])
+def test_tree_priority_ablation(benchmark, priority):
+    graph = line(40)
+    factory = make_factory(graph,
+                           WPaxosConfig(tree_priority=priority))
+
+    def run():
+        return run_consensus_once(graph, factory,
+                                  SynchronousScheduler(1.0))
+
+    benchmark(run)
+
+
+@pytest.mark.parametrize("policy", ["paper", "learned"])
+def test_retry_policy_ablation(benchmark, policy):
+    graph = line(20)
+    factory = make_factory(graph, WPaxosConfig(retry_policy=policy))
+
+    def run():
+        return run_consensus_once(graph, factory,
+                                  SynchronousScheduler(1.0))
+
+    benchmark(run)

@@ -1,0 +1,38 @@
+"""E9 benchmarks -- wPAXOS over the dual-graph (unreliable links) model."""
+
+import pytest
+
+from repro.core.wpaxos import WPaxosConfig, WPaxosNode
+from repro.macsim import build_simulation, check_consensus
+from repro.macsim.schedulers import (BernoulliUnreliableScheduler,
+                                     SynchronousScheduler)
+from repro.topology import line
+from repro.topology.standard import unreliable_overlay
+
+
+def _run(prob, seed):
+    graph = line(12)
+    overlay = unreliable_overlay(graph, 0.15, seed=3)
+    values = {v: v % 2 for v in graph.nodes}
+    scheduler = BernoulliUnreliableScheduler(
+        SynchronousScheduler(1.0), prob, seed=seed)
+    sim = build_simulation(
+        graph,
+        lambda v: WPaxosNode(v + 1, values[v], graph.n,
+                             WPaxosConfig()),
+        scheduler, unreliable_graph=overlay)
+    result = sim.run(max_events=5_000_000, max_time=2_000.0)
+    return check_consensus(result.trace, values)
+
+
+@pytest.mark.parametrize("prob", [0.0, 0.5, 1.0])
+def test_unreliable_links_safety_sweep(benchmark, prob):
+    seeds = iter(range(10 ** 9))
+
+    def run():
+        report = _run(prob, next(seeds))
+        # Safety is unconditional (the E9 finding).
+        assert report.agreement and report.validity
+        return report
+
+    benchmark(run)

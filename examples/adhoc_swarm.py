@@ -1,0 +1,73 @@
+"""Ad hoc drone swarm: wPAXOS vs the naive alternatives.
+
+Scenario: a swarm of drones deployed at random positions must agree
+on a rally point (binary choice here). Their radio graph is a random
+geometric network -- the canonical ad hoc wireless model -- and the
+deployment is unplanned: no routing infrastructure exists. The paper's
+point (Section 4.2): PAXOS logic + *basic flooding* needs
+Theta(n * F_ack) because acceptor responses squeeze through bottleneck
+relays one O(1)-id message at a time, while wPAXOS's aggregation trees
+finish in O(D * F_ack).
+
+This example runs all three algorithms on the same swarm and prints
+the comparison the paper predicts.
+
+Run:  python examples/adhoc_swarm.py
+"""
+
+from repro import (GatherAllConsensus, PaxosFloodNode,
+                   SynchronousScheduler, WPaxosConfig, WPaxosNode,
+                   build_simulation, check_consensus, random_geometric)
+
+
+def fly(graph, name, factory):
+    initial = {v: 0 if i < graph.n // 2 else 1
+               for i, v in enumerate(graph.nodes)}
+    simulator = build_simulation(graph, lambda v: factory(v, initial[v]),
+                                 SynchronousScheduler(1.0))
+    result = simulator.run()
+    report = check_consensus(result.trace, initial)
+    assert report.ok, f"{name} failed consensus!"
+    per_node = {}
+    for record in result.trace:
+        if record.kind == "broadcast":
+            per_node[record.node] = per_node.get(record.node, 0) + 1
+    return (result.trace.last_decision_time(),
+            result.trace.broadcast_count(), max(per_node.values()))
+
+
+def main() -> None:
+    graph = random_geometric(n=60, radius=0.22, seed=7)
+    diameter = graph.diameter()
+    ids = {v: i + 1 for i, v in enumerate(graph.nodes)}
+    print(f"swarm: {graph.n} drones, radio diameter {diameter}, "
+          f"{graph.edge_count} links\n")
+
+    algorithms = {
+        "wPAXOS (aggregation trees)":
+            lambda v, val: WPaxosNode(ids[v], val, graph.n,
+                                      WPaxosConfig()),
+        "PAXOS + basic flooding":
+            lambda v, val: PaxosFloodNode(ids[v], val, graph.n),
+        "GatherAll (flood every pair)":
+            lambda v, val: GatherAllConsensus(ids[v], val, graph.n),
+    }
+    print(f"{'algorithm':30s} {'decision time':>14s} "
+          f"{'broadcasts':>11s} {'max/node':>9s}")
+    rows = {}
+    for name, factory in algorithms.items():
+        time_taken, broadcasts, max_per_node = fly(graph, name, factory)
+        rows[name] = time_taken
+        print(f"{name:30s} {time_taken:14.1f} {broadcasts:11d} "
+              f"{max_per_node:9d}")
+
+    wp = rows["wPAXOS (aggregation trees)"]
+    fp = rows["PAXOS + basic flooding"]
+    print(f"\nwPAXOS reaches agreement {fp / wp:.1f}x faster than "
+          f"flooding-PAXOS on this swarm")
+    print(f"(decision time {wp:.0f} = {wp / diameter:.1f} x D rounds; "
+          f"Theorem 4.6 promises O(D * F_ack))")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,83 @@
+"""A guided tour of the paper's three impossibility results.
+
+Each lower bound of Section 3 is a concrete adversarial construction;
+this example executes all three and prints what happens:
+
+1. Theorem 3.2 (crash failures): a single mid-broadcast crash
+   deadlocks Two-Phase Consensus's witness wait.
+2. Theorem 3.3 (anonymity, Figure 1): an anonymous algorithm is
+   driven to decide 0 and 1 in the same execution of network A,
+   because its nodes cannot distinguish A from the covering network B.
+3. Theorem 3.9 (unknown n, Figure 2): an algorithm that knows D but
+   not n splits its decision across the two arms of K_D.
+
+Run:  python examples/impossibility_tour.py
+"""
+
+from repro.lowerbounds import (build_witness_deadlock_execution,
+                               isolated_line_success, kd_violation_demo,
+                               run_anonymity_demo)
+from repro.macsim import check_consensus
+
+
+def tour_crash() -> None:
+    print("=" * 64)
+    print("1. Theorem 3.2 -- one crash kills deterministic consensus")
+    print("=" * 64)
+    sim = build_witness_deadlock_execution()
+    result = sim.run(max_time=300.0)
+    report = check_consensus(result.trace, {0: 0, 1: 1, 2: 1})
+    print("3-clique, values (0, 1, 1); node 0 crashes mid-broadcast")
+    print(f"  crashed:   {sorted(result.trace.crashed_nodes())}")
+    print(f"  decisions: {report.decisions}")
+    print(f"  undecided: {report.undecided}  <- waits forever for the")
+    print("             crashed node's phase-2 message (witness set)")
+    print(f"  termination violated: {not report.termination}\n")
+
+
+def tour_anonymity() -> None:
+    print("=" * 64)
+    print("2. Theorem 3.3 -- anonymous consensus is impossible")
+    print("=" * 64)
+    demo = run_anonymity_demo(d=3, k=0)
+    print(f"Figure 1 pair: n' = {demo.size}, D = {demo.diameter} "
+          f"(|A| = |B|, diam A = diam B: {demo.construction_ok})")
+    print(f"  network B, all inputs 0 -> everyone decides "
+          f"{demo.b_run_decisions[0]}")
+    print(f"  network B, all inputs 1 -> everyone decides "
+          f"{demo.b_run_decisions[1]}")
+    print(f"  per-round states of every gadget node equal its three")
+    print(f"  covers in B: {demo.indistinguishable} "
+          f"({demo.lockstep_reports[0].compared_pairs} pairs checked)")
+    print(f"  network A (bridge silenced): copy 0 decides "
+          f"{demo.a_decisions_copy0}, copy 1 decides "
+          f"{demo.a_decisions_copy1}")
+    print(f"  agreement violated: {demo.agreement_violated}\n")
+
+
+def tour_unknown_n() -> None:
+    print("=" * 64)
+    print("3. Theorem 3.9 -- without n, multihop consensus fails")
+    print("=" * 64)
+    diameter = 5
+    print(f"the n-ignorant algorithm is correct on the isolated line "
+          f"L_{diameter}: {isolated_line_success(diameter)}")
+    demo = kd_violation_demo(diameter)
+    print(f"same algorithm in K_{diameter} (contact endpoint "
+          f"silenced):")
+    print(f"  line 1 (inputs 0) decides {demo.line1_decisions}")
+    print(f"  line 2 (inputs 1) decides {demo.line2_decisions}")
+    print(f"  agreement violated: {demo.agreement_violated}")
+    print("the nodes cannot distinguish K_D from the isolated line,")
+    print("and D is the same in both -- only knowing n would help.\n")
+
+
+def main() -> None:
+    tour_crash()
+    tour_anonymity()
+    tour_unknown_n()
+    print("All three lower bounds reproduced.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,50 @@
+"""A replicated command log over a wireless mesh.
+
+Scenario: nine controllers in a 3x3 mesh each want their configuration
+commands applied network-wide in a single agreed order -- the textbook
+replicated state machine, here running on nothing but the abstract MAC
+layer's acknowledged broadcast. Each log slot is one wPAXOS decree;
+leader election and the routing trees are shared across slots, so
+later slots commit much faster than the first (the Multi-Paxos
+amortization).
+
+Run:  python examples/replicated_log.py
+"""
+
+from repro import RandomDelayScheduler, build_simulation, grid
+from repro.apps import ReplicatedLogNode
+
+
+def main() -> None:
+    graph = grid(3, 3)
+    log_length = 5
+    commands = {
+        node: [f"set(param{node}, {k})" for k in range(log_length)]
+        for node in graph.nodes
+    }
+    simulator = build_simulation(
+        graph,
+        lambda node: ReplicatedLogNode(
+            uid=node + 1, n=graph.n, commands=commands[node],
+            log_length=log_length),
+        RandomDelayScheduler(f_ack=1.0, seed=7),
+    )
+    result = simulator.run(max_time=5_000.0)
+
+    logs = {node: simulator.process_at(node).log
+            for node in graph.nodes}
+    reference = logs[graph.nodes[0]]
+    identical = all(log == reference for log in logs.values())
+
+    print(f"replicas: {graph.n}, slots: {log_length}")
+    print(f"all replicas committed identical logs: {identical}")
+    print("agreed command sequence:")
+    for slot in range(log_length):
+        print(f"  [{slot}] {reference[slot]}")
+    print(f"full log committed everywhere by "
+          f"t={result.trace.last_decision_time():.1f} "
+          f"({result.trace.broadcast_count()} broadcasts)")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,61 @@
+"""Multihop consensus across a sensor grid with wPAXOS.
+
+Scenario: a 6x6 grid of environmental sensors must agree on whether
+to switch to low-power mode (1) or stay active (0). Sensors only hear
+their grid neighbors; the MAC layer delivers with unpredictable
+delays (modelled by a seeded random scheduler). wPAXOS (Section 4.2
+of the paper) reaches agreement in O(D * F_ack) time using its
+leader-election, tree-building and change services.
+
+Run:  python examples/sensor_grid.py
+"""
+
+from repro import (RandomDelayScheduler, SafetyMonitor, WPaxosConfig,
+                   WPaxosNode, build_simulation, check_consensus, grid)
+
+
+def main() -> None:
+    graph = grid(6, 6)
+    diameter = graph.diameter()
+    # Sensors in the top rows vote to stay active; the rest want to
+    # save power.
+    initial_values = {node: 0 if node < 12 else 1
+                      for node in graph.nodes}
+    ids = {node: node + 1 for node in graph.nodes}
+
+    monitor = SafetyMonitor()  # Lemma 4.2's conservation check, live
+    config = WPaxosConfig(monitor=monitor)
+    scheduler = RandomDelayScheduler(f_ack=1.0, seed=2014)
+
+    simulator = build_simulation(
+        graph,
+        lambda node: WPaxosNode(uid=ids[node],
+                                initial_value=initial_values[node],
+                                n=graph.n, config=config),
+        scheduler,
+    )
+    result = simulator.run()
+    report = check_consensus(result.trace, initial_values)
+
+    decision_time = result.trace.last_decision_time()
+    print(f"grid: {graph.n} sensors, diameter {diameter}")
+    print(f"all decided: {report.termination}, "
+          f"agreement: {report.agreement}")
+    print(f"network-wide decision: "
+          f"{set(result.decisions.values()).pop()}")
+    print(f"time to full agreement: {decision_time:.2f} "
+          f"(= {decision_time / diameter:.2f} x D x F_ack; "
+          f"Theorem 4.6 promises O(D * F_ack))")
+    print(f"response aggregation never double-counted: "
+          f"{monitor.conservation_holds()} (Lemma 4.2)")
+    print(f"total broadcasts: {result.trace.broadcast_count()}, "
+          f"deliveries: {result.trace.delivery_count()}")
+
+    # Every node converged to the same leader: the maximum id.
+    leaders = {simulator.process_at(v).leader_svc.leader
+               for v in graph.nodes}
+    print(f"stabilized leader (max id): {leaders}")
+
+
+if __name__ == "__main__":
+    main()

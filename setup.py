@@ -1,0 +1,9 @@
+"""Setup shim for environments without the `wheel` package.
+
+`pip install -e . --no-build-isolation` needs `wheel` for PEP 660
+editable installs; offline boxes without it can use
+`python setup.py develop` instead, which this shim enables.
+"""
+from setuptools import setup
+
+setup()

@@ -1,0 +1,32 @@
+"""Experiment harness: runners, metrics, statistics, table rendering."""
+
+from .metrics import RunMetrics, collect_metrics
+from .runner import (alternating_values, run_consensus, split_values)
+from .stats import correlation, growth_ratio, linear_fit, mean, stdev
+from .sweeps import SweepPoint, SweepResult, sweep
+from .tables import format_markdown_table, format_table
+from .export import (load_trace, save_trace, trace_from_json,
+                     trace_to_json, trace_to_records)
+
+__all__ = [
+    "RunMetrics",
+    "collect_metrics",
+    "run_consensus",
+    "alternating_values",
+    "split_values",
+    "mean",
+    "stdev",
+    "linear_fit",
+    "correlation",
+    "growth_ratio",
+    "format_table",
+    "format_markdown_table",
+    "sweep",
+    "SweepResult",
+    "SweepPoint",
+    "save_trace",
+    "load_trace",
+    "trace_to_json",
+    "trace_from_json",
+    "trace_to_records",
+]

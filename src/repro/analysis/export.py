@@ -1,0 +1,86 @@
+"""Trace export/import.
+
+Execution traces are the ground truth of every experiment; exporting
+them lets users diff runs, archive experiment evidence next to
+EXPERIMENTS.md, or analyse executions with external tooling. Payloads
+are stored as ``repr`` strings: traces round-trip structurally
+(times, kinds, nodes, broadcast ids) with payloads preserved for
+human inspection rather than re-execution.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Dict, List, Optional
+
+from ..macsim.trace import Trace, TraceRecord
+
+#: Schema version stamped into exports.
+SCHEMA_VERSION = 1
+
+
+def trace_to_records(trace: Trace) -> List[Dict[str, Any]]:
+    """Convert a trace to JSON-serializable dicts."""
+    out = []
+    for record in trace:
+        out.append({
+            "time": record.time,
+            "kind": record.kind,
+            "node": _label(record.node),
+            "broadcast_id": record.broadcast_id,
+            "peer": _label(record.peer),
+            "payload": None if record.payload is None
+            else repr(record.payload),
+        })
+    return out
+
+
+def trace_to_json(trace: Trace, *, indent: Optional[int] = None,
+                  metadata: Optional[Dict[str, Any]] = None) -> str:
+    """Serialize a trace (plus optional run metadata) to JSON."""
+    document = {
+        "schema": SCHEMA_VERSION,
+        "metadata": metadata or {},
+        "records": trace_to_records(trace),
+    }
+    return json.dumps(document, indent=indent)
+
+
+def trace_from_json(text: str) -> Trace:
+    """Rebuild a structural trace from a JSON export.
+
+    Payloads come back as their ``repr`` strings; all timing/topology
+    queries (decision times, counts, crashed nodes) work as on the
+    original.
+    """
+    document = json.loads(text)
+    if document.get("schema") != SCHEMA_VERSION:
+        raise ValueError(
+            f"unsupported trace schema: {document.get('schema')!r}")
+    trace = Trace()
+    for rec in document["records"]:
+        trace.append(TraceRecord(
+            time=rec["time"], kind=rec["kind"], node=rec["node"],
+            broadcast_id=rec["broadcast_id"], peer=rec["peer"],
+            payload=rec["payload"]))
+    return trace
+
+
+def save_trace(trace: Trace, path: str, *,
+               metadata: Optional[Dict[str, Any]] = None) -> None:
+    """Write a trace export to ``path``."""
+    with open(path, "w", encoding="utf-8") as handle:
+        handle.write(trace_to_json(trace, indent=2, metadata=metadata))
+
+
+def load_trace(path: str) -> Trace:
+    """Read a trace export from ``path``."""
+    with open(path, encoding="utf-8") as handle:
+        return trace_from_json(handle.read())
+
+
+def _label(value: Any) -> Any:
+    """Node labels are ints or strings already; pass through."""
+    if value is None or isinstance(value, (int, str, float)):
+        return value
+    return repr(value)

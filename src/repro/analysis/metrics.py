@@ -1,0 +1,82 @@
+"""Metrics extraction from execution traces."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Dict, Optional
+
+from ..macsim import RunResult, check_consensus
+from ..macsim.trace import Trace
+
+
+@dataclass
+class RunMetrics:
+    """Everything an experiment row needs from one run."""
+
+    algorithm: str
+    topology: str
+    n: int
+    diameter: int
+    f_ack: float
+    scheduler: str
+    correct: bool
+    agreement: bool
+    termination: bool
+    first_decision: Optional[float]
+    last_decision: Optional[float]
+    broadcasts: int
+    max_broadcasts_per_node: int
+    deliveries: int
+    events: int
+    stop_reason: str
+
+    @property
+    def normalized_time(self) -> Optional[float]:
+        """Last decision time in units of ``F_ack``."""
+        if self.last_decision is None:
+            return None
+        return self.last_decision / self.f_ack
+
+    @property
+    def time_per_diameter(self) -> Optional[float]:
+        """Last decision time over ``D * F_ack`` (the Thm 4.6 shape)."""
+        if self.last_decision is None or self.diameter == 0:
+            return None
+        return self.last_decision / (self.diameter * self.f_ack)
+
+
+def collect_metrics(*, algorithm: str, topology: str, graph,
+                    scheduler, result: RunResult,
+                    initial_values: Dict[Any, int],
+                    diameter: Optional[int] = None) -> RunMetrics:
+    """Build a :class:`RunMetrics` from a completed run."""
+    report = check_consensus(result.trace, initial_values)
+    trace = result.trace
+    times = trace.decision_times()
+    per_node = _broadcasts_per_node(trace)
+    return RunMetrics(
+        algorithm=algorithm,
+        topology=topology,
+        n=graph.n,
+        diameter=graph.diameter() if diameter is None else diameter,
+        f_ack=scheduler.f_ack,
+        scheduler=type(scheduler).__name__,
+        correct=report.ok,
+        agreement=report.agreement,
+        termination=report.termination,
+        first_decision=min(times.values()) if times else None,
+        last_decision=max(times.values()) if times else None,
+        broadcasts=trace.broadcast_count(),
+        max_broadcasts_per_node=max(per_node.values(), default=0),
+        deliveries=trace.delivery_count(),
+        events=result.events_processed,
+        stop_reason=result.stop_reason,
+    )
+
+
+def _broadcasts_per_node(trace: Trace) -> Dict[Any, int]:
+    counts: Dict[Any, int] = {}
+    for record in trace:
+        if record.kind == "broadcast":
+            counts[record.node] = counts.get(record.node, 0) + 1
+    return counts

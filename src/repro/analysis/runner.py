@@ -1,0 +1,53 @@
+"""Convenience runner shared by tests, benchmarks and experiments."""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Dict, Optional
+
+from ..macsim import build_simulation
+from ..macsim.errors import ModelViolationError
+from ..macsim.invariants import check_model_invariants
+from .metrics import RunMetrics, collect_metrics
+
+#: Factory signature: (label, initial value) -> process.
+ProcessFactory = Callable[[Any, int], Any]
+
+
+def alternating_values(graph) -> Dict[Any, int]:
+    """The default 0/1/0/1... input assignment over canonical order."""
+    return {v: i % 2 for i, v in enumerate(graph.nodes)}
+
+
+def split_values(graph) -> Dict[Any, int]:
+    """First half 0, second half 1 (the partition-argument inputs)."""
+    half = graph.n // 2
+    return {v: 0 if i < half else 1
+            for i, v in enumerate(graph.nodes)}
+
+
+def run_consensus(*, algorithm: str, topology: str, graph, scheduler,
+                  factory: ProcessFactory,
+                  initial_values: Optional[Dict[Any, int]] = None,
+                  max_events: int = 20_000_000,
+                  max_time: Optional[float] = None,
+                  check_invariants: bool = True) -> RunMetrics:
+    """Run one consensus execution and return its metrics.
+
+    ``factory(label, value)`` builds the process for each node. Model
+    invariants are verified on the trace unless disabled (they are
+    O(trace) and cheap at experiment sizes).
+    """
+    values = initial_values or alternating_values(graph)
+    sim = build_simulation(graph, lambda v: factory(v, values[v]),
+                           scheduler)
+    result = sim.run(max_events=max_events, max_time=max_time)
+    if check_invariants:
+        report = check_model_invariants(graph, result.trace,
+                                        scheduler.f_ack)
+        if not report.ok:
+            raise ModelViolationError(
+                f"{algorithm} on {topology}: " + "; ".join(
+                    report.violations[:5]))
+    return collect_metrics(algorithm=algorithm, topology=topology,
+                           graph=graph, scheduler=scheduler,
+                           result=result, initial_values=values)

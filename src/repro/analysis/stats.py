@@ -1,0 +1,66 @@
+"""Small statistics helpers for experiment summaries."""
+
+from __future__ import annotations
+
+import math
+from typing import Sequence, Tuple
+
+
+def mean(values: Sequence[float]) -> float:
+    if not values:
+        raise ValueError("mean of empty sequence")
+    return sum(values) / len(values)
+
+
+def stdev(values: Sequence[float]) -> float:
+    """Sample standard deviation (0 for fewer than two points)."""
+    if len(values) < 2:
+        return 0.0
+    mu = mean(values)
+    return math.sqrt(sum((v - mu) ** 2 for v in values)
+                     / (len(values) - 1))
+
+
+def linear_fit(xs: Sequence[float],
+               ys: Sequence[float]) -> Tuple[float, float]:
+    """Least-squares fit ``y = slope * x + intercept``.
+
+    Used to verify scaling *shapes*: e.g. decision time vs diameter
+    should fit a line with positive slope and small intercept for
+    wPAXOS (Theorem 4.6), and a near-zero slope vs ``n`` for Two-Phase
+    (Theorem 4.1).
+    """
+    if len(xs) != len(ys) or len(xs) < 2:
+        raise ValueError("need at least two matching points")
+    mx, my = mean(xs), mean(ys)
+    sxx = sum((x - mx) ** 2 for x in xs)
+    if sxx == 0:
+        raise ValueError("degenerate fit: all x equal")
+    sxy = sum((x - mx) * (y - my) for x, y in zip(xs, ys))
+    slope = sxy / sxx
+    return slope, my - slope * mx
+
+
+def correlation(xs: Sequence[float], ys: Sequence[float]) -> float:
+    """Pearson correlation coefficient."""
+    if len(xs) != len(ys) or len(xs) < 2:
+        raise ValueError("need at least two matching points")
+    mx, my = mean(xs), mean(ys)
+    sxx = sum((x - mx) ** 2 for x in xs)
+    syy = sum((y - my) ** 2 for y in ys)
+    if sxx == 0 or syy == 0:
+        return 0.0
+    sxy = sum((x - mx) * (y - my) for x, y in zip(xs, ys))
+    return sxy / math.sqrt(sxx * syy)
+
+
+def growth_ratio(xs: Sequence[float], ys: Sequence[float]) -> float:
+    """``(y_last / y_first) / (x_last / x_first)``.
+
+    A scale-free growth indicator: ~1 for linear scaling in ``x``,
+    ~0 for flat, larger for super-linear. Used to compare how baseline
+    and wPAXOS times react to growing ``n``.
+    """
+    if len(xs) < 2 or xs[0] == 0 or ys[0] == 0:
+        raise ValueError("need two points with non-zero firsts")
+    return (ys[-1] / ys[0]) / (xs[-1] / xs[0])

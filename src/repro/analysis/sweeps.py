@@ -1,0 +1,87 @@
+"""Parameter sweep helpers.
+
+Thin declarative layer over :func:`repro.analysis.runner.run_consensus`
+for producing the (x, y) series the experiments fit lines through.
+Keeping sweeps in one place makes the E-drivers short and gives users
+a ready-made tool for their own measurements.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, List, Optional, Sequence
+
+from .metrics import RunMetrics
+from .runner import ProcessFactory, run_consensus
+from .stats import linear_fit
+
+
+@dataclass
+class SweepPoint:
+    """One measured point of a sweep."""
+
+    x: float
+    metrics: RunMetrics
+
+
+@dataclass
+class SweepResult:
+    """A complete sweep with fitting helpers."""
+
+    name: str
+    points: List[SweepPoint] = field(default_factory=list)
+
+    @property
+    def xs(self) -> List[float]:
+        return [p.x for p in self.points]
+
+    def ys(self, attribute: str = "last_decision") -> List[float]:
+        return [getattr(p.metrics, attribute) for p in self.points]
+
+    def all_correct(self) -> bool:
+        return all(p.metrics.correct for p in self.points)
+
+    def fit(self, attribute: str = "last_decision"):
+        """Least-squares (slope, intercept) of ``attribute`` vs x."""
+        return linear_fit(self.xs, self.ys(attribute))
+
+    def rows(self, attribute: str = "last_decision") -> List[list]:
+        """Table rows: one per point (x, correct, value)."""
+        return [[p.x, p.metrics.correct,
+                 getattr(p.metrics, attribute)] for p in self.points]
+
+
+def sweep(name: str, xs: Sequence[float],
+          build: Callable[[float], Dict[str, Any]],
+          *, max_events: int = 20_000_000,
+          max_time: Optional[float] = None) -> SweepResult:
+    """Run one consensus execution per ``x`` and collect metrics.
+
+    ``build(x)`` returns the keyword arguments for
+    :func:`run_consensus` at that sweep point: ``graph``,
+    ``scheduler``, ``factory`` and optionally ``initial_values`` /
+    ``topology``.
+
+    Example::
+
+        result = sweep(
+            "time vs D", [4, 9, 19],
+            lambda d: dict(
+                graph=line(int(d) + 1),
+                scheduler=SynchronousScheduler(1.0),
+                factory=make_wpaxos_factory(line(int(d) + 1))))
+        slope, intercept = result.fit()
+    """
+    result = SweepResult(name=name)
+    for x in xs:
+        spec = dict(build(x))
+        graph = spec.pop("graph")
+        scheduler = spec.pop("scheduler")
+        factory: ProcessFactory = spec.pop("factory")
+        topology = spec.pop("topology", f"{name}@{x}")
+        metrics = run_consensus(
+            algorithm=name, topology=topology, graph=graph,
+            scheduler=scheduler, factory=factory,
+            max_events=max_events, max_time=max_time, **spec)
+        result.points.append(SweepPoint(x=float(x), metrics=metrics))
+    return result

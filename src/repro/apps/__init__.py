@@ -1,0 +1,16 @@
+"""Applications built on the consensus library.
+
+The paper motivates consensus as the building block for reliable
+distributed systems; this package provides the canonical one -- a
+replicated command log (multi-decree wPAXOS).
+"""
+
+from .replicated_log import (LogMessage, ReplicatedLogNode, SlotDecide,
+                             SlotMessage)
+
+__all__ = [
+    "ReplicatedLogNode",
+    "LogMessage",
+    "SlotMessage",
+    "SlotDecide",
+]

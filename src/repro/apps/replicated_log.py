@@ -1,0 +1,334 @@
+"""A replicated command log on top of wPAXOS (multi-decree).
+
+The paper's introduction motivates consensus as "a fundamental
+building block for developing reliable distributed systems"; the
+canonical such system is a replicated log / state machine. This module
+builds one over the abstract MAC layer by running a *sequence* of
+wPAXOS decrees -- one per log slot -- multiplexed over the same
+support services:
+
+* **Shared services.** Leader election and the routing trees are
+  slot-independent: one election, one set of trees, reused by every
+  decree (this is exactly why Multi-Paxos amortizes well).
+* **Per-slot PAXOS.** Each slot has its own proposer/acceptor pair
+  (:class:`~repro.core.wpaxos.proposer.Proposer`,
+  :class:`~repro.core.wpaxos.acceptor.AcceptorState`) and aggregating
+  response queue; all slot messages are wrapped in
+  :class:`SlotMessage` envelopes.
+* **Sequential commitment.** A node participates in slot ``k + 1``
+  once slot ``k`` is decided locally, and the leader proposes its next
+  pending command for the new slot immediately. Decided slots flood
+  ``(slot, value)`` announcements so trailing nodes catch up.
+
+Nodes *decide* (in the consensus sense) when their whole log -- all
+``log_length`` slots -- is committed; the decision value is the log
+tuple itself, so the standard agreement checker verifies that every
+replica ends with the identical command sequence.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Dict, List, Optional, Sequence, Tuple
+
+from ..core.base import ConsensusProcess
+from ..core.wpaxos.acceptor import AcceptorState, ResponseQueue
+from ..core.wpaxos.config import WPaxosConfig
+from ..core.wpaxos.messages import (ChangePart, LeaderPart, PREPARE,
+                                    ProposerPart, ResponsePart,
+                                    SearchPart, proposition_key)
+from ..core.wpaxos.proposer import Proposer
+from ..core.wpaxos.services import (ChangeService,
+                                    LeaderElectionService, TreeService)
+
+
+@dataclass(frozen=True)
+class SlotMessage:
+    """A per-slot PAXOS part (proposer flood or routed response)."""
+
+    slot: int
+    part: object
+
+    def id_footprint(self) -> int:
+        return self.part.id_footprint()
+
+
+@dataclass(frozen=True)
+class SlotDecide:
+    """Flooded announcement that ``slot`` committed ``value``."""
+
+    slot: int
+    value: Any
+
+    def id_footprint(self) -> int:
+        return 0
+
+
+@dataclass(frozen=True)
+class LogMessage:
+    """One physical broadcast of the replicated-log protocol."""
+
+    parts: Tuple[object, ...]
+
+    def id_footprint(self) -> int:
+        return sum(part.id_footprint() for part in self.parts)
+
+    def __iter__(self):
+        return iter(self.parts)
+
+
+class _Slot:
+    """Per-slot PAXOS state at one node."""
+
+    def __init__(self, node: "ReplicatedLogNode", slot: int,
+                 command: Any) -> None:
+        self.slot = slot
+        self.acceptor = AcceptorState(node.uid)
+        self.response_queue = ResponseQueue(
+            aggregation=node.config.aggregation)
+        self.proposer = Proposer(
+            node.uid, command, node.n, node.config,
+            is_leader=lambda: node.leader_svc.leader == node.uid,
+            flood=lambda part: node._handle_slot_proposer(slot, part),
+            on_chosen=lambda value: node._on_slot_chosen(slot, value))
+        self.seen_proposer_parts: set = set()
+        self.flood_queue: List[ProposerPart] = []
+        self.largest_from_leader = None
+
+
+class ReplicatedLogNode(ConsensusProcess):
+    """One replica of the wPAXOS-backed replicated log.
+
+    Parameters
+    ----------
+    uid / n / config:
+        As for :class:`~repro.core.wpaxos.node.WPaxosNode`.
+    commands:
+        This node's client workload: commands it wants committed.
+        The leader proposes its own pending commands; committed slots
+        may therefore carry any participant's commands (validity over
+        the union of workloads).
+    log_length:
+        Number of slots to commit before the node "decides" on the
+        full log.
+    """
+
+    def __init__(self, uid: int, n: int, commands: Sequence[Any],
+                 log_length: int,
+                 config: Optional[WPaxosConfig] = None) -> None:
+        super().__init__(uid=uid, initial_value=tuple(commands),
+                         allow_arbitrary_values=True)
+        if log_length < 1:
+            raise ValueError("log_length must be positive")
+        self.n = n
+        self.config = config or WPaxosConfig()
+        self.log_length = log_length
+        self.commands = list(commands)
+
+        self.leader_svc = LeaderElectionService(
+            uid, on_leader_change=self._on_leader_change)
+        self.tree_svc = TreeService(
+            uid, current_leader=lambda: self.leader_svc.leader,
+            on_tree_change=lambda root: self._note_possible_change(),
+            prioritize_leader=self.config.tree_priority)
+        self.change_svc = ChangeService(
+            uid, clock=self.now,
+            is_leader=lambda: self.leader_svc.leader == uid,
+            generate_proposal=self._generate_current)
+
+        self.log: Dict[int, Any] = {}
+        self.current_slot = 0
+        self.decide_queue: List[SlotDecide] = []
+        self._announced_slots: set = set()
+        self._slots: Dict[int, _Slot] = {}
+        self._last_change_state = None
+
+    # ------------------------------------------------------------------
+    def _slot(self, index: int) -> _Slot:
+        if index not in self._slots:
+            command = (self.commands[index % len(self.commands)]
+                       if self.commands else ("noop", self.uid, index))
+            self._slots[index] = _Slot(self, index, command)
+        return self._slots[index]
+
+    # ------------------------------------------------------------------
+    # Handlers
+    # ------------------------------------------------------------------
+    def on_start(self) -> None:
+        self._note_possible_change(force=True)
+        self._pump()
+
+    def on_receive(self, message: Any) -> None:
+        if not isinstance(message, LogMessage):
+            return
+        for part in message:
+            if isinstance(part, LeaderPart):
+                self.leader_svc.on_receive(part)
+            elif isinstance(part, ChangePart):
+                self.change_svc.on_receive(part)
+            elif isinstance(part, SearchPart):
+                self.tree_svc.on_receive(part)
+            elif isinstance(part, SlotDecide):
+                self._commit(part.slot, part.value)
+            elif isinstance(part, SlotMessage):
+                self._handle_slot_part(part.slot, part.part)
+        self._note_possible_change()
+        self._pump()
+
+    def on_ack(self) -> None:
+        self._pump()
+
+    # ------------------------------------------------------------------
+    # Slot PAXOS plumbing
+    # ------------------------------------------------------------------
+    def _handle_slot_part(self, slot_index: int, part: object) -> None:
+        if slot_index in self.log:
+            return  # already committed; late traffic is harmless
+        slot = self._slot(slot_index)
+        if isinstance(part, ProposerPart):
+            self._handle_slot_proposer(slot_index, part)
+        elif isinstance(part, ResponsePart):
+            if part.dest != self.uid:
+                return
+            if part.proposer == self.uid:
+                counted = slot.proposer.on_response(part)
+                monitor = self.config.monitor
+                if counted and monitor is not None:
+                    monitor.note_counted(
+                        (slot_index,) + proposition_key(
+                            part.proposer, part.kind, part.number),
+                        counted)
+            else:
+                slot.response_queue.add_part(part)
+
+    def _handle_slot_proposer(self, slot_index: int,
+                              part: ProposerPart) -> None:
+        slot = self._slot(slot_index)
+        key = (part.kind, part.number)
+        if key in slot.seen_proposer_parts:
+            return
+        slot.seen_proposer_parts.add(key)
+        slot.proposer.observe_number(part.number)
+
+        proposer_id = part.number[1]
+        if proposer_id == self.leader_svc.leader:
+            if (slot.largest_from_leader is None
+                    or part.number > slot.largest_from_leader):
+                slot.largest_from_leader = part.number
+                slot.flood_queue = [
+                    p for p in slot.flood_queue
+                    if p.number >= slot.largest_from_leader]
+            if part.number >= slot.largest_from_leader:
+                slot.flood_queue.append(part)
+
+        if part.kind == PREPARE:
+            seed = slot.acceptor.on_prepare(part.number, proposer_id)
+        else:
+            seed = slot.acceptor.on_propose(part.number, part.value,
+                                            proposer_id)
+        monitor = self.config.monitor
+        if monitor is not None and seed.affirmative:
+            monitor.note_generated(
+                (slot_index,) + proposition_key(proposer_id, seed.kind,
+                                                seed.number))
+        if proposer_id == self.uid:
+            response = ResponsePart(dest=self.uid, proposer=self.uid,
+                                    kind=seed.kind, number=seed.number,
+                                    count=1, prior=seed.prior,
+                                    committed=seed.committed)
+            counted = slot.proposer.on_response(response)
+            if counted and monitor is not None:
+                monitor.note_counted(
+                    (slot_index,) + proposition_key(
+                        self.uid, seed.kind, seed.number), counted)
+        else:
+            slot.response_queue.add_seed(seed)
+
+    # ------------------------------------------------------------------
+    # Commitment and decision
+    # ------------------------------------------------------------------
+    def _on_slot_chosen(self, slot_index: int, value: Any) -> None:
+        self._commit(slot_index, value)
+
+    def _commit(self, slot_index: int, value: Any) -> None:
+        if slot_index in self.log:
+            return
+        self.log[slot_index] = value
+        if slot_index not in self._announced_slots:
+            self._announced_slots.add(slot_index)
+            self.decide_queue.append(SlotDecide(slot=slot_index,
+                                                value=value))
+        self._slots.pop(slot_index, None)
+        while self.current_slot in self.log:
+            self.current_slot += 1
+        if (not self.decided
+                and all(i in self.log
+                        for i in range(self.log_length))):
+            self.decide(tuple(self.log[i]
+                              for i in range(self.log_length)))
+        elif self.leader_svc.leader == self.uid:
+            self._generate_current()
+
+    def _generate_current(self) -> None:
+        if self.decided or self.current_slot >= self.log_length:
+            return
+        self._slot(self.current_slot).proposer.generate_new_proposal()
+
+    # ------------------------------------------------------------------
+    # Services glue
+    # ------------------------------------------------------------------
+    def _on_leader_change(self, old: int, new: int) -> None:
+        if old == self.uid:
+            for slot in self._slots.values():
+                slot.proposer.abdicate()
+        self._note_possible_change()
+
+    def _note_possible_change(self, force: bool = False) -> None:
+        leader = self.leader_svc.leader
+        state = (leader, self.tree_svc.distance_to(leader))
+        if force or state != self._last_change_state:
+            self._last_change_state = state
+            self.change_svc.on_local_change()
+
+    def _parent_of(self, proposer: int) -> Optional[int]:
+        parent = self.tree_svc.parent.get(proposer)
+        if parent == self.uid:
+            return None
+        return parent
+
+    # ------------------------------------------------------------------
+    # Broadcast multiplexer
+    # ------------------------------------------------------------------
+    def _pump(self) -> None:
+        if self.crashed or self.ack_pending:
+            return
+        parts: List[object] = []
+        if self.decide_queue:
+            parts.append(self.decide_queue.pop(0))
+        if not self.decided:
+            lead = self.leader_svc.pop()
+            if lead is not None:
+                parts.append(lead)
+            change = self.change_svc.pop()
+            if change is not None:
+                parts.append(change)
+            search = self.tree_svc.pop()
+            if search is not None:
+                parts.append(search)
+            slot = self._slots.get(self.current_slot)
+            if slot is not None:
+                if slot.flood_queue:
+                    parts.append(SlotMessage(
+                        slot=self.current_slot,
+                        part=slot.flood_queue.pop(0)))
+                response = slot.response_queue.pop_route(
+                    self._parent_of)
+                if response is not None:
+                    parts.append(SlotMessage(slot=self.current_slot,
+                                             part=response))
+        if parts:
+            self.broadcast(LogMessage(parts=tuple(parts)))
+
+    def state_fingerprint(self) -> Tuple:
+        return (self.leader_svc.leader, self.current_slot,
+                tuple(sorted(self.log.items())), self.decided)

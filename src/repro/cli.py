@@ -1,0 +1,209 @@
+"""Command line interface.
+
+Three subcommands::
+
+    python -m repro run --algorithm wpaxos --topology grid:5x5 \\
+        --scheduler random --seed 7 --trace-out run.json
+    python -m repro experiments E3 E4
+    python -m repro demo
+
+``run`` executes one consensus instance and prints its metrics (and
+optionally exports the trace); ``experiments`` forwards to the E1-E10
+drivers; ``demo`` runs the impossibility tour.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Any, Dict
+
+from .analysis.export import save_trace
+from .analysis.metrics import collect_metrics
+from .core import (BenOrConsensus, GatherAllConsensus, PaxosFloodNode,
+                   TwoPhaseConsensus, WPaxosConfig, WPaxosNode)
+from .macsim import build_simulation, check_consensus
+from .macsim.schedulers import (MaxDelayScheduler, RandomDelayScheduler,
+                                SynchronousScheduler)
+from .topology import (clique, grid, line, random_connected,
+                       random_geometric, ring, star, star_of_cliques)
+
+ALGORITHMS = ("two-phase", "wpaxos", "gatherall", "flood-paxos",
+              "ben-or")
+SCHEDULERS = ("synchronous", "random", "max-delay")
+
+
+def parse_topology(spec: str):
+    """Parse ``name[:args]`` topology specs, e.g. ``grid:4x6``."""
+    name, _, args = spec.partition(":")
+    if name == "clique":
+        return clique(int(args or 8))
+    if name == "line":
+        return line(int(args or 8))
+    if name == "ring":
+        return ring(int(args or 8))
+    if name == "star":
+        return star(int(args or 8))
+    if name == "grid":
+        rows, _, cols = (args or "4x4").partition("x")
+        return grid(int(rows), int(cols))
+    if name == "star-of-cliques":
+        arms, _, size = (args or "4x6").partition("x")
+        return star_of_cliques(int(arms), int(size))
+    if name == "random":
+        n, _, seed = (args or "16").partition(":")
+        return random_connected(int(n), 0.1,
+                                seed=int(seed) if seed else 0)
+    if name == "geometric":
+        n, _, seed = (args or "24").partition(":")
+        return random_geometric(int(n), 0.3,
+                                seed=int(seed) if seed else 0)
+    raise SystemExit(f"unknown topology {spec!r}; try clique:8, "
+                     f"line:10, grid:4x6, star-of-cliques:4x6, "
+                     f"random:16:3, geometric:24:1")
+
+
+def make_scheduler(name: str, f_ack: float, seed: int):
+    if name == "synchronous":
+        return SynchronousScheduler(f_ack)
+    if name == "random":
+        return RandomDelayScheduler(f_ack, seed=seed)
+    if name == "max-delay":
+        return MaxDelayScheduler(f_ack)
+    raise SystemExit(f"unknown scheduler {name!r}")
+
+
+def make_factory(algorithm: str, graph, values: Dict[Any, int],
+                 seed: int):
+    uid = {v: i + 1 for i, v in enumerate(graph.nodes)}
+    n = graph.n
+    if algorithm == "two-phase":
+        if graph.diameter() > 1:
+            raise SystemExit("two-phase requires a single hop "
+                             "(clique) topology")
+        return lambda v: TwoPhaseConsensus(uid[v], values[v])
+    if algorithm == "wpaxos":
+        return lambda v: WPaxosNode(uid[v], values[v], n,
+                                    WPaxosConfig())
+    if algorithm == "gatherall":
+        return lambda v: GatherAllConsensus(uid[v], values[v], n)
+    if algorithm == "flood-paxos":
+        return lambda v: PaxosFloodNode(uid[v], values[v], n)
+    if algorithm == "ben-or":
+        if graph.diameter() > 1:
+            raise SystemExit("ben-or requires a single hop (clique) "
+                             "topology")
+        f = (n - 1) // 2
+        return lambda v: BenOrConsensus(uid[v], values[v], n, f,
+                                        seed=seed * 101 + uid[v])
+    raise SystemExit(f"unknown algorithm {algorithm!r}")
+
+
+def cmd_run(args: argparse.Namespace) -> int:
+    graph = parse_topology(args.topology)
+    scheduler = make_scheduler(args.scheduler, args.f_ack, args.seed)
+    values = {v: i % 2 for i, v in enumerate(graph.nodes)}
+    factory = make_factory(args.algorithm, graph, values, args.seed)
+    sim = build_simulation(graph, factory, scheduler)
+    result = sim.run(max_time=args.max_time)
+    report = check_consensus(result.trace, values)
+    metrics = collect_metrics(
+        algorithm=args.algorithm, topology=args.topology, graph=graph,
+        scheduler=scheduler, result=result, initial_values=values)
+
+    print(f"algorithm:      {args.algorithm}")
+    print(f"topology:       {args.topology} "
+          f"(n={graph.n}, D={metrics.diameter})")
+    print(f"scheduler:      {scheduler.describe()}")
+    print(f"consensus:      agreement={report.agreement} "
+          f"validity={report.validity} "
+          f"termination={report.termination}")
+    print(f"decision:       {sorted(set(report.decisions.values()))}")
+    print(f"decision time:  {metrics.last_decision} "
+          f"({metrics.normalized_time} x F_ack)")
+    print(f"broadcasts:     {metrics.broadcasts} "
+          f"(max {metrics.max_broadcasts_per_node} per node)")
+    if args.trace_out:
+        save_trace(result.trace, args.trace_out, metadata={
+            "algorithm": args.algorithm, "topology": args.topology,
+            "scheduler": scheduler.describe(), "seed": args.seed})
+        print(f"trace written:  {args.trace_out} "
+              f"({len(result.trace)} records)")
+    return 0 if report.ok else 1
+
+
+def cmd_experiments(args: argparse.Namespace) -> int:
+    from .experiments.__main__ import main as experiments_main
+    forwarded = list(args.ids)
+    if args.markdown:
+        forwarded.append("--markdown")
+    return experiments_main(forwarded)
+
+
+def cmd_demo(_args: argparse.Namespace) -> int:
+    import importlib.util
+    import os
+    path = os.path.join(os.path.dirname(__file__), "..", "..",
+                        "examples", "impossibility_tour.py")
+    if os.path.exists(path):
+        spec = importlib.util.spec_from_file_location("tour", path)
+        module = importlib.util.module_from_spec(spec)
+        spec.loader.exec_module(module)
+        module.main()
+        return 0
+    # Installed without the examples directory: run inline.
+    from .lowerbounds import (build_witness_deadlock_execution,
+                              kd_violation_demo, run_anonymity_demo)
+    sim = build_witness_deadlock_execution()
+    result = sim.run(max_time=300.0)
+    print("crash demo decisions:", result.decisions)
+    print("anonymity demo violated:",
+          run_anonymity_demo(d=2, k=0).agreement_violated)
+    print("K_D demo violated:",
+          kd_violation_demo(4).agreement_violated)
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Consensus with an Abstract MAC Layer -- "
+                    "reproduction toolkit")
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    run_p = sub.add_parser("run", help="run one consensus execution")
+    run_p.add_argument("--algorithm", choices=ALGORITHMS,
+                       default="wpaxos")
+    run_p.add_argument("--topology", default="grid:4x4",
+                       help="e.g. clique:8, line:10, grid:4x6, "
+                            "star-of-cliques:4x6, random:16:3")
+    run_p.add_argument("--scheduler", choices=SCHEDULERS,
+                       default="random")
+    run_p.add_argument("--f-ack", type=float, default=1.0)
+    run_p.add_argument("--seed", type=int, default=0)
+    run_p.add_argument("--max-time", type=float, default=None)
+    run_p.add_argument("--trace-out", default=None,
+                       help="write the execution trace as JSON")
+    run_p.set_defaults(func=cmd_run)
+
+    exp_p = sub.add_parser("experiments",
+                           help="regenerate experiment tables")
+    exp_p.add_argument("ids", nargs="*",
+                       help="experiment ids (default: all)")
+    exp_p.add_argument("--markdown", action="store_true")
+    exp_p.set_defaults(func=cmd_experiments)
+
+    demo_p = sub.add_parser("demo",
+                            help="run the impossibility tour")
+    demo_p.set_defaults(func=cmd_demo)
+    return parser
+
+
+def main(argv=None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,32 @@
+"""Consensus algorithms: the paper's contributions and baselines.
+
+* :mod:`repro.core.twophase` -- Algorithm 1 (single hop, Theorem 4.1).
+* :mod:`repro.core.wpaxos` -- wPAXOS (multihop, Theorem 4.6).
+* :mod:`repro.core.baselines` -- GatherAll and flooding-PAXOS, the
+  ``O(n * F_ack)`` comparison points of Section 4.2.
+* :mod:`repro.core.heuristics` -- stability heuristics used to exhibit
+  the Section 3 impossibility results.
+"""
+
+from .base import ConsensusProcess, VALUES
+from .twophase import Phase1Message, Phase2Message, TwoPhaseConsensus
+from .wpaxos import SafetyMonitor, WPaxosConfig, WPaxosNode
+from .baselines import GatherAllConsensus, PaxosFloodNode
+from .heuristics import AnonymousMinFlood, NoSizeMinIdFlood
+from .randomized import BenOrConsensus
+
+__all__ = [
+    "ConsensusProcess",
+    "VALUES",
+    "TwoPhaseConsensus",
+    "Phase1Message",
+    "Phase2Message",
+    "WPaxosNode",
+    "WPaxosConfig",
+    "SafetyMonitor",
+    "GatherAllConsensus",
+    "PaxosFloodNode",
+    "AnonymousMinFlood",
+    "NoSizeMinIdFlood",
+    "BenOrConsensus",
+]

@@ -1,0 +1,35 @@
+"""Shared base class for consensus algorithms.
+
+All algorithms in :mod:`repro.core` implement *binary consensus* as
+defined in Section 2 of the paper: each node starts with an initial
+value in ``{0, 1}``, may perform one irrevocable ``decide``, and a
+correct algorithm guarantees agreement, validity and termination.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Optional
+
+from ..macsim.process import Process
+
+#: The binary consensus value domain.
+VALUES = (0, 1)
+
+
+class ConsensusProcess(Process):
+    """A process participating in binary consensus.
+
+    Subclasses implement the algorithm via the :class:`Process` handler
+    hooks. The constructor validates the initial value, keeping the
+    experiments honest about the binary problem statement the paper's
+    lower bounds rely on.
+    """
+
+    def __init__(self, uid: Optional[int] = None,
+                 initial_value: Any = None, *,
+                 allow_arbitrary_values: bool = False) -> None:
+        if not allow_arbitrary_values and initial_value not in VALUES:
+            raise ValueError(
+                f"binary consensus input must be 0 or 1, got "
+                f"{initial_value!r}")
+        super().__init__(uid=uid, initial_value=initial_value)

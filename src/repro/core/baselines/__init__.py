@@ -1,0 +1,12 @@
+"""Baseline consensus algorithms the paper compares against."""
+
+from .gatherall import GatherAllConsensus, PairMessage
+from .paxos_flood import FloodedResponse, FloodMessage, PaxosFloodNode
+
+__all__ = [
+    "GatherAllConsensus",
+    "PairMessage",
+    "PaxosFloodNode",
+    "FloodMessage",
+    "FloodedResponse",
+]

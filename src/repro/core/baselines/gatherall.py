@@ -1,0 +1,81 @@
+"""GatherAll: the paper's "simply gather all values" strawman.
+
+Section 4.2 notes that with unique ids, knowledge of ``n`` and no crash
+failures, one could "simply gather all values at all nodes". This
+module implements that baseline: every node floods every ``(id, value)``
+pair it knows, one pair per message (respecting the O(1)-ids bound),
+and decides the value of the smallest id once it holds all ``n`` pairs.
+
+Correct, but slow: at a bottleneck node, ``Theta(n)`` distinct pairs
+must be forwarded one message at a time, giving ``Theta(n * F_ack)``
+executions -- the comparison point for wPAXOS's ``O(D * F_ack)``
+aggregation trees (experiment E3).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Dict, List, Tuple
+
+from ..base import ConsensusProcess
+
+
+@dataclass(frozen=True)
+class PairMessage:
+    """One flooded ``(id, value)`` pair."""
+
+    node_id: int
+    value: int
+
+    def id_footprint(self) -> int:
+        return 1
+
+
+class GatherAllConsensus(ConsensusProcess):
+    """Flood all pairs; decide the minimum id's value when complete.
+
+    Requires unique ids and knowledge of ``n`` -- the same knowledge
+    wPAXOS needs -- making the E3 comparison apples-to-apples.
+    """
+
+    def __init__(self, uid: int, initial_value: int, n: int, *,
+                 allow_arbitrary_values: bool = False) -> None:
+        super().__init__(uid=uid, initial_value=initial_value,
+                         allow_arbitrary_values=allow_arbitrary_values)
+        if n < 1:
+            raise ValueError("n must be positive")
+        self.n = n
+        self.known: Dict[int, int] = {uid: initial_value}
+        self.outbox: List[PairMessage] = [
+            PairMessage(node_id=uid, value=initial_value)]
+
+    # ------------------------------------------------------------------
+    def on_start(self) -> None:
+        self._maybe_decide()
+        self._pump()
+
+    def on_receive(self, message: Any) -> None:
+        if not isinstance(message, PairMessage):
+            return
+        if message.node_id not in self.known:
+            self.known[message.node_id] = message.value
+            self.outbox.append(message)
+            self._maybe_decide()
+            self._pump()
+
+    def on_ack(self) -> None:
+        self._pump()
+
+    # ------------------------------------------------------------------
+    def _maybe_decide(self) -> None:
+        if not self.decided and len(self.known) == self.n:
+            self.decide(self.known[min(self.known)])
+
+    def _pump(self) -> None:
+        # Keep forwarding after deciding: neighbors may still be
+        # missing pairs that only route through us.
+        if self.outbox and not self.ack_pending and not self.crashed:
+            self.broadcast(self.outbox.pop(0))
+
+    def state_fingerprint(self) -> Tuple:
+        return (frozenset(self.known.items()), self.decided, self.decision)

@@ -1,0 +1,11 @@
+"""Heuristic algorithms used to exhibit the paper's impossibilities."""
+
+from .stability import (AnonymousMinFlood, KnownSetMessage,
+                        NoSizeMinIdFlood, ValueSetMessage)
+
+__all__ = [
+    "AnonymousMinFlood",
+    "NoSizeMinIdFlood",
+    "ValueSetMessage",
+    "KnownSetMessage",
+]

@@ -1,0 +1,166 @@
+"""Stability-heuristic consensus algorithms used by the lower bounds.
+
+The impossibility theorems (3.3 and 3.9) say *no* algorithm of a given
+knowledge class can solve consensus. An executable reproduction needs
+concrete members of those classes to exhibit the violation on the
+paper's adversarial constructions -- and, for contrast, to show the
+same algorithms succeeding on benign networks. This module provides
+two natural "stability" algorithms of the kind a practitioner might
+write:
+
+* :class:`AnonymousMinFlood` -- fully anonymous (no ids anywhere in its
+  messages or logic), knows ``n`` and ``D``: flood the set of values
+  seen; once the set has been stable for ``n + D + 1`` of the node's
+  acks, decide the minimum. Correct on lines/grids/cliques under the
+  synchronous scheduler; *violates agreement* on Figure 1's network A
+  (Theorem 3.3 / experiment E5).
+* :class:`NoSizeMinIdFlood` -- has unique ids and knows ``D`` but *not*
+  ``n``: flood ``(id, value)`` pairs; once the known set has been
+  stable for ``stability_factor * D + 1`` acks, decide the minimum
+  id's value. Correct on isolated lines under the synchronous
+  scheduler; *violates agreement* on Figure 2's ``K_D`` under the
+  semi-synchronous scheduler (Theorem 3.9 / experiment E6).
+
+Both are deliberately scheduler-sensitive: the theorems guarantee that
+every algorithm in these knowledge classes has *some* adversarial
+execution that breaks it, and these are the executions the experiments
+construct.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Dict, FrozenSet, Tuple
+
+from ..base import ConsensusProcess
+
+
+@dataclass(frozen=True)
+class ValueSetMessage:
+    """Anonymous flood payload: just a set of values (no ids)."""
+
+    values: FrozenSet[int]
+
+    def id_footprint(self) -> int:
+        return 0
+
+
+class AnonymousMinFlood(ConsensusProcess):
+    """Anonymous consensus heuristic (knows ``n`` and ``D``).
+
+    Maintains ``V``, the set of values seen, broadcasting it every MAC
+    cycle. After every ack, if ``V`` did not grow since the previous
+    ack, a stability counter increments; at ``n + D + 1`` stable acks
+    the node decides ``min(V)``. Under the synchronous scheduler on a
+    connected graph this is correct whenever every value reaches every
+    node within ``n + D`` rounds -- true for ordinary topologies, and
+    *provably not guaranteeable* in general (Theorem 3.3).
+    """
+
+    def __init__(self, uid: Any, initial_value: int, n: int,
+                 diameter: int, decide_rule: str = "min") -> None:
+        # uid is accepted for simulator bookkeeping but never used by
+        # the algorithm: messages and decisions are id-free.
+        super().__init__(uid=None, initial_value=initial_value)
+        if n < 1 or diameter < 0:
+            raise ValueError("need n >= 1 and diameter >= 0")
+        if decide_rule not in ("min", "max"):
+            raise ValueError("decide_rule must be 'min' or 'max'")
+        self.n = n
+        self.diameter = diameter
+        self.decide_rule = decide_rule
+        self.threshold = n + diameter + 1
+        self.values: FrozenSet[int] = frozenset([initial_value])
+        self.stable_acks = 0
+        self._values_at_last_ack = self.values
+
+    def on_start(self) -> None:
+        self.broadcast(ValueSetMessage(values=self.values))
+
+    def on_receive(self, message: Any) -> None:
+        if isinstance(message, ValueSetMessage):
+            self.values = self.values | message.values
+
+    def on_ack(self) -> None:
+        if self.values == self._values_at_last_ack:
+            self.stable_acks += 1
+        else:
+            self.stable_acks = 0
+            self._values_at_last_ack = self.values
+        if not self.decided and self.stable_acks >= self.threshold:
+            rule = min if self.decide_rule == "min" else max
+            self.decide(rule(self.values))
+        if not self.decided:
+            self.broadcast(ValueSetMessage(values=self.values))
+
+    def state_fingerprint(self) -> Tuple:
+        return (self.values, self.stable_acks, self.decided, self.decision)
+
+
+@dataclass(frozen=True)
+class KnownSetMessage:
+    """Flood payload carrying one (id, value) pair per message."""
+
+    node_id: int
+    value: int
+
+    def id_footprint(self) -> int:
+        return 1
+
+
+class NoSizeMinIdFlood(ConsensusProcess):
+    """Id-using consensus heuristic that knows ``D`` but not ``n``.
+
+    Floods ``(id, value)`` pairs one per message; decides the minimum
+    id's value once the known set has been stable for
+    ``stability_factor * D + 1`` consecutive acks. Without ``n`` there
+    is no way to detect completion, so stability is the natural proxy
+    -- and exactly what Theorem 3.9's semi-synchronous scheduler
+    exploits in ``K_D``.
+    """
+
+    def __init__(self, uid: int, initial_value: int, diameter: int,
+                 stability_factor: int = 3) -> None:
+        super().__init__(uid=uid, initial_value=initial_value)
+        if diameter < 0 or stability_factor < 1:
+            raise ValueError("bad diameter or stability factor")
+        self.diameter = diameter
+        self.threshold = stability_factor * diameter + 1
+        self.known: Dict[int, int] = {uid: initial_value}
+        self.outbox = [KnownSetMessage(node_id=uid, value=initial_value)]
+        self.stable_acks = 0
+        self._size_at_last_ack = 1
+
+    def on_start(self) -> None:
+        self._pump()
+
+    def on_receive(self, message: Any) -> None:
+        if not isinstance(message, KnownSetMessage):
+            return
+        if message.node_id not in self.known:
+            self.known[message.node_id] = message.value
+            self.outbox.append(message)
+
+    def on_ack(self) -> None:
+        if len(self.known) == self._size_at_last_ack:
+            self.stable_acks += 1
+        else:
+            self.stable_acks = 0
+            self._size_at_last_ack = len(self.known)
+        if not self.decided and self.stable_acks >= self.threshold:
+            self.decide(self.known[min(self.known)])
+        self._pump()
+
+    def _pump(self) -> None:
+        if self.decided or self.crashed:
+            return
+        if self.outbox:
+            self.broadcast(self.outbox.pop(0))
+        else:
+            # Keep the MAC cycle (and the stability clock) running.
+            self.broadcast(KnownSetMessage(node_id=self.uid,
+                                           value=self.initial_value))
+
+    def state_fingerprint(self) -> Tuple:
+        return (frozenset(self.known.items()), self.stable_acks,
+                self.decided, self.decision)

@@ -1,0 +1,244 @@
+"""Randomized consensus: circumventing Theorem 3.2 with coin flips.
+
+The paper's Theorem 3.2 proves *deterministic* consensus impossible
+with one crash failure and names randomization as the natural way out
+(Section 5, future work #3). This module adapts Ben-Or's classic
+randomized binary consensus to the abstract MAC layer, for single hop
+networks with known ``n`` and up to ``f < n/2`` crash failures:
+
+Round ``r`` (all messages ride the acknowledged broadcast primitive):
+
+1. **Report.** Broadcast ``(report, r, v)``; wait until ``n - f``
+   round-``r`` reports arrived (own included). If more than ``n/2``
+   carry the same value ``w``, propose ``w``; else propose ``None``.
+2. **Propose.** Broadcast ``(propose, r, w-or-None)``; wait for
+   ``n - f`` round-``r`` proposals. If ``f + 1`` or more propose the
+   same ``w``: *decide* ``w`` (some nodes may need one more round to
+   catch up -- deciders announce with a decide flood). Else if at
+   least one proposal carries ``w``: adopt ``v = w``. Else flip a
+   fair coin for ``v``. Proceed to round ``r + 1``.
+
+Agreement and validity are deterministic; termination holds with
+probability 1 (expected exponential rounds in the worst adversarial
+case, constant rounds against non-adaptive schedulers like the ones
+simulated here). The E10 experiment pits this against Two-Phase
+Consensus under the *same* crash schedules that deadlock the latter.
+
+The coin is a seeded per-node PRNG, so whole executions stay
+reproducible: simulator determinism is preserved for a fixed
+``(scheduler seed, coin seed)`` pair.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Any, Dict, Optional, Set, Tuple
+
+from .base import ConsensusProcess
+
+#: Message phases.
+REPORT = "report"
+PROPOSE = "propose"
+DECIDE = "decide"
+
+
+@dataclass(frozen=True)
+class BenOrMessage:
+    """One Ben-Or protocol message.
+
+    ``value`` is 0/1 for reports, 0/1/None for proposals, and the
+    decided value for decide announcements.
+    """
+
+    phase: str
+    round_no: int
+    sender: int
+    value: Optional[int]
+
+    def id_footprint(self) -> int:
+        return 1
+
+
+class BenOrConsensus(ConsensusProcess):
+    """Ben-Or randomized binary consensus over the abstract MAC layer.
+
+    Parameters
+    ----------
+    uid:
+        Unique node id.
+    initial_value:
+        Binary input.
+    n:
+        Number of participants (single hop network assumed).
+    f:
+        Crash resilience; requires ``f < n / 2``. The node waits for
+        ``n - f`` messages per phase, so more than ``f`` actual
+        crashes may block it (as in the original protocol).
+    seed:
+        Coin seed; defaults to ``uid`` for reproducibility.
+    max_rounds:
+        Safety valve for simulations (raises no error; the node just
+        keeps its last value and stops progressing). ``None`` means
+        unbounded.
+    """
+
+    def __init__(self, uid: int, initial_value: int, n: int, f: int,
+                 seed: Optional[int] = None,
+                 max_rounds: Optional[int] = None) -> None:
+        super().__init__(uid=uid, initial_value=initial_value)
+        if n < 1:
+            raise ValueError("n must be positive")
+        if f < 0 or 2 * f >= n:
+            raise ValueError("Ben-Or requires 0 <= f < n/2")
+        self.n = n
+        self.f = f
+        self.quorum = n - f
+        self.majority_threshold = n // 2 + 1
+        self.decide_threshold = f + 1
+        self.value = initial_value
+        self.round_no = 1
+        self.phase = REPORT
+        self._rng = random.Random(uid if seed is None else seed)
+        self.max_rounds = max_rounds
+
+        # (phase, round) -> {sender: value}; retained across rounds so
+        # late messages from slow nodes still count.
+        self._inbox: Dict[Tuple[str, int], Dict[int, Optional[int]]] = {}
+        self._outbox: list = []
+        self._announced = False
+        self.rounds_executed = 0
+
+    # ------------------------------------------------------------------
+    # Handlers
+    # ------------------------------------------------------------------
+    def on_start(self) -> None:
+        self._enter_report()
+        # Degenerate quorums (n - f == 1) are satisfiable by the
+        # node's own messages alone; check before any reception.
+        self._check_progress()
+        self._pump()
+
+    def on_receive(self, message: Any) -> None:
+        if not isinstance(message, BenOrMessage):
+            return
+        if message.phase == DECIDE:
+            self._on_decide_announcement(message.value)
+            return
+        slot = self._inbox.setdefault(
+            (message.phase, message.round_no), {})
+        slot.setdefault(message.sender, message.value)
+        self._check_progress()
+
+    def on_ack(self) -> None:
+        self._pump()
+
+    # ------------------------------------------------------------------
+    # Protocol phases
+    # ------------------------------------------------------------------
+    def _enter_report(self) -> None:
+        self.phase = REPORT
+        message = BenOrMessage(phase=REPORT, round_no=self.round_no,
+                               sender=self.uid, value=self.value)
+        self._record_own(message)
+        self._outbox.append(message)
+
+    def _enter_propose(self, proposal: Optional[int]) -> None:
+        self.phase = PROPOSE
+        message = BenOrMessage(phase=PROPOSE, round_no=self.round_no,
+                               sender=self.uid, value=proposal)
+        self._record_own(message)
+        self._outbox.append(message)
+
+    def _record_own(self, message: BenOrMessage) -> None:
+        slot = self._inbox.setdefault(
+            (message.phase, message.round_no), {})
+        slot[self.uid] = message.value
+
+    def _check_progress(self) -> None:
+        if self.decided and self._announced:
+            return
+        advanced = True
+        while advanced and not self.decided:
+            advanced = False
+            slot = self._inbox.get((self.phase, self.round_no), {})
+            if len(slot) < self.quorum:
+                break
+            if self.phase == REPORT:
+                proposal = self._evaluate_reports(slot)
+                self._enter_propose(proposal)
+                advanced = True
+            else:
+                advanced = self._evaluate_proposals(slot)
+        self._pump()
+
+    def _evaluate_reports(self, slot: Dict[int, Optional[int]]
+                          ) -> Optional[int]:
+        counts = self._tally(slot)
+        for value, count in counts.items():
+            if value is not None and count >= self.majority_threshold:
+                return value
+        return None
+
+    def _evaluate_proposals(self, slot: Dict[int, Optional[int]]
+                            ) -> bool:
+        counts = self._tally(slot)
+        best_value, best_count = None, 0
+        for value, count in counts.items():
+            if value is not None and count > best_count:
+                best_value, best_count = value, count
+        if best_value is not None and best_count >= self.decide_threshold:
+            self._decide_and_announce(best_value)
+            return False
+        if best_value is not None:
+            self.value = best_value
+        else:
+            self.value = self._rng.randint(0, 1)
+        self.rounds_executed += 1
+        if (self.max_rounds is not None
+                and self.round_no >= self.max_rounds):
+            return False
+        self.round_no += 1
+        self._enter_report()
+        return True
+
+    @staticmethod
+    def _tally(slot: Dict[int, Optional[int]]
+               ) -> Dict[Optional[int], int]:
+        counts: Dict[Optional[int], int] = {}
+        for value in slot.values():
+            counts[value] = counts.get(value, 0) + 1
+        return counts
+
+    # ------------------------------------------------------------------
+    # Decision announcement
+    # ------------------------------------------------------------------
+    def _decide_and_announce(self, value: int) -> None:
+        if not self.decided:
+            self.decide(value)
+        if not self._announced:
+            self._announced = True
+            self._outbox.append(BenOrMessage(
+                phase=DECIDE, round_no=self.round_no,
+                sender=self.uid, value=value))
+
+    def _on_decide_announcement(self, value: int) -> None:
+        if not self.decided:
+            self.decide(value)
+        if not self._announced:
+            self._announced = True
+            self._outbox.append(BenOrMessage(
+                phase=DECIDE, round_no=self.round_no,
+                sender=self.uid, value=value))
+        self._pump()
+
+    # ------------------------------------------------------------------
+    def _pump(self) -> None:
+        if self.crashed or self.ack_pending:
+            return
+        if self._outbox:
+            self.broadcast(self._outbox.pop(0))
+
+    def state_fingerprint(self) -> Tuple:
+        return (self.round_no, self.phase, self.value, self.decided,
+                self.decision)

@@ -1,0 +1,50 @@
+"""wPAXOS: wireless PAXOS for multihop abstract MAC layer networks.
+
+The paper's Section 4.2 algorithm: PAXOS logic connected to four
+model-specific support services (leader election, change, tree
+building, broadcast multiplexing), achieving consensus in
+``O(D * F_ack)`` time with unique ids and knowledge of ``n``
+(Theorem 4.6).
+"""
+
+from .config import (RETRY_LEARNED, RETRY_PAPER, SafetyMonitor,
+                     WPaxosConfig)
+from .messages import (ACCEPTED, ChangePart, DecidePart, LeaderPart,
+                       PREPARE, PROMISE, PROPOSE, ProposalNumber,
+                       ProposerPart, REJECT_PREPARE, REJECT_PROPOSE,
+                       ResponsePart, SearchPart, WMessage,
+                       proposition_key)
+from .acceptor import AcceptorState, ResponseQueue, ResponseSeed
+from .proposer import Proposer
+from .services import ChangeService, LeaderElectionService, TreeService
+from .node import WPaxosNode
+
+__all__ = [
+    "WPaxosNode",
+    "WPaxosConfig",
+    "SafetyMonitor",
+    "RETRY_PAPER",
+    "RETRY_LEARNED",
+    "Proposer",
+    "AcceptorState",
+    "ResponseQueue",
+    "ResponseSeed",
+    "LeaderElectionService",
+    "ChangeService",
+    "TreeService",
+    "WMessage",
+    "LeaderPart",
+    "ChangePart",
+    "SearchPart",
+    "ProposerPart",
+    "ResponsePart",
+    "DecidePart",
+    "ProposalNumber",
+    "proposition_key",
+    "PREPARE",
+    "PROPOSE",
+    "PROMISE",
+    "ACCEPTED",
+    "REJECT_PREPARE",
+    "REJECT_PROPOSE",
+]

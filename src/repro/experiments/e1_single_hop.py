@@ -1,0 +1,117 @@
+"""E1 -- Theorem 4.1: Two-Phase Consensus decides in O(F_ack).
+
+Regenerates two series:
+
+* decision time vs ``n`` at fixed ``F_ack`` (the claim: *flat* -- the
+  algorithm needs no knowledge of ``n`` and its time does not depend
+  on it);
+* decision time vs ``F_ack`` at fixed ``n`` (the claim: linear with
+  slope <= 2 under round-structured schedulers -- two broadcast
+  cycles).
+
+Also exercises the witness path with adversarial (staggered) and
+random schedulers, and records the pseudocode-erratum regression
+(module docstring of :mod:`repro.core.twophase`).
+"""
+
+from __future__ import annotations
+
+from ..analysis import linear_fit, run_consensus
+from ..core.twophase import TwoPhaseConsensus
+from ..macsim.schedulers import (RandomDelayScheduler,
+                                 StaggeredScheduler,
+                                 SynchronousScheduler)
+from ..topology import clique
+from .common import ExperimentReport
+
+N_SWEEP = (1, 2, 3, 5, 8, 13, 21, 34, 55)
+F_SWEEP = (0.5, 1.0, 2.0, 4.0, 8.0)
+
+
+def run(*, n_sweep=N_SWEEP, f_sweep=F_SWEEP,
+        random_seeds=range(5)) -> ExperimentReport:
+    report = ExperimentReport(
+        experiment_id="E1",
+        title="Two-Phase Consensus in single hop networks",
+        paper_claim=("Theorem 4.1: solves consensus in O(F_ack) time "
+                     "with unique ids, no knowledge of n"),
+        headers=["scheduler", "n", "F_ack", "correct",
+                 "decision time", "time/F_ack"],
+    )
+
+    def factory(label, value):
+        return TwoPhaseConsensus(uid=label, initial_value=value)
+
+    # --- time vs n (fixed F_ack = 1) ---------------------------------
+    times_vs_n = []
+    for n in n_sweep:
+        metrics = run_consensus(
+            algorithm="two-phase", topology=f"clique({n})",
+            graph=clique(n), scheduler=SynchronousScheduler(1.0),
+            factory=factory)
+        times_vs_n.append((n, metrics.last_decision))
+        report.add_row("synchronous", n, 1.0, metrics.correct,
+                       metrics.last_decision, metrics.normalized_time)
+        if not metrics.correct:
+            report.conclude(f"n={n} failed", ok=False)
+    if len(times_vs_n) >= 2:
+        slope, _ = linear_fit([float(n) for n, _ in times_vs_n],
+                              [t for _, t in times_vs_n])
+        report.conclude(
+            f"time vs n slope = {slope:.4f} (claim: ~0, no n "
+            f"dependence)", ok=abs(slope) < 0.05)
+
+    # --- time vs F_ack (fixed n = 10) ---------------------------------
+    times_vs_f = []
+    for f_ack in f_sweep:
+        metrics = run_consensus(
+            algorithm="two-phase", topology="clique(10)",
+            graph=clique(10), scheduler=SynchronousScheduler(f_ack),
+            factory=factory)
+        times_vs_f.append((f_ack, metrics.last_decision))
+        report.add_row("synchronous", 10, f_ack, metrics.correct,
+                       metrics.last_decision, metrics.normalized_time)
+    slope, intercept = linear_fit([f for f, _ in times_vs_f],
+                                  [t for _, t in times_vs_f])
+    report.conclude(
+        f"time vs F_ack: slope={slope:.2f}, intercept={intercept:.2f} "
+        f"(claim: linear, slope <= 2)",
+        ok=slope <= 2.0 + 1e-9)
+
+    # --- adversarial and random schedulers ----------------------------
+    worst_ratio = 0.0
+    for seed in random_seeds:
+        scheduler = RandomDelayScheduler(2.0, seed=seed)
+        metrics = run_consensus(
+            algorithm="two-phase", topology="clique(12)",
+            graph=clique(12), scheduler=scheduler, factory=factory)
+        worst_ratio = max(worst_ratio, metrics.normalized_time or 0.0)
+        if seed == 0:
+            report.add_row("random", 12, 2.0, metrics.correct,
+                           metrics.last_decision,
+                           metrics.normalized_time)
+        if not metrics.correct:
+            report.conclude(f"random seed {seed} failed", ok=False)
+    stag = StaggeredScheduler(0.25, max_degree=16)
+    metrics = run_consensus(
+        algorithm="two-phase", topology="clique(12)",
+        graph=clique(12), scheduler=stag, factory=factory)
+    report.add_row("staggered", 12, stag.f_ack, metrics.correct,
+                   metrics.last_decision, metrics.normalized_time)
+    report.conclude(
+        f"correct under random/staggered schedulers; worst observed "
+        f"time = {worst_ratio:.2f} x F_ack (O(F_ack) as claimed)",
+        ok=metrics.correct and worst_ratio <= 4.0)
+    report.conclude(
+        "pseudocode erratum: literal line-23 (R2-only) decision check "
+        "admits an agreement violation; corrected check (R1 u R2) "
+        "used -- see tests/test_twophase.py::TestErratum")
+    return report
+
+
+def main() -> None:
+    print(run().render())
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,133 @@
+"""E2 -- Theorem 4.6: wPAXOS decides in O(D * F_ack).
+
+Regenerates three series:
+
+* decision time vs diameter ``D`` on lines (the worst case): the claim
+  is a linear fit in ``D`` with a modest constant;
+* decision time vs ``n`` at (near-)fixed ``D`` on cliques and grids of
+  growing width: the claim is no ``n`` dependence beyond ``D``;
+* decision time vs ``F_ack``: linear.
+
+Each row also re-verifies agreement/validity/termination and the model
+invariants (the runner checks them on every trace).
+"""
+
+from __future__ import annotations
+
+from ..analysis import linear_fit, run_consensus
+from ..core.wpaxos import WPaxosConfig, WPaxosNode
+from ..macsim.schedulers import (RandomDelayScheduler,
+                                 SynchronousScheduler)
+from ..topology import clique, grid, line, random_connected
+from .common import ExperimentReport
+
+LINE_DIAMETERS = (4, 9, 19, 29, 39)
+CLIQUE_SIZES = (4, 8, 16, 32, 48)
+F_SWEEP = (0.5, 1.0, 2.0, 4.0)
+
+
+def _factory(graph):
+    uid = {v: i + 1 for i, v in enumerate(graph.nodes)}
+    n = graph.n
+
+    def make(label, value):
+        return WPaxosNode(uid=uid[label], initial_value=value, n=n,
+                          config=WPaxosConfig())
+    return make
+
+
+def run(*, line_diameters=LINE_DIAMETERS, clique_sizes=CLIQUE_SIZES,
+        f_sweep=F_SWEEP) -> ExperimentReport:
+    report = ExperimentReport(
+        experiment_id="E2",
+        title="wPAXOS scaling in multihop networks",
+        paper_claim=("Theorem 4.6: solves consensus in O(D * F_ack) "
+                     "time with unique ids and knowledge of n"),
+        headers=["topology", "n", "D", "F_ack", "correct",
+                 "decision time", "time/(D*F_ack)"],
+    )
+
+    # --- time vs D on lines -------------------------------------------
+    points = []
+    for d in line_diameters:
+        graph = line(d + 1)
+        metrics = run_consensus(
+            algorithm="wpaxos", topology=f"line(D={d})", graph=graph,
+            scheduler=SynchronousScheduler(1.0),
+            factory=_factory(graph))
+        points.append((d, metrics.last_decision))
+        report.add_row(f"line", graph.n, d, 1.0, metrics.correct,
+                       metrics.last_decision, metrics.time_per_diameter)
+        if not metrics.correct:
+            report.conclude(f"line D={d} failed", ok=False)
+    slope, intercept = linear_fit([float(d) for d, _ in points],
+                                  [t for _, t in points])
+    report.conclude(
+        f"time vs D on lines: slope={slope:.2f} x D x F_ack, "
+        f"intercept={intercept:.2f} (claim: linear in D; constant "
+        f"factor small)", ok=0.5 <= slope <= 12.0)
+
+    # --- time vs n at fixed D (cliques, D=1) ---------------------------
+    clique_times = []
+    for n in clique_sizes:
+        graph = clique(n)
+        metrics = run_consensus(
+            algorithm="wpaxos", topology=f"clique({n})", graph=graph,
+            scheduler=SynchronousScheduler(1.0),
+            factory=_factory(graph))
+        clique_times.append((n, metrics.last_decision))
+        report.add_row("clique", n, 1, 1.0, metrics.correct,
+                       metrics.last_decision, metrics.time_per_diameter)
+    slope_n, _ = linear_fit([float(n) for n, _ in clique_times],
+                            [t for _, t in clique_times])
+    report.conclude(
+        f"time vs n at fixed D=1: slope={slope_n:.4f} (claim: ~0, no "
+        f"n dependence beyond D)", ok=abs(slope_n) < 0.1)
+
+    # --- grids and random graphs ---------------------------------------
+    for rows, cols in ((4, 4), (6, 6), (8, 8)):
+        graph = grid(rows, cols)
+        metrics = run_consensus(
+            algorithm="wpaxos", topology=f"grid({rows}x{cols})",
+            graph=graph, scheduler=SynchronousScheduler(1.0),
+            factory=_factory(graph))
+        report.add_row(f"grid {rows}x{cols}", graph.n,
+                       metrics.diameter, 1.0, metrics.correct,
+                       metrics.last_decision, metrics.time_per_diameter)
+    for n, seed in ((24, 1), (48, 2)):
+        graph = random_connected(n, 0.08, seed=seed)
+        metrics = run_consensus(
+            algorithm="wpaxos", topology=f"random({n})", graph=graph,
+            scheduler=RandomDelayScheduler(1.0, seed=seed),
+            factory=_factory(graph))
+        report.add_row(f"random({n})", graph.n, metrics.diameter,
+                       1.0, metrics.correct, metrics.last_decision,
+                       metrics.time_per_diameter)
+        if not metrics.correct:
+            report.conclude(f"random n={n} failed", ok=False)
+
+    # --- time vs F_ack --------------------------------------------------
+    f_points = []
+    for f_ack in f_sweep:
+        graph = line(13)
+        metrics = run_consensus(
+            algorithm="wpaxos", topology="line(D=12)", graph=graph,
+            scheduler=SynchronousScheduler(f_ack),
+            factory=_factory(graph))
+        f_points.append((f_ack, metrics.last_decision))
+        report.add_row("line", graph.n, 12, f_ack, metrics.correct,
+                       metrics.last_decision, metrics.time_per_diameter)
+    f_slope, _ = linear_fit([f for f, _ in f_points],
+                            [t for _, t in f_points])
+    report.conclude(
+        f"time vs F_ack at D=12: slope={f_slope:.1f} (claim: linear "
+        f"in F_ack)", ok=f_slope > 0)
+    return report
+
+
+def main() -> None:
+    print(run().render())
+
+
+if __name__ == "__main__":
+    main()

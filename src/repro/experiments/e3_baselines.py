@@ -1,0 +1,106 @@
+"""E3 -- Section 4.2's motivation: flooding costs Theta(n * F_ack).
+
+The paper motivates wPAXOS's aggregation trees by observing that PAXOS
++ basic flooding (and any gather-everything scheme) pays ``Theta(n)``
+message-slots at a bottleneck, since each O(1)-id message moves one
+response. This experiment pits wPAXOS against the two baselines on
+bottleneck topologies with fixed diameter and growing ``n`` and
+records:
+
+* decision times (claim: wPAXOS flat, baselines grow linearly in n);
+* maximum per-node broadcast counts (claim: Theta(D)-ish vs Theta(n)).
+"""
+
+from __future__ import annotations
+
+from ..analysis import growth_ratio, run_consensus
+from ..core.baselines import GatherAllConsensus, PaxosFloodNode
+from ..core.wpaxos import WPaxosConfig, WPaxosNode
+from ..macsim.schedulers import SynchronousScheduler
+from ..topology import star, star_of_cliques
+from .common import ExperimentReport
+
+ARM_SWEEP = ((4, 6), (6, 8), (8, 10), (10, 12))
+
+
+def run(*, arm_sweep=ARM_SWEEP) -> ExperimentReport:
+    report = ExperimentReport(
+        experiment_id="E3",
+        title="wPAXOS vs flooding baselines at bottlenecks",
+        paper_claim=("Section 4.2: PAXOS + basic flooding costs "
+                     "O(n * F_ack); aggregation trees reduce this to "
+                     "O(D * F_ack)"),
+        headers=["topology", "n", "D", "algorithm", "correct",
+                 "decision time", "max bcasts/node"],
+    )
+
+    series: dict = {"wpaxos": [], "flood-paxos": [], "gatherall": []}
+    for arms, size in arm_sweep:
+        graph = star_of_cliques(arms, size)
+        n, diameter = graph.n, graph.diameter()
+        uid = {v: i + 1 for i, v in enumerate(graph.nodes)}
+        algorithms = {
+            "wpaxos": lambda v, val: WPaxosNode(
+                uid[v], val, n, WPaxosConfig()),
+            "flood-paxos": lambda v, val: PaxosFloodNode(uid[v], val, n),
+            "gatherall": lambda v, val: GatherAllConsensus(
+                uid[v], val, n),
+        }
+        for name, factory in algorithms.items():
+            metrics = run_consensus(
+                algorithm=name, topology=f"star_of_cliques({arms},"
+                f"{size})", graph=graph,
+                scheduler=SynchronousScheduler(1.0), factory=factory)
+            series[name].append((n, metrics.last_decision,
+                                 metrics.max_broadcasts_per_node))
+            report.add_row(f"soc({arms},{size})", n, diameter, name,
+                           metrics.correct, metrics.last_decision,
+                           metrics.max_broadcasts_per_node)
+            if not metrics.correct:
+                report.conclude(f"{name} on n={n} failed", ok=False)
+
+    # A plain star (hub bottleneck, D=2) for good measure.
+    graph = star(41)
+    n = graph.n
+    uid = {v: i + 1 for i, v in enumerate(graph.nodes)}
+    for name, factory in (
+            ("wpaxos", lambda v, val: WPaxosNode(uid[v], val, n,
+                                                 WPaxosConfig())),
+            ("gatherall", lambda v, val: GatherAllConsensus(uid[v], val,
+                                                            n))):
+        metrics = run_consensus(
+            algorithm=name, topology="star(41)", graph=graph,
+            scheduler=SynchronousScheduler(1.0), factory=factory)
+        report.add_row("star(41)", n, 2, name, metrics.correct,
+                       metrics.last_decision,
+                       metrics.max_broadcasts_per_node)
+
+    # Shape conclusions: growth of time as n grows, D fixed.
+    ns = [float(n) for n, _, _ in series["wpaxos"]]
+    for name, expect_flat in (("wpaxos", True), ("flood-paxos", False),
+                              ("gatherall", False)):
+        times = [t for _, t, _ in series[name]]
+        ratio = growth_ratio(ns, times)
+        if expect_flat:
+            report.conclude(
+                f"{name}: time growth ratio {ratio:.2f} as n grows "
+                f"3x at fixed D (claim: ~0, flat)", ok=ratio < 0.4)
+        else:
+            report.conclude(
+                f"{name}: time growth ratio {ratio:.2f} (claim: ~1, "
+                f"linear in n)", ok=ratio > 0.6)
+    wp = series["wpaxos"][-1]
+    fp = series["flood-paxos"][-1]
+    report.conclude(
+        f"at n={int(ns[-1])}: wPAXOS {wp[1]:.0f} vs flooding-PAXOS "
+        f"{fp[1]:.0f} rounds -- x{fp[1] / wp[1]:.1f} speedup "
+        f"(claim: ~n/D factor)", ok=fp[1] > 2 * wp[1])
+    return report
+
+
+def main() -> None:
+    print(run().render())
+
+
+if __name__ == "__main__":
+    main()

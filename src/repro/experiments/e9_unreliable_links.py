@@ -1,0 +1,115 @@
+"""E9 -- the dual-graph open question (Section 5, future work #1).
+
+The paper omits unreliable links from its model (strengthening the
+lower bounds) and explicitly leaves "consensus in an abstract MAC
+layer model that includes unreliable links" open. This experiment
+measures what happens when wPAXOS -- unmodified -- runs over a
+reliable line augmented with random unreliable chords:
+
+* **Safety is unconditional**: agreement and validity hold at every
+  delivery probability, including the adversarial links-die-mid-run
+  policy. (Lemma 4.2's conservation argument never assumed link
+  reliability; lost responses only lower counts.)
+* **Liveness is not**: at intermediate delivery probabilities the
+  tree service can adopt parents across unreliable links whose later
+  silence swallows acceptor responses, and the run deadlocks. This is
+  a *measured* demonstration of why the dual-graph upper bound is
+  genuinely open rather than a routine extension.
+"""
+
+from __future__ import annotations
+
+from ..core.wpaxos import WPaxosConfig, WPaxosNode
+from ..macsim import build_simulation, check_consensus
+from ..macsim.schedulers import (AdversarialUnreliableScheduler,
+                                 BernoulliUnreliableScheduler,
+                                 SynchronousScheduler)
+from ..topology import line
+from ..topology.standard import unreliable_overlay
+from .common import ExperimentReport
+
+PROBS = (0.0, 0.25, 0.5, 0.75, 1.0)
+SEEDS = range(5)
+
+
+def _run_once(graph, overlay, scheduler):
+    uid = {v: i + 1 for i, v in enumerate(graph.nodes)}
+    values = {v: i % 2 for i, v in enumerate(graph.nodes)}
+    sim = build_simulation(
+        graph,
+        lambda v: WPaxosNode(uid[v], values[v], graph.n,
+                             WPaxosConfig()),
+        scheduler, unreliable_graph=overlay)
+    result = sim.run(max_events=5_000_000, max_time=2_000.0)
+    report = check_consensus(result.trace, values)
+    return report, result.trace.last_decision_time()
+
+
+def run(*, probs=PROBS, seeds=SEEDS) -> ExperimentReport:
+    report = ExperimentReport(
+        experiment_id="E9",
+        title="wPAXOS over unreliable links (dual-graph model)",
+        paper_claim=("Section 5 open question: the paper's upper "
+                     "bounds are not established for models with "
+                     "unreliable links"),
+        headers=["policy", "runs", "agreement", "terminated",
+                 "mean time (when terminating)"],
+    )
+    graph = line(12)
+    overlay = unreliable_overlay(graph, 0.15, seed=3)
+
+    liveness_ever_lost = False
+    for prob in probs:
+        agree, finished, times = 0, 0, []
+        for seed in seeds:
+            scheduler = BernoulliUnreliableScheduler(
+                SynchronousScheduler(1.0), prob, seed=seed)
+            consensus, last = _run_once(graph, overlay, scheduler)
+            agree += consensus.agreement and consensus.validity
+            if consensus.termination:
+                finished += 1
+                times.append(last)
+        mean_time = (sum(times) / len(times)) if times else None
+        report.add_row(f"bernoulli p={prob}", len(list(seeds)),
+                       f"{agree}/{len(list(seeds))}",
+                       f"{finished}/{len(list(seeds))}", mean_time)
+        if agree != len(list(seeds)):
+            report.conclude(f"safety violated at p={prob}", ok=False)
+        if finished < len(list(seeds)):
+            liveness_ever_lost = True
+
+    # Adversarial policy: links work, then vanish.
+    agree, finished = 0, 0
+    for cutoff in (5.0, 10.0, 20.0):
+        scheduler = AdversarialUnreliableScheduler(
+            SynchronousScheduler(1.0), cutoff=cutoff)
+        consensus, _ = _run_once(graph, overlay, scheduler)
+        agree += consensus.agreement and consensus.validity
+        finished += consensus.termination
+    report.add_row("adversarial cutoffs 5/10/20", 3, f"{agree}/3",
+                   f"{finished}/3", None)
+    if agree != 3:
+        report.conclude("safety violated under adversarial links",
+                        ok=False)
+    if finished < 3:
+        liveness_ever_lost = True
+
+    report.conclude(
+        "agreement and validity held in every run: wPAXOS's safety "
+        "argument (Lemma 4.2/4.3) does not depend on link "
+        "reliability")
+    report.conclude(
+        "liveness was lost in at least one configuration: response "
+        "routes formed over unreliable links can starve the leader "
+        "of responses -- the measured reason the dual-graph upper "
+        "bound is an open question, not a routine extension",
+        ok=liveness_ever_lost)
+    return report
+
+
+def main() -> None:
+    print(run().render())
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,169 @@
+"""Theorem 3.3 reproduction: anonymous consensus is impossible.
+
+The driver assembles the full Figure 1 argument as an executable
+pipeline:
+
+1. Build the network pair ``(A, B)`` and machine-check Claim 3.4's
+   properties (equal size, equal diameter) and the covering property
+   (*) behind Lemma 3.6.
+2. Run the anonymous algorithm in ``B`` twice -- all inputs 0, all
+   inputs 1 -- with the pendant silenced, establishing Lemma 3.5's
+   ``t`` (both runs terminate, deciding their common input).
+3. Run it in ``A`` with gadget copy ``b`` holding input ``b`` and the
+   bridge silenced past ``t``.
+4. Verify Lemma 3.6 *empirically*: for every gadget node ``u``, the
+   per-round state fingerprints of ``u`` in the A-run equal those of
+   all three covers ``S_u`` in the matching B-run, for the entire
+   silence window.
+5. Observe the contradiction: copy 0 decides 0, copy 1 decides 1 --
+   agreement fails in a single execution of a diameter-``D``,
+   size-``n'`` network, despite the algorithm knowing both ``n'`` and
+   ``D``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Callable, Dict, Optional
+
+from ..core.heuristics import AnonymousMinFlood
+from ..macsim import Simulator, build_simulation
+from ..macsim.schedulers import SilencingScheduler, SynchronousScheduler
+from ..topology import gadget, network_a, network_b
+from ..topology.gadgets import check_covering, verify_figure1
+from .indist import FingerprintObserver, LockstepReport, compare_lockstep
+
+#: Factory signature: (label, initial value, n, diameter) -> process.
+AnonymousFactory = Callable[[Any, int, int, int], Any]
+
+
+def default_factory(label: Any, value: int, n: int, diameter: int):
+    """The stock anonymous algorithm used by the experiments."""
+    return AnonymousMinFlood(label, value, n, diameter)
+
+
+@dataclass
+class AnonymityDemoResult:
+    """Everything Theorem 3.3's argument produces, measured."""
+
+    d: int
+    k: int
+    size: int
+    diameter: int
+    construction_ok: bool
+    b_run_decisions: Dict[int, set]  # input b -> set of decided values
+    b_run_horizon: float
+    lockstep_reports: Dict[int, LockstepReport]  # per input b
+    a_decisions_copy0: set
+    a_decisions_copy1: set
+    agreement_violated: bool
+
+    @property
+    def indistinguishable(self) -> bool:
+        return all(r.identical for r in self.lockstep_reports.values())
+
+    @property
+    def theorem_holds(self) -> bool:
+        """The full chain of the reproduction succeeded."""
+        return (self.construction_ok and self.indistinguishable
+                and self.agreement_violated
+                and self.b_run_decisions[0] == {0}
+                and self.b_run_decisions[1] == {1})
+
+
+def _run_network_b(d: int, k: int, input_value: int,
+                   factory: AnonymousFactory,
+                   silence: float) -> tuple:
+    net = network_b(d, k)
+    graph = net.graph
+    n, diameter = graph.n, 2 * d + 2
+    values = {v: input_value for v in graph.nodes}
+    scheduler = SilencingScheduler(SynchronousScheduler(1.0),
+                                   [net.pendant], silence)
+    sim = build_simulation(
+        graph, lambda v: factory(v, values[v], n, diameter), scheduler)
+    observer = FingerprintObserver()
+    sim.add_observer(observer)
+    result = sim.run(max_time=3 * silence, max_events=20_000_000)
+    return net, result, observer
+
+
+def _run_network_a(d: int, k: int, factory: AnonymousFactory,
+                   silence: float) -> tuple:
+    net = network_a(d, k)
+    graph = net.graph
+    n, diameter = graph.n, 2 * d + 2
+    values: Dict[Any, int] = {}
+    for b in (0, 1):
+        for v in net.copies[b]:
+            values[v] = b
+    values[net.bridge] = 0
+    for v in net.clique:
+        values[v] = 0
+    scheduler = SilencingScheduler(SynchronousScheduler(1.0),
+                                   [net.bridge], silence)
+    sim = build_simulation(
+        graph, lambda v: factory(v, values[v], n, diameter), scheduler)
+    observer = FingerprintObserver()
+    sim.add_observer(observer)
+    result = sim.run(max_time=3 * silence, max_events=20_000_000)
+    return net, result, observer
+
+
+def run_anonymity_demo(d: int = 3, k: int = 0,
+                       factory: AnonymousFactory = default_factory,
+                       silence: Optional[float] = None
+                       ) -> AnonymityDemoResult:
+    """Execute the full Theorem 3.3 pipeline (see module docstring)."""
+    report = verify_figure1(d, k)
+    spec = gadget(d, k)
+    if silence is None:
+        # Cover the anonymous algorithm's decision horizon generously:
+        # stability threshold is ~(n + D), so 3(n + D) rounds suffice.
+        silence = float(3 * (report.size_a + report.expected_diameter)
+                        + 30)
+
+    # Lemma 3.5: the two B-executions terminate, deciding their input.
+    b_runs = {}
+    b_decisions: Dict[int, set] = {}
+    horizon = 0.0
+    for b in (0, 1):
+        net_b, result, observer = _run_network_b(d, k, b, factory,
+                                                 silence)
+        b_runs[b] = (net_b, result, observer)
+        decided = set(result.trace.decisions().values())
+        b_decisions[b] = decided
+        last = result.trace.last_decision_time() or 0.0
+        horizon = max(horizon, last)
+
+    # The A-execution with the silenced bridge.
+    net_a, result_a, observer_a = _run_network_a(d, k, factory, silence)
+
+    # Lemma 3.6, empirically: u in copy b matches all covers S_u.
+    lockstep: Dict[int, LockstepReport] = {}
+    for b in (0, 1):
+        net_b, _, observer_b = b_runs[b]
+        mapping = {
+            f"g{b}.{name}": list(net_b.covers[name])
+            for name in spec.names
+        }
+        lockstep[b] = compare_lockstep(observer_a, observer_b, mapping,
+                                       until_time=min(horizon,
+                                                      silence - 1.0))
+
+    decisions_a = result_a.trace.decisions()
+    copy0 = {decisions_a.get(v) for v in net_a.copies[0]}
+    copy1 = {decisions_a.get(v) for v in net_a.copies[1]}
+
+    return AnonymityDemoResult(
+        d=d, k=k, size=report.size_a,
+        diameter=report.expected_diameter,
+        construction_ok=report.ok,
+        b_run_decisions=b_decisions,
+        b_run_horizon=horizon,
+        lockstep_reports=lockstep,
+        a_decisions_copy0=copy0,
+        a_decisions_copy1=copy1,
+        agreement_violated=(len(
+            set(decisions_a.values())) > 1),
+    )

@@ -1,0 +1,231 @@
+"""Partition-argument reproductions: Theorems 3.9 and 3.10.
+
+**Theorem 3.10** (``Omega(D * F_ack)`` time): on a line of diameter
+``D`` under the slowest synchronous scheduler, information crosses one
+hop per ``F_ack``. Any node deciding before ``floor(D/2) * F_ack``
+cannot have heard from beyond its half of the line, so split inputs
+force an agreement violation. This module provides both directions:
+
+* :func:`measure_decision_time` -- run *correct* algorithms on the
+  worst-case line and confirm their decision times respect the bound;
+* :class:`EagerMinFlood` + :func:`eager_violation_demo` -- a strawman
+  that decides after fewer than ``floor(D/2)`` rounds and is driven
+  into the predicted agreement violation.
+
+**Theorem 3.9** (knowledge of ``n`` required):
+:func:`kd_violation_demo` instantiates Figure 2's ``K_D``, silences the
+contact endpoint, and shows an id-using but ``n``-ignorant algorithm
+deciding 0 in one ``L_D`` copy and 1 in the other, while
+:func:`isolated_line_success` shows the same algorithm correct on the
+isolated line -- the two executions its nodes cannot distinguish.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Callable, Dict, FrozenSet, List, Optional, Tuple
+
+from ..core.base import ConsensusProcess
+from ..core.heuristics import NoSizeMinIdFlood, ValueSetMessage
+from ..macsim import build_simulation, check_consensus
+from ..macsim.schedulers import (MaxDelayScheduler, SilencingScheduler,
+                                 SynchronousScheduler)
+from ..topology import kd_network, line
+from ..topology.gadgets import KDNetwork
+
+
+# ---------------------------------------------------------------------------
+# Theorem 3.10: the time lower bound
+# ---------------------------------------------------------------------------
+@dataclass
+class TimingResult:
+    """Decision timing of one algorithm on the worst-case line."""
+
+    algorithm: str
+    diameter: int
+    f_ack: float
+    first_decision: Optional[float]
+    bound: float
+    respects_bound: bool
+    correct: bool
+
+
+def measure_decision_time(factory: Callable[[Any, int, int], Any],
+                          algorithm_name: str, diameter: int,
+                          f_ack: float = 1.0) -> TimingResult:
+    """Run an algorithm on ``line(D+1)`` under maximum delay.
+
+    ``factory(label, index, n)`` builds the process for a node.
+    Initial values are split: left half 0, right half 1 (the
+    partition-argument inputs). The theorem asserts *no* correct
+    algorithm's first decision can precede ``floor(D/2) * f_ack``.
+    """
+    graph = line(diameter + 1)
+    n = graph.n
+    values = {v: 0 if i <= diameter // 2 else 1
+              for i, v in enumerate(graph.nodes)}
+    scheduler = MaxDelayScheduler(f_ack)
+    sim = build_simulation(
+        graph, lambda v: factory(v, values[v], n), scheduler)
+    result = sim.run(max_events=20_000_000)
+    report = check_consensus(result.trace, values)
+    times = result.trace.decision_times()
+    first = min(times.values()) if times else None
+    bound = (diameter // 2) * f_ack
+    return TimingResult(
+        algorithm=algorithm_name, diameter=diameter, f_ack=f_ack,
+        first_decision=first, bound=bound,
+        respects_bound=(first is None or first >= bound - 1e-9),
+        correct=report.ok,
+    )
+
+
+class EagerMinFlood(ConsensusProcess):
+    """Strawman that decides after a fixed number of rounds.
+
+    Floods the set of values seen each MAC cycle and decides
+    ``min(V)`` after ``rounds`` acks -- deliberately violating the
+    Theorem 3.10 bound when ``rounds < floor(D/2)``.
+    """
+
+    def __init__(self, uid: Any, initial_value: int, rounds: int) -> None:
+        super().__init__(uid=uid, initial_value=initial_value)
+        if rounds < 1:
+            raise ValueError("rounds must be >= 1")
+        self.rounds = rounds
+        self.values: FrozenSet[int] = frozenset([initial_value])
+        self.acks = 0
+
+    def on_start(self) -> None:
+        self.broadcast(ValueSetMessage(values=self.values))
+
+    def on_receive(self, message: Any) -> None:
+        if isinstance(message, ValueSetMessage):
+            self.values = self.values | message.values
+
+    def on_ack(self) -> None:
+        self.acks += 1
+        if not self.decided and self.acks >= self.rounds:
+            self.decide(min(self.values))
+        if not self.decided:
+            self.broadcast(ValueSetMessage(values=self.values))
+
+
+@dataclass
+class ViolationResult:
+    """Outcome of an engineered agreement violation."""
+
+    agreement_violated: bool
+    decisions: Dict[Any, int]
+    detail: str
+
+
+def eager_violation_demo(diameter: int,
+                         rounds: Optional[int] = None) -> ViolationResult:
+    """Drive :class:`EagerMinFlood` into the Theorem 3.10 violation.
+
+    With ``rounds < floor(D/2)`` (default ``floor(D/2) - 1`` and at
+    least 1) on the split-input line under the synchronous scheduler,
+    the left endpoint decides 0 and the right endpoint decides 1.
+    """
+    if rounds is None:
+        rounds = max(1, diameter // 2 - 1)
+    graph = line(diameter + 1)
+    values = {v: 0 if i <= diameter // 2 else 1
+              for i, v in enumerate(graph.nodes)}
+    sim = build_simulation(
+        graph, lambda v: EagerMinFlood(v, values[v], rounds),
+        SynchronousScheduler(1.0))
+    result = sim.run()
+    decisions = result.trace.decisions()
+    left = decisions.get(graph.nodes[0])
+    right = decisions.get(graph.nodes[-1])
+    return ViolationResult(
+        agreement_violated=(len(set(decisions.values())) > 1),
+        decisions=decisions,
+        detail=(f"rounds={rounds} < floor(D/2)={diameter // 2}: left "
+                f"endpoint decided {left}, right endpoint decided "
+                f"{right}"),
+    )
+
+
+# ---------------------------------------------------------------------------
+# Theorem 3.9: knowledge of n is required
+# ---------------------------------------------------------------------------
+@dataclass
+class KDDemoResult:
+    """Outcome of the Figure 2 construction."""
+
+    network: KDNetwork
+    agreement_violated: bool
+    line1_decisions: set
+    line2_decisions: set
+    decisions: Dict[Any, int]
+
+
+def kd_violation_demo(diameter: int, *, stability_factor: int = 3,
+                      silence_rounds: Optional[float] = None
+                      ) -> KDDemoResult:
+    """Theorem 3.9's semi-synchronous execution in ``K_D``.
+
+    All of line 1 starts with 0, all of line 2 with 1, the spine with
+    arbitrary values (0 here). The contact endpoint is silenced long
+    enough for both lines to run their isolated-line executions to
+    decision; by indistinguishability they decide their own initial
+    values -- an agreement violation.
+    """
+    net = kd_network(diameter)
+    graph = net.graph
+    uid = {v: i + 1 for i, v in enumerate(graph.nodes)}
+    values: Dict[Any, int] = {}
+    for v in net.line1:
+        values[v] = 0
+    for v in net.line2:
+        values[v] = 1
+    for v in net.spine:
+        values[v] = 0
+    if silence_rounds is None:
+        # Generous cover for flood (~2D) + stability window (~3D).
+        silence_rounds = float(
+            10 * diameter * (stability_factor + 2) + 50)
+    scheduler = SilencingScheduler(SynchronousScheduler(1.0),
+                                   [net.contact], silence_rounds)
+    sim = build_simulation(
+        graph,
+        lambda v: NoSizeMinIdFlood(uid[v], values[v], diameter,
+                                   stability_factor=stability_factor),
+        scheduler)
+    result = sim.run(max_time=3 * silence_rounds,
+                     max_events=20_000_000)
+    decisions = result.trace.decisions()
+    line1 = {decisions.get(v) for v in net.line1}
+    line2 = {decisions.get(v) for v in net.line2}
+    return KDDemoResult(
+        network=net,
+        agreement_violated=(len(set(decisions.values())) > 1),
+        line1_decisions=line1,
+        line2_decisions=line2,
+        decisions=decisions,
+    )
+
+
+def isolated_line_success(diameter: int, *, stability_factor: int = 3,
+                          values: Optional[List[int]] = None) -> bool:
+    """The same ``n``-ignorant algorithm is correct on ``L_D`` alone.
+
+    This is the other half of the indistinguishability argument: the
+    executions the ``K_D`` nodes confuse with reality are *real,
+    correct* executions of the algorithm in the isolated line.
+    """
+    graph = line(diameter + 1)
+    if values is None:
+        values = [i % 2 for i in range(graph.n)]
+    value_map = {v: values[i] for i, v in enumerate(graph.nodes)}
+    sim = build_simulation(
+        graph,
+        lambda v: NoSizeMinIdFlood(v + 1, value_map[v], diameter,
+                                   stability_factor=stability_factor),
+        SynchronousScheduler(1.0))
+    result = sim.run(max_events=20_000_000)
+    report = check_consensus(result.trace, value_map)
+    return report.ok

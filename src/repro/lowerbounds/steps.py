@@ -1,0 +1,225 @@
+"""The valid-step execution model of Section 3.1.
+
+The paper's FLP generalization (Theorem 3.2) replaces the timed model
+with a discrete transition system. Nodes always send: on receiving an
+ack they immediately begin their next broadcast. A *step of node u* is:
+
+* (a) some node ``v != u`` receiving ``u``'s current message -- *valid*
+  iff ``v`` has not yet received it and every non-crashed node smaller
+  than ``v`` (in a fixed order) already has;
+* (b) ``u`` receiving an ack -- *valid* iff every non-crashed neighbor
+  has received ``u``'s current message.
+
+Restricting to valid steps fixes a canonical well-behaved scheduler
+under which each node has exactly *one* valid next step -- the property
+Lemma 3.1's proof relies on ("s_u is well-defined").
+
+Crashes are modelled as adversary moves that silence a node: a crashed
+node takes no further steps, so neighbors that have not yet received
+its in-flight message never will (the paper's mid-broadcast crash).
+
+Algorithms are expressed against the small pure-functional
+:class:`StepAlgorithm` interface so that configurations are hashable
+and the :mod:`repro.lowerbounds.valency` explorer can enumerate the
+reachable execution space exhaustively.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, FrozenSet, Iterator, List, Optional, Tuple
+
+
+class StepAlgorithm:
+    """Deterministic algorithm interface for the valid-step model.
+
+    States and messages must be hashable; all methods must be pure.
+    """
+
+    def initial_state(self, uid: int, value: int) -> Any:
+        """State of node ``uid`` with consensus input ``value``."""
+        raise NotImplementedError
+
+    def message(self, state: Any) -> Any:
+        """The node's current outgoing message (nodes always send)."""
+        raise NotImplementedError
+
+    def on_receive(self, state: Any, message: Any) -> Any:
+        """State after receiving a message."""
+        raise NotImplementedError
+
+    def on_ack(self, state: Any) -> Any:
+        """State after the current broadcast is acknowledged."""
+        raise NotImplementedError
+
+    def decision(self, state: Any) -> Optional[int]:
+        """The decided value, or ``None`` if undecided."""
+        raise NotImplementedError
+
+
+@dataclass(frozen=True)
+class Step:
+    """One transition: a receive, an ack, or an adversary crash."""
+
+    kind: str  # "receive" | "ack" | "crash"
+    node: int  # the node whose step this is (sender for receives)
+    receiver: Optional[int] = None  # for receives
+
+    def describe(self) -> str:
+        if self.kind == "receive":
+            return f"{self.receiver} receives from {self.node}"
+        if self.kind == "ack":
+            return f"{self.node} is acked"
+        return f"{self.node} crashes"
+
+
+@dataclass(frozen=True)
+class Configuration:
+    """A global configuration of the valid-step system.
+
+    ``states[i]`` is node ``i``'s algorithm state; ``received[i]`` the
+    set of nodes that already received node ``i``'s current message;
+    ``crashed`` the silenced nodes.
+    """
+
+    states: Tuple[Any, ...]
+    received: Tuple[FrozenSet[int], ...]
+    crashed: FrozenSet[int]
+
+    def decided_values(self, algorithm: StepAlgorithm) -> FrozenSet[int]:
+        """Values decided by non-crashed nodes in this configuration."""
+        out = set()
+        for i, state in enumerate(self.states):
+            if i in self.crashed:
+                continue
+            decision = algorithm.decision(state)
+            if decision is not None:
+                out.add(decision)
+        return frozenset(out)
+
+    def all_alive_decided(self, algorithm: StepAlgorithm) -> bool:
+        return all(algorithm.decision(s) is not None
+                   for i, s in enumerate(self.states)
+                   if i not in self.crashed)
+
+
+class StepSystem:
+    """The transition system over :class:`Configuration`.
+
+    Parameters
+    ----------
+    graph:
+        Communication topology; node labels must be the integers
+        ``0..n-1`` (use :func:`repro.topology.standard.clique` etc.).
+    algorithm:
+        The :class:`StepAlgorithm` under analysis.
+    crash_budget:
+        Maximum number of adversary crash moves (1 for Theorem 3.2).
+    """
+
+    def __init__(self, graph, algorithm: StepAlgorithm,
+                 crash_budget: int = 0) -> None:
+        self.graph = graph
+        self.algorithm = algorithm
+        self.crash_budget = crash_budget
+        self.n = graph.n
+        if list(graph.nodes) != list(range(self.n)):
+            raise ValueError(
+                "StepSystem requires integer node labels 0..n-1")
+
+    # ------------------------------------------------------------------
+    def initial_configuration(self, values: Tuple[int, ...]
+                              ) -> Configuration:
+        if len(values) != self.n:
+            raise ValueError("one initial value per node required")
+        states = tuple(self.algorithm.initial_state(i, values[i])
+                       for i in range(self.n))
+        received = tuple(frozenset() for _ in range(self.n))
+        return Configuration(states=states, received=received,
+                             crashed=frozenset())
+
+    # ------------------------------------------------------------------
+    # Step enumeration
+    # ------------------------------------------------------------------
+    def valid_steps(self, config: Configuration,
+                    include_crashes: bool = True) -> List[Step]:
+        """All valid steps (and legal crash moves) from ``config``."""
+        steps: List[Step] = []
+        for u in range(self.n):
+            if u in config.crashed:
+                continue
+            step = self.next_valid_step_of(config, u)
+            if step is not None:
+                steps.append(step)
+        if include_crashes and len(config.crashed) < self.crash_budget:
+            steps.extend(Step(kind="crash", node=u)
+                         for u in range(self.n)
+                         if u not in config.crashed)
+        return steps
+
+    def next_valid_step_of(self, config: Configuration,
+                           u: int) -> Optional[Step]:
+        """The unique valid step of node ``u`` (Lemma 3.1's ``s_u``).
+
+        Returns the lowest-ordered neighbor still missing ``u``'s
+        message, or the ack once every non-crashed neighbor has it, or
+        ``None`` if ``u`` is crashed (or isolated with nothing to do).
+        """
+        if u in config.crashed:
+            return None
+        pending = [v for v in self.graph.neighbors(u)
+                   if v not in config.crashed
+                   and v not in config.received[u]]
+        if pending:
+            return Step(kind="receive", node=u, receiver=min(pending))
+        return Step(kind="ack", node=u)
+
+    # ------------------------------------------------------------------
+    def apply(self, config: Configuration, step: Step) -> Configuration:
+        """The configuration after taking ``step``."""
+        if step.kind == "crash":
+            return Configuration(states=config.states,
+                                 received=config.received,
+                                 crashed=config.crashed | {step.node})
+        states = list(config.states)
+        received = list(config.received)
+        if step.kind == "receive":
+            u, v = step.node, step.receiver
+            message = self.algorithm.message(config.states[u])
+            states[v] = self.algorithm.on_receive(config.states[v],
+                                                  message)
+            received[u] = config.received[u] | {v}
+        elif step.kind == "ack":
+            u = step.node
+            states[u] = self.algorithm.on_ack(config.states[u])
+            received[u] = frozenset()
+        else:  # pragma: no cover - defensive
+            raise ValueError(f"unknown step kind {step.kind!r}")
+        return Configuration(states=tuple(states),
+                             received=tuple(received),
+                             crashed=config.crashed)
+
+    # ------------------------------------------------------------------
+    def run_round_robin(self, config: Configuration,
+                        max_steps: int = 100_000) -> Configuration:
+        """Drive the system fairly (round-robin) until all alive decide.
+
+        This is the "fair execution" used in indistinguishability
+        arguments: every non-crashed node keeps taking its unique valid
+        step in round-robin order.
+        """
+        steps_taken = 0
+        while not config.all_alive_decided(self.algorithm):
+            progressed = False
+            for u in range(self.n):
+                step = self.next_valid_step_of(config, u)
+                if step is None:
+                    continue
+                config = self.apply(config, step)
+                progressed = True
+                steps_taken += 1
+                if steps_taken >= max_steps:
+                    return config
+            if not progressed:
+                return config
+        return config

@@ -1,0 +1,48 @@
+"""Abstract MAC layer simulation substrate.
+
+This package implements the execution model of *Consensus with an
+Abstract MAC Layer* (Newport, PODC 2014), Section 2: acknowledged local
+broadcast over a fixed connected graph, all timing controlled by an
+(possibly adversarial) message scheduler with an unknown completion
+bound ``F_ack``, zero-time local computation, and crash failures that
+may interrupt a broadcast midway.
+
+Entry points:
+
+* :class:`~repro.macsim.simulator.Simulator` /
+  :func:`~repro.macsim.simulator.build_simulation` -- run algorithms.
+* :mod:`repro.macsim.schedulers` -- the scheduler suite, including the
+  adversaries used by the paper's lower bounds.
+* :mod:`repro.macsim.invariants` -- post-hoc model/consensus checking.
+"""
+
+from .crash import CrashPlan, crash_plan
+from .errors import (ConfigurationError, MacSimError, ModelViolationError,
+                     ProcessError, SimulationLimitError)
+from .invariants import (ConsensusReport, InvariantReport, check_consensus,
+                         check_model_invariants)
+from .process import Process
+from .simulator import RunResult, Simulator, build_simulation
+from .trace import Trace, TraceRecord
+from . import schedulers
+
+__all__ = [
+    "CrashPlan",
+    "crash_plan",
+    "MacSimError",
+    "ConfigurationError",
+    "ModelViolationError",
+    "ProcessError",
+    "SimulationLimitError",
+    "Process",
+    "Simulator",
+    "RunResult",
+    "build_simulation",
+    "Trace",
+    "TraceRecord",
+    "InvariantReport",
+    "ConsensusReport",
+    "check_model_invariants",
+    "check_consensus",
+    "schedulers",
+]

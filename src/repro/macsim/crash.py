@@ -1,0 +1,55 @@
+"""Crash fault injection.
+
+Section 2 of the paper gives the scheduler the power to crash a node at
+any point, *including in the middle of a broadcast* -- after some
+neighbors have received the in-flight message but not others. A
+:class:`CrashPlan` captures exactly that power: the node, the time, and
+which neighbors (of the possibly in-flight broadcast) are still allowed
+to receive it.
+
+The Theorem 3.2 reproduction (E7) uses mid-broadcast crashes to build
+the witness-deadlock execution that stalls Two-Phase Consensus.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, FrozenSet, Optional
+
+
+@dataclass(frozen=True)
+class CrashPlan:
+    """Instruction to crash one node.
+
+    Parameters
+    ----------
+    node:
+        Graph label of the node to crash.
+    time:
+        Global time of the crash. Crash events sort before deliveries
+        at the same timestamp, so a crash at time ``t`` suppresses
+        deliveries scheduled for ``t``.
+    still_delivered:
+        Neighbors that receive the node's in-flight broadcast despite
+        the crash. ``None`` means all pending deliveries proceed (the
+        crash only stops *future* behaviour); an empty set means the
+        in-flight broadcast is lost entirely for anyone who has not yet
+        received it.
+    """
+
+    node: Any
+    time: float
+    still_delivered: Optional[FrozenSet[Any]] = field(default=None)
+
+    def allows_delivery(self, receiver: Any) -> bool:
+        """Whether a pending delivery to ``receiver`` survives the crash."""
+        if self.still_delivered is None:
+            return True
+        return receiver in self.still_delivered
+
+
+def crash_plan(node: Any, time: float,
+               still_delivered: Optional[Any] = None) -> CrashPlan:
+    """Convenience constructor accepting any iterable for the subset."""
+    subset = None if still_delivered is None else frozenset(still_delivered)
+    return CrashPlan(node=node, time=time, still_delivered=subset)

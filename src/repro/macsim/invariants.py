@@ -1,0 +1,156 @@
+"""Post-hoc model and consensus invariant checking.
+
+These functions replay a :class:`~repro.macsim.trace.Trace` and verify
+that an execution respected the abstract MAC layer contract (Section 2)
+and, where applicable, the three consensus properties (agreement,
+validity, termination). The test-suite runs them over every simulation
+it performs; the hypothesis property tests run them over thousands of
+randomized schedules.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Optional
+
+from .errors import ModelViolationError
+from .trace import Trace
+
+
+@dataclass
+class InvariantReport:
+    """Result of a model-invariant check."""
+
+    ok: bool
+    violations: list = field(default_factory=list)
+
+    def add(self, message: str) -> None:
+        self.ok = False
+        self.violations.append(message)
+
+    def raise_if_failed(self) -> None:
+        if not self.ok:
+            raise ModelViolationError("; ".join(self.violations[:10]))
+
+
+def check_model_invariants(graph, trace: Trace,
+                           f_ack: Optional[float] = None,
+                           unreliable_graph=None) -> InvariantReport:
+    """Verify the MAC-layer contract over a completed trace.
+
+    Checks, per broadcast:
+
+    * deliveries only to graph neighbors of the sender (or unreliable
+      neighbors, in dual-graph runs);
+    * at most one delivery per (broadcast, receiver);
+    * the ack (if present) follows every delivery of that broadcast;
+    * the ack arrives within ``f_ack`` of the broadcast (if given);
+    * every non-crashed *reliable* neighbor received the message
+      before the ack (unreliable neighbors never gate the ack);
+    * no activity by a node after its crash.
+    """
+    report = InvariantReport(ok=True)
+    starts: dict[int, tuple[float, Any]] = {}
+    delivered: dict[int, set] = {}
+    delivery_last: dict[int, float] = {}
+    crash_time: dict[Any, float] = {}
+
+    for rec in trace:
+        if rec.kind == "crash":
+            crash_time.setdefault(rec.node, rec.time)
+
+    for rec in trace:
+        if rec.kind == "broadcast":
+            starts[rec.broadcast_id] = (rec.time, rec.node)
+            delivered[rec.broadcast_id] = set()
+            if rec.node in crash_time and rec.time > crash_time[rec.node]:
+                report.add(f"crashed node {rec.node!r} broadcast at "
+                           f"{rec.time}")
+        elif rec.kind == "deliver":
+            bid = rec.broadcast_id
+            if bid not in starts:
+                report.add(f"delivery for unknown broadcast {bid}")
+                continue
+            start_time, sender = starts[bid]
+            reachable = graph.has_edge(sender, rec.node) or (
+                unreliable_graph is not None
+                and unreliable_graph.has_edge(sender, rec.node))
+            if not reachable:
+                report.add(f"broadcast {bid} delivered to non-neighbor "
+                           f"{rec.node!r} of {sender!r}")
+            if rec.node in delivered[bid]:
+                report.add(f"duplicate delivery of broadcast {bid} to "
+                           f"{rec.node!r}")
+            if rec.time < start_time:
+                report.add(f"delivery of broadcast {bid} precedes its "
+                           f"start")
+            if rec.node in crash_time and rec.time > crash_time[rec.node]:
+                report.add(f"delivery to crashed node {rec.node!r}")
+            delivered[bid].add(rec.node)
+            delivery_last[bid] = max(delivery_last.get(bid, rec.time),
+                                     rec.time)
+        elif rec.kind == "ack":
+            bid = rec.broadcast_id
+            if bid not in starts:
+                report.add(f"ack for unknown broadcast {bid}")
+                continue
+            start_time, sender = starts[bid]
+            if rec.node != sender:
+                report.add(f"ack for broadcast {bid} went to {rec.node!r} "
+                           f"instead of sender {sender!r}")
+            if bid in delivery_last and rec.time < delivery_last[bid] - 1e-9:
+                report.add(f"ack for broadcast {bid} precedes its last "
+                           f"delivery")
+            if f_ack is not None and rec.time - start_time > f_ack + 1e-6:
+                report.add(f"ack for broadcast {bid} took "
+                           f"{rec.time - start_time} > F_ack={f_ack}")
+            for neighbor in graph.neighbors(sender):
+                neighbor_crashed = (neighbor in crash_time
+                                    and crash_time[neighbor] <= rec.time)
+                if neighbor not in delivered[bid] and not neighbor_crashed:
+                    report.add(
+                        f"ack for broadcast {bid} of {sender!r} before "
+                        f"non-faulty neighbor {neighbor!r} received")
+    return report
+
+
+@dataclass
+class ConsensusReport:
+    """Result of checking the three consensus properties."""
+
+    agreement: bool
+    validity: bool
+    termination: bool
+    decisions: dict
+    undecided: list
+
+    @property
+    def ok(self) -> bool:
+        return self.agreement and self.validity and self.termination
+
+
+def check_consensus(trace: Trace, initial_values: dict,
+                    alive_nodes: Optional[list] = None) -> ConsensusReport:
+    """Check agreement/validity/termination against a trace.
+
+    ``initial_values`` maps node label -> consensus input. Termination
+    is judged over ``alive_nodes`` (defaults to every node that did not
+    crash in the trace).
+    """
+    decisions = trace.decisions()
+    crashed = trace.crashed_nodes()
+    if alive_nodes is None:
+        alive_nodes = [v for v in initial_values if v not in crashed]
+
+    values = set(decisions.values())
+    agreement = len(values) <= 1
+    validity = all(v in set(initial_values.values()) for v in values)
+    undecided = [v for v in alive_nodes if v not in decisions]
+    termination = not undecided
+    return ConsensusReport(
+        agreement=agreement,
+        validity=validity,
+        termination=termination,
+        decisions=decisions,
+        undecided=undecided,
+    )

@@ -1,0 +1,117 @@
+"""Scheduler interface.
+
+A *message scheduler* is the source of all non-determinism in the
+abstract MAC layer model (Section 2 of the paper). When a node starts a
+broadcast, the engine asks the scheduler for a :class:`DeliveryPlan`:
+one delivery time per neighbor plus an ack time. The engine then
+validates the plan against the model contract:
+
+* every delivery time is >= the broadcast start time;
+* the ack time is >= every delivery time (the ack signals that the
+  broadcast *completed*);
+* the ack arrives within ``f_ack`` of the start -- ``F_ack`` is the
+  scheduler's (node-invisible) bound on broadcast completion.
+
+Schedulers may be adversarial; the constructions behind the paper's
+lower bounds are all implemented as schedulers in this package.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Mapping
+
+from ..errors import ModelViolationError
+
+
+@dataclass(frozen=True)
+class DeliveryPlan:
+    """The scheduler's decision for one broadcast.
+
+    ``deliveries`` maps each receiving neighbor to its delivery time;
+    ``ack_time`` is when the sender's ack fires.
+    """
+
+    deliveries: Mapping[Any, float]
+    ack_time: float
+
+    def validate(self, *, start_time: float, neighbors: tuple,
+                 f_ack: float) -> None:
+        """Raise :class:`ModelViolationError` if the plan breaks the model."""
+        planned = set(self.deliveries)
+        expected = set(neighbors)
+        if planned != expected:
+            raise ModelViolationError(
+                f"plan covers {sorted(map(str, planned))} but neighbors "
+                f"are {sorted(map(str, expected))}")
+        for receiver, t in self.deliveries.items():
+            if t < start_time:
+                raise ModelViolationError(
+                    f"delivery to {receiver!r} at {t} precedes broadcast "
+                    f"start {start_time}")
+            if t > self.ack_time:
+                raise ModelViolationError(
+                    f"delivery to {receiver!r} at {t} is later than the "
+                    f"ack at {self.ack_time}")
+        if self.ack_time < start_time:
+            raise ModelViolationError("ack precedes broadcast start")
+        if self.ack_time - start_time > f_ack + 1e-9:
+            raise ModelViolationError(
+                f"ack delay {self.ack_time - start_time} exceeds "
+                f"F_ack={f_ack}")
+
+
+class Scheduler:
+    """Base class for message schedulers.
+
+    Subclasses implement :meth:`plan` and expose ``f_ack``, the bound on
+    broadcast completion associated with this scheduler. ``f_ack`` is a
+    property of the scheduler, *not* of the algorithm: nodes never see it
+    (the paper's algorithms receive no timing information).
+
+    Schedulers may additionally control *unreliable* deliveries via
+    :meth:`plan_unreliable` when the simulation runs the dual-graph
+    variant of the model (some abstract MAC layer definitions include a
+    second topology of links that sometimes deliver and sometimes do
+    not; the paper leaves algorithms for it as an open question). The
+    default drops every unreliable delivery -- the adversary's
+    prerogative.
+    """
+
+    #: Maximum broadcast-to-ack delay this scheduler will produce.
+    f_ack: float = 1.0
+
+    def plan(self, *, sender: Any, message: Any, start_time: float,
+             neighbors: tuple) -> DeliveryPlan:
+        """Return the delivery plan for a broadcast started now.
+
+        Parameters
+        ----------
+        sender:
+            Graph label of the broadcasting node.
+        message:
+            The payload (schedulers may not read algorithm payloads;
+            it is passed only so content-oblivious policies can log it).
+        start_time:
+            Global time at which the broadcast was submitted.
+        neighbors:
+            The sender's neighbors at the moment of broadcast, in the
+            graph's deterministic order.
+        """
+        raise NotImplementedError
+
+    def plan_unreliable(self, *, sender: Any, message: Any,
+                        start_time: float, ack_time: float,
+                        neighbors: tuple) -> Mapping[Any, float]:
+        """Delivery times over *unreliable* links (subset of neighbors).
+
+        Called only in dual-graph simulations, after :meth:`plan` fixed
+        the ack. Returned deliveries must land in
+        ``[start_time, ack_time]``; omitted neighbors simply do not
+        receive this broadcast -- no retransmission, no ack dependency.
+        """
+        return {}
+
+    def describe(self) -> str:
+        """Human-readable one-line description for experiment reports."""
+        return f"{type(self).__name__}(f_ack={self.f_ack})"

@@ -1,0 +1,444 @@
+"""The discrete-event abstract MAC layer engine.
+
+:class:`Simulator` executes a set of :class:`~repro.macsim.process.Process`
+instances bound to the nodes of a graph, under a pluggable message
+scheduler, with optional crash injection. It enforces the model contract
+of Section 2 of the paper:
+
+* **Acknowledged local broadcast.** One in-flight broadcast per node;
+  further ``broadcast()`` calls are discarded until the ack. Every
+  non-faulty neighbor receives the message before the ack fires.
+* **Scheduler-driven non-determinism.** All timing comes from the
+  scheduler's :class:`~repro.macsim.schedulers.base.DeliveryPlan`, which
+  the engine validates (deliveries before ack, ack within ``F_ack``).
+* **Zero-time computation.** Handlers run atomically at event times.
+* **Crashes mid-broadcast.** A :class:`~repro.macsim.crash.CrashPlan`
+  may cut off part of an in-flight broadcast's audience.
+* **Bounded messages.** In strict mode, each payload's ``id_footprint()``
+  must stay below a constant, enforcing the paper's O(1)-ids rule.
+
+The engine also records a full :class:`~repro.macsim.trace.Trace` and
+notifies observers whenever simulated time advances, which is how the
+lower-bound experiments take lock-step state snapshots.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, Iterable, Mapping, Optional
+
+from .crash import CrashPlan
+from .errors import (ConfigurationError, ModelViolationError,
+                     SimulationLimitError)
+from .events import (ACK_PRIORITY, CRASH_PRIORITY, DELIVER_PRIORITY,
+                     Event, EventQueue)
+from .process import Process
+from .schedulers.base import Scheduler
+from .trace import Trace
+
+#: Default ceiling on processed events; prevents runaway executions.
+DEFAULT_MAX_EVENTS = 2_000_000
+
+#: Default ceiling (in multiples of ``f_ack``) on simulated time.
+DEFAULT_MAX_TIME_FACTOR = 10_000.0
+
+#: Strict-mode bound on ids per message (paper: O(1) unique ids).
+DEFAULT_ID_BUDGET = 24
+
+
+@dataclass
+class _BroadcastRecord:
+    """Book-keeping for one in-flight broadcast."""
+
+    bid: int
+    sender: Any
+    payload: Any
+    start_time: float
+    pending: set
+    delivered: set = field(default_factory=set)
+    delivery_events: dict = field(default_factory=dict)
+    ack_event: Optional[Event] = None
+
+
+@dataclass
+class RunResult:
+    """Outcome of :meth:`Simulator.run`."""
+
+    trace: Trace
+    decisions: dict
+    decision_times: dict
+    end_time: float
+    events_processed: int
+    stop_reason: str
+
+    @property
+    def all_decided(self) -> bool:
+        """Whether every non-crashed process decided."""
+        return self.stop_reason in ("all_decided", "quiescent_all_decided")
+
+    def decision_values(self) -> set:
+        return set(self.decisions.values())
+
+
+class Simulator:
+    """Run processes over a graph under the abstract MAC layer model.
+
+    Parameters
+    ----------
+    graph:
+        A :class:`repro.topology.graphs.Graph` (anything exposing
+        ``nodes``, ``neighbors(v)`` and ``has_node(v)`` works).
+    processes:
+        Mapping from graph node label to the bound :class:`Process`.
+    scheduler:
+        The message scheduler controlling all timing.
+    crashes:
+        Optional iterable of :class:`CrashPlan`.
+    strict_sizes:
+        When true, payloads exposing ``id_footprint()`` are checked
+        against ``id_budget``.
+    id_budget:
+        Strict-mode bound on ids per message.
+    """
+
+    def __init__(self, graph, processes: Mapping[Any, Process],
+                 scheduler: Scheduler, *,
+                 crashes: Iterable[CrashPlan] = (),
+                 strict_sizes: bool = True,
+                 id_budget: int = DEFAULT_ID_BUDGET,
+                 unreliable_graph=None) -> None:
+        self.graph = graph
+        self.scheduler = scheduler
+        self.strict_sizes = strict_sizes
+        self.id_budget = id_budget
+        self.unreliable_graph = unreliable_graph
+        self.trace = Trace()
+        self.now = 0.0
+
+        self._processes: dict[Any, Process] = {}
+        self._labels: dict[int, Any] = {}
+        for label, process in processes.items():
+            if not graph.has_node(label):
+                raise ConfigurationError(
+                    f"process bound to unknown node {label!r}")
+            process._bind(self)
+            self._processes[label] = process
+            self._labels[id(process)] = label
+        missing = [v for v in graph.nodes if v not in self._processes]
+        if missing:
+            raise ConfigurationError(
+                f"nodes without processes: {missing[:5]!r}...")
+
+        self._queue = EventQueue()
+        self._inflight: dict[Any, _BroadcastRecord] = {}
+        self._records: dict[int, _BroadcastRecord] = {}
+        self._next_bid = 0
+        self._crashed: set = set()
+        self._observers: list = []
+        self._started = False
+
+        self._crash_by_node: dict[Any, CrashPlan] = {}
+        for plan in crashes:
+            if not graph.has_node(plan.node):
+                raise ConfigurationError(
+                    f"crash plan for unknown node {plan.node!r}")
+            if plan.node in self._crash_by_node:
+                raise ConfigurationError(
+                    f"multiple crash plans for node {plan.node!r}")
+            self._crash_by_node[plan.node] = plan
+            self._queue.push(plan.time, CRASH_PRIORITY, "crash",
+                             node=plan.node)
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    @property
+    def processes(self) -> Mapping[Any, Process]:
+        return self._processes
+
+    def process_at(self, label: Any) -> Process:
+        return self._processes[label]
+
+    def label_of(self, process: Process) -> Any:
+        return self._labels[id(process)]
+
+    def is_crashed(self, label: Any) -> bool:
+        return label in self._crashed
+
+    def alive_nodes(self) -> list:
+        return [v for v in self.graph.nodes if v not in self._crashed]
+
+    def add_observer(self, observer) -> None:
+        """Register an observer.
+
+        Observers may implement ``on_time_advance(sim, new_time)``
+        (called after all events at the previous timestamp finished)
+        and/or ``on_finish(sim)``.
+        """
+        self._observers.append(observer)
+
+    # ------------------------------------------------------------------
+    # Runtime services used by Process
+    # ------------------------------------------------------------------
+    def mac_busy(self, process: Process) -> bool:
+        return self.label_of(process) in self._inflight
+
+    def mac_broadcast(self, process: Process, payload: Any) -> bool:
+        sender = self.label_of(process)
+        if sender in self._crashed:
+            return False
+        if sender in self._inflight:
+            self.trace.record(self.now, "discard", sender, payload=payload)
+            return False
+        self._check_size(payload)
+
+        bid = self._next_bid
+        self._next_bid += 1
+        neighbors = tuple(self.graph.neighbors(sender))
+        plan = self.scheduler.plan(sender=sender, message=payload,
+                                   start_time=self.now, neighbors=neighbors)
+        plan.validate(start_time=self.now, neighbors=neighbors,
+                      f_ack=self.scheduler.f_ack)
+
+        record = _BroadcastRecord(
+            bid=bid, sender=sender, payload=payload,
+            start_time=self.now,
+            pending=set(neighbors),
+        )
+        for receiver, when in plan.deliveries.items():
+            event = self._queue.push(when, DELIVER_PRIORITY, "deliver",
+                                     node=receiver, broadcast_id=bid)
+            record.delivery_events[receiver] = event
+        self._schedule_unreliable(record, payload, plan.ack_time,
+                                  set(neighbors))
+        record.ack_event = self._queue.push(plan.ack_time, ACK_PRIORITY,
+                                            "ack", node=sender,
+                                            broadcast_id=bid)
+        self._inflight[sender] = record
+        self._records[bid] = record
+        self.trace.record(self.now, "broadcast", sender,
+                          broadcast_id=bid, payload=payload)
+        return True
+
+    def note_decision(self, process: Process, value: Any) -> None:
+        self.trace.record(self.now, "decide", self.label_of(process),
+                          payload=value)
+
+    def _schedule_unreliable(self, record: _BroadcastRecord,
+                             payload: Any, ack_time: float,
+                             reliable: set) -> None:
+        """Schedule deliveries over the dual graph's unreliable links.
+
+        Unreliable receivers never gate the ack (they are excluded
+        from ``record.pending``); a dropped delivery simply never
+        happens -- the defining behaviour of the model variant.
+        """
+        if (self.unreliable_graph is None
+                or not self.unreliable_graph.has_node(record.sender)):
+            return
+        extra = tuple(v for v in
+                      self.unreliable_graph.neighbors(record.sender)
+                      if v not in reliable)
+        if not extra:
+            return
+        deliveries = self.scheduler.plan_unreliable(
+            sender=record.sender, message=payload,
+            start_time=record.start_time, ack_time=ack_time,
+            neighbors=extra)
+        for receiver, when in deliveries.items():
+            if receiver not in extra:
+                raise ModelViolationError(
+                    f"unreliable delivery to {receiver!r}, not an "
+                    f"unreliable neighbor of {record.sender!r}")
+            if not record.start_time <= when <= ack_time + 1e-9:
+                raise ModelViolationError(
+                    f"unreliable delivery at {when} outside broadcast "
+                    f"window [{record.start_time}, {ack_time}]")
+            event = self._queue.push(when, DELIVER_PRIORITY, "deliver",
+                                     node=receiver,
+                                     broadcast_id=record.bid)
+            record.delivery_events[receiver] = event
+
+    # ------------------------------------------------------------------
+    # Main loop
+    # ------------------------------------------------------------------
+    def run(self, *, max_events: int = DEFAULT_MAX_EVENTS,
+            max_time: Optional[float] = None,
+            stop_when_all_decided: bool = True,
+            stop_predicate: Optional[Callable[["Simulator"], bool]] = None,
+            raise_on_limit: bool = False) -> RunResult:
+        """Execute until quiescence, decision, or a limit.
+
+        ``stop_predicate`` (checked after every event) allows callers to
+        stop mid-execution, e.g. once a particular node decides.
+        """
+        if max_time is None:
+            max_time = DEFAULT_MAX_TIME_FACTOR * self.scheduler.f_ack
+
+        if not self._started:
+            self._started = True
+            for label in self.graph.nodes:
+                process = self._processes[label]
+                if label not in self._crashed:
+                    process.on_start()
+
+        events_processed = 0
+        stop_reason = "quiescent"
+        while True:
+            if stop_when_all_decided and self._all_alive_decided():
+                stop_reason = "all_decided"
+                break
+            if stop_predicate is not None and stop_predicate(self):
+                stop_reason = "predicate"
+                break
+            event = self._queue.pop()
+            if event is None:
+                stop_reason = ("quiescent_all_decided"
+                               if self._all_alive_decided() else "quiescent")
+                break
+            if event.time > max_time:
+                stop_reason = "max_time"
+                if raise_on_limit:
+                    raise SimulationLimitError(
+                        f"exceeded max_time={max_time}")
+                break
+            if event.time + 1e-12 < self.now:
+                raise ModelViolationError(
+                    f"time went backwards: {event.time} < {self.now}")
+            if event.time > self.now:
+                self._notify_time_advance(event.time)
+                self.now = event.time
+
+            self._dispatch(event)
+            events_processed += 1
+            if events_processed >= max_events:
+                stop_reason = "max_events"
+                if raise_on_limit:
+                    raise SimulationLimitError(
+                        f"exceeded max_events={max_events}")
+                break
+
+        for observer in self._observers:
+            hook = getattr(observer, "on_finish", None)
+            if hook is not None:
+                hook(self)
+
+        return RunResult(
+            trace=self.trace,
+            decisions=self.trace.decisions(),
+            decision_times=self.trace.decision_times(),
+            end_time=self.now,
+            events_processed=events_processed,
+            stop_reason=stop_reason,
+        )
+
+    # ------------------------------------------------------------------
+    # Event dispatch
+    # ------------------------------------------------------------------
+    def _dispatch(self, event: Event) -> None:
+        if event.kind == "deliver":
+            self._dispatch_delivery(event)
+        elif event.kind == "ack":
+            self._dispatch_ack(event)
+        elif event.kind == "crash":
+            self._dispatch_crash(event)
+        else:  # pragma: no cover - defensive
+            raise ModelViolationError(f"unknown event kind {event.kind!r}")
+
+    def _dispatch_delivery(self, event: Event) -> None:
+        record = self._records[event.broadcast_id]
+        receiver = event.node
+        if receiver in self._crashed:
+            record.pending.discard(receiver)
+            return
+        if record.sender in self._crashed:
+            # Deliveries surviving a crash were re-validated at crash
+            # time; reaching here means this one was allowed.
+            pass
+        record.pending.discard(receiver)
+        record.delivered.add(receiver)
+        record.delivery_events.pop(receiver, None)
+        self.trace.record(self.now, "deliver", receiver,
+                          broadcast_id=record.bid, peer=record.sender,
+                          payload=record.payload)
+        self._processes[receiver].on_receive(record.payload)
+
+    def _dispatch_ack(self, event: Event) -> None:
+        record = self._records[event.broadcast_id]
+        sender = event.node
+        if sender in self._crashed:
+            return
+        outstanding = {v for v in record.pending if v not in self._crashed}
+        if outstanding:
+            raise ModelViolationError(
+                f"ack for broadcast {record.bid} of {sender!r} before "
+                f"non-faulty neighbors {sorted(map(str, outstanding))} "
+                f"received")
+        # Free the MAC layer before the handler so the process can
+        # immediately start its next broadcast from within on_ack().
+        if self._inflight.get(sender) is record:
+            del self._inflight[sender]
+        self.trace.record(self.now, "ack", sender, broadcast_id=record.bid)
+        self._processes[sender].on_ack()
+
+    def _dispatch_crash(self, event: Event) -> None:
+        node = event.node
+        if node in self._crashed:
+            return
+        plan = self._crash_by_node[node]
+        self._crashed.add(node)
+        self.trace.record(self.now, "crash", node)
+        self._processes[node].crashed = True
+
+        record = self._inflight.pop(node, None)
+        if record is not None:
+            if record.ack_event is not None:
+                self._queue.cancel(record.ack_event)
+            for receiver, delivery in list(record.delivery_events.items()):
+                if not plan.allows_delivery(receiver):
+                    self._queue.cancel(delivery)
+                    record.delivery_events.pop(receiver, None)
+                    record.pending.discard(receiver)
+
+    # ------------------------------------------------------------------
+    # Helpers
+    # ------------------------------------------------------------------
+    def _all_alive_decided(self) -> bool:
+        return all(self._processes[v].decided
+                   for v in self.graph.nodes if v not in self._crashed)
+
+    def _notify_time_advance(self, new_time: float) -> None:
+        for observer in self._observers:
+            hook = getattr(observer, "on_time_advance", None)
+            if hook is not None:
+                hook(self, new_time)
+
+    def _check_size(self, payload: Any) -> None:
+        if not self.strict_sizes:
+            return
+        footprint = getattr(payload, "id_footprint", None)
+        if footprint is None:
+            return
+        count = footprint()
+        if count > self.id_budget:
+            raise ModelViolationError(
+                f"message carries {count} ids, exceeding the O(1) budget "
+                f"of {self.id_budget}: {payload!r}")
+
+
+def build_simulation(graph, process_factory: Callable[[Any], Process],
+                     scheduler: Scheduler, *,
+                     crashes: Iterable[CrashPlan] = (),
+                     strict_sizes: bool = True,
+                     id_budget: int = DEFAULT_ID_BUDGET,
+                     unreliable_graph=None) -> Simulator:
+    """Construct a simulator, creating one process per graph node.
+
+    ``process_factory(label)`` must return the process for ``label``.
+    This is the convenience entry point used throughout the tests,
+    examples and experiments.
+    """
+    processes = {label: process_factory(label) for label in graph.nodes}
+    return Simulator(graph, processes, scheduler, crashes=crashes,
+                     strict_sizes=strict_sizes, id_budget=id_budget,
+                     unreliable_graph=unreliable_graph)

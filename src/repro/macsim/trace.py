@@ -1,0 +1,125 @@
+"""Execution traces.
+
+Every run of the simulator produces a :class:`Trace`: an append-only log
+of model-level occurrences (broadcasts, deliveries, acks, decisions,
+crashes). Traces serve three purposes in this reproduction:
+
+1. **Metrics** -- decision times and message counts for the experiment
+   harness (`repro.analysis.metrics`).
+2. **Model invariants** -- `repro.macsim.invariants` replays a trace and
+   checks the abstract MAC layer contract (exactly-once delivery to each
+   non-faulty neighbor, acks after deliveries, acks within ``F_ack``).
+3. **Indistinguishability** -- the lower-bound experiments compare
+   per-node event sequences across executions in different networks
+   (`repro.lowerbounds.indist`).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Iterator, Optional
+
+#: The record kinds a trace may contain.
+TRACE_KINDS = ("broadcast", "deliver", "ack", "decide", "crash", "discard")
+
+
+@dataclass(frozen=True)
+class TraceRecord:
+    """One occurrence in an execution.
+
+    Fields are interpreted per ``kind``:
+
+    * ``broadcast``: ``node`` is the sender, ``payload`` the message,
+      ``broadcast_id`` the fresh broadcast identifier.
+    * ``deliver``: ``node`` is the receiver; ``peer`` the sender.
+    * ``ack``: ``node`` is the sender being acked.
+    * ``decide``: ``node`` decided value ``payload``.
+    * ``crash``: ``node`` crashed.
+    * ``discard``: ``node`` attempted a broadcast while one was already
+      in flight; the message was dropped (Section 2 of the paper).
+    """
+
+    time: float
+    kind: str
+    node: Any
+    broadcast_id: Optional[int] = None
+    peer: Any = None
+    payload: Any = None
+
+
+class Trace:
+    """Append-only event log with query helpers."""
+
+    def __init__(self) -> None:
+        self._records: list[TraceRecord] = []
+
+    def __len__(self) -> int:
+        return len(self._records)
+
+    def __iter__(self) -> Iterator[TraceRecord]:
+        return iter(self._records)
+
+    def __getitem__(self, index: int) -> TraceRecord:
+        return self._records[index]
+
+    def append(self, record: TraceRecord) -> None:
+        self._records.append(record)
+
+    def record(self, time: float, kind: str, node: Any, *,
+               broadcast_id: Optional[int] = None, peer: Any = None,
+               payload: Any = None) -> None:
+        """Convenience constructor-and-append."""
+        if kind not in TRACE_KINDS:
+            raise ValueError(f"unknown trace kind: {kind!r}")
+        self.append(TraceRecord(time, kind, node,
+                                broadcast_id=broadcast_id,
+                                peer=peer, payload=payload))
+
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
+    def of_kind(self, kind: str) -> list[TraceRecord]:
+        """All records with the given kind, in order."""
+        return [r for r in self._records if r.kind == kind]
+
+    def for_node(self, node: Any) -> list[TraceRecord]:
+        """All records whose primary node is ``node``, in order."""
+        return [r for r in self._records if r.node == node]
+
+    def decisions(self) -> dict[Any, Any]:
+        """Map of node -> decided value (first decision per node)."""
+        out: dict[Any, Any] = {}
+        for r in self._records:
+            if r.kind == "decide" and r.node not in out:
+                out[r.node] = r.payload
+        return out
+
+    def decision_times(self) -> dict[Any, float]:
+        """Map of node -> time of its (first) decision."""
+        out: dict[Any, float] = {}
+        for r in self._records:
+            if r.kind == "decide" and r.node not in out:
+                out[r.node] = r.time
+        return out
+
+    def last_decision_time(self) -> Optional[float]:
+        """Time at which the final node decided, or ``None``."""
+        times = self.decision_times()
+        if not times:
+            return None
+        return max(times.values())
+
+    def broadcast_count(self, node: Any = None) -> int:
+        """Number of completed broadcast events (optionally per node)."""
+        if node is None:
+            return sum(1 for r in self._records if r.kind == "broadcast")
+        return sum(1 for r in self._records
+                   if r.kind == "broadcast" and r.node == node)
+
+    def delivery_count(self) -> int:
+        """Total number of message deliveries in the execution."""
+        return sum(1 for r in self._records if r.kind == "deliver")
+
+    def crashed_nodes(self) -> set[Any]:
+        """The set of nodes that crashed during the execution."""
+        return {r.node for r in self._records if r.kind == "crash"}

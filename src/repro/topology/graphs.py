@@ -1,0 +1,166 @@
+"""A small, deterministic undirected graph type.
+
+The simulator needs stable iteration order everywhere (node order,
+neighbor order) so that executions are reproducible and so that the
+FLP valid-step model's "smallest node first" rule is well defined.
+:class:`Graph` therefore stores nodes and adjacency in a canonical
+sorted order. Labels may be ints or strings (mixed graphs sort ints
+before strings).
+
+`networkx` is deliberately *not* used in the library core -- the graph
+type is part of the substrate we build from scratch -- but the tests
+cross-check diameters and connectivity against networkx.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Any, Dict, Iterable, Iterator, Optional, Tuple
+
+
+def label_sort_key(label: Any) -> tuple:
+    """Canonical sort key for possibly mixed-type node labels."""
+    if isinstance(label, bool):  # bool is an int subclass; keep distinct
+        return (0, int(label), "")
+    if isinstance(label, int):
+        return (0, label, "")
+    if isinstance(label, float):
+        return (0, label, "")
+    if isinstance(label, str):
+        return (1, 0, label)
+    return (2, 0, repr(label))
+
+
+class Graph:
+    """Immutable undirected graph with deterministic ordering."""
+
+    def __init__(self, edges: Iterable[Tuple[Any, Any]],
+                 nodes: Iterable[Any] = ()) -> None:
+        adjacency: Dict[Any, set] = {}
+        for v in nodes:
+            adjacency.setdefault(v, set())
+        for u, v in edges:
+            if u == v:
+                raise ValueError(f"self-loop at {u!r} is not allowed")
+            adjacency.setdefault(u, set()).add(v)
+            adjacency.setdefault(v, set()).add(u)
+        self._nodes: Tuple[Any, ...] = tuple(
+            sorted(adjacency, key=label_sort_key))
+        self._adj: Dict[Any, Tuple[Any, ...]] = {
+            v: tuple(sorted(adjacency[v], key=label_sort_key))
+            for v in self._nodes
+        }
+        self._index = {v: i for i, v in enumerate(self._nodes)}
+
+    # ------------------------------------------------------------------
+    # Basic accessors
+    # ------------------------------------------------------------------
+    @property
+    def nodes(self) -> Tuple[Any, ...]:
+        """All nodes in canonical order."""
+        return self._nodes
+
+    @property
+    def n(self) -> int:
+        """Number of nodes."""
+        return len(self._nodes)
+
+    def __len__(self) -> int:
+        return len(self._nodes)
+
+    def __contains__(self, label: Any) -> bool:
+        return label in self._adj
+
+    def __repr__(self) -> str:
+        return f"Graph(n={self.n}, m={self.edge_count})"
+
+    def has_node(self, label: Any) -> bool:
+        return label in self._adj
+
+    def neighbors(self, label: Any) -> Tuple[Any, ...]:
+        """Neighbors of ``label`` in canonical order."""
+        return self._adj[label]
+
+    def degree(self, label: Any) -> int:
+        return len(self._adj[label])
+
+    def has_edge(self, u: Any, v: Any) -> bool:
+        return u in self._adj and v in self._adj[u]
+
+    @property
+    def edge_count(self) -> int:
+        return sum(len(nbrs) for nbrs in self._adj.values()) // 2
+
+    def edges(self) -> Iterator[Tuple[Any, Any]]:
+        """Each undirected edge once, endpoints in canonical order."""
+        for u in self._nodes:
+            for v in self._adj[u]:
+                if self._index[u] < self._index[v]:
+                    yield (u, v)
+
+    def index_of(self, label: Any) -> int:
+        """Position of ``label`` in the canonical node order."""
+        return self._index[label]
+
+    # ------------------------------------------------------------------
+    # Distances
+    # ------------------------------------------------------------------
+    def bfs_distances(self, source: Any) -> Dict[Any, int]:
+        """Hop distances from ``source`` to every reachable node."""
+        dist = {source: 0}
+        frontier = deque([source])
+        while frontier:
+            u = frontier.popleft()
+            for v in self._adj[u]:
+                if v not in dist:
+                    dist[v] = dist[u] + 1
+                    frontier.append(v)
+        return dist
+
+    def distance(self, u: Any, v: Any) -> Optional[int]:
+        """Hop distance between ``u`` and ``v`` (None if disconnected)."""
+        return self.bfs_distances(u).get(v)
+
+    def eccentricity(self, v: Any) -> int:
+        """Max distance from ``v``; raises if the graph is disconnected."""
+        dist = self.bfs_distances(v)
+        if len(dist) != self.n:
+            raise ValueError("eccentricity undefined: graph disconnected")
+        return max(dist.values())
+
+    def is_connected(self) -> bool:
+        if self.n == 0:
+            return True
+        return len(self.bfs_distances(self._nodes[0])) == self.n
+
+    def diameter(self) -> int:
+        """Exact diameter via all-sources BFS.
+
+        Fine for the network sizes used here (up to a few thousand
+        nodes); raises on disconnected graphs.
+        """
+        if self.n == 0:
+            return 0
+        best = 0
+        for v in self._nodes:
+            dist = self.bfs_distances(v)
+            if len(dist) != self.n:
+                raise ValueError("diameter undefined: graph disconnected")
+            best = max(best, max(dist.values()))
+        return best
+
+    # ------------------------------------------------------------------
+    # Derived graphs
+    # ------------------------------------------------------------------
+    def subgraph(self, keep: Iterable[Any]) -> "Graph":
+        """Induced subgraph on ``keep``."""
+        keep_set = set(keep)
+        edges = [(u, v) for u, v in self.edges()
+                 if u in keep_set and v in keep_set]
+        return Graph(edges, nodes=keep_set)
+
+    def relabeled(self, mapping: Dict[Any, Any]) -> "Graph":
+        """Copy with nodes renamed through ``mapping`` (total mapping)."""
+        edges = [(mapping[u], mapping[v]) for u, v in self.edges()]
+        nodes = [mapping[v] for v in self._nodes]
+        return Graph(edges, nodes=nodes)

@@ -1,0 +1,243 @@
+"""Standard topology builders.
+
+These provide the workloads for the upper-bound experiments: cliques
+(single hop, Theorem 4.1), lines (the diameter-stressing worst case of
+Theorems 3.10 / 4.6), grids and random connected graphs (realistic
+multihop deployments), and bottleneck shapes (stars, star-of-cliques)
+where naive flooding degrades to ``Theta(n * F_ack)`` (Section 4.2's
+motivation for the aggregation trees).
+
+All builders produce :class:`~repro.topology.graphs.Graph` instances
+with integer labels ``0..n-1`` unless noted, and all are deterministic
+(random builders take a seed).
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Optional
+
+from .graphs import Graph
+
+
+def clique(n: int) -> Graph:
+    """Complete graph on ``n`` nodes (single hop network)."""
+    if n < 1:
+        raise ValueError("clique needs n >= 1")
+    edges = [(i, j) for i in range(n) for j in range(i + 1, n)]
+    return Graph(edges, nodes=range(n))
+
+
+def line(n: int) -> Graph:
+    """Path on ``n`` nodes; diameter ``n - 1``.
+
+    The paper's ``L_d`` is ``line(d + 1)`` (``d + 1`` nodes in a line).
+    """
+    if n < 1:
+        raise ValueError("line needs n >= 1")
+    return Graph([(i, i + 1) for i in range(n - 1)], nodes=range(n))
+
+
+def ring(n: int) -> Graph:
+    """Cycle on ``n`` nodes; diameter ``floor(n / 2)``."""
+    if n < 3:
+        raise ValueError("ring needs n >= 3")
+    edges = [(i, (i + 1) % n) for i in range(n)]
+    return Graph(edges, nodes=range(n))
+
+
+def star(n: int) -> Graph:
+    """Star with hub 0 and ``n - 1`` leaves; the simplest bottleneck."""
+    if n < 2:
+        raise ValueError("star needs n >= 2")
+    return Graph([(0, i) for i in range(1, n)], nodes=range(n))
+
+
+def grid(rows: int, cols: int) -> Graph:
+    """``rows x cols`` mesh; diameter ``rows + cols - 2``."""
+    if rows < 1 or cols < 1:
+        raise ValueError("grid needs positive dimensions")
+    edges = []
+    for r in range(rows):
+        for c in range(cols):
+            v = r * cols + c
+            if c + 1 < cols:
+                edges.append((v, v + 1))
+            if r + 1 < rows:
+                edges.append((v, v + cols))
+    return Graph(edges, nodes=range(rows * cols))
+
+
+def torus(rows: int, cols: int) -> Graph:
+    """Wrap-around mesh; diameter ``floor(rows/2) + floor(cols/2)``."""
+    if rows < 3 or cols < 3:
+        raise ValueError("torus needs dimensions >= 3")
+    edges = []
+    for r in range(rows):
+        for c in range(cols):
+            v = r * cols + c
+            edges.append((v, r * cols + (c + 1) % cols))
+            edges.append((v, ((r + 1) % rows) * cols + c))
+    return Graph(edges, nodes=range(rows * cols))
+
+
+def balanced_tree(branching: int, depth: int) -> Graph:
+    """Complete ``branching``-ary tree of the given depth."""
+    if branching < 1 or depth < 0:
+        raise ValueError("invalid tree shape")
+    edges = []
+    next_label = 1
+    frontier = [0]
+    for _ in range(depth):
+        new_frontier = []
+        for parent in frontier:
+            for _ in range(branching):
+                edges.append((parent, next_label))
+                new_frontier.append(next_label)
+                next_label += 1
+        frontier = new_frontier
+    return Graph(edges, nodes=range(next_label))
+
+
+def barbell(clique_size: int, path_length: int) -> Graph:
+    """Two cliques joined by a path; a classic two-community shape."""
+    if clique_size < 2 or path_length < 1:
+        raise ValueError("invalid barbell shape")
+    edges = []
+    left = list(range(clique_size))
+    bridge = list(range(clique_size, clique_size + path_length))
+    right = list(range(clique_size + path_length,
+                       2 * clique_size + path_length))
+    for block in (left, right):
+        edges.extend((block[i], block[j])
+                     for i in range(len(block))
+                     for j in range(i + 1, len(block)))
+    chain = [left[-1]] + bridge + [right[0]]
+    edges.extend((chain[i], chain[i + 1]) for i in range(len(chain) - 1))
+    return Graph(edges, nodes=range(2 * clique_size + path_length))
+
+
+def star_of_cliques(arms: int, clique_size: int) -> Graph:
+    """A hub node joined to ``arms`` cliques of ``clique_size`` nodes.
+
+    Low diameter (4) but a severe hub bottleneck: any per-node flood of
+    ``Theta(n)`` distinct items must squeeze through the hub one O(1)-id
+    message at a time, the scenario motivating wPAXOS's aggregation.
+    """
+    if arms < 1 or clique_size < 1:
+        raise ValueError("invalid star-of-cliques shape")
+    edges = []
+    label = 1
+    for _ in range(arms):
+        block = list(range(label, label + clique_size))
+        label += clique_size
+        edges.extend((block[i], block[j])
+                     for i in range(len(block))
+                     for j in range(i + 1, len(block)))
+        edges.append((0, block[0]))
+    return Graph(edges, nodes=range(label))
+
+
+def random_connected(n: int, extra_edge_prob: float = 0.05,
+                     seed: Optional[int] = None) -> Graph:
+    """Random connected graph: a random spanning tree plus G(n, p) edges.
+
+    The spanning tree guarantees connectivity (every graph in the paper
+    is connected); the extra edges control density. Deterministic for a
+    fixed seed.
+    """
+    if n < 1:
+        raise ValueError("random_connected needs n >= 1")
+    if not 0.0 <= extra_edge_prob <= 1.0:
+        raise ValueError("extra_edge_prob must lie in [0, 1]")
+    rng = random.Random(seed)
+    order = list(range(n))
+    rng.shuffle(order)
+    edges = set()
+    for i in range(1, n):
+        parent = order[rng.randrange(i)]
+        edges.add(tuple(sorted((order[i], parent))))
+    for i in range(n):
+        for j in range(i + 1, n):
+            if rng.random() < extra_edge_prob:
+                edges.add((i, j))
+    return Graph(sorted(edges), nodes=range(n))
+
+
+def random_geometric(n: int, radius: float,
+                     seed: Optional[int] = None) -> Graph:
+    """Random geometric graph on the unit square, made connected.
+
+    The canonical ad-hoc wireless deployment model: nodes at random
+    positions, edges within ``radius``. If the raw graph is
+    disconnected, nearest components are stitched with one edge each --
+    the result is the closest *connected* network to the sample, which
+    is what the paper's model requires.
+    """
+    if n < 1:
+        raise ValueError("random_geometric needs n >= 1")
+    rng = random.Random(seed)
+    pos = {i: (rng.random(), rng.random()) for i in range(n)}
+    r2 = radius * radius
+    edges = set()
+    for i in range(n):
+        for j in range(i + 1, n):
+            dx = pos[i][0] - pos[j][0]
+            dy = pos[i][1] - pos[j][1]
+            if dx * dx + dy * dy <= r2:
+                edges.add((i, j))
+    graph = Graph(sorted(edges), nodes=range(n))
+    # Stitch components along nearest pairs until connected.
+    while not graph.is_connected():
+        comps = _components(graph)
+        base = comps[0]
+        best = None
+        for other in comps[1:]:
+            for u in base:
+                for v in other:
+                    dx = pos[u][0] - pos[v][0]
+                    dy = pos[u][1] - pos[v][1]
+                    d = dx * dx + dy * dy
+                    if best is None or d < best[0]:
+                        best = (d, u, v)
+        assert best is not None
+        edges.add(tuple(sorted((best[1], best[2]))))
+        graph = Graph(sorted(edges), nodes=range(n))
+    return graph
+
+
+def _components(graph: Graph) -> list:
+    """Connected components as lists of nodes, largest first."""
+    seen: set = set()
+    comps = []
+    for v in graph.nodes:
+        if v in seen:
+            continue
+        comp = sorted(graph.bfs_distances(v),
+                      key=graph.index_of)
+        seen.update(comp)
+        comps.append(comp)
+    comps.sort(key=len, reverse=True)
+    return comps
+
+
+def unreliable_overlay(graph: Graph, density: float,
+                       seed: Optional[int] = None) -> Graph:
+    """Random extra edges for the dual-graph (unreliable links) model.
+
+    Samples non-edges of ``graph`` independently with probability
+    ``density`` and returns them as a graph over the same node set --
+    suitable for ``Simulator(unreliable_graph=...)``. Long-range
+    unreliable chords over a reliable line/grid are the canonical
+    dual-graph workload (E9).
+    """
+    if not 0.0 <= density <= 1.0:
+        raise ValueError("density must lie in [0, 1]")
+    rng = random.Random(seed)
+    nodes = list(graph.nodes)
+    extra = []
+    for i, u in enumerate(nodes):
+        for v in nodes[i + 1:]:
+            if not graph.has_edge(u, v) and rng.random() < density:
+                extra.append((u, v))
+    return Graph(extra, nodes=nodes)

@@ -1,0 +1,13 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import pytest
+
+
+@pytest.fixture
+def small_ids():
+    """Deterministic uid assignment helper."""
+    def assign(graph):
+        return {v: i + 1 for i, v in enumerate(graph.nodes)}
+    return assign

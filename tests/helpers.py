@@ -1,0 +1,29 @@
+"""Shared helpers for the test suite."""
+
+from __future__ import annotations
+
+from repro.analysis.runner import alternating_values
+from repro.macsim import (build_simulation, check_consensus,
+                          check_model_invariants)
+
+
+def run_and_check(graph, factory, scheduler, *, initial_values=None,
+                  max_events=20_000_000, max_time=None,
+                  expect_correct=True):
+    """Run a consensus simulation and assert model + consensus props.
+
+    Returns (RunResult, ConsensusReport) for further assertions.
+    """
+    values = initial_values or alternating_values(graph)
+    sim = build_simulation(graph, lambda v: factory(v, values[v]),
+                           scheduler)
+    result = sim.run(max_events=max_events, max_time=max_time)
+    invariants = check_model_invariants(graph, result.trace,
+                                        scheduler.f_ack)
+    assert invariants.ok, invariants.violations[:5]
+    report = check_consensus(result.trace, values)
+    if expect_correct:
+        assert report.agreement, f"agreement violated: {report.decisions}"
+        assert report.validity
+        assert report.termination, f"undecided: {report.undecided[:5]}"
+    return result, report

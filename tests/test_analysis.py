@@ -1,0 +1,139 @@
+"""Analysis harness tests: stats, tables, metrics, runner."""
+
+import pytest
+
+from repro.analysis import (alternating_values, correlation,
+                            format_markdown_table, format_table,
+                            growth_ratio, linear_fit, mean,
+                            run_consensus, split_values, stdev)
+from repro.analysis.metrics import collect_metrics
+from repro.core.twophase import TwoPhaseConsensus
+from repro.macsim import build_simulation
+from repro.macsim.schedulers import SynchronousScheduler
+from repro.topology import clique, line
+
+
+class TestStats:
+    def test_mean_and_stdev(self):
+        assert mean([1, 2, 3]) == 2
+        assert stdev([2, 2, 2]) == 0
+        assert stdev([1]) == 0
+        assert stdev([1, 3]) == pytest.approx(1.4142, abs=1e-3)
+
+    def test_mean_empty_raises(self):
+        with pytest.raises(ValueError):
+            mean([])
+
+    def test_linear_fit_exact(self):
+        slope, intercept = linear_fit([1, 2, 3], [3, 5, 7])
+        assert slope == pytest.approx(2.0)
+        assert intercept == pytest.approx(1.0)
+
+    def test_linear_fit_flat(self):
+        slope, _ = linear_fit([1, 2, 3, 4], [5, 5, 5, 5])
+        assert slope == pytest.approx(0.0)
+
+    def test_linear_fit_degenerate(self):
+        with pytest.raises(ValueError):
+            linear_fit([2, 2], [1, 2])
+        with pytest.raises(ValueError):
+            linear_fit([1], [1])
+
+    def test_correlation(self):
+        assert correlation([1, 2, 3], [2, 4, 6]) == pytest.approx(1.0)
+        assert correlation([1, 2, 3], [6, 4, 2]) == pytest.approx(-1.0)
+        assert correlation([1, 2, 3], [5, 5, 5]) == 0.0
+
+    def test_growth_ratio(self):
+        # y doubles as x doubles -> ratio 1 (linear).
+        assert growth_ratio([10, 20], [3, 6]) == pytest.approx(1.0)
+        # y flat -> ratio 0.5 when x doubles... (1/1)/(2/1) = 0.5
+        assert growth_ratio([10, 20], [3, 3]) == pytest.approx(0.5)
+        with pytest.raises(ValueError):
+            growth_ratio([0, 1], [1, 2])
+
+
+class TestTables:
+    def test_format_table_alignment(self):
+        text = format_table(["a", "long_header"],
+                            [[1, 2.5], [None, True]], title="T")
+        lines = text.splitlines()
+        assert lines[0] == "T"
+        assert "long_header" in lines[2]
+        assert "-" in lines[3]
+        assert "2.50" in text
+        assert "yes" in text
+
+    def test_format_markdown(self):
+        text = format_markdown_table(["x"], [[False]])
+        assert text.splitlines()[1] == "|---|"
+        assert "| no |" in text
+
+
+class TestValueAssignments:
+    def test_alternating(self):
+        values = alternating_values(clique(4))
+        assert list(values.values()) == [0, 1, 0, 1]
+
+    def test_split(self):
+        values = split_values(line(5))
+        assert list(values.values()) == [0, 0, 1, 1, 1]
+
+
+class TestRunner:
+    def test_run_consensus_metrics(self):
+        graph = clique(4)
+        metrics = run_consensus(
+            algorithm="two-phase", topology="clique4", graph=graph,
+            scheduler=SynchronousScheduler(1.0),
+            factory=lambda v, val: TwoPhaseConsensus(uid=v,
+                                                     initial_value=val))
+        assert metrics.correct
+        assert metrics.n == 4
+        assert metrics.diameter == 1
+        assert metrics.last_decision == 2.0
+        assert metrics.normalized_time == 2.0
+        assert metrics.time_per_diameter == 2.0
+        assert metrics.broadcasts >= 8
+        assert metrics.scheduler == "SynchronousScheduler"
+
+    def test_metrics_without_decisions(self):
+        class Mute(TwoPhaseConsensus):
+            def on_start(self):
+                pass  # never participates
+
+        graph = clique(2)
+        sim = build_simulation(
+            graph, lambda v: Mute(uid=v, initial_value=0),
+            SynchronousScheduler(1.0))
+        result = sim.run(max_time=5.0)
+        metrics = collect_metrics(
+            algorithm="mute", topology="clique2", graph=graph,
+            scheduler=SynchronousScheduler(1.0), result=result,
+            initial_values={0: 0, 1: 0})
+        assert not metrics.correct
+        assert metrics.last_decision is None
+        assert metrics.normalized_time is None
+
+
+class TestSweeps:
+    def test_sweep_collects_and_fits(self):
+        from repro.analysis import sweep
+        from repro.macsim.schedulers import SynchronousScheduler
+
+        def build(f_ack):
+            graph = clique(5)
+            return dict(
+                graph=graph,
+                scheduler=SynchronousScheduler(f_ack),
+                factory=lambda v, val: TwoPhaseConsensus(
+                    uid=v, initial_value=val))
+
+        result = sweep("time vs f_ack", [1.0, 2.0, 4.0], build)
+        assert result.all_correct()
+        assert result.xs == [1.0, 2.0, 4.0]
+        slope, intercept = result.fit()
+        assert slope == pytest.approx(2.0)
+        assert intercept == pytest.approx(0.0)
+        rows = result.rows()
+        assert len(rows) == 3 and rows[0][1] is True

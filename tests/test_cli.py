@@ -1,0 +1,98 @@
+"""Command line interface tests."""
+
+import pytest
+
+from repro.cli import main, make_scheduler, parse_topology
+
+
+class TestTopologyParsing:
+    def test_known_specs(self):
+        assert parse_topology("clique:6").n == 6
+        assert parse_topology("line:10").diameter() == 9
+        assert parse_topology("grid:3x4").n == 12
+        assert parse_topology("star:7").degree(0) == 6
+        assert parse_topology("ring:6").n == 6
+        assert parse_topology("star-of-cliques:3x4").n == 13
+        assert parse_topology("random:12:3").n == 12
+        assert parse_topology("geometric:10:1").n == 10
+
+    def test_defaults(self):
+        assert parse_topology("clique").n == 8
+        assert parse_topology("grid").n == 16
+
+    def test_unknown_rejected(self):
+        with pytest.raises(SystemExit):
+            parse_topology("hypercube:4")
+
+
+class TestSchedulerParsing:
+    def test_known(self):
+        assert make_scheduler("synchronous", 2.0, 0).f_ack == 2.0
+        assert make_scheduler("random", 1.0, 5).f_ack == 1.0
+        assert make_scheduler("max-delay", 3.0, 0).f_ack == 3.0
+
+    def test_unknown_rejected(self):
+        with pytest.raises(SystemExit):
+            make_scheduler("quantum", 1.0, 0)
+
+
+class TestRunCommand:
+    def test_wpaxos_run_succeeds(self, capsys):
+        code = main(["run", "--algorithm", "wpaxos", "--topology",
+                     "line:6", "--scheduler", "synchronous"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "agreement=True" in out
+        assert "decision time" in out
+
+    def test_two_phase_needs_clique(self):
+        with pytest.raises(SystemExit):
+            main(["run", "--algorithm", "two-phase", "--topology",
+                  "line:5"])
+
+    def test_two_phase_on_clique(self, capsys):
+        code = main(["run", "--algorithm", "two-phase", "--topology",
+                     "clique:6", "--scheduler", "synchronous"])
+        assert code == 0
+        assert "termination=True" in capsys.readouterr().out
+
+    def test_ben_or_on_clique(self, capsys):
+        code = main(["run", "--algorithm", "ben-or", "--topology",
+                     "clique:5", "--scheduler", "random",
+                     "--seed", "3"])
+        assert code == 0
+
+    def test_trace_export(self, tmp_path, capsys):
+        out_path = tmp_path / "t.json"
+        code = main(["run", "--algorithm", "gatherall", "--topology",
+                     "clique:4", "--scheduler", "synchronous",
+                     "--trace-out", str(out_path)])
+        assert code == 0
+        assert out_path.exists()
+        from repro.analysis.export import load_trace
+        assert len(load_trace(str(out_path))) > 0
+
+
+class TestExperimentsCommand:
+    def test_forwards_to_driver(self, capsys):
+        code = main(["experiments", "E7"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "E7 PASSED" in out
+
+
+class TestDemoCommand:
+    def test_demo_runs_the_tour(self, capsys):
+        code = main(["demo"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert ("All three lower bounds reproduced." in out
+                or "violated" in out)
+
+
+class TestExperimentsMarkdown:
+    def test_markdown_flag_forwarded(self, capsys):
+        code = main(["experiments", "E7", "--markdown"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "### E7" in out

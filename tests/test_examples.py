@@ -1,0 +1,46 @@
+"""The shipped examples must run cleanly end to end."""
+
+import pathlib
+import subprocess
+import sys
+
+import pytest
+
+EXAMPLES = pathlib.Path(__file__).resolve().parent.parent / "examples"
+
+
+def run_example(name: str) -> str:
+    result = subprocess.run(
+        [sys.executable, str(EXAMPLES / name)],
+        capture_output=True, text=True, timeout=600, check=True)
+    return result.stdout
+
+
+class TestExamples:
+    def test_quickstart(self):
+        out = run_example("quickstart.py")
+        assert "agreement: True" in out
+        assert "2 x F_ack" in out
+
+    def test_sensor_grid(self):
+        out = run_example("sensor_grid.py")
+        assert "agreement: True" in out
+        assert "Lemma 4.2" in out
+        assert "stabilized leader" in out
+
+    def test_adhoc_swarm(self):
+        out = run_example("adhoc_swarm.py")
+        assert "wPAXOS" in out
+        assert "faster than" in out
+
+    def test_replicated_log(self):
+        out = run_example("replicated_log.py")
+        assert "identical logs: True" in out
+        assert "agreed command sequence" in out
+
+    @pytest.mark.slow
+    def test_impossibility_tour(self):
+        out = run_example("impossibility_tour.py")
+        assert "termination violated: True" in out
+        assert "agreement violated: True" in out
+        assert "All three lower bounds reproduced." in out

@@ -1,0 +1,64 @@
+"""Trace export/import tests."""
+
+import json
+
+import pytest
+
+from repro.analysis.export import (load_trace, save_trace,
+                                   trace_from_json, trace_to_json,
+                                   trace_to_records)
+from repro.core.twophase import TwoPhaseConsensus
+from repro.macsim import build_simulation
+from repro.macsim.schedulers import SynchronousScheduler
+from repro.topology import clique
+
+
+def sample_run():
+    graph = clique(3)
+    sim = build_simulation(
+        graph,
+        lambda v: TwoPhaseConsensus(uid=v, initial_value=v % 2),
+        SynchronousScheduler(1.0))
+    return sim.run()
+
+
+class TestExport:
+    def test_records_cover_all_events(self):
+        result = sample_run()
+        records = trace_to_records(result.trace)
+        assert len(records) == len(result.trace)
+        kinds = {r["kind"] for r in records}
+        assert {"broadcast", "deliver", "ack", "decide"} <= kinds
+
+    def test_json_roundtrip_preserves_structure(self):
+        result = sample_run()
+        text = trace_to_json(result.trace,
+                             metadata={"scenario": "test"})
+        reloaded = trace_from_json(text)
+        assert len(reloaded) == len(result.trace)
+        assert reloaded.decision_times() == \
+            result.trace.decision_times()
+        assert reloaded.broadcast_count() == \
+            result.trace.broadcast_count()
+        # Decisions come back as reprs of the original values.
+        original = {k: repr(v)
+                    for k, v in result.trace.decisions().items()}
+        assert reloaded.decisions() == original
+
+    def test_metadata_embedded(self):
+        result = sample_run()
+        text = trace_to_json(result.trace, metadata={"seed": 42})
+        document = json.loads(text)
+        assert document["metadata"] == {"seed": 42}
+        assert document["schema"] == 1
+
+    def test_file_roundtrip(self, tmp_path):
+        result = sample_run()
+        path = tmp_path / "trace.json"
+        save_trace(result.trace, str(path), metadata={"x": 1})
+        reloaded = load_trace(str(path))
+        assert len(reloaded) == len(result.trace)
+
+    def test_unknown_schema_rejected(self):
+        with pytest.raises(ValueError):
+            trace_from_json(json.dumps({"schema": 99, "records": []}))

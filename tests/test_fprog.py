@@ -1,0 +1,71 @@
+"""F_prog refinement tests (EagerDeliveryScheduler + E11)."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from tests.helpers import run_and_check
+from repro.core.baselines import GatherAllConsensus
+from repro.core.twophase import TwoPhaseConsensus
+from repro.macsim.schedulers.fprog import EagerDeliveryScheduler
+from repro.topology import clique, line
+
+
+class TestSchedulerContract:
+    @given(f_prog=st.floats(0.1, 4.0), seed=st.integers(0, 10 ** 4))
+    @settings(max_examples=30, deadline=None)
+    def test_plans_valid(self, f_prog, seed):
+        sched = EagerDeliveryScheduler(f_prog, 8.0, seed=seed)
+        plan = sched.plan(sender="s", message="m", start_time=1.0,
+                          neighbors=("a", "b", "c"))
+        plan.validate(start_time=1.0, neighbors=("a", "b", "c"),
+                      f_ack=sched.f_ack)
+        assert all(t <= 1.0 + f_prog + 1e-9
+                   for t in plan.deliveries.values())
+
+    def test_worst_case_acks_at_deadline(self):
+        sched = EagerDeliveryScheduler(1.0, 8.0, seed=0,
+                                       worst_case_acks=True)
+        plan = sched.plan(sender="s", message="m", start_time=0.0,
+                          neighbors=("a",))
+        assert plan.ack_time == 8.0
+
+    def test_sampled_acks_after_last_delivery(self):
+        sched = EagerDeliveryScheduler(1.0, 8.0, seed=0,
+                                       worst_case_acks=False)
+        plan = sched.plan(sender="s", message="m", start_time=0.0,
+                          neighbors=("a", "b"))
+        assert plan.ack_time >= max(plan.deliveries.values())
+        assert plan.ack_time <= 8.0
+
+    def test_invalid_parameters_rejected(self):
+        with pytest.raises(ValueError):
+            EagerDeliveryScheduler(0.0, 1.0)
+        with pytest.raises(ValueError):
+            EagerDeliveryScheduler(2.0, 1.0)
+
+
+class TestAlgorithmsUnderFprog:
+    def test_two_phase_is_ack_bound(self):
+        """The E11 headline: two-phase's time tracks F_ack exactly,
+        regardless of F_prog."""
+        for f_prog in (8.0, 1.0):
+            sched = EagerDeliveryScheduler(f_prog, 8.0, seed=3)
+            result, report = run_and_check(
+                clique(8),
+                lambda v, val: TwoPhaseConsensus(v + 1, val), sched)
+            assert report.ok
+            assert result.trace.last_decision_time() == \
+                pytest.approx(16.0)
+
+    def test_gatherall_benefits_from_fast_progress(self):
+        times = {}
+        for f_prog in (8.0, 1.0):
+            sched = EagerDeliveryScheduler(f_prog, 8.0, seed=3)
+            graph = line(10)
+            result, report = run_and_check(
+                graph,
+                lambda v, val: GatherAllConsensus(v + 1, val,
+                                                  graph.n), sched)
+            assert report.ok
+            times[f_prog] = result.trace.last_decision_time()
+        assert times[1.0] < times[8.0]

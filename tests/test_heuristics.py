@@ -1,0 +1,81 @@
+"""Stability-heuristic algorithm tests (the impossibility foils)."""
+
+import pytest
+
+from tests.helpers import run_and_check
+from repro.core.heuristics import (AnonymousMinFlood, KnownSetMessage,
+                                   NoSizeMinIdFlood, ValueSetMessage)
+from repro.macsim.schedulers import SynchronousScheduler
+from repro.topology import clique, grid, line, ring
+
+
+class TestAnonymousMinFlood:
+    @pytest.mark.parametrize("graph", [clique(5), line(6), ring(7),
+                                       grid(3, 3)],
+                             ids=lambda g: f"n{g.n}")
+    def test_correct_on_benign_networks(self, graph):
+        n, d = graph.n, graph.diameter()
+        _, report = run_and_check(
+            graph, lambda v, val: AnonymousMinFlood(v, val, n, d),
+            SynchronousScheduler(1.0))
+        assert report.ok
+
+    def test_decides_min_value(self):
+        graph = line(4)
+        values = {0: 1, 1: 1, 2: 0, 3: 1}
+        _, report = run_and_check(
+            graph,
+            lambda v, val: AnonymousMinFlood(v, val, 4, 3),
+            SynchronousScheduler(1.0), initial_values=values)
+        assert set(report.decisions.values()) == {0}
+
+    def test_messages_carry_no_ids(self):
+        assert ValueSetMessage(frozenset({0, 1})).id_footprint() == 0
+
+    def test_process_is_genuinely_anonymous(self):
+        proc = AnonymousMinFlood("label-x", 1, 4, 2)
+        assert proc.uid is None
+
+    def test_rejects_bad_parameters(self):
+        with pytest.raises(ValueError):
+            AnonymousMinFlood(1, 0, 0, 3)
+        with pytest.raises(ValueError):
+            AnonymousMinFlood(1, 0, 3, -1)
+
+
+class TestNoSizeMinIdFlood:
+    @pytest.mark.parametrize("d", [2, 4, 7])
+    def test_correct_on_lines(self, d):
+        graph = line(d + 1)
+        _, report = run_and_check(
+            graph,
+            lambda v, val: NoSizeMinIdFlood(v + 1, val, d),
+            SynchronousScheduler(1.0))
+        assert report.ok
+
+    def test_correct_on_other_shapes_with_their_diameter(self):
+        graph = grid(3, 3)
+        d = graph.diameter()
+        _, report = run_and_check(
+            graph,
+            lambda v, val: NoSizeMinIdFlood(v + 1, val, d),
+            SynchronousScheduler(1.0))
+        assert report.ok
+
+    def test_decides_min_id_value(self):
+        graph = line(4)
+        values = {0: 1, 1: 0, 2: 0, 3: 0}
+        _, report = run_and_check(
+            graph,
+            lambda v, val: NoSizeMinIdFlood(v + 1, val, 3),
+            SynchronousScheduler(1.0), initial_values=values)
+        assert set(report.decisions.values()) == {1}
+
+    def test_pair_messages_carry_one_id(self):
+        assert KnownSetMessage(3, 1).id_footprint() == 1
+
+    def test_rejects_bad_parameters(self):
+        with pytest.raises(ValueError):
+            NoSizeMinIdFlood(1, 0, -1)
+        with pytest.raises(ValueError):
+            NoSizeMinIdFlood(1, 0, 3, stability_factor=0)

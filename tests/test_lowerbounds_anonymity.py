@@ -1,0 +1,108 @@
+"""Theorem 3.3 pipeline tests (Figure 1 networks + indistinguishability)."""
+
+import pytest
+
+from repro.lowerbounds.anonymity import run_anonymity_demo
+from repro.lowerbounds.indist import (FingerprintObserver,
+                                      compare_lockstep)
+from repro.macsim import build_simulation
+from repro.macsim.schedulers import SynchronousScheduler
+from repro.core.heuristics import AnonymousMinFlood
+from repro.topology import line
+
+
+class TestFullPipeline:
+    @pytest.mark.parametrize("d,k", [(2, 0), (3, 1)])
+    def test_theorem_holds(self, d, k):
+        demo = run_anonymity_demo(d=d, k=k)
+        assert demo.construction_ok
+        # Lemma 3.5: B-executions decide their common input.
+        assert demo.b_run_decisions[0] == {0}
+        assert demo.b_run_decisions[1] == {1}
+        # Lemma 3.6: per-round state equality with all covers.
+        assert demo.indistinguishable
+        for report in demo.lockstep_reports.values():
+            assert report.compared_pairs == 3 * (d + k + 4)
+        # The contradiction: both values decided in one execution.
+        assert demo.a_decisions_copy0 == {0}
+        assert demo.a_decisions_copy1 == {1}
+        assert demo.agreement_violated
+        assert demo.theorem_holds
+
+
+class TestLockstepHarness:
+    def _observe(self, values, n=4):
+        graph = line(n)
+        value_map = {v: values[i] for i, v in enumerate(graph.nodes)}
+        sim = build_simulation(
+            graph,
+            lambda v: AnonymousMinFlood(v, value_map[v], n, n - 1),
+            SynchronousScheduler(1.0))
+        obs = FingerprintObserver()
+        sim.add_observer(obs)
+        sim.run()
+        return obs
+
+    def test_identical_runs_are_lockstep_equal(self):
+        a = self._observe([0, 1, 0, 1])
+        b = self._observe([0, 1, 0, 1])
+        mapping = {v: [v] for v in range(4)}
+        report = compare_lockstep(a, b, mapping, until_time=10.0)
+        assert report.identical
+        assert report.compared_pairs == 4
+        assert "indistinguishable" in report.describe()
+
+    def test_different_inputs_detected(self):
+        a = self._observe([0, 1, 0, 1])
+        b = self._observe([1, 1, 0, 1])
+        mapping = {v: [v] for v in range(4)}
+        report = compare_lockstep(a, b, mapping, until_time=10.0)
+        assert not report.identical
+        assert report.mismatches
+        assert "mismatching" in report.describe()
+
+    def test_horizon_truncates_comparison(self):
+        # Runs of different lengths agree on a shared prefix.
+        a = self._observe([0, 0, 0, 0])
+        b = self._observe([0, 0, 0, 0])
+        report = compare_lockstep(a, b, {0: [0]}, until_time=2.0)
+        assert report.identical
+
+    def test_snapshot_sequence_times(self):
+        # Snapshots label the *completed* round: the first entry is the
+        # initial state at time 0, then end-of-round 1, 2, ...
+        obs = self._observe([0, 0, 0, 0])
+        seq = obs.sequence_for(0, until_time=3.0)
+        assert [t for t, _ in seq] == [0.0, 1.0, 2.0, 3.0]
+
+
+class TestTheoremBitesEveryAnonymousAlgorithm:
+    """Theorem 3.3 quantifies over *all* anonymous algorithms; the
+    pipeline accepts any factory, and each candidate we try meets the
+    same fate on network A."""
+
+    def test_max_rule_variant_also_violates(self):
+        def max_factory(label, value, n, diameter):
+            return AnonymousMinFlood(label, value, n, diameter,
+                                     decide_rule="max")
+
+        demo = run_anonymity_demo(d=2, k=0, factory=max_factory)
+        assert demo.indistinguishable
+        assert demo.agreement_violated
+        assert demo.theorem_holds
+
+    def test_max_rule_correct_on_benign_networks(self):
+        from tests.helpers import run_and_check
+        graph = line(6)
+        _, report = run_and_check(
+            graph,
+            lambda v, val: AnonymousMinFlood(v, val, graph.n,
+                                             graph.diameter(),
+                                             decide_rule="max"),
+            SynchronousScheduler(1.0))
+        assert report.ok
+
+    def test_bad_decide_rule_rejected(self):
+        import pytest
+        with pytest.raises(ValueError):
+            AnonymousMinFlood(1, 0, 4, 2, decide_rule="median")

@@ -1,0 +1,86 @@
+"""Theorem 3.9 / 3.10 partition-argument tests."""
+
+import pytest
+
+from repro.core.baselines import GatherAllConsensus
+from repro.core.wpaxos import WPaxosConfig, WPaxosNode
+from repro.lowerbounds.partition import (EagerMinFlood,
+                                         eager_violation_demo,
+                                         isolated_line_success,
+                                         kd_violation_demo,
+                                         measure_decision_time)
+
+
+class TestTimeLowerBound:
+    @pytest.mark.parametrize("diameter", [4, 8, 12])
+    def test_wpaxos_respects_bound(self, diameter):
+        timing = measure_decision_time(
+            lambda v, val, n: WPaxosNode(v + 1, val, n,
+                                         WPaxosConfig()),
+            "wpaxos", diameter, f_ack=2.0)
+        assert timing.correct
+        assert timing.respects_bound
+        assert timing.first_decision >= timing.bound
+
+    @pytest.mark.parametrize("diameter", [4, 8])
+    def test_gatherall_respects_bound(self, diameter):
+        timing = measure_decision_time(
+            lambda v, val, n: GatherAllConsensus(v + 1, val, n),
+            "gatherall", diameter, f_ack=1.5)
+        assert timing.correct and timing.respects_bound
+
+    @pytest.mark.parametrize("diameter", [6, 10, 14])
+    def test_eager_strawman_violates_agreement(self, diameter):
+        outcome = eager_violation_demo(diameter)
+        assert outcome.agreement_violated
+        # The two endpoints decide their own halves' values.
+        decs = outcome.decisions
+        assert 0 in decs.values() and 1 in decs.values()
+
+    def test_eager_with_enough_rounds_is_fine_on_lines(self):
+        # Given >= D rounds under synchrony, min-flooding converges.
+        from repro.macsim import build_simulation, check_consensus
+        from repro.macsim.schedulers import SynchronousScheduler
+        from repro.topology import line
+        diameter = 6
+        graph = line(diameter + 1)
+        values = {v: 0 if i <= diameter // 2 else 1
+                  for i, v in enumerate(graph.nodes)}
+        sim = build_simulation(
+            graph,
+            lambda v: EagerMinFlood(v, values[v],
+                                    rounds=2 * diameter + 2),
+            SynchronousScheduler(1.0))
+        result = sim.run()
+        assert check_consensus(result.trace, values).ok
+
+    def test_rejects_bad_rounds(self):
+        with pytest.raises(ValueError):
+            EagerMinFlood(1, 0, rounds=0)
+
+
+class TestKnowledgeOfN:
+    @pytest.mark.parametrize("diameter", [3, 5])
+    def test_kd_violation(self, diameter):
+        demo = kd_violation_demo(diameter)
+        assert demo.agreement_violated
+        assert demo.line1_decisions == {0}
+        assert demo.line2_decisions == {1}
+
+    @pytest.mark.parametrize("diameter", [3, 5, 8])
+    def test_isolated_line_success(self, diameter):
+        assert isolated_line_success(diameter)
+
+    def test_wpaxos_with_n_is_fine_on_kd(self):
+        from tests.helpers import run_and_check
+        from repro.macsim.schedulers import SynchronousScheduler
+        from repro.topology import kd_network
+        net = kd_network(4)
+        graph = net.graph
+        uid = {v: i + 1 for i, v in enumerate(graph.nodes)}
+        _, report = run_and_check(
+            graph,
+            lambda v, val: WPaxosNode(uid[v], val, graph.n,
+                                      WPaxosConfig()),
+            SynchronousScheduler(1.0))
+        assert report.ok

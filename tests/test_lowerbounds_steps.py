@@ -1,0 +1,147 @@
+"""Valid-step execution model tests (Section 3.1 semantics)."""
+
+import pytest
+
+from repro.lowerbounds.flp import StepTwoPhase
+from repro.lowerbounds.steps import Step, StepAlgorithm, StepSystem
+from repro.topology import clique, line
+
+
+class CountingAlgorithm(StepAlgorithm):
+    """Trivial algorithm: decide own value after first ack."""
+
+    def initial_state(self, uid, value):
+        return (uid, value, 0, None)  # uid, value, acks, decision
+
+    def message(self, state):
+        return ("msg", state[0])
+
+    def on_receive(self, state, message):
+        return state
+
+    def on_ack(self, state):
+        uid, value, acks, decision = state
+        if decision is None:
+            decision = value
+        return (uid, value, acks + 1, decision)
+
+    def decision(self, state):
+        return state[3]
+
+
+class TestValidSteps:
+    def setup_method(self):
+        self.system = StepSystem(clique(3), CountingAlgorithm())
+        self.config = self.system.initial_configuration((0, 1, 0))
+
+    def test_initial_receives_target_smallest(self):
+        steps = self.system.valid_steps(self.config)
+        receives = [s for s in steps if s.kind == "receive"]
+        # Each node's unique valid step targets its smallest neighbor.
+        assert Step("receive", 0, receiver=1) in receives
+        assert Step("receive", 1, receiver=0) in receives
+        assert Step("receive", 2, receiver=0) in receives
+        assert len(receives) == 3
+
+    def test_one_valid_step_per_node(self):
+        # Lemma 3.1's "s_u is well-defined".
+        for u in range(3):
+            step = self.system.next_valid_step_of(self.config, u)
+            assert step is not None
+            assert step.node == u
+
+    def test_receive_order_enforced(self):
+        # Node 2 may not receive node 0's message before node 1 does.
+        config = self.config
+        step = self.system.next_valid_step_of(config, 0)
+        assert step.receiver == 1
+        config = self.system.apply(config, step)
+        step = self.system.next_valid_step_of(config, 0)
+        assert step.receiver == 2
+
+    def test_ack_only_after_all_received(self):
+        config = self.config
+        for receiver in (1, 2):
+            assert self.system.next_valid_step_of(
+                config, 0).kind == "receive"
+            config = self.system.apply(
+                config, Step("receive", 0, receiver=receiver))
+        step = self.system.next_valid_step_of(config, 0)
+        assert step.kind == "ack"
+
+    def test_ack_resets_received_set(self):
+        config = self.config
+        for receiver in (1, 2):
+            config = self.system.apply(
+                config, Step("receive", 0, receiver=receiver))
+        config = self.system.apply(config, Step("ack", 0))
+        assert config.received[0] == frozenset()
+
+    def test_crash_budget_controls_crash_steps(self):
+        no_crash = StepSystem(clique(2), CountingAlgorithm(),
+                              crash_budget=0)
+        config = no_crash.initial_configuration((0, 1))
+        kinds = {s.kind for s in no_crash.valid_steps(config)}
+        assert "crash" not in kinds
+
+        with_crash = StepSystem(clique(2), CountingAlgorithm(),
+                                crash_budget=1)
+        config = with_crash.initial_configuration((0, 1))
+        crashes = [s for s in with_crash.valid_steps(config)
+                   if s.kind == "crash"]
+        assert len(crashes) == 2
+        after = with_crash.apply(config, crashes[0])
+        assert not any(s.kind == "crash"
+                       for s in with_crash.valid_steps(after))
+
+    def test_crashed_node_excluded_from_validity(self):
+        system = StepSystem(clique(3), CountingAlgorithm(),
+                            crash_budget=1)
+        config = system.initial_configuration((0, 1, 0))
+        config = system.apply(config, Step("crash", 1))
+        # Node 0's next receiver skips crashed node 1.
+        step = system.next_valid_step_of(config, 0)
+        assert step.receiver == 2
+        # And its ack becomes valid after node 2 alone receives.
+        config = system.apply(config, step)
+        assert system.next_valid_step_of(config, 0).kind == "ack"
+
+    def test_non_integer_labels_rejected(self):
+        from repro.topology import Graph
+        graph = Graph([("a", "b")])
+        with pytest.raises(ValueError):
+            StepSystem(graph, CountingAlgorithm())
+
+    def test_wrong_value_count_rejected(self):
+        with pytest.raises(ValueError):
+            self.system.initial_configuration((0, 1))
+
+
+class TestRoundRobinExecution:
+    def test_all_decide(self):
+        system = StepSystem(clique(3), CountingAlgorithm())
+        config = system.initial_configuration((0, 1, 0))
+        final = system.run_round_robin(config)
+        assert final.all_alive_decided(system.algorithm)
+        assert final.decided_values(system.algorithm) <= {0, 1}
+
+    def test_two_phase_round_robin_terminates(self):
+        system = StepSystem(clique(3), StepTwoPhase())
+        config = system.initial_configuration((0, 1, 1))
+        final = system.run_round_robin(config)
+        assert final.all_alive_decided(system.algorithm)
+        decided = final.decided_values(system.algorithm)
+        assert len(decided) == 1  # agreement
+
+    def test_line_topology(self):
+        system = StepSystem(line(3), CountingAlgorithm())
+        config = system.initial_configuration((1, 1, 1))
+        final = system.run_round_robin(config)
+        assert final.decided_values(system.algorithm) == {1}
+
+
+class TestStepDescriptions:
+    def test_describe(self):
+        assert "receives" in Step("receive", 0, receiver=1).describe()
+        assert "acked" in Step("ack", 2).describe()
+        assert "crashes" in Step("crash", 1).describe()

@@ -1,0 +1,110 @@
+"""Valency analysis tests (Theorem 3.2 machinery)."""
+
+from repro.lowerbounds.flp import StepTwoPhase
+from repro.lowerbounds.steps import StepSystem
+from repro.lowerbounds.valency import (ValencyAnalyzer,
+                                       bivalent_initial_configurations,
+                                       extend_bivalent_round_robin,
+                                       find_crash_termination_violation,
+                                       verify_lemma_31)
+from repro.topology import clique
+
+
+def two_phase_system(crash_budget=1):
+    return StepSystem(clique(2), StepTwoPhase(),
+                      crash_budget=crash_budget)
+
+
+class TestValencyClassification:
+    def test_unanimous_inputs_are_univalent(self):
+        system = two_phase_system()
+        analyzer = ValencyAnalyzer(system)
+        for value in (0, 1):
+            result = analyzer.explore(
+                system.initial_configuration((value, value)))
+            assert result.valency(result.initial) == frozenset({value})
+
+    def test_split_inputs_are_bivalent(self):
+        system = two_phase_system()
+        analyzer = ValencyAnalyzer(system)
+        result = analyzer.explore(system.initial_configuration((0, 1)))
+        assert result.is_bivalent(result.initial)
+
+    def test_bivalent_initial_configurations_enumeration(self):
+        system = two_phase_system()
+        pairs = bivalent_initial_configurations(system)
+        assert sorted(v for v, _ in pairs) == [(0, 1), (1, 0)]
+
+    def test_exploration_is_exhaustive_and_finite(self):
+        system = two_phase_system()
+        result = ValencyAnalyzer(system).explore(
+            system.initial_configuration((0, 1)))
+        assert not result.truncated
+        assert result.config_count > 100
+        # Every explored config got a valency classification.
+        assert set(result.values) == set(result.reachable)
+
+    def test_truncation_flag(self):
+        system = two_phase_system()
+        result = ValencyAnalyzer(system, max_configs=10).explore(
+            system.initial_configuration((0, 1)))
+        assert result.truncated
+
+    def test_without_crashes_still_bivalent(self):
+        # Bivalence of (0,1) does not require crash moves: the valid
+        # scheduler alone can steer to either decision.
+        system = two_phase_system(crash_budget=0)
+        result = ValencyAnalyzer(system).explore(
+            system.initial_configuration((0, 1)))
+        assert result.is_bivalent(result.initial)
+
+    def test_bivalent_configurations_listing(self):
+        system = two_phase_system()
+        result = ValencyAnalyzer(system).explore(
+            system.initial_configuration((0, 1)))
+        bivalent = result.bivalent_configurations()
+        assert result.initial in bivalent
+
+
+class TestLemma31Dichotomy:
+    def test_extension_exists_for_node_0(self):
+        system = two_phase_system()
+        result = ValencyAnalyzer(system).explore(
+            system.initial_configuration((0, 1)))
+        witness = verify_lemma_31(result, result.initial, 0)
+        assert witness.found
+
+    def test_extension_missing_for_node_1(self):
+        """Two-Phase is not 1-crash-tolerant, so Lemma 3.1 (whose
+        proof requires crash tolerance) is allowed to fail -- and
+        does, at node 1."""
+        system = two_phase_system()
+        result = ValencyAnalyzer(system).explore(
+            system.initial_configuration((0, 1)))
+        witness = verify_lemma_31(result, result.initial, 1)
+        assert not witness.found
+
+    def test_round_robin_extension_raises_on_failure(self):
+        system = two_phase_system()
+        result = ValencyAnalyzer(system).explore(
+            system.initial_configuration((0, 1)))
+        import pytest
+        with pytest.raises(AssertionError):
+            extend_bivalent_round_robin(result, rounds=1)
+
+
+class TestCrashTerminationViolation:
+    def test_violation_found_with_budget(self):
+        system = two_phase_system(crash_budget=1)
+        result = ValencyAnalyzer(system).explore(
+            system.initial_configuration((0, 1)))
+        violation = find_crash_termination_violation(result)
+        assert violation is not None
+        assert violation.stuck_node not in violation.config.crashed
+        assert len(violation.config.crashed) == 1
+
+    def test_no_violation_without_crashes(self):
+        system = two_phase_system(crash_budget=0)
+        result = ValencyAnalyzer(system).explore(
+            system.initial_configuration((0, 1)))
+        assert find_crash_termination_violation(result) is None

@@ -1,0 +1,92 @@
+"""Unit tests for the event queue."""
+
+import pytest
+
+from repro.macsim.events import (ACK_PRIORITY, CRASH_PRIORITY,
+                                 DELIVER_PRIORITY, EventQueue)
+
+
+class TestEventQueueOrdering:
+    def test_orders_by_time(self):
+        q = EventQueue()
+        q.push(3.0, DELIVER_PRIORITY, "deliver", node="c")
+        q.push(1.0, DELIVER_PRIORITY, "deliver", node="a")
+        q.push(2.0, DELIVER_PRIORITY, "deliver", node="b")
+        assert [q.pop().node for _ in range(3)] == ["a", "b", "c"]
+
+    def test_priority_breaks_time_ties(self):
+        q = EventQueue()
+        q.push(1.0, ACK_PRIORITY, "ack", node="ack")
+        q.push(1.0, CRASH_PRIORITY, "crash", node="crash")
+        q.push(1.0, DELIVER_PRIORITY, "deliver", node="deliver")
+        kinds = [q.pop().kind for _ in range(3)]
+        assert kinds == ["crash", "deliver", "ack"]
+
+    def test_insertion_order_breaks_full_ties(self):
+        q = EventQueue()
+        first = q.push(1.0, DELIVER_PRIORITY, "deliver", node="x")
+        second = q.push(1.0, DELIVER_PRIORITY, "deliver", node="y")
+        assert q.pop() is first
+        assert q.pop() is second
+
+    def test_deliveries_precede_acks_at_same_time(self):
+        # The synchronous scheduler's "deliver all, then ack all".
+        q = EventQueue()
+        q.push(5.0, ACK_PRIORITY, "ack", node=1)
+        q.push(5.0, DELIVER_PRIORITY, "deliver", node=2)
+        assert q.pop().kind == "deliver"
+        assert q.pop().kind == "ack"
+
+
+class TestEventQueueCancellation:
+    def test_cancelled_events_are_skipped(self):
+        q = EventQueue()
+        keep = q.push(1.0, DELIVER_PRIORITY, "deliver", node="keep")
+        drop = q.push(0.5, DELIVER_PRIORITY, "deliver", node="drop")
+        q.cancel(drop)
+        assert q.pop() is keep
+        assert q.pop() is None
+
+    def test_cancel_is_idempotent(self):
+        q = EventQueue()
+        event = q.push(1.0, DELIVER_PRIORITY, "deliver")
+        q.cancel(event)
+        q.cancel(event)
+        assert len(q) == 0
+
+    def test_len_tracks_live_events(self):
+        q = EventQueue()
+        events = [q.push(float(i), DELIVER_PRIORITY, "deliver")
+                  for i in range(5)]
+        assert len(q) == 5
+        q.cancel(events[2])
+        assert len(q) == 4
+        q.pop()
+        assert len(q) == 3
+
+    def test_bool_reflects_liveness(self):
+        q = EventQueue()
+        assert not q
+        event = q.push(1.0, DELIVER_PRIORITY, "deliver")
+        assert q
+        q.cancel(event)
+        assert not q
+
+
+class TestEventQueueMisc:
+    def test_peek_time_skips_cancelled(self):
+        q = EventQueue()
+        early = q.push(1.0, DELIVER_PRIORITY, "deliver")
+        q.push(2.0, DELIVER_PRIORITY, "deliver")
+        q.cancel(early)
+        assert q.peek_time() == 2.0
+
+    def test_peek_time_empty(self):
+        assert EventQueue().peek_time() is None
+
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(ValueError):
+            EventQueue().push(1.0, DELIVER_PRIORITY, "bogus")
+
+    def test_pop_empty_returns_none(self):
+        assert EventQueue().pop() is None

@@ -1,0 +1,104 @@
+"""Process API contract tests."""
+
+import pytest
+
+from repro.macsim import Process, ProcessError, build_simulation
+from repro.macsim.schedulers import SynchronousScheduler
+from repro.topology import clique
+
+
+class TestUnboundProcess:
+    def test_broadcast_requires_binding(self):
+        with pytest.raises(ProcessError):
+            Process(uid=1).broadcast("x")
+
+    def test_decide_requires_binding(self):
+        with pytest.raises(ProcessError):
+            Process(uid=1).decide(0)
+
+    def test_now_requires_binding(self):
+        with pytest.raises(ProcessError):
+            Process(uid=1).now()
+
+    def test_label_defaults_to_uid(self):
+        assert Process(uid=42).label == 42
+
+
+class TestDecisionSemantics:
+    def _sim(self, proc_cls):
+        return build_simulation(clique(2),
+                                lambda v: proc_cls(uid=v,
+                                                   initial_value=0),
+                                SynchronousScheduler(1.0))
+
+    def test_decide_is_irrevocable(self):
+        class Decider(Process):
+            def on_start(self):
+                self.decide(0)
+                self.decide(0)  # same value: fine
+
+        sim = self._sim(Decider)
+        result = sim.run()
+        assert result.decisions == {0: 0, 1: 0}
+        # exactly one decide record per node
+        assert len(result.trace.of_kind("decide")) == 2
+
+    def test_conflicting_redecision_raises(self):
+        class Flipper(Process):
+            def on_start(self):
+                self.decide(0)
+                self.decide(1)
+
+        sim = self._sim(Flipper)
+        with pytest.raises(ProcessError):
+            sim.run()
+
+    def test_on_decided_hook(self):
+        calls = []
+
+        class Hooked(Process):
+            def on_start(self):
+                self.decide(1)
+
+            def on_decided(self):
+                calls.append(self.label)
+
+        sim = self._sim(Hooked)
+        sim.run()
+        assert sorted(calls) == [0, 1]
+
+
+class TestBindingRules:
+    def test_rebinding_to_other_simulator_rejected(self):
+        proc = Process(uid=0, initial_value=0)
+        graph = clique(1)
+        from repro.macsim import Simulator
+        Simulator(graph, {0: proc}, SynchronousScheduler(1.0))
+        with pytest.raises(ProcessError):
+            Simulator(graph, {0: proc}, SynchronousScheduler(1.0))
+
+    def test_now_reads_global_clock(self):
+        seen = []
+
+        class Clock(Process):
+            def on_start(self):
+                seen.append(self.now())
+                self.broadcast("x")
+
+            def on_ack(self):
+                seen.append(self.now())
+
+        build_simulation(clique(1),
+                         lambda v: Clock(uid=v, initial_value=0),
+                         SynchronousScheduler(2.0)).run()
+        assert seen == [0.0, 2.0]
+
+    def test_label_and_uid_can_differ(self):
+        class Probe(Process):
+            pass
+
+        sim = build_simulation(
+            clique(2), lambda v: Probe(uid=v + 100, initial_value=0),
+            SynchronousScheduler(1.0))
+        assert sim.process_at(0).uid == 100
+        assert sim.process_at(0).label == 0

@@ -1,0 +1,77 @@
+"""Multivalued consensus tests.
+
+The paper poses efficient multivalued consensus as an open
+generalization of its binary results; since PAXOS is value-agnostic,
+wPAXOS (and GatherAll) solve it directly once the binary input check
+is lifted.
+"""
+
+import pytest
+
+from tests.helpers import run_and_check
+from repro.core.baselines import GatherAllConsensus
+from repro.core.wpaxos import WPaxosConfig, WPaxosNode
+from repro.macsim.schedulers import (RandomDelayScheduler,
+                                     SynchronousScheduler)
+from repro.topology import grid, line
+
+
+def wpaxos_factory(graph):
+    uid = {v: i + 1 for i, v in enumerate(graph.nodes)}
+    return lambda v, val: WPaxosNode(uid[v], val, graph.n,
+                                     WPaxosConfig(),
+                                     allow_arbitrary_values=True)
+
+
+def gather_factory(graph):
+    uid = {v: i + 1 for i, v in enumerate(graph.nodes)}
+    return lambda v, val: GatherAllConsensus(
+        uid[v], val, graph.n, allow_arbitrary_values=True)
+
+
+RALLY_POINTS = ("alpha", "bravo", "charlie", "delta")
+
+
+class TestMultivaluedWPaxos:
+    def test_string_values_on_grid(self):
+        graph = grid(3, 3)
+        values = {v: RALLY_POINTS[i % len(RALLY_POINTS)]
+                  for i, v in enumerate(graph.nodes)}
+        _, report = run_and_check(graph, wpaxos_factory(graph),
+                                  SynchronousScheduler(1.0),
+                                  initial_values=values)
+        assert report.ok
+        assert set(report.decisions.values()) <= set(RALLY_POINTS)
+
+    def test_integer_range_values(self):
+        graph = line(8)
+        values = {v: v * 10 for v in graph.nodes}
+        _, report = run_and_check(graph, wpaxos_factory(graph),
+                                  RandomDelayScheduler(1.0, seed=5),
+                                  initial_values=values)
+        assert report.ok
+        assert set(report.decisions.values()) <= set(values.values())
+
+    def test_unanimous_arbitrary_value(self):
+        graph = line(5)
+        values = {v: ("rally", 42) for v in graph.nodes}
+        _, report = run_and_check(graph, wpaxos_factory(graph),
+                                  SynchronousScheduler(1.0),
+                                  initial_values=values)
+        assert set(report.decisions.values()) == {("rally", 42)}
+
+    def test_binary_check_still_enforced_by_default(self):
+        with pytest.raises(ValueError):
+            WPaxosNode(1, "alpha", n=3)
+
+
+class TestMultivaluedGatherAll:
+    def test_string_values(self):
+        graph = line(6)
+        values = {v: RALLY_POINTS[v % 3] for v in graph.nodes}
+        _, report = run_and_check(graph, gather_factory(graph),
+                                  SynchronousScheduler(1.0),
+                                  initial_values=values)
+        assert report.ok
+        # GatherAll decides the minimum id's value deterministically.
+        assert set(report.decisions.values()) == {values[0]}

@@ -1,0 +1,116 @@
+"""Replicated log (multi-decree wPAXOS) tests."""
+
+import pytest
+from hypothesis import HealthCheck, given, settings, strategies as st
+
+from repro.apps import ReplicatedLogNode
+from repro.core.wpaxos import SafetyMonitor, WPaxosConfig
+from repro.macsim import build_simulation, check_model_invariants
+from repro.macsim.schedulers import (RandomDelayScheduler,
+                                     SynchronousScheduler)
+from repro.topology import clique, grid, line, random_connected
+
+
+def run_log(graph, scheduler, log_length=4, config=None,
+            commands=None):
+    n = graph.n
+    commands = commands or {
+        v: [f"cmd-{graph.index_of(v)}-{k}" for k in range(log_length)]
+        for v in graph.nodes}
+    sim = build_simulation(
+        graph,
+        lambda v: ReplicatedLogNode(graph.index_of(v) + 1, n,
+                                    commands[v], log_length,
+                                    config=config),
+        scheduler)
+    result = sim.run(max_events=10_000_000, max_time=5_000.0)
+    invariants = check_model_invariants(graph, result.trace,
+                                        scheduler.f_ack)
+    assert invariants.ok, invariants.violations[:5]
+    return sim, result
+
+
+class TestLogReplication:
+    @pytest.mark.parametrize("graph", [clique(4), line(6), grid(3, 3)],
+                             ids=lambda g: f"n{g.n}")
+    def test_all_replicas_commit_identical_logs(self, graph):
+        sim, result = run_log(graph, SynchronousScheduler(1.0))
+        logs = [tuple(sorted(sim.process_at(v).log.items()))
+                for v in graph.nodes]
+        assert all(sim.process_at(v).decided for v in graph.nodes)
+        assert len(set(logs)) == 1
+
+    def test_log_has_every_slot_exactly_once(self):
+        graph = line(5)
+        sim, _ = run_log(graph, SynchronousScheduler(1.0),
+                         log_length=6)
+        log = sim.process_at(graph.nodes[0]).log
+        assert sorted(log) == list(range(6))
+
+    def test_committed_commands_come_from_workloads(self):
+        graph = grid(3, 3)
+        commands = {v: [f"w{graph.index_of(v)}k{k}" for k in range(3)]
+                    for v in graph.nodes}
+        sim, _ = run_log(graph, SynchronousScheduler(1.0),
+                         log_length=3, commands=commands)
+        committed = set(sim.process_at(graph.nodes[0]).log.values())
+        all_commands = {c for cs in commands.values() for c in cs}
+        assert committed <= all_commands
+
+    def test_decision_value_is_the_log_tuple(self):
+        graph = clique(3)
+        sim, result = run_log(graph, SynchronousScheduler(1.0),
+                              log_length=2)
+        decisions = set(result.decisions.values())
+        assert len(decisions) == 1
+        decided_log = decisions.pop()
+        assert isinstance(decided_log, tuple)
+        assert len(decided_log) == 2
+
+    def test_random_schedules(self):
+        for seed in range(3):
+            graph = line(7)
+            sim, _ = run_log(graph,
+                             RandomDelayScheduler(1.0, seed=seed))
+            logs = [tuple(sorted(sim.process_at(v).log.items()))
+                    for v in graph.nodes]
+            assert len(set(logs)) == 1
+
+    def test_per_slot_conservation_monitor(self):
+        monitor = SafetyMonitor()
+        graph = grid(3, 3)
+        sim, _ = run_log(graph, SynchronousScheduler(1.0),
+                         config=WPaxosConfig(monitor=monitor))
+        assert all(sim.process_at(v).decided for v in graph.nodes)
+        assert monitor.conservation_holds()
+
+    def test_amortization_over_slots(self):
+        """Multi-decree amortizes the service setup: per-slot cost of
+        a long log is far below a whole fresh consensus."""
+        graph = line(8)
+        _, short = run_log(graph, SynchronousScheduler(1.0),
+                           log_length=1)
+        _, long = run_log(graph, SynchronousScheduler(1.0),
+                          log_length=8)
+        t_short = short.trace.last_decision_time()
+        t_long = long.trace.last_decision_time()
+        per_slot_long = (t_long - t_short) / 7
+        assert per_slot_long < 0.8 * t_short
+
+    @given(n=st.integers(2, 8), topo_seed=st.integers(0, 10 ** 4),
+           sched_seed=st.integers(0, 10 ** 4))
+    @settings(max_examples=10, deadline=None,
+              suppress_health_check=[HealthCheck.too_slow])
+    def test_property_random_everything(self, n, topo_seed,
+                                        sched_seed):
+        graph = random_connected(n, 0.2, seed=topo_seed)
+        sim, _ = run_log(graph,
+                         RandomDelayScheduler(1.0, seed=sched_seed),
+                         log_length=3)
+        logs = [tuple(sorted(sim.process_at(v).log.items()))
+                for v in graph.nodes]
+        assert len(set(logs)) == 1
+
+    def test_bad_log_length_rejected(self):
+        with pytest.raises(ValueError):
+            ReplicatedLogNode(1, 3, ["a"], 0)

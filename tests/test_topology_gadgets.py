@@ -1,0 +1,145 @@
+"""Figure 1 / Figure 2 construction tests (Claim 3.4 and property *)."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.topology.gadgets import (check_covering, figure1_parameters,
+                                    gadget, kd_network, network_a,
+                                    network_b, verify_figure1)
+
+
+class TestGadget:
+    def test_size_formula(self):
+        for d, k in [(2, 0), (3, 4), (6, 1)]:
+            spec = gadget(d, k)
+            assert spec.graph.n == d + k + 4
+
+    def test_c_eccentricity_is_d(self):
+        spec = gadget(4, 2)
+        assert spec.graph.eccentricity("c") == 4
+
+    def test_contains_triangles(self):
+        # A covering of a tree is a forest: the gadget must have
+        # cycles for network B to be connected.
+        spec = gadget(3, 0)
+        for ap in ("ap2", "ap3", "ap4"):
+            assert spec.graph.has_edge("c", ap)
+            assert spec.graph.has_edge(ap, "a1")
+
+    def test_leaves_attach_below(self):
+        spec = gadget(4, 3)
+        for j in (1, 2, 3):
+            assert spec.graph.has_edge("a3", f"s{j}")
+            assert spec.graph.degree(f"s{j}") == 1
+
+    def test_invalid_parameters(self):
+        with pytest.raises(ValueError):
+            gadget(1, 0)
+        with pytest.raises(ValueError):
+            gadget(3, -1)
+
+
+class TestNetworkA:
+    def test_structure(self):
+        net = network_a(3, 1)
+        g = net.graph
+        assert g.has_edge("q", "g0.c")
+        assert g.has_edge("q", "g1.c")
+        # gadget copies are disjoint except through q
+        assert not any(g.has_edge(u, v)
+                       for u in net.copies[0] for v in net.copies[1])
+        # clique C is complete and attached to q
+        for c in net.clique:
+            assert g.has_edge("q", c)
+        assert g.has_edge(net.clique[0], net.clique[-1])
+
+    def test_copy_of(self):
+        net = network_a(2, 0)
+        assert net.copy_of("g0.c") == 0
+        assert net.copy_of("g1.a2") == 1
+        assert net.copy_of("q") == -1
+        assert net.copy_of("C0") == -1
+
+    def test_diameter(self):
+        for d in (2, 3, 5):
+            assert network_a(d, 0).graph.diameter() == 2 * d + 2
+
+
+class TestNetworkB:
+    def test_is_three_fold_cover(self):
+        for d, k in [(2, 0), (3, 2), (5, 1)]:
+            spec = gadget(d, k)
+            net = network_b(d, k)
+            assert check_covering(net, spec)
+
+    def test_connected(self):
+        assert network_b(3, 0).graph.is_connected()
+
+    def test_pendant(self):
+        net = network_b(3, 0)
+        assert net.graph.degree(net.pendant) == 1
+        assert net.graph.has_edge(net.pendant, "t0.a3")
+
+    def test_cover_bookkeeping(self):
+        net = network_b(2, 0)
+        assert net.covers["c"] == ("t0.c", "t1.c", "t2.c")
+        assert net.copy_index("t2.a1") == 2
+        assert net.base_name("t1.ap3") == "ap3"
+        assert net.copy_index(net.pendant) == -1
+        with pytest.raises(ValueError):
+            net.base_name(net.pendant)
+
+    def test_chains_stay_within_copies(self):
+        # Only the ap-a1 triangle edges are twisted.
+        net = network_b(4, 0)
+        g = net.graph
+        for i in range(3):
+            assert g.has_edge(f"t{i}.a2", f"t{i}.a3")
+            assert g.has_edge(f"t{i}.c", f"t{i}.a1")
+
+
+class TestFigure1Pair:
+    @given(d=st.integers(2, 7), k=st.integers(0, 5))
+    @settings(max_examples=25, deadline=None)
+    def test_claim_3_4_holds(self, d, k):
+        report = verify_figure1(d, k)
+        assert report.size_a == report.size_b
+        assert report.diameter_a == report.diameter_b == 2 * d + 2
+        assert report.covering_ok
+        assert report.ok
+
+    def test_parameter_solver(self):
+        d, k = figure1_parameters(10, 40)
+        assert d == 4
+        report = verify_figure1(d, k)
+        assert report.size_a >= 40
+        assert report.diameter_a == 10
+
+    def test_parameter_solver_rejects_odd_or_small(self):
+        with pytest.raises(ValueError):
+            figure1_parameters(7, 10)
+        with pytest.raises(ValueError):
+            figure1_parameters(4, 10)
+
+
+class TestKDNetwork:
+    @given(d=st.integers(2, 12))
+    @settings(max_examples=15, deadline=None)
+    def test_diameter_is_d(self, d):
+        net = kd_network(d)
+        assert net.graph.diameter() == d
+
+    def test_structure(self):
+        net = kd_network(5)
+        g = net.graph
+        assert len(net.line1) == 6
+        assert len(net.line2) == 6
+        assert len(net.spine) == 5
+        # contact adjacent to every node of both lines
+        for v in net.line1 + net.line2:
+            assert g.has_edge(net.contact, v)
+        assert g.n == 2 * 6 + 5
+
+    def test_rejects_tiny_diameter(self):
+        with pytest.raises(ValueError):
+            kd_network(1)

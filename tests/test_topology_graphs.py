@@ -1,0 +1,107 @@
+"""Graph type tests, cross-checked against networkx."""
+
+import networkx as nx
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.topology import Graph, clique, grid, line, random_connected
+from repro.topology.graphs import label_sort_key
+
+
+class TestGraphBasics:
+    def test_nodes_sorted_canonically(self):
+        g = Graph([("b", "a"), ("c", "b")])
+        assert g.nodes == ("a", "b", "c")
+
+    def test_neighbors_sorted(self):
+        g = Graph([(2, 0), (0, 1), (0, 3)])
+        assert g.neighbors(0) == (1, 2, 3)
+
+    def test_isolated_nodes_via_nodes_arg(self):
+        g = Graph([], nodes=[5, 3])
+        assert g.nodes == (3, 5)
+        assert g.degree(5) == 0
+
+    def test_self_loop_rejected(self):
+        with pytest.raises(ValueError):
+            Graph([(1, 1)])
+
+    def test_edges_once_each(self):
+        g = clique(4)
+        assert len(list(g.edges())) == 6
+        assert g.edge_count == 6
+
+    def test_contains_and_has_edge(self):
+        g = line(3)
+        assert 1 in g
+        assert 9 not in g
+        assert g.has_edge(0, 1)
+        assert not g.has_edge(0, 2)
+
+    def test_mixed_label_sorting(self):
+        g = Graph([(1, "a"), ("a", 2)])
+        assert g.nodes == (1, 2, "a")
+
+    def test_label_sort_key_bool_vs_int(self):
+        # bools are int subclasses; key must still be orderable.
+        assert sorted([True, 0, 2], key=label_sort_key) == [0, True, 2]
+
+
+class TestDistances:
+    def test_bfs_distances(self):
+        g = line(5)
+        assert g.bfs_distances(0) == {0: 0, 1: 1, 2: 2, 3: 3, 4: 4}
+
+    def test_distance(self):
+        g = grid(3, 3)
+        assert g.distance(0, 8) == 4
+
+    def test_disconnected_distance_none(self):
+        g = Graph([(0, 1)], nodes=[0, 1, 2])
+        assert g.distance(0, 2) is None
+
+    def test_diameter_raises_when_disconnected(self):
+        g = Graph([(0, 1)], nodes=[0, 1, 2])
+        with pytest.raises(ValueError):
+            g.diameter()
+
+    def test_eccentricity(self):
+        g = line(5)
+        assert g.eccentricity(2) == 2
+        assert g.eccentricity(0) == 4
+
+
+class TestDerivedGraphs:
+    def test_subgraph(self):
+        g = clique(5)
+        sub = g.subgraph([0, 1, 2])
+        assert sub.n == 3
+        assert sub.edge_count == 3
+
+    def test_relabeled(self):
+        g = line(3)
+        r = g.relabeled({0: "x", 1: "y", 2: "z"})
+        assert r.nodes == ("x", "y", "z")
+        assert r.has_edge("x", "y")
+
+
+class TestAgainstNetworkx:
+    @given(n=st.integers(2, 20), p=st.floats(0.0, 0.3),
+           seed=st.integers(0, 1000))
+    @settings(max_examples=30, deadline=None)
+    def test_diameter_matches_networkx(self, n, p, seed):
+        g = random_connected(n, p, seed=seed)
+        nxg = nx.Graph(list(g.edges()))
+        nxg.add_nodes_from(g.nodes)
+        assert g.is_connected()
+        assert g.diameter() == nx.diameter(nxg)
+
+    @given(n=st.integers(2, 15), seed=st.integers(0, 500))
+    @settings(max_examples=20, deadline=None)
+    def test_distances_match_networkx(self, n, seed):
+        g = random_connected(n, 0.2, seed=seed)
+        nxg = nx.Graph(list(g.edges()))
+        nxg.add_nodes_from(g.nodes)
+        source = g.nodes[0]
+        expected = nx.single_source_shortest_path_length(nxg, source)
+        assert g.bfs_distances(source) == dict(expected)

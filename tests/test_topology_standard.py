@@ -1,0 +1,93 @@
+"""Standard topology builder tests."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.topology import (balanced_tree, barbell, clique, grid, line,
+                            random_connected, random_geometric, ring,
+                            star, star_of_cliques, torus)
+
+
+class TestShapes:
+    def test_clique(self):
+        g = clique(6)
+        assert g.n == 6
+        assert g.edge_count == 15
+        assert g.diameter() == 1
+
+    def test_line(self):
+        g = line(7)
+        assert g.n == 7
+        assert g.diameter() == 6
+
+    def test_line_singleton(self):
+        assert line(1).n == 1
+
+    def test_ring(self):
+        g = ring(8)
+        assert g.diameter() == 4
+        assert all(g.degree(v) == 2 for v in g.nodes)
+
+    def test_star(self):
+        g = star(9)
+        assert g.degree(0) == 8
+        assert g.diameter() == 2
+
+    def test_grid(self):
+        g = grid(3, 5)
+        assert g.n == 15
+        assert g.diameter() == 6
+
+    def test_torus(self):
+        g = torus(4, 4)
+        assert g.n == 16
+        assert all(g.degree(v) == 4 for v in g.nodes)
+        assert g.diameter() == 4
+
+    def test_balanced_tree(self):
+        g = balanced_tree(2, 3)
+        assert g.n == 15
+        assert g.diameter() == 6
+
+    def test_barbell(self):
+        g = barbell(4, 3)
+        assert g.n == 11
+        assert g.is_connected()
+        assert g.diameter() == 3 + 1 + 1 + 1  # across path + into cliques
+
+    def test_star_of_cliques(self):
+        g = star_of_cliques(3, 5)
+        assert g.n == 16
+        assert g.is_connected()
+        assert g.diameter() == 4
+
+    def test_invalid_shapes_rejected(self):
+        for bad in (lambda: clique(0), lambda: line(0),
+                    lambda: ring(2), lambda: star(1),
+                    lambda: grid(0, 3), lambda: torus(2, 4),
+                    lambda: barbell(1, 1),
+                    lambda: star_of_cliques(0, 3)):
+            with pytest.raises(ValueError):
+                bad()
+
+
+class TestRandomBuilders:
+    @given(n=st.integers(1, 40), p=st.floats(0, 0.3),
+           seed=st.integers(0, 10 ** 6))
+    @settings(max_examples=40, deadline=None)
+    def test_random_connected_is_connected(self, n, p, seed):
+        g = random_connected(n, p, seed=seed)
+        assert g.n == n
+        assert g.is_connected()
+
+    def test_random_connected_deterministic(self):
+        a = random_connected(20, 0.1, seed=5)
+        b = random_connected(20, 0.1, seed=5)
+        assert list(a.edges()) == list(b.edges())
+
+    @given(n=st.integers(1, 25), seed=st.integers(0, 1000))
+    @settings(max_examples=25, deadline=None)
+    def test_random_geometric_connected(self, n, seed):
+        g = random_geometric(n, 0.3, seed=seed)
+        assert g.n == n
+        assert g.is_connected()

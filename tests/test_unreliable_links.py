@@ -1,0 +1,161 @@
+"""Dual-graph (unreliable links) model tests -- E9's machinery."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.macsim import (ModelViolationError, Process,
+                          build_simulation, check_consensus,
+                          check_model_invariants)
+from repro.macsim.schedulers import (AdversarialUnreliableScheduler,
+                                     BernoulliUnreliableScheduler,
+                                     SynchronousScheduler)
+from repro.core.wpaxos import WPaxosConfig, WPaxosNode
+from repro.topology import Graph, line
+from repro.topology.standard import unreliable_overlay
+
+
+class Echo(Process):
+    def __init__(self, uid):
+        super().__init__(uid=uid, initial_value=0)
+        self.received = []
+
+    def on_start(self):
+        self.broadcast(("hello", self.uid))
+
+    def on_receive(self, message):
+        self.received.append(message)
+
+
+class TestDualGraphSemantics:
+    def setup_method(self):
+        self.graph = line(3)  # reliable: 0-1-2
+        self.overlay = Graph([(0, 2)], nodes=self.graph.nodes)
+
+    def test_unreliable_delivery_happens_with_p1(self):
+        sched = BernoulliUnreliableScheduler(
+            SynchronousScheduler(1.0), 1.0, seed=1)
+        sim = build_simulation(self.graph, lambda v: Echo(v), sched,
+                               unreliable_graph=self.overlay)
+        sim.run()
+        # Node 2 heard node 0 over the unreliable chord.
+        senders = [m[1] for m in sim.process_at(2).received]
+        assert 0 in senders and 1 in senders
+
+    def test_unreliable_delivery_dropped_with_p0(self):
+        sched = BernoulliUnreliableScheduler(
+            SynchronousScheduler(1.0), 0.0, seed=1)
+        sim = build_simulation(self.graph, lambda v: Echo(v), sched,
+                               unreliable_graph=self.overlay)
+        sim.run()
+        senders = [m[1] for m in sim.process_at(2).received]
+        assert 0 not in senders
+
+    def test_default_scheduler_drops_everything(self):
+        # Base schedulers have no unreliable policy: adversary drops.
+        sim = build_simulation(self.graph, lambda v: Echo(v),
+                               SynchronousScheduler(1.0),
+                               unreliable_graph=self.overlay)
+        sim.run()
+        senders = [m[1] for m in sim.process_at(2).received]
+        assert 0 not in senders
+
+    def test_ack_never_waits_for_unreliable_neighbors(self):
+        # Even undelivered unreliable messages do not delay acks.
+        sched = BernoulliUnreliableScheduler(
+            SynchronousScheduler(1.0), 0.0, seed=1)
+        sim = build_simulation(self.graph, lambda v: Echo(v), sched,
+                               unreliable_graph=self.overlay)
+        result = sim.run()
+        acks = result.trace.of_kind("ack")
+        assert len(acks) == 3
+        assert all(a.time == 1.0 for a in acks)
+
+    def test_invariants_accept_unreliable_deliveries(self):
+        sched = BernoulliUnreliableScheduler(
+            SynchronousScheduler(1.0), 1.0, seed=1)
+        sim = build_simulation(self.graph, lambda v: Echo(v), sched,
+                               unreliable_graph=self.overlay)
+        result = sim.run()
+        ok = check_model_invariants(self.graph, result.trace,
+                                    sched.f_ack,
+                                    unreliable_graph=self.overlay)
+        assert ok.ok
+        # Without declaring the overlay they are (correctly) flagged.
+        bad = check_model_invariants(self.graph, result.trace,
+                                     sched.f_ack)
+        assert not bad.ok
+
+    def test_adversarial_cutoff(self):
+        sched = AdversarialUnreliableScheduler(
+            SynchronousScheduler(1.0), cutoff=0.5)
+        sim = build_simulation(self.graph, lambda v: Echo(v), sched,
+                               unreliable_graph=self.overlay)
+        sim.run()
+        # Broadcast at t=0 < cutoff: delivered.
+        assert 0 in [m[1] for m in sim.process_at(2).received]
+
+    def test_bad_probability_rejected(self):
+        with pytest.raises(ValueError):
+            BernoulliUnreliableScheduler(SynchronousScheduler(1.0),
+                                         1.5)
+
+
+class TestOverlayBuilder:
+    def test_overlay_avoids_reliable_edges(self):
+        graph = line(10)
+        overlay = unreliable_overlay(graph, 1.0, seed=1)
+        for u, v in overlay.edges():
+            assert not graph.has_edge(u, v)
+        # density 1.0: every non-edge present
+        expected = 10 * 9 // 2 - 9
+        assert overlay.edge_count == expected
+
+    def test_density_zero_empty(self):
+        overlay = unreliable_overlay(line(6), 0.0, seed=1)
+        assert overlay.edge_count == 0
+
+    def test_bad_density_rejected(self):
+        with pytest.raises(ValueError):
+            unreliable_overlay(line(4), -0.1)
+
+
+class TestWPaxosOverUnreliableLinks:
+    """The E9 findings, pinned as regressions."""
+
+    def _run(self, scheduler, overlay_seed=3):
+        graph = line(12)
+        overlay = unreliable_overlay(graph, 0.15, seed=overlay_seed)
+        uid = {v: v + 1 for v in graph.nodes}
+        values = {v: v % 2 for v in graph.nodes}
+        sim = build_simulation(
+            graph,
+            lambda v: WPaxosNode(uid[v], values[v], graph.n,
+                                 WPaxosConfig()),
+            scheduler, unreliable_graph=overlay)
+        result = sim.run(max_events=5_000_000, max_time=2_000.0)
+        return check_consensus(result.trace, values)
+
+    @given(prob=st.floats(0.0, 1.0), seed=st.integers(0, 10 ** 6))
+    @settings(max_examples=20, deadline=None)
+    def test_safety_is_unconditional(self, prob, seed):
+        scheduler = BernoulliUnreliableScheduler(
+            SynchronousScheduler(1.0), prob, seed=seed)
+        report = self._run(scheduler)
+        assert report.agreement
+        assert report.validity
+
+    def test_liveness_can_be_lost(self):
+        # The measured configuration where routes over unreliable
+        # links starve the leader (see E9); pinned as a regression so
+        # a future fix to the open problem will be noticed.
+        scheduler = BernoulliUnreliableScheduler(
+            SynchronousScheduler(1.0), 0.25, seed=1)
+        report = self._run(scheduler)
+        assert report.agreement
+        assert not report.termination
+
+    def test_liveness_kept_when_links_silent(self):
+        scheduler = BernoulliUnreliableScheduler(
+            SynchronousScheduler(1.0), 0.0, seed=0)
+        report = self._run(scheduler)
+        assert report.ok

@@ -1,0 +1,152 @@
+"""Unit tests for the PAXOS acceptor and the aggregating queue."""
+
+from repro.core.wpaxos.acceptor import (AcceptorState, ResponseQueue,
+                                        ResponseSeed)
+from repro.core.wpaxos.messages import (ACCEPTED, PROMISE,
+                                        REJECT_PREPARE, REJECT_PROPOSE,
+                                        ResponsePart)
+
+
+class TestAcceptorState:
+    def setup_method(self):
+        self.acc = AcceptorState(uid=1)
+
+    def test_first_prepare_promised(self):
+        seed = self.acc.on_prepare((1, 5), proposer=5)
+        assert seed.kind == PROMISE
+        assert seed.prior is None
+        assert self.acc.promised == (1, 5)
+
+    def test_lower_prepare_rejected_with_commitment(self):
+        self.acc.on_prepare((3, 5), proposer=5)
+        seed = self.acc.on_prepare((2, 9), proposer=9)
+        assert seed.kind == REJECT_PREPARE
+        assert seed.committed == (3, 5)
+
+    def test_higher_prepare_supersedes(self):
+        self.acc.on_prepare((1, 5), proposer=5)
+        seed = self.acc.on_prepare((2, 3), proposer=3)
+        assert seed.kind == PROMISE
+        assert self.acc.promised == (2, 3)
+
+    def test_id_breaks_tag_ties(self):
+        self.acc.on_prepare((1, 5), proposer=5)
+        seed = self.acc.on_prepare((1, 7), proposer=7)
+        assert seed.kind == PROMISE  # (1,7) > (1,5)
+
+    def test_propose_accepted_at_promise_level(self):
+        self.acc.on_prepare((2, 5), proposer=5)
+        seed = self.acc.on_propose((2, 5), value=1, proposer=5)
+        assert seed.kind == ACCEPTED
+        assert self.acc.accepted == ((2, 5), 1)
+
+    def test_stale_propose_rejected(self):
+        self.acc.on_prepare((5, 9), proposer=9)
+        seed = self.acc.on_propose((2, 5), value=0, proposer=5)
+        assert seed.kind == REJECT_PROPOSE
+        assert seed.committed == (5, 9)
+
+    def test_promise_reports_prior_accepted(self):
+        self.acc.on_prepare((1, 5), proposer=5)
+        self.acc.on_propose((1, 5), value=0, proposer=5)
+        seed = self.acc.on_prepare((2, 9), proposer=9)
+        assert seed.kind == PROMISE
+        assert seed.prior == ((1, 5), 0)
+
+    def test_unprompted_propose_accepted(self):
+        # Classic paxos: accept any propose >= promise (none yet).
+        seed = self.acc.on_propose((1, 5), value=1, proposer=5)
+        assert seed.kind == ACCEPTED
+
+
+class TestResponseQueueAggregation:
+    def test_same_proposition_merges(self):
+        q = ResponseQueue(aggregation=True)
+        q.add(5, PROMISE, (1, 5), 1)
+        q.add(5, PROMISE, (1, 5), 2)
+        assert len(q) == 1
+        assert q.total_count(5, PROMISE, (1, 5)) == 3
+
+    def test_different_kinds_do_not_merge(self):
+        q = ResponseQueue(aggregation=True)
+        q.add(5, PROMISE, (1, 5), 1)
+        q.add(5, REJECT_PREPARE, (1, 5), 1, committed=(2, 6))
+        assert len(q) == 2
+
+    def test_aggregation_keeps_max_prior(self):
+        # Footnote 6: keep the prior proposal with the largest number.
+        q = ResponseQueue(aggregation=True)
+        q.add(5, PROMISE, (3, 5), 1, prior=((1, 2), 0))
+        q.add(5, PROMISE, (3, 5), 1, prior=((2, 4), 1))
+        q.add(5, PROMISE, (3, 5), 1, prior=None)
+        part = q.pop_route(lambda proposer: 9)
+        assert part.count == 3
+        assert part.prior == ((2, 4), 1)
+
+    def test_aggregation_keeps_max_committed(self):
+        q = ResponseQueue(aggregation=True)
+        q.add(5, REJECT_PREPARE, (3, 5), 1, committed=(4, 1))
+        q.add(5, REJECT_PREPARE, (3, 5), 1, committed=(6, 2))
+        part = q.pop_route(lambda proposer: 9)
+        assert part.committed == (6, 2)
+
+    def test_no_aggregation_keeps_individuals(self):
+        q = ResponseQueue(aggregation=False)
+        q.add(5, PROMISE, (1, 5), 1)
+        q.add(5, PROMISE, (1, 5), 1)
+        assert len(q) == 2
+        part = q.pop_route(lambda proposer: 9)
+        assert part.count == 1
+
+    def test_add_seed_and_part(self):
+        q = ResponseQueue()
+        q.add_seed(ResponseSeed(proposer=5, kind=PROMISE,
+                                number=(1, 5)))
+        q.add_part(ResponsePart(dest=1, proposer=5, kind=PROMISE,
+                                number=(1, 5), count=4))
+        assert q.total_count(5, PROMISE, (1, 5)) == 5
+
+
+class TestResponseQueueInvariant:
+    def test_non_leader_entries_dropped(self):
+        q = ResponseQueue()
+        q.add(5, PROMISE, (1, 5), 1)
+        q.add(9, PROMISE, (1, 9), 1)
+        q.enforce_invariant(leader=9, largest=None)
+        assert q.total_count(5, PROMISE, (1, 5)) == 0
+        assert q.total_count(9, PROMISE, (1, 9)) == 1
+
+    def test_stale_numbers_dropped(self):
+        q = ResponseQueue()
+        q.add(9, PROMISE, (1, 9), 1)
+        q.add(9, PROMISE, (3, 9), 1)
+        q.enforce_invariant(leader=9, largest=(3, 9))
+        assert q.total_count(9, PROMISE, (1, 9)) == 0
+        assert q.total_count(9, PROMISE, (3, 9)) == 1
+
+
+class TestResponseQueueRouting:
+    def test_pop_resolves_parent_at_send_time(self):
+        q = ResponseQueue()
+        q.add(5, PROMISE, (1, 5), 2)
+        part = q.pop_route(lambda proposer: 42)
+        assert part.dest == 42
+        assert part.proposer == 5
+        assert len(q) == 0
+
+    def test_unroutable_entries_stay_queued(self):
+        q = ResponseQueue()
+        q.add(5, PROMISE, (1, 5), 1)
+        assert q.pop_route(lambda proposer: None) is None
+        assert len(q) == 1
+
+    def test_pop_skips_unroutable_finds_routable(self):
+        q = ResponseQueue(aggregation=False)
+        q.add(5, PROMISE, (1, 5), 1)
+        q.add(7, PROMISE, (1, 7), 1)
+        part = q.pop_route(lambda p: 3 if p == 7 else None)
+        assert part.proposer == 7
+        assert len(q) == 1
+
+    def test_empty_pop(self):
+        assert ResponseQueue().pop_route(lambda p: 1) is None

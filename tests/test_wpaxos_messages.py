@@ -1,0 +1,85 @@
+"""Unit tests for the wPAXOS message vocabulary."""
+
+import pytest
+
+from repro.core.wpaxos.messages import (ACCEPTED, ChangePart,
+                                        DecidePart, LeaderPart, PREPARE,
+                                        PROMISE, PROPOSE,
+                                        ProposerPart, REJECT_PREPARE,
+                                        ResponsePart, SearchPart,
+                                        WMessage, proposition_key)
+
+
+class TestFootprints:
+    def test_part_footprints(self):
+        assert LeaderPart(3).id_footprint() == 1
+        assert ChangePart((1.0, 3)).id_footprint() == 1
+        assert SearchPart(1, 2, 3).id_footprint() == 2
+        assert ProposerPart(PREPARE, (1, 2)).id_footprint() == 1
+        assert DecidePart(0).id_footprint() == 0
+
+    def test_response_footprint_scales_with_content(self):
+        base = ResponsePart(dest=1, proposer=2, kind=PROMISE,
+                            number=(1, 2), count=3)
+        assert base.id_footprint() == 3
+        with_prior = ResponsePart(dest=1, proposer=2, kind=PROMISE,
+                                  number=(1, 2), count=3,
+                                  prior=((0, 1), 0))
+        assert with_prior.id_footprint() == 4
+        with_both = ResponsePart(dest=1, proposer=2,
+                                 kind=REJECT_PREPARE, number=(1, 2),
+                                 count=1, prior=((0, 1), 0),
+                                 committed=(5, 5))
+        assert with_both.id_footprint() == 5
+
+    def test_composite_sums_parts(self):
+        msg = WMessage(parts=(LeaderPart(3), SearchPart(1, 2, 3),
+                              DecidePart(1)))
+        assert msg.id_footprint() == 3
+        assert len(list(msg)) == 3
+
+
+class TestValidation:
+    def test_propose_requires_value(self):
+        with pytest.raises(ValueError):
+            ProposerPart(PROPOSE, (1, 2))
+
+    def test_prepare_carries_no_value(self):
+        part = ProposerPart(PREPARE, (1, 2))
+        assert part.value is None
+
+    def test_bad_kinds_rejected(self):
+        with pytest.raises(ValueError):
+            ProposerPart("request", (1, 2))
+        with pytest.raises(ValueError):
+            ResponsePart(dest=1, proposer=2, kind="maybe",
+                         number=(1, 2), count=1)
+
+    def test_nonpositive_count_rejected(self):
+        with pytest.raises(ValueError):
+            ResponsePart(dest=1, proposer=2, kind=PROMISE,
+                         number=(1, 2), count=0)
+
+
+class TestPropositionKeys:
+    def test_prepare_family(self):
+        key = proposition_key(9, PROMISE, (1, 9))
+        assert key == (9, PREPARE, (1, 9))
+        assert proposition_key(9, REJECT_PREPARE, (1, 9)) == key
+        assert proposition_key(9, PREPARE, (1, 9)) == key
+
+    def test_propose_family(self):
+        key = proposition_key(9, ACCEPTED, (1, 9))
+        assert key == (9, PROPOSE, (1, 9))
+        assert proposition_key(9, PROPOSE, (1, 9)) == key
+
+    def test_families_distinct(self):
+        assert (proposition_key(9, PROMISE, (1, 9))
+                != proposition_key(9, ACCEPTED, (1, 9)))
+
+
+class TestProposalNumberOrdering:
+    def test_lexicographic(self):
+        assert (2, 1) > (1, 9)
+        assert (1, 9) > (1, 5)
+        assert max([(1, 3), (2, 1), (1, 9)]) == (2, 1)

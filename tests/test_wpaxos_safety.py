@@ -1,0 +1,76 @@
+"""Property-based safety tests for wPAXOS.
+
+Hypothesis drives randomized topologies, input vectors, id
+assignments and scheduler seeds; every run must satisfy agreement,
+validity, termination, the MAC model contract and Lemma 4.2's
+conservation invariant. This is the closest executable analogue of
+the paper's safety proof obligations.
+"""
+
+from hypothesis import HealthCheck, given, settings, strategies as st
+
+from tests.helpers import run_and_check
+from repro.core.wpaxos import SafetyMonitor, WPaxosConfig, WPaxosNode
+from repro.macsim.schedulers import (RandomDelayScheduler,
+                                     SynchronousScheduler)
+from repro.topology import random_connected
+
+SETTINGS = dict(max_examples=25, deadline=None,
+                suppress_health_check=[HealthCheck.too_slow])
+
+
+def build(graph, values, ids, scheduler, config):
+    factory = lambda v, val: WPaxosNode(ids[v], val, graph.n, config)
+    return run_and_check(graph, factory, scheduler,
+                         initial_values=values)
+
+
+@given(n=st.integers(2, 14),
+       topo_seed=st.integers(0, 10 ** 6),
+       sched_seed=st.integers(0, 10 ** 6),
+       data=st.data())
+@settings(**SETTINGS)
+def test_consensus_and_conservation_random_everything(
+        n, topo_seed, sched_seed, data):
+    graph = random_connected(n, 0.15, seed=topo_seed)
+    values = {v: data.draw(st.integers(0, 1), label=f"value[{v}]")
+              for v in graph.nodes}
+    # Random permutation of ids: leader may be anywhere.
+    perm = data.draw(st.permutations(range(1, n + 1)), label="ids")
+    ids = {v: perm[i] for i, v in enumerate(graph.nodes)}
+    monitor = SafetyMonitor()
+    config = WPaxosConfig(monitor=monitor)
+    scheduler = RandomDelayScheduler(1.0, seed=sched_seed)
+    _, report = build(graph, values, ids, scheduler, config)
+    assert report.ok
+    assert monitor.conservation_holds()
+
+
+@given(n=st.integers(2, 12), topo_seed=st.integers(0, 10 ** 6),
+       aggregation=st.booleans(), priority=st.booleans())
+@settings(**SETTINGS)
+def test_ablated_variants_remain_safe(n, topo_seed, aggregation,
+                                      priority):
+    graph = random_connected(n, 0.2, seed=topo_seed)
+    values = {v: i % 2 for i, v in enumerate(graph.nodes)}
+    ids = {v: i + 1 for i, v in enumerate(graph.nodes)}
+    monitor = SafetyMonitor()
+    config = WPaxosConfig(aggregation=aggregation,
+                          tree_priority=priority, monitor=monitor)
+    _, report = build(graph, values, ids, SynchronousScheduler(1.0),
+                      config)
+    assert report.ok
+    assert monitor.conservation_holds()
+
+
+@given(n=st.integers(2, 10), sched_seed=st.integers(0, 10 ** 6),
+       policy=st.sampled_from(["paper", "learned"]))
+@settings(**SETTINGS)
+def test_retry_policies_remain_safe(n, sched_seed, policy):
+    graph = random_connected(n, 0.25, seed=n * 31 + 7)
+    values = {v: (i * 7) % 2 for i, v in enumerate(graph.nodes)}
+    ids = {v: i + 1 for i, v in enumerate(graph.nodes)}
+    config = WPaxosConfig(retry_policy=policy)
+    scheduler = RandomDelayScheduler(1.0, seed=sched_seed)
+    _, report = build(graph, values, ids, scheduler, config)
+    assert report.ok

@@ -1,0 +1,157 @@
+"""Unit tests for the wPAXOS support services (Algorithms 2-4)."""
+
+from repro.core.wpaxos.messages import (ChangePart, LeaderPart,
+                                        SearchPart)
+from repro.core.wpaxos.services import (ChangeService,
+                                        LeaderElectionService,
+                                        TreeService)
+
+
+class TestLeaderElection:
+    def setup_method(self):
+        self.changes = []
+        self.svc = LeaderElectionService(
+            5, on_leader_change=lambda old, new: self.changes.append(
+                (old, new)))
+
+    def test_initial_leader_is_self(self):
+        assert self.svc.leader == 5
+        assert self.svc.pop() == LeaderPart(leader=5)
+
+    def test_larger_id_takes_over(self):
+        self.svc.on_receive(LeaderPart(leader=9))
+        assert self.svc.leader == 9
+        assert self.changes == [(5, 9)]
+        assert self.svc.pop() == LeaderPart(leader=9)
+
+    def test_smaller_id_ignored(self):
+        self.svc.on_receive(LeaderPart(leader=3))
+        assert self.svc.leader == 5
+        assert self.changes == []
+
+    def test_queue_keeps_only_freshest(self):
+        self.svc.on_receive(LeaderPart(leader=7))
+        self.svc.on_receive(LeaderPart(leader=9))
+        assert self.svc.pop() == LeaderPart(leader=9)
+        assert self.svc.pop() is None
+        assert not self.svc.has_pending()
+
+    def test_monotone_nondecreasing(self):
+        for lid in (8, 6, 9, 2, 9):
+            self.svc.on_receive(LeaderPart(leader=lid))
+        assert self.svc.leader == 9
+        assert [new for _, new in self.changes] == [8, 9]
+
+
+class TestChangeService:
+    def setup_method(self):
+        self.clock = [0.0]
+        self.is_leader = [True]
+        self.generated = [0]
+        self.svc = ChangeService(
+            3, clock=lambda: self.clock[0],
+            is_leader=lambda: self.is_leader[0],
+            generate_proposal=lambda: self.generated.__setitem__(
+                0, self.generated[0] + 1))
+
+    def test_local_change_stamps_and_queues(self):
+        self.clock[0] = 2.5
+        self.svc.on_local_change()
+        part = self.svc.pop()
+        assert part.stamp == (2.5, 3)
+        assert self.generated[0] == 1
+
+    def test_duplicate_stamp_ignored(self):
+        self.svc.on_local_change()
+        self.svc.on_local_change()  # same clock, same id
+        assert self.generated[0] == 1
+
+    def test_fresher_remote_stamp_accepted(self):
+        self.svc.on_receive(ChangePart(stamp=(1.0, 9)))
+        assert self.svc.last_change == (1.0, 9)
+        assert self.generated[0] == 1
+
+    def test_stale_remote_stamp_dropped(self):
+        self.svc.on_receive(ChangePart(stamp=(5.0, 1)))
+        self.svc.on_receive(ChangePart(stamp=(2.0, 9)))
+        assert self.svc.last_change == (5.0, 1)
+        assert self.generated[0] == 1
+
+    def test_id_breaks_timestamp_ties(self):
+        self.svc.on_receive(ChangePart(stamp=(1.0, 2)))
+        self.svc.on_receive(ChangePart(stamp=(1.0, 4)))
+        assert self.svc.last_change == (1.0, 4)
+
+    def test_non_leader_does_not_generate(self):
+        self.is_leader[0] = False
+        self.svc.on_local_change()
+        assert self.generated[0] == 0
+
+    def test_queue_keeps_only_freshest(self):
+        self.svc.on_receive(ChangePart(stamp=(1.0, 9)))
+        self.svc.on_receive(ChangePart(stamp=(2.0, 9)))
+        assert self.svc.pop().stamp == (2.0, 9)
+        assert self.svc.pop() is None
+
+
+class TestTreeService:
+    def setup_method(self):
+        self.leader = [10]
+        self.tree_changes = []
+        self.svc = TreeService(
+            1, current_leader=lambda: self.leader[0],
+            on_tree_change=self.tree_changes.append,
+            prioritize_leader=True)
+
+    def test_initialization(self):
+        assert self.svc.dist[1] == 0
+        assert self.svc.parent[1] == 1
+        first = self.svc.pop()
+        assert first == SearchPart(root=1, hops=1, sender=1)
+
+    def test_improvement_updates_and_requeues(self):
+        self.svc.pop()  # drain own search
+        self.svc.on_receive(SearchPart(root=7, hops=2, sender=4))
+        assert self.svc.dist[7] == 2
+        assert self.svc.parent[7] == 4
+        assert self.tree_changes == [7]
+        queued = self.svc.pop()
+        assert queued == SearchPart(root=7, hops=3, sender=1)
+
+    def test_worse_hop_count_ignored(self):
+        self.svc.on_receive(SearchPart(root=7, hops=2, sender=4))
+        self.svc.on_receive(SearchPart(root=7, hops=5, sender=9))
+        assert self.svc.dist[7] == 2
+        assert self.svc.parent[7] == 4
+
+    def test_better_hop_count_replaces_queued(self):
+        self.svc.pop()
+        self.svc.on_receive(SearchPart(root=7, hops=4, sender=4))
+        self.svc.on_receive(SearchPart(root=7, hops=2, sender=5))
+        queued = self.svc.pop()
+        assert queued.hops == 3  # from the improvement to dist 2
+        assert self.svc.pop() is None  # stale hops-5 rebroadcast gone
+
+    def test_leader_messages_jump_the_queue(self):
+        self.svc.pop()
+        self.svc.on_receive(SearchPart(root=3, hops=1, sender=3))
+        self.svc.on_receive(SearchPart(root=10, hops=1, sender=10))
+        assert self.svc.pop().root == 10  # leader first
+        assert self.svc.pop().root == 3
+
+    def test_no_priority_when_disabled(self):
+        svc = TreeService(1, current_leader=lambda: 10,
+                          on_tree_change=lambda r: None,
+                          prioritize_leader=False)
+        svc.pop()
+        svc.on_receive(SearchPart(root=3, hops=1, sender=3))
+        svc.on_receive(SearchPart(root=10, hops=1, sender=10))
+        assert svc.pop().root == 3  # FIFO
+
+    def test_distance_to_unknown_root(self):
+        assert self.svc.distance_to(42) is None
+        assert self.svc.distance_to(1) == 0
+
+    def test_pending_roots(self):
+        self.svc.on_receive(SearchPart(root=7, hops=2, sender=4))
+        assert set(self.svc.pending_roots()) == {1, 7}
