@@ -1,0 +1,1 @@
+"""Benchmark suite (pytest-benchmark tests + the perf_report harness)."""

@@ -13,15 +13,22 @@ from __future__ import annotations
 
 from repro.analysis.runner import alternating_values
 from repro.macsim import build_simulation, check_consensus
+from repro.macsim.trace import TraceLevel
 
 
 def run_consensus_once(graph, factory, scheduler, *,
                        initial_values=None, expect_correct=True,
-                       max_events=20_000_000):
-    """One complete consensus execution; returns last decision time."""
+                       max_events=20_000_000,
+                       trace_level=TraceLevel.FULL):
+    """One complete consensus execution; returns last decision time.
+
+    ``trace_level=TraceLevel.DECISIONS`` runs the engine's counts-only
+    fast path; correctness is still asserted (consensus checking needs
+    only decide/crash records, which every level materializes).
+    """
     values = initial_values or alternating_values(graph)
     sim = build_simulation(graph, lambda v: factory(v, values[v]),
-                           scheduler)
+                           scheduler, trace_level=trace_level)
     result = sim.run(max_events=max_events)
     if expect_correct:
         report = check_consensus(result.trace, values)

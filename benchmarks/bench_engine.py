@@ -1,0 +1,196 @@
+"""Engine microbenchmarks: event throughput, fan-out, trace queries.
+
+Unlike the per-experiment benchmarks (bench_e1..e11), these isolate the
+discrete-event substrate itself -- the layer PR 1's fast path targets:
+
+* ``run_event_queue`` -- raw push/pop throughput of the heap;
+* ``run_broadcast_fanout`` -- a clique echo flood, stressing
+  ``mac_broadcast`` scheduling and delivery dispatch;
+* ``run_trace_queries`` -- repeated metric queries over a large trace
+  (O(full scan) in the seed engine, O(answer) with indexes);
+* ``run_wpaxos_clique`` -- the acceptance workload: a full wPAXOS
+  consensus execution on a clique, reported as events/second.
+
+Each ``run_*`` function executes one measured unit and returns the
+work count, so :mod:`benchmarks.perf_report` can time them without
+pytest. The ``test_*`` wrappers expose the same workloads under
+pytest-benchmark (``pytest benchmarks/ --benchmark-only``).
+
+The module runs against both the current engine and the seed engine
+(``perf_report --seed-tree``): everything newer than the seed API is
+imported defensively.
+"""
+
+from __future__ import annotations
+
+from repro.macsim import Process, build_simulation
+from repro.macsim.events import DELIVER_PRIORITY, EventQueue
+from repro.macsim.schedulers import SynchronousScheduler
+from repro.macsim.trace import Trace
+from repro.topology import clique
+
+try:  # engine >= PR 1
+    from repro.macsim.trace import TraceLevel
+except ImportError:  # seed engine
+    TraceLevel = None
+
+try:  # analysis >= PR 1
+    from repro.analysis import parallel_sweep
+except ImportError:  # seed engine
+    parallel_sweep = None
+from repro.analysis import sweep
+
+try:
+    from repro.core.wpaxos import WPaxosConfig, WPaxosNode
+except ImportError:  # pragma: no cover - wpaxos is part of the seed
+    WPaxosConfig = WPaxosNode = None
+
+
+# ----------------------------------------------------------------------
+# Workloads
+# ----------------------------------------------------------------------
+def run_event_queue(n: int = 100_000) -> int:
+    """Push ``n`` events, pop them all; returns ops performed (2n)."""
+    queue = EventQueue()
+    push = queue.push
+    for i in range(n):
+        push(float(i % 97), DELIVER_PRIORITY, "deliver", node=i)
+    pop = queue.pop
+    while pop() is not None:
+        pass
+    return 2 * n
+
+
+class _EchoProcess(Process):
+    """Broadcasts ``count`` messages back-to-back (ack-driven)."""
+
+    def __init__(self, uid, count: int = 5):
+        super().__init__(uid=uid, initial_value=0)
+        self.count = count
+        self.sent = 0
+
+    def on_start(self):
+        self._next()
+
+    def on_ack(self):
+        self._next()
+
+    def _next(self):
+        if self.sent < self.count:
+            self.sent += 1
+            self.broadcast(("m", self.uid, self.sent))
+
+
+def run_broadcast_fanout(n_nodes: int = 48, rounds: int = 5) -> int:
+    """Echo flood on a clique; returns events processed."""
+    graph = clique(n_nodes)
+    sim = build_simulation(graph, lambda v: _EchoProcess(v, rounds),
+                           SynchronousScheduler(1.0))
+    return sim.run().events_processed
+
+
+def build_query_trace(records: int = 50_000) -> Trace:
+    """A synthetic mixed-kind trace for the query benchmark."""
+    trace = Trace()
+    kinds = ("broadcast", "deliver", "deliver", "ack", "decide")
+    for i in range(records):
+        trace.record(float(i), kinds[i % 5], i % 64,
+                     broadcast_id=i // 5, payload=i % 2)
+    return trace
+
+
+def run_trace_queries(trace: Trace, iterations: int = 100) -> int:
+    """Metric-style query sweeps over ``trace``; returns query count."""
+    for _ in range(iterations):
+        trace.decisions()
+        trace.decision_times()
+        trace.of_kind("deliver")
+        trace.broadcast_count()
+        trace.delivery_count()
+    return 5 * iterations
+
+
+def run_wpaxos_clique(n: int = 32, trace_level=None) -> int:
+    """Full wPAXOS consensus on clique(n); returns events processed.
+
+    ``trace_level`` is forwarded when the engine supports it (PR 1+);
+    ``None`` means the engine default (full trace) everywhere.
+    """
+    graph = clique(n)
+    uid = {v: i + 1 for i, v in enumerate(graph.nodes)}
+    kwargs = {}
+    if trace_level is not None:
+        kwargs["trace_level"] = trace_level
+    sim = build_simulation(
+        graph,
+        lambda v: WPaxosNode(uid[v], graph.index_of(v) % 2, graph.n,
+                             WPaxosConfig()),
+        SynchronousScheduler(1.0), **kwargs)
+    result = sim.run()
+    assert result.stop_reason in ("all_decided", "quiescent_all_decided")
+    return result.events_processed
+
+
+SWEEP_SIZES = (16, 24, 32, 40)
+
+
+def _sweep_point_build(n):
+    graph = clique(int(n))
+    uid = {v: i + 1 for i, v in enumerate(graph.nodes)}
+    return dict(
+        graph=graph, scheduler=SynchronousScheduler(1.0),
+        factory=lambda v, val: WPaxosNode(uid[v], val, graph.n,
+                                          WPaxosConfig()),
+        topology=f"clique({int(n)})")
+
+
+def run_sweep_sequential(sizes=SWEEP_SIZES) -> int:
+    """An E2-style wPAXOS clique sweep, sequentially (works on seed)."""
+    result = sweep("bench-sweep", sizes, _sweep_point_build)
+    assert result.all_correct()
+    return len(result.points)
+
+
+def run_sweep_parallel(sizes=SWEEP_SIZES) -> int:
+    """The same sweep through parallel_sweep + decisions-level traces."""
+    result = parallel_sweep("bench-sweep", sizes, _sweep_point_build,
+                            trace_level=TraceLevel.DECISIONS)
+    assert result.all_correct()
+    return len(result.points)
+
+
+# ----------------------------------------------------------------------
+# pytest-benchmark wrappers
+# ----------------------------------------------------------------------
+def test_event_queue_throughput(benchmark):
+    assert benchmark(run_event_queue, 20_000) == 40_000
+
+
+def test_broadcast_fanout(benchmark):
+    events = benchmark(run_broadcast_fanout, 24, 5)
+    assert events > 0
+
+
+def test_trace_queries(benchmark):
+    trace = build_query_trace(10_000)
+    assert benchmark(run_trace_queries, trace, 20) == 100
+
+
+def test_wpaxos_clique32_events(benchmark):
+    events = benchmark(run_wpaxos_clique, 32)
+    assert events > 0
+
+
+def test_wpaxos_clique32_events_decisions_level(benchmark):
+    if TraceLevel is None:
+        import pytest
+        pytest.skip("engine predates TraceLevel")
+    events = benchmark(run_wpaxos_clique, 32, TraceLevel.DECISIONS)
+    assert events > 0
+
+
+def test_parallel_sweep_e2_style(benchmark):
+    if parallel_sweep is None:
+        import pytest
+        pytest.skip("engine predates parallel_sweep")
+    assert benchmark(run_sweep_parallel, (8, 12)) == 2

@@ -3,7 +3,7 @@
 from .metrics import RunMetrics, collect_metrics
 from .runner import (alternating_values, run_consensus, split_values)
 from .stats import correlation, growth_ratio, linear_fit, mean, stdev
-from .sweeps import SweepPoint, SweepResult, sweep
+from .sweeps import SweepPoint, SweepResult, parallel_sweep, sweep
 from .tables import format_markdown_table, format_table
 from .export import (load_trace, save_trace, trace_from_json,
                      trace_to_json, trace_to_records)
@@ -22,6 +22,7 @@ __all__ = [
     "format_table",
     "format_markdown_table",
     "sweep",
+    "parallel_sweep",
     "SweepResult",
     "SweepPoint",
     "save_trace",

@@ -6,7 +6,6 @@ from dataclasses import dataclass
 from typing import Any, Dict, Optional
 
 from ..macsim import RunResult, check_consensus
-from ..macsim.trace import Trace
 
 
 @dataclass
@@ -53,7 +52,7 @@ def collect_metrics(*, algorithm: str, topology: str, graph,
     report = check_consensus(result.trace, initial_values)
     trace = result.trace
     times = trace.decision_times()
-    per_node = _broadcasts_per_node(trace)
+    per_node = trace.broadcasts_per_node()
     return RunMetrics(
         algorithm=algorithm,
         topology=topology,
@@ -72,11 +71,3 @@ def collect_metrics(*, algorithm: str, topology: str, graph,
         events=result.events_processed,
         stop_reason=result.stop_reason,
     )
-
-
-def _broadcasts_per_node(trace: Trace) -> Dict[Any, int]:
-    counts: Dict[Any, int] = {}
-    for record in trace:
-        if record.kind == "broadcast":
-            counts[record.node] = counts.get(record.node, 0) + 1
-    return counts

@@ -7,6 +7,7 @@ from typing import Any, Callable, Dict, Optional
 from ..macsim import build_simulation
 from ..macsim.errors import ModelViolationError
 from ..macsim.invariants import check_model_invariants
+from ..macsim.trace import TraceLevel
 from .metrics import RunMetrics, collect_metrics
 
 #: Factory signature: (label, initial value) -> process.
@@ -30,18 +31,28 @@ def run_consensus(*, algorithm: str, topology: str, graph, scheduler,
                   initial_values: Optional[Dict[Any, int]] = None,
                   max_events: int = 20_000_000,
                   max_time: Optional[float] = None,
-                  check_invariants: bool = True) -> RunMetrics:
+                  check_invariants: bool = True,
+                  trace_level: "TraceLevel | str" = TraceLevel.FULL
+                  ) -> RunMetrics:
     """Run one consensus execution and return its metrics.
 
     ``factory(label, value)`` builds the process for each node. Model
     invariants are verified on the trace unless disabled (they are
     O(trace) and cheap at experiment sizes).
+
+    ``trace_level`` selects how much of the execution is materialized
+    (see :class:`~repro.macsim.trace.TraceLevel`). Model-invariant
+    replay needs a full trace, so invariant checking is skipped
+    automatically below ``TraceLevel.FULL``; consensus checking and
+    all metrics still work (they use the decision/crash records and
+    the exact occurrence counters).
     """
     values = initial_values or alternating_values(graph)
+    level = TraceLevel.coerce(trace_level)
     sim = build_simulation(graph, lambda v: factory(v, values[v]),
-                           scheduler)
+                           scheduler, trace_level=level)
     result = sim.run(max_events=max_events, max_time=max_time)
-    if check_invariants:
+    if check_invariants and level is TraceLevel.FULL:
         report = check_model_invariants(graph, result.trace,
                                         scheduler.f_ack)
         if not report.ok:

@@ -4,19 +4,38 @@ Thin declarative layer over :func:`repro.analysis.runner.run_consensus`
 for producing the (x, y) series the experiments fit lines through.
 Keeping sweeps in one place makes the E-drivers short and gives users
 a ready-made tool for their own measurements.
+
+Two runners share one point-execution helper:
+
+* :func:`sweep` -- sequential, one consensus execution per ``x``.
+* :func:`parallel_sweep` -- same contract and *identical results*, but
+  sweep points fan out over ``multiprocessing`` workers. Results come
+  back in the order of ``xs`` regardless of worker completion order,
+  and each point is itself deterministic (fixed scheduler/seed), so a
+  parallel sweep is byte-for-byte equivalent to the sequential one.
+
+``parallel_sweep`` uses the ``fork`` start method so the (typically
+unpicklable) ``build`` closures never cross a process boundary: workers
+inherit them via fork and receive only point indexes; only the
+:class:`SweepPoint` results (plain dataclasses of floats/strings) are
+pickled back. On platforms without ``fork``, or inside daemon workers,
+it transparently degrades to the sequential path.
 """
 
 from __future__ import annotations
 
+import multiprocessing
+import os
 from dataclasses import dataclass, field
 from typing import Any, Callable, Dict, List, Optional, Sequence
 
+from ..macsim.trace import TraceLevel
 from .metrics import RunMetrics
 from .runner import ProcessFactory, run_consensus
 from .stats import linear_fit
 
 
-@dataclass
+@dataclass(slots=True)
 class SweepPoint:
     """One measured point of a sweep."""
 
@@ -51,10 +70,29 @@ class SweepResult:
                  getattr(p.metrics, attribute)] for p in self.points]
 
 
+def _run_point(name: str, x: float,
+               build: Callable[[float], Dict[str, Any]],
+               max_events: int, max_time: Optional[float],
+               trace_level: "TraceLevel | str") -> SweepPoint:
+    """Execute one sweep point; shared by both runners."""
+    spec = dict(build(x))
+    graph = spec.pop("graph")
+    scheduler = spec.pop("scheduler")
+    factory: ProcessFactory = spec.pop("factory")
+    topology = spec.pop("topology", f"{name}@{x}")
+    metrics = run_consensus(
+        algorithm=name, topology=topology, graph=graph,
+        scheduler=scheduler, factory=factory,
+        max_events=max_events, max_time=max_time,
+        trace_level=trace_level, **spec)
+    return SweepPoint(x=float(x), metrics=metrics)
+
+
 def sweep(name: str, xs: Sequence[float],
           build: Callable[[float], Dict[str, Any]],
           *, max_events: int = 20_000_000,
-          max_time: Optional[float] = None) -> SweepResult:
+          max_time: Optional[float] = None,
+          trace_level: "TraceLevel | str" = TraceLevel.FULL) -> SweepResult:
     """Run one consensus execution per ``x`` and collect metrics.
 
     ``build(x)`` returns the keyword arguments for
@@ -74,14 +112,61 @@ def sweep(name: str, xs: Sequence[float],
     """
     result = SweepResult(name=name)
     for x in xs:
-        spec = dict(build(x))
-        graph = spec.pop("graph")
-        scheduler = spec.pop("scheduler")
-        factory: ProcessFactory = spec.pop("factory")
-        topology = spec.pop("topology", f"{name}@{x}")
-        metrics = run_consensus(
-            algorithm=name, topology=topology, graph=graph,
-            scheduler=scheduler, factory=factory,
-            max_events=max_events, max_time=max_time, **spec)
-        result.points.append(SweepPoint(x=float(x), metrics=metrics))
+        result.points.append(_run_point(name, x, build, max_events,
+                                        max_time, trace_level))
     return result
+
+
+# Sweep specification the forked workers inherit; indexed by
+# _sweep_worker. Only valid between fork and pool teardown.
+_FORK_STATE: Optional[tuple] = None
+
+
+def _sweep_worker(index: int) -> SweepPoint:
+    name, xs, build, max_events, max_time, trace_level = _FORK_STATE
+    return _run_point(name, xs[index], build, max_events, max_time,
+                      trace_level)
+
+
+def default_workers() -> int:
+    """Worker count for :func:`parallel_sweep` (half the cores, >=1)."""
+    return max(1, (os.cpu_count() or 2) // 2)
+
+
+def parallel_sweep(name: str, xs: Sequence[float],
+                   build: Callable[[float], Dict[str, Any]],
+                   *, max_events: int = 20_000_000,
+                   max_time: Optional[float] = None,
+                   trace_level: "TraceLevel | str" = TraceLevel.FULL,
+                   workers: Optional[int] = None) -> SweepResult:
+    """Like :func:`sweep`, but fan sweep points out over processes.
+
+    Results are deterministic and identical to :func:`sweep`: points
+    are returned in ``xs`` order (``Pool.map`` preserves input order)
+    and each point's execution is fully determined by its scheduler
+    and seed. Falls back to the sequential path when parallelism is
+    unavailable (no ``fork``; nested inside a daemon worker) or not
+    worth it (fewer than two points, ``workers=1``).
+    """
+    global _FORK_STATE
+    xs = list(xs)
+    if workers is None:
+        workers = min(default_workers(), len(xs))
+    use_parallel = (
+        len(xs) > 1
+        and workers > 1
+        and "fork" in multiprocessing.get_all_start_methods()
+        and not multiprocessing.current_process().daemon
+    )
+    if not use_parallel:
+        return sweep(name, xs, build, max_events=max_events,
+                     max_time=max_time, trace_level=trace_level)
+
+    context = multiprocessing.get_context("fork")
+    _FORK_STATE = (name, xs, build, max_events, max_time, trace_level)
+    try:
+        with context.Pool(processes=min(workers, len(xs))) as pool:
+            points = pool.map(_sweep_worker, range(len(xs)))
+    finally:
+        _FORK_STATE = None
+    return SweepResult(name=name, points=points)

@@ -90,6 +90,17 @@ class WPaxosNode(ConsensusProcess):
         self._last_change_state = None
         self._decide_flooded = False
 
+        # Exact-type dispatch for the receive hot path; unknown or
+        # subclassed parts fall back to the isinstance chain.
+        self._part_handlers = {
+            LeaderPart: self.leader_svc.on_receive,
+            ChangePart: self.change_svc.on_receive,
+            SearchPart: self.tree_svc.on_receive,
+            ProposerPart: self._handle_proposer_part,
+            ResponsePart: self._handle_response_part,
+            DecidePart: self._handle_decide_part,
+        }
+
     # ------------------------------------------------------------------
     # Process handlers
     # ------------------------------------------------------------------
@@ -101,23 +112,39 @@ class WPaxosNode(ConsensusProcess):
         self._pump()
 
     def on_receive(self, message: Any) -> None:
-        if not isinstance(message, WMessage):
+        if (message.__class__ is not WMessage
+                and not isinstance(message, WMessage)):
             return
-        for part in message:
-            if isinstance(part, LeaderPart):
-                self.leader_svc.on_receive(part)
-            elif isinstance(part, ChangePart):
-                self.change_svc.on_receive(part)
-            elif isinstance(part, SearchPart):
-                self.tree_svc.on_receive(part)
-            elif isinstance(part, ProposerPart):
-                self._handle_proposer_part(part)
-            elif isinstance(part, ResponsePart):
-                self._handle_response_part(part)
-            elif isinstance(part, DecidePart):
-                self._handle_decide_part(part)
-        self._note_possible_change()
+        handlers = self._part_handlers
+        for part in message.parts:
+            handler = handlers.get(part.__class__)
+            if handler is not None:
+                handler(part)
+            else:
+                self._handle_part_fallback(part)
+        # Inlined body of _note_possible_change (receive hot path);
+        # keep in sync with that method.
+        leader = self.leader_svc.leader
+        state = (leader, self.tree_svc.dist.get(leader))
+        if state != self._last_change_state:
+            self._last_change_state = state
+            self.change_svc.on_local_change()
         self._pump()
+
+    def _handle_part_fallback(self, part: Any) -> None:
+        """isinstance-based dispatch for subclassed message parts."""
+        if isinstance(part, LeaderPart):
+            self.leader_svc.on_receive(part)
+        elif isinstance(part, ChangePart):
+            self.change_svc.on_receive(part)
+        elif isinstance(part, SearchPart):
+            self.tree_svc.on_receive(part)
+        elif isinstance(part, ProposerPart):
+            self._handle_proposer_part(part)
+        elif isinstance(part, ResponsePart):
+            self._handle_response_part(part)
+        elif isinstance(part, DecidePart):
+            self._handle_decide_part(part)
 
     def on_ack(self) -> None:
         self._pump()
@@ -137,9 +164,13 @@ class WPaxosNode(ConsensusProcess):
         self._note_possible_change()
 
     def _note_possible_change(self, force: bool = False) -> None:
-        """Fire the change service when (leader, dist-to-leader) moves."""
+        """Fire the change service when (leader, dist-to-leader) moves.
+
+        The ``force=False`` body is duplicated inline at the end of
+        :meth:`on_receive` (the hot path); keep the two in sync.
+        """
         leader = self.leader_svc.leader
-        state = (leader, self.tree_svc.distance_to(leader))
+        state = (leader, self.tree_svc.dist.get(leader))
         if force or state != self._last_change_state:
             self._last_change_state = state
             self.change_svc.on_local_change()
@@ -244,7 +275,9 @@ class WPaxosNode(ConsensusProcess):
     # Broadcast service (Algorithm 5)
     # ------------------------------------------------------------------
     def _pump(self) -> None:
-        if self.crashed or self.ack_pending:
+        # _mac_pending is the engine-maintained mirror behind the
+        # ack_pending property; read it directly in this hot path.
+        if self.crashed or self._mac_pending:
             return
         parts: List[object] = []
         if self.decide_queue:

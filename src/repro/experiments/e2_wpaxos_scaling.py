@@ -14,7 +14,7 @@ invariants (the runner checks them on every trace).
 
 from __future__ import annotations
 
-from ..analysis import linear_fit, run_consensus
+from ..analysis import linear_fit, parallel_sweep, run_consensus
 from ..core.wpaxos import WPaxosConfig, WPaxosNode
 from ..macsim.schedulers import (RandomDelayScheduler,
                                  SynchronousScheduler)
@@ -47,16 +47,19 @@ def run(*, line_diameters=LINE_DIAMETERS, clique_sizes=CLIQUE_SIZES,
                  "decision time", "time/(D*F_ack)"],
     )
 
-    # --- time vs D on lines -------------------------------------------
+    # --- time vs D on lines (parallel sweep) ---------------------------
+    def line_build(d):
+        graph = line(int(d) + 1)
+        return dict(graph=graph, scheduler=SynchronousScheduler(1.0),
+                    factory=_factory(graph),
+                    topology=f"line(D={int(d)})")
+
+    line_series = parallel_sweep("wpaxos", line_diameters, line_build)
     points = []
-    for d in line_diameters:
-        graph = line(d + 1)
-        metrics = run_consensus(
-            algorithm="wpaxos", topology=f"line(D={d})", graph=graph,
-            scheduler=SynchronousScheduler(1.0),
-            factory=_factory(graph))
+    for d, point in zip(line_diameters, line_series.points):
+        metrics = point.metrics
         points.append((d, metrics.last_decision))
-        report.add_row(f"line", graph.n, d, 1.0, metrics.correct,
+        report.add_row(f"line", metrics.n, d, 1.0, metrics.correct,
                        metrics.last_decision, metrics.time_per_diameter)
         if not metrics.correct:
             report.conclude(f"line D={d} failed", ok=False)
@@ -67,14 +70,17 @@ def run(*, line_diameters=LINE_DIAMETERS, clique_sizes=CLIQUE_SIZES,
         f"intercept={intercept:.2f} (claim: linear in D; constant "
         f"factor small)", ok=0.5 <= slope <= 12.0)
 
-    # --- time vs n at fixed D (cliques, D=1) ---------------------------
+    # --- time vs n at fixed D (cliques, D=1; parallel sweep) -----------
+    def clique_build(n):
+        graph = clique(int(n))
+        return dict(graph=graph, scheduler=SynchronousScheduler(1.0),
+                    factory=_factory(graph),
+                    topology=f"clique({int(n)})")
+
+    clique_series = parallel_sweep("wpaxos", clique_sizes, clique_build)
     clique_times = []
-    for n in clique_sizes:
-        graph = clique(n)
-        metrics = run_consensus(
-            algorithm="wpaxos", topology=f"clique({n})", graph=graph,
-            scheduler=SynchronousScheduler(1.0),
-            factory=_factory(graph))
+    for n, point in zip(clique_sizes, clique_series.points):
+        metrics = point.metrics
         clique_times.append((n, metrics.last_decision))
         report.add_row("clique", n, 1, 1.0, metrics.correct,
                        metrics.last_decision, metrics.time_per_diameter)
@@ -106,16 +112,18 @@ def run(*, line_diameters=LINE_DIAMETERS, clique_sizes=CLIQUE_SIZES,
         if not metrics.correct:
             report.conclude(f"random n={n} failed", ok=False)
 
-    # --- time vs F_ack --------------------------------------------------
-    f_points = []
-    for f_ack in f_sweep:
+    # --- time vs F_ack (parallel sweep) --------------------------------
+    def f_build(f_ack):
         graph = line(13)
-        metrics = run_consensus(
-            algorithm="wpaxos", topology="line(D=12)", graph=graph,
-            scheduler=SynchronousScheduler(f_ack),
-            factory=_factory(graph))
+        return dict(graph=graph, scheduler=SynchronousScheduler(f_ack),
+                    factory=_factory(graph), topology="line(D=12)")
+
+    f_series = parallel_sweep("wpaxos", f_sweep, f_build)
+    f_points = []
+    for f_ack, point in zip(f_sweep, f_series.points):
+        metrics = point.metrics
         f_points.append((f_ack, metrics.last_decision))
-        report.add_row("line", graph.n, 12, f_ack, metrics.correct,
+        report.add_row("line", metrics.n, 12, f_ack, metrics.correct,
                        metrics.last_decision, metrics.time_per_diameter)
     f_slope, _ = linear_fit([f for f, _ in f_points],
                             [t for _, t in f_points])

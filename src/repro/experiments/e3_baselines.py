@@ -13,7 +13,7 @@ records:
 
 from __future__ import annotations
 
-from ..analysis import growth_ratio, run_consensus
+from ..analysis import growth_ratio, parallel_sweep, run_consensus
 from ..core.baselines import GatherAllConsensus, PaxosFloodNode
 from ..core.wpaxos import WPaxosConfig, WPaxosNode
 from ..macsim.schedulers import SynchronousScheduler
@@ -21,6 +21,16 @@ from ..topology import star, star_of_cliques
 from .common import ExperimentReport
 
 ARM_SWEEP = ((4, 6), (6, 8), (8, 10), (10, 12))
+
+#: Per-algorithm process factories, given (graph, uid map, n).
+_ALGORITHMS = {
+    "wpaxos": lambda uid, n: (
+        lambda v, val: WPaxosNode(uid[v], val, n, WPaxosConfig())),
+    "flood-paxos": lambda uid, n: (
+        lambda v, val: PaxosFloodNode(uid[v], val, n)),
+    "gatherall": lambda uid, n: (
+        lambda v, val: GatherAllConsensus(uid[v], val, n)),
+}
 
 
 def run(*, arm_sweep=ARM_SWEEP) -> ExperimentReport:
@@ -34,23 +44,37 @@ def run(*, arm_sweep=ARM_SWEEP) -> ExperimentReport:
                  "decision time", "max bcasts/node"],
     )
 
+    # One parallel sweep per algorithm over the (arms, size) points;
+    # rows are then emitted in the original per-topology order. The
+    # graphs are built once up front: the build closures reference
+    # them and forked sweep workers inherit them, so neither the
+    # workers nor the row loop rebuild a topology.
+    graphs = [star_of_cliques(arms, size) for arms, size in arm_sweep]
+    diameters = [graph.diameter() for graph in graphs]
+
+    def make_build(algorithm_name):
+        def build(index):
+            arms, size = arm_sweep[int(index)]
+            graph = graphs[int(index)]
+            uid = {v: i + 1 for i, v in enumerate(graph.nodes)}
+            factory = _ALGORITHMS[algorithm_name](uid, graph.n)
+            return dict(graph=graph,
+                        scheduler=SynchronousScheduler(1.0),
+                        factory=factory,
+                        topology=f"star_of_cliques({arms},{size})")
+        return build
+
+    sweeps = {
+        name: parallel_sweep(name, range(len(arm_sweep)),
+                             make_build(name))
+        for name in _ALGORITHMS
+    }
     series: dict = {"wpaxos": [], "flood-paxos": [], "gatherall": []}
-    for arms, size in arm_sweep:
-        graph = star_of_cliques(arms, size)
-        n, diameter = graph.n, graph.diameter()
-        uid = {v: i + 1 for i, v in enumerate(graph.nodes)}
-        algorithms = {
-            "wpaxos": lambda v, val: WPaxosNode(
-                uid[v], val, n, WPaxosConfig()),
-            "flood-paxos": lambda v, val: PaxosFloodNode(uid[v], val, n),
-            "gatherall": lambda v, val: GatherAllConsensus(
-                uid[v], val, n),
-        }
-        for name, factory in algorithms.items():
-            metrics = run_consensus(
-                algorithm=name, topology=f"star_of_cliques({arms},"
-                f"{size})", graph=graph,
-                scheduler=SynchronousScheduler(1.0), factory=factory)
+    for index, (arms, size) in enumerate(arm_sweep):
+        diameter = diameters[index]
+        for name in _ALGORITHMS:
+            metrics = sweeps[name].points[index].metrics
+            n = metrics.n
             series[name].append((n, metrics.last_decision,
                                  metrics.max_broadcasts_per_node))
             report.add_row(f"soc({arms},{size})", n, diameter, name,

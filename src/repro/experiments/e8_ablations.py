@@ -17,7 +17,7 @@ measured:
 
 from __future__ import annotations
 
-from ..analysis import run_consensus
+from ..analysis import parallel_sweep, run_consensus
 from ..core.wpaxos import (RETRY_LEARNED, RETRY_PAPER, SafetyMonitor,
                            WPaxosConfig, WPaxosNode)
 from ..macsim.schedulers import SynchronousScheduler
@@ -34,6 +34,26 @@ def _run(graph, config: WPaxosConfig, label: str, topology: str):
                                           config))
 
 
+def _toggle_sweep(name: str, graph, topology: str, make_config):
+    """Run the (on, off) ablation pair as one parallel sweep.
+
+    ``x=1.0`` encodes the toggle on, ``x=0.0`` off; ``make_config``
+    maps the boolean to a :class:`WPaxosConfig`.
+    """
+    uid = {v: i + 1 for i, v in enumerate(graph.nodes)}
+
+    def build(x):
+        config = make_config(bool(x))
+        return dict(graph=graph, scheduler=SynchronousScheduler(1.0),
+                    factory=lambda v, val: WPaxosNode(uid[v], val,
+                                                      graph.n, config),
+                    topology=topology)
+
+    result = parallel_sweep(name, (1.0, 0.0), build)
+    return {True: result.points[0].metrics,
+            False: result.points[1].metrics}
+
+
 def run() -> ExperimentReport:
     report = ExperimentReport(
         experiment_id="E8",
@@ -45,13 +65,15 @@ def run() -> ExperimentReport:
                  "decision time", "max bcasts/node"],
     )
 
-    # --- aggregation on/off at a bottleneck ---------------------------
+    # --- aggregation on/off at a bottleneck (parallel pair) ------------
     graph = star_of_cliques(6, 10)
+    agg_metrics = _toggle_sweep(
+        "wpaxos-aggregation", graph, "star_of_cliques(6,10)",
+        lambda on: WPaxosConfig(aggregation=on))
     agg_times = {}
     for aggregation in (True, False):
         label = f"aggregation={'on' if aggregation else 'off'}"
-        metrics = _run(graph, WPaxosConfig(aggregation=aggregation),
-                       label, "star_of_cliques(6,10)")
+        metrics = agg_metrics[aggregation]
         agg_times[aggregation] = (metrics.last_decision,
                                   metrics.max_broadcasts_per_node)
         report.add_row(label, "soc(6,10)", graph.n, metrics.correct,
@@ -67,13 +89,15 @@ def run() -> ExperimentReport:
         f"bottleneck (Theta(D) vs Theta(n) responses)",
         ok=agg_times[False][0] > 1.5 * agg_times[True][0])
 
-    # --- tree priority on/off on a long line --------------------------
+    # --- tree priority on/off on a long line (parallel pair) -----------
     graph = line(40)
+    prio_metrics = _toggle_sweep(
+        "wpaxos-tree-priority", graph, "line(40)",
+        lambda on: WPaxosConfig(tree_priority=on))
     prio_times = {}
     for priority in (True, False):
         label = f"tree_priority={'on' if priority else 'off'}"
-        metrics = _run(graph, WPaxosConfig(tree_priority=priority),
-                       label, "line(40)")
+        metrics = prio_metrics[priority]
         prio_times[priority] = metrics.last_decision
         report.add_row(label, "line(40)", graph.n, metrics.correct,
                        metrics.last_decision,
@@ -86,6 +110,8 @@ def run() -> ExperimentReport:
         ok=prio_times[True] <= prio_times[False])
 
     # --- retry policies + Lemma 4.2/4.4 bookkeeping --------------------
+    # Stays sequential: the SafetyMonitor accumulates in-process state
+    # that a forked sweep worker could not ship back.
     for policy in (RETRY_PAPER, RETRY_LEARNED):
         monitor = SafetyMonitor()
         graph = line(20)

@@ -23,7 +23,7 @@ from .invariants import (ConsensusReport, InvariantReport, check_consensus,
                          check_model_invariants)
 from .process import Process
 from .simulator import RunResult, Simulator, build_simulation
-from .trace import Trace, TraceRecord
+from .trace import Trace, TraceLevel, TraceRecord
 from . import schedulers
 
 __all__ = [
@@ -39,6 +39,7 @@ __all__ = [
     "RunResult",
     "build_simulation",
     "Trace",
+    "TraceLevel",
     "TraceRecord",
     "InvariantReport",
     "ConsensusReport",

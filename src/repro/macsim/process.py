@@ -54,6 +54,10 @@ class Process:
         self.decided = False
         self.crashed = False
         self._runtime = None  # bound by the simulator
+        self._label = None  # graph label, cached at bind time
+        # Mirror of the simulator's in-flight state for this process;
+        # maintained by the engine so ack_pending is one attribute read.
+        self._mac_pending = False
 
     # ------------------------------------------------------------------
     # Handlers to override
@@ -109,13 +113,16 @@ class Process:
         """The graph node this process is bound to (None before binding)."""
         if self._runtime is None:
             return self.uid
+        if self._label is not None:
+            return self._label
         return self._runtime.label_of(self)
 
     @property
     def ack_pending(self) -> bool:
         """Whether this process has a broadcast in flight."""
-        self._require_runtime()
-        return self._runtime.mac_busy(self)
+        if self._runtime is None:
+            self._require_runtime()
+        return self._mac_pending
 
     # ------------------------------------------------------------------
     # Introspection used by experiments
@@ -137,7 +144,8 @@ class Process:
                 "process is not bound to a simulator; construct a "
                 "Simulator with this process before using the model API")
 
-    def _bind(self, runtime) -> None:
+    def _bind(self, runtime, label: Any = None) -> None:
         if self._runtime is not None and self._runtime is not runtime:
             raise ProcessError("process is already bound to a simulator")
         self._runtime = runtime
+        self._label = label

@@ -17,14 +17,36 @@ of Section 2 of the paper:
 * **Bounded messages.** In strict mode, each payload's ``id_footprint()``
   must stay below a constant, enforcing the paper's O(1)-ids rule.
 
-The engine also records a full :class:`~repro.macsim.trace.Trace` and
-notifies observers whenever simulated time advances, which is how the
+The engine also records a :class:`~repro.macsim.trace.Trace` (at a
+configurable :class:`~repro.macsim.trace.TraceLevel`) and notifies
+observers whenever simulated time advances, which is how the
 lower-bound experiments take lock-step state snapshots.
+
+Fast-path design
+----------------
+The main loop is O(1) per event with no per-event scans:
+
+* **Quiescence** is tracked with an ``_undecided_alive`` counter
+  maintained on ``decide``/``crash`` instead of scanning every process
+  after every event.
+* **Neighbor tuples** are cached per node at construction; the graph is
+  immutable for the lifetime of a simulation, so ``mac_broadcast``
+  never rebuilds them.
+* **Observer hooks** are pre-resolved into lists at registration time;
+  when no observer implements a hook, the loop pays a single falsy
+  check, not a ``getattr`` scan.
+* At ``TraceLevel.DECISIONS`` the engine counts MAC-level occurrences
+  instead of materializing trace records.
+
+For a fixed scheduler, seed and crash plan, the event order -- and
+therefore the full-level trace -- is identical to the pre-fast-path
+engine.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from heapq import heappop, heappush
 from typing import Any, Callable, Iterable, Mapping, Optional
 
 from .crash import CrashPlan
@@ -34,7 +56,7 @@ from .events import (ACK_PRIORITY, CRASH_PRIORITY, DELIVER_PRIORITY,
                      Event, EventQueue)
 from .process import Process
 from .schedulers.base import Scheduler
-from .trace import Trace
+from .trace import Trace, TraceLevel
 
 #: Default ceiling on processed events; prevents runaway executions.
 DEFAULT_MAX_EVENTS = 2_000_000
@@ -46,7 +68,7 @@ DEFAULT_MAX_TIME_FACTOR = 10_000.0
 DEFAULT_ID_BUDGET = 24
 
 
-@dataclass
+@dataclass(slots=True)
 class _BroadcastRecord:
     """Book-keeping for one in-flight broadcast."""
 
@@ -99,6 +121,9 @@ class Simulator:
         against ``id_budget``.
     id_budget:
         Strict-mode bound on ids per message.
+    trace_level:
+        How much the run's :class:`Trace` materializes; see
+        :class:`~repro.macsim.trace.TraceLevel`.
     """
 
     def __init__(self, graph, processes: Mapping[Any, Process],
@@ -106,13 +131,14 @@ class Simulator:
                  crashes: Iterable[CrashPlan] = (),
                  strict_sizes: bool = True,
                  id_budget: int = DEFAULT_ID_BUDGET,
-                 unreliable_graph=None) -> None:
+                 unreliable_graph=None,
+                 trace_level: "TraceLevel | str" = TraceLevel.FULL) -> None:
         self.graph = graph
         self.scheduler = scheduler
         self.strict_sizes = strict_sizes
         self.id_budget = id_budget
         self.unreliable_graph = unreliable_graph
-        self.trace = Trace()
+        self.trace = Trace(trace_level)
         self.now = 0.0
 
         self._processes: dict[Any, Process] = {}
@@ -121,7 +147,7 @@ class Simulator:
             if not graph.has_node(label):
                 raise ConfigurationError(
                     f"process bound to unknown node {label!r}")
-            process._bind(self)
+            process._bind(self, label)
             self._processes[label] = process
             self._labels[id(process)] = label
         missing = [v for v in graph.nodes if v not in self._processes]
@@ -131,11 +157,29 @@ class Simulator:
 
         self._queue = EventQueue()
         self._inflight: dict[Any, _BroadcastRecord] = {}
-        self._records: dict[int, _BroadcastRecord] = {}
+        # Broadcast records, indexed by their sequential bid.
+        self._records: list[_BroadcastRecord] = []
         self._next_bid = 0
         self._crashed: set = set()
         self._observers: list = []
+        self._time_hooks: list = []
+        self._finish_hooks: list = []
         self._started = False
+        self._finish_notified = False
+
+        # O(1) quiescence: processes that are neither crashed nor
+        # decided. Maintained by note_decision / _dispatch_crash.
+        self._undecided_alive = len(self._processes)
+
+        # Per-node neighbor tuples; the graph is immutable per run.
+        self._neighbors: dict[Any, tuple] = {
+            v: tuple(graph.neighbors(v)) for v in graph.nodes}
+
+        # MAC-level occurrences are materialized only at FULL level.
+        self._trace_mac = self.trace.level is TraceLevel.FULL
+        # Direct alias into the trace's occurrence counters for the
+        # counts-only fast path (avoids a method call per event).
+        self._kind_counts = self.trace._kind_counts
 
         self._crash_by_node: dict[Any, CrashPlan] = {}
         for plan in crashes:
@@ -148,6 +192,10 @@ class Simulator:
             self._crash_by_node[plan.node] = plan
             self._queue.push(plan.time, CRASH_PRIORITY, "crash",
                              node=plan.node)
+
+        # Without crash plans nothing can ever cancel a delivery or an
+        # ack, so the queue may skip allocating cancellation handles.
+        self._cancellable = bool(self._crash_by_node)
 
     # ------------------------------------------------------------------
     # Introspection
@@ -176,53 +224,106 @@ class Simulator:
         and/or ``on_finish(sim)``.
         """
         self._observers.append(observer)
+        hook = getattr(observer, "on_time_advance", None)
+        if hook is not None:
+            self._time_hooks.append(hook)
+        hook = getattr(observer, "on_finish", None)
+        if hook is not None:
+            self._finish_hooks.append(hook)
 
     # ------------------------------------------------------------------
     # Runtime services used by Process
     # ------------------------------------------------------------------
     def mac_busy(self, process: Process) -> bool:
-        return self.label_of(process) in self._inflight
+        label = process._label
+        if label is None:
+            label = self._labels[id(process)]
+        return label in self._inflight
 
     def mac_broadcast(self, process: Process, payload: Any) -> bool:
-        sender = self.label_of(process)
+        sender = process._label
+        if sender is None:
+            sender = self._labels[id(process)]
         if sender in self._crashed:
             return False
         if sender in self._inflight:
-            self.trace.record(self.now, "discard", sender, payload=payload)
+            if self._trace_mac:
+                self.trace.record(self.now, "discard", sender,
+                                  payload=payload)
+            else:
+                self.trace.bump("discard", sender)
             return False
-        self._check_size(payload)
+        if self.strict_sizes:
+            self._check_size(payload)
 
         bid = self._next_bid
         self._next_bid += 1
-        neighbors = tuple(self.graph.neighbors(sender))
+        neighbors = self._neighbors[sender]
         plan = self.scheduler.plan(sender=sender, message=payload,
                                    start_time=self.now, neighbors=neighbors)
         plan.validate(start_time=self.now, neighbors=neighbors,
                       f_ack=self.scheduler.f_ack)
 
-        record = _BroadcastRecord(
-            bid=bid, sender=sender, payload=payload,
-            start_time=self.now,
-            pending=set(neighbors),
-        )
-        for receiver, when in plan.deliveries.items():
-            event = self._queue.push(when, DELIVER_PRIORITY, "deliver",
-                                     node=receiver, broadcast_id=bid)
-            record.delivery_events[receiver] = event
-        self._schedule_unreliable(record, payload, plan.ack_time,
-                                  set(neighbors))
-        record.ack_event = self._queue.push(plan.ack_time, ACK_PRIORITY,
-                                            "ack", node=sender,
-                                            broadcast_id=bid)
+        if self._cancellable:
+            record = _BroadcastRecord(
+                bid=bid, sender=sender, payload=payload,
+                start_time=self.now,
+                pending=set(neighbors),
+            )
+            push = self._queue.push
+            delivery_events = record.delivery_events
+            for receiver, when in plan.deliveries.items():
+                delivery_events[receiver] = push(when, DELIVER_PRIORITY,
+                                                 "deliver", receiver, bid)
+            if self.unreliable_graph is not None:
+                self._schedule_unreliable(record, payload, plan.ack_time,
+                                          set(neighbors))
+            record.ack_event = push(plan.ack_time, ACK_PRIORITY, "ack",
+                                    sender, bid)
+        else:
+            # Crash-free run: plan validation plus the deliver-before-
+            # ack event priority already guarantee every neighbor
+            # receives before the ack fires, so the pending/delivered
+            # audit sets stay empty -- nothing can ever remove or miss
+            # a delivery.
+            record = _BroadcastRecord(
+                bid=bid, sender=sender, payload=payload,
+                start_time=self.now,
+                pending=set(),
+            )
+            # Inline batch of EventQueue.push_light: one seq/live
+            # update for the whole fan-out (see EventQueue docstring).
+            queue = self._queue
+            heap = queue._heap
+            seq = queue._next_seq
+            for receiver, when in plan.deliveries.items():
+                heappush(heap, (when, DELIVER_PRIORITY, seq, "deliver",
+                                receiver, bid, None))
+                seq += 1
+            heappush(heap, (plan.ack_time, ACK_PRIORITY, seq, "ack",
+                            sender, bid, None))
+            queue._next_seq = seq + 1
+            queue._live += len(plan.deliveries) + 1
+            if self.unreliable_graph is not None:
+                self._schedule_unreliable(record, payload, plan.ack_time,
+                                          set(neighbors))
         self._inflight[sender] = record
-        self._records[bid] = record
-        self.trace.record(self.now, "broadcast", sender,
-                          broadcast_id=bid, payload=payload)
+        process._mac_pending = True
+        self._records.append(record)
+        if self._trace_mac:
+            self.trace.record(self.now, "broadcast", sender,
+                              broadcast_id=bid, payload=payload)
+        else:
+            self.trace.bump("broadcast", sender)
         return True
 
     def note_decision(self, process: Process, value: Any) -> None:
-        self.trace.record(self.now, "decide", self.label_of(process),
-                          payload=value)
+        label = process._label
+        if label is None:
+            label = self._labels[id(process)]
+        if label not in self._crashed:
+            self._undecided_alive -= 1
+        self.trace.record(self.now, "decide", label, payload=value)
 
     def _schedule_unreliable(self, record: _BroadcastRecord,
                              payload: Any, ack_time: float,
@@ -254,10 +355,15 @@ class Simulator:
                 raise ModelViolationError(
                     f"unreliable delivery at {when} outside broadcast "
                     f"window [{record.start_time}, {ack_time}]")
-            event = self._queue.push(when, DELIVER_PRIORITY, "deliver",
-                                     node=receiver,
-                                     broadcast_id=record.bid)
-            record.delivery_events[receiver] = event
+            if self._cancellable:
+                event = self._queue.push(when, DELIVER_PRIORITY,
+                                         "deliver", node=receiver,
+                                         broadcast_id=record.bid)
+                record.delivery_events[receiver] = event
+            else:
+                self._queue.push_light(when, DELIVER_PRIORITY, "deliver",
+                                       node=receiver,
+                                       broadcast_id=record.bid)
 
     # ------------------------------------------------------------------
     # Main loop
@@ -271,6 +377,10 @@ class Simulator:
 
         ``stop_predicate`` (checked after every event) allows callers to
         stop mid-execution, e.g. once a particular node decides.
+
+        ``run()`` may be invoked repeatedly on the same simulator to
+        resume after an event/time limit; ``on_finish`` observers fire
+        only once, at the end of the first invocation.
         """
         if max_time is None:
             max_time = DEFAULT_MAX_TIME_FACTOR * self.scheduler.f_ack
@@ -282,34 +392,87 @@ class Simulator:
                 if label not in self._crashed:
                     process.on_start()
 
+        # Hot loop: everything per-event is O(1); hoist lookups once.
+        # The queue pop and the crash-free delivery dispatch are
+        # inlined (see EventQueue's docstring): accounting is updated
+        # on the queue object at each step, so any observer or stop
+        # predicate sees a consistent engine mid-run.
+        queue = self._queue
+        heap = queue._heap
+        heappop_ = heappop
+        dispatch_ack = self._dispatch_ack
+        dispatch_crash = self._dispatch_crash
+        time_hooks = self._time_hooks
+        records = self._records
+        processes = self._processes
+        kind_counts = self._kind_counts
+        trace_record = self.trace.record
+        trace_mac = self._trace_mac
+        fast_deliver = not self._cancellable
+
         events_processed = 0
         stop_reason = "quiescent"
         while True:
-            if stop_when_all_decided and self._all_alive_decided():
+            if stop_when_all_decided and self._undecided_alive == 0:
                 stop_reason = "all_decided"
                 break
             if stop_predicate is not None and stop_predicate(self):
                 stop_reason = "predicate"
                 break
-            event = self._queue.pop()
-            if event is None:
-                stop_reason = ("quiescent_all_decided"
-                               if self._all_alive_decided() else "quiescent")
+            # -- inline EventQueue.pop_entry -----------------------------
+            entry = None
+            while heap:
+                entry = heappop_(heap)
+                handle = entry[6]
+                if handle is not None and handle.cancelled:
+                    queue._dead -= 1
+                    entry = None
+                    continue
+                queue._live -= 1
                 break
-            if event.time > max_time:
+            if entry is None:
+                stop_reason = ("quiescent_all_decided"
+                               if self._undecided_alive == 0
+                               else "quiescent")
+                break
+            event_time = entry[0]
+            if event_time > max_time:
                 stop_reason = "max_time"
                 if raise_on_limit:
                     raise SimulationLimitError(
                         f"exceeded max_time={max_time}")
                 break
-            if event.time + 1e-12 < self.now:
+            if event_time + 1e-12 < self.now:
                 raise ModelViolationError(
-                    f"time went backwards: {event.time} < {self.now}")
-            if event.time > self.now:
-                self._notify_time_advance(event.time)
-                self.now = event.time
+                    f"time went backwards: {event_time} < {self.now}")
+            if event_time > self.now:
+                if time_hooks:
+                    for hook in time_hooks:
+                        hook(self, event_time)
+                self.now = event_time
 
-            self._dispatch(event)
+            kind = entry[3]
+            if kind == "deliver":
+                if fast_deliver:
+                    # -- inline _dispatch_delivery, crash-free case ------
+                    record = records[entry[5]]
+                    receiver = entry[4]
+                    if trace_mac:
+                        trace_record(event_time, "deliver", receiver,
+                                     broadcast_id=record.bid,
+                                     peer=record.sender,
+                                     payload=record.payload)
+                    else:
+                        kind_counts["deliver"] += 1
+                    processes[receiver].on_receive(record.payload)
+                else:
+                    self._dispatch_delivery(entry[4], entry[5])
+            elif kind == "ack":
+                dispatch_ack(entry[4], entry[5])
+            elif kind == "crash":
+                dispatch_crash(entry[4])
+            else:  # pragma: no cover - defensive
+                raise ModelViolationError(f"unknown event kind {kind!r}")
             events_processed += 1
             if events_processed >= max_events:
                 stop_reason = "max_events"
@@ -318,9 +481,9 @@ class Simulator:
                         f"exceeded max_events={max_events}")
                 break
 
-        for observer in self._observers:
-            hook = getattr(observer, "on_finish", None)
-            if hook is not None:
+        if not self._finish_notified:
+            self._finish_notified = True
+            for hook in self._finish_hooks:
                 hook(self)
 
         return RunResult(
@@ -335,63 +498,63 @@ class Simulator:
     # ------------------------------------------------------------------
     # Event dispatch
     # ------------------------------------------------------------------
-    def _dispatch(self, event: Event) -> None:
-        if event.kind == "deliver":
-            self._dispatch_delivery(event)
-        elif event.kind == "ack":
-            self._dispatch_ack(event)
-        elif event.kind == "crash":
-            self._dispatch_crash(event)
-        else:  # pragma: no cover - defensive
-            raise ModelViolationError(f"unknown event kind {event.kind!r}")
-
-    def _dispatch_delivery(self, event: Event) -> None:
-        record = self._records[event.broadcast_id]
-        receiver = event.node
-        if receiver in self._crashed:
+    def _dispatch_delivery(self, receiver: Any, bid: int) -> None:
+        record = self._records[bid]
+        if self._cancellable:
+            crashed = self._crashed
+            if crashed and receiver in crashed:
+                record.pending.discard(receiver)
+                return
+            # (Deliveries from a crashed sender were re-validated at
+            # crash time; reaching here means this one was allowed.)
             record.pending.discard(receiver)
-            return
-        if record.sender in self._crashed:
-            # Deliveries surviving a crash were re-validated at crash
-            # time; reaching here means this one was allowed.
-            pass
-        record.pending.discard(receiver)
-        record.delivered.add(receiver)
-        record.delivery_events.pop(receiver, None)
-        self.trace.record(self.now, "deliver", receiver,
-                          broadcast_id=record.bid, peer=record.sender,
-                          payload=record.payload)
+            record.delivered.add(receiver)
+            record.delivery_events.pop(receiver, None)
+        if self._trace_mac:
+            self.trace.record(self.now, "deliver", receiver,
+                              broadcast_id=record.bid, peer=record.sender,
+                              payload=record.payload)
+        else:
+            self._kind_counts["deliver"] += 1
         self._processes[receiver].on_receive(record.payload)
 
-    def _dispatch_ack(self, event: Event) -> None:
-        record = self._records[event.broadcast_id]
-        sender = event.node
-        if sender in self._crashed:
+    def _dispatch_ack(self, sender: Any, bid: int) -> None:
+        record = self._records[bid]
+        crashed = self._crashed
+        if crashed and sender in crashed:
             return
-        outstanding = {v for v in record.pending if v not in self._crashed}
-        if outstanding:
-            raise ModelViolationError(
-                f"ack for broadcast {record.bid} of {sender!r} before "
-                f"non-faulty neighbors {sorted(map(str, outstanding))} "
-                f"received")
+        if record.pending:
+            outstanding = {v for v in record.pending if v not in crashed}
+            if outstanding:
+                raise ModelViolationError(
+                    f"ack for broadcast {record.bid} of {sender!r} before "
+                    f"non-faulty neighbors "
+                    f"{sorted(map(str, outstanding))} received")
         # Free the MAC layer before the handler so the process can
         # immediately start its next broadcast from within on_ack().
         if self._inflight.get(sender) is record:
             del self._inflight[sender]
-        self.trace.record(self.now, "ack", sender, broadcast_id=record.bid)
+            self._processes[sender]._mac_pending = False
+        if self._trace_mac:
+            self.trace.record(self.now, "ack", sender,
+                              broadcast_id=record.bid)
+        else:
+            self._kind_counts["ack"] += 1
         self._processes[sender].on_ack()
 
-    def _dispatch_crash(self, event: Event) -> None:
-        node = event.node
+    def _dispatch_crash(self, node: Any) -> None:
         if node in self._crashed:
             return
         plan = self._crash_by_node[node]
         self._crashed.add(node)
+        if not self._processes[node].decided:
+            self._undecided_alive -= 1
         self.trace.record(self.now, "crash", node)
         self._processes[node].crashed = True
 
         record = self._inflight.pop(node, None)
         if record is not None:
+            self._processes[node]._mac_pending = False
             if record.ack_event is not None:
                 self._queue.cancel(record.ack_event)
             for receiver, delivery in list(record.delivery_events.items()):
@@ -403,19 +566,7 @@ class Simulator:
     # ------------------------------------------------------------------
     # Helpers
     # ------------------------------------------------------------------
-    def _all_alive_decided(self) -> bool:
-        return all(self._processes[v].decided
-                   for v in self.graph.nodes if v not in self._crashed)
-
-    def _notify_time_advance(self, new_time: float) -> None:
-        for observer in self._observers:
-            hook = getattr(observer, "on_time_advance", None)
-            if hook is not None:
-                hook(self, new_time)
-
     def _check_size(self, payload: Any) -> None:
-        if not self.strict_sizes:
-            return
         footprint = getattr(payload, "id_footprint", None)
         if footprint is None:
             return
@@ -431,7 +582,9 @@ def build_simulation(graph, process_factory: Callable[[Any], Process],
                      crashes: Iterable[CrashPlan] = (),
                      strict_sizes: bool = True,
                      id_budget: int = DEFAULT_ID_BUDGET,
-                     unreliable_graph=None) -> Simulator:
+                     unreliable_graph=None,
+                     trace_level: "TraceLevel | str" = TraceLevel.FULL
+                     ) -> Simulator:
     """Construct a simulator, creating one process per graph node.
 
     ``process_factory(label)`` must return the process for ``label``.
@@ -441,4 +594,5 @@ def build_simulation(graph, process_factory: Callable[[Any], Process],
     processes = {label: process_factory(label) for label in graph.nodes}
     return Simulator(graph, processes, scheduler, crashes=crashes,
                      strict_sizes=strict_sizes, id_budget=id_budget,
-                     unreliable_graph=unreliable_graph)
+                     unreliable_graph=unreliable_graph,
+                     trace_level=trace_level)

@@ -12,18 +12,61 @@ crashes). Traces serve three purposes in this reproduction:
 3. **Indistinguishability** -- the lower-bound experiments compare
    per-node event sequences across executions in different networks
    (`repro.lowerbounds.indist`).
+
+Fast-path design
+----------------
+The record log stays append-only, but every query the harness performs
+is now backed by an index maintained incrementally at ``append`` time:
+per-kind and per-node record lists, first-decision maps, and occurrence
+counters. ``decisions()``, ``decision_times()``, ``of_kind()``,
+``for_node()`` and the count helpers are therefore O(1)/O(k) in the
+size of their *answer*, never in the length of the trace.
+
+``TraceLevel`` controls how much is materialized:
+
+* :attr:`TraceLevel.FULL` (default) -- every occurrence is stored as a
+  :class:`TraceRecord`; byte-identical to the pre-fast-path engine.
+* :attr:`TraceLevel.DECISIONS` -- only ``decide`` and ``crash`` records
+  are stored. MAC-level occurrences (broadcast/deliver/ack/discard)
+  still update the occurrence *counters* (so ``broadcast_count()``,
+  ``delivery_count()`` and per-node broadcast counts stay exact) but no
+  record object is allocated. This is the opt-in sweep/benchmark mode:
+  consensus checking and metrics work, full-trace replays (model
+  invariants, indistinguishability) do not.
 """
 
 from __future__ import annotations
 
+import enum
 from dataclasses import dataclass
-from typing import Any, Iterator, Optional
+from typing import Any, Dict, Iterator, List, Optional
 
 #: The record kinds a trace may contain.
 TRACE_KINDS = ("broadcast", "deliver", "ack", "decide", "crash", "discard")
+_TRACE_KIND_SET = frozenset(TRACE_KINDS)
+
+#: Kinds always materialized, even at ``TraceLevel.DECISIONS``.
+_ESSENTIAL_KINDS = frozenset(("decide", "crash"))
 
 
-@dataclass(frozen=True)
+class TraceLevel(enum.Enum):
+    """How much of an execution a :class:`Trace` materializes."""
+
+    #: Store every occurrence (the default; required by invariant
+    #: checking and the indistinguishability experiments).
+    FULL = "full"
+    #: Store only decisions and crashes; count everything else.
+    DECISIONS = "decisions"
+
+    @classmethod
+    def coerce(cls, value: "TraceLevel | str") -> "TraceLevel":
+        """Accept a :class:`TraceLevel` or its string value."""
+        if isinstance(value, cls):
+            return value
+        return cls(value)
+
+
+@dataclass(frozen=True, slots=True)
 class TraceRecord:
     """One occurrence in an execution.
 
@@ -48,10 +91,24 @@ class TraceRecord:
 
 
 class Trace:
-    """Append-only event log with query helpers."""
+    """Append-only event log with indexed query helpers."""
 
-    def __init__(self) -> None:
-        self._records: list[TraceRecord] = []
+    __slots__ = ("level", "_records", "_by_kind", "_by_node",
+                 "_decisions", "_decision_times", "_kind_counts",
+                 "_broadcasts_by_node")
+
+    def __init__(self, level: "TraceLevel | str" = TraceLevel.FULL) -> None:
+        self.level = TraceLevel.coerce(level)
+        self._records: List[TraceRecord] = []
+        self._by_kind: Dict[str, List[TraceRecord]] = {}
+        self._by_node: Dict[Any, List[TraceRecord]] = {}
+        self._decisions: Dict[Any, Any] = {}
+        self._decision_times: Dict[Any, float] = {}
+        #: Occurrence counters; unlike the record log these count every
+        #: reported occurrence regardless of the trace level. Prefilled
+        #: so hot paths may increment without a .get() dance.
+        self._kind_counts: Dict[str, int] = {k: 0 for k in TRACE_KINDS}
+        self._broadcasts_by_node: Dict[Any, int] = {}
 
     def __len__(self) -> int:
         return len(self._records)
@@ -63,63 +120,95 @@ class Trace:
         return self._records[index]
 
     def append(self, record: TraceRecord) -> None:
+        """Append a record, updating every index incrementally."""
         self._records.append(record)
+        kind = record.kind
+        node = record.node
+        by_kind = self._by_kind.get(kind)
+        if by_kind is None:
+            by_kind = self._by_kind[kind] = []
+        by_kind.append(record)
+        by_node = self._by_node.get(node)
+        if by_node is None:
+            by_node = self._by_node[node] = []
+        by_node.append(record)
+        self._kind_counts[kind] = self._kind_counts.get(kind, 0) + 1
+        if kind == "decide":
+            if node not in self._decisions:
+                self._decisions[node] = record.payload
+                self._decision_times[node] = record.time
+        elif kind == "broadcast":
+            self._broadcasts_by_node[node] = (
+                self._broadcasts_by_node.get(node, 0) + 1)
 
     def record(self, time: float, kind: str, node: Any, *,
                broadcast_id: Optional[int] = None, peer: Any = None,
                payload: Any = None) -> None:
-        """Convenience constructor-and-append."""
-        if kind not in TRACE_KINDS:
+        """Convenience constructor-and-append.
+
+        At :attr:`TraceLevel.DECISIONS`, MAC-level kinds are counted but
+        not materialized.
+        """
+        if kind not in _TRACE_KIND_SET:
             raise ValueError(f"unknown trace kind: {kind!r}")
+        if (self.level is TraceLevel.DECISIONS
+                and kind not in _ESSENTIAL_KINDS):
+            self.bump(kind, node)
+            return
         self.append(TraceRecord(time, kind, node,
                                 broadcast_id=broadcast_id,
                                 peer=peer, payload=payload))
 
+    def bump(self, kind: str, node: Any = None) -> None:
+        """Count an occurrence without materializing a record."""
+        self._kind_counts[kind] = self._kind_counts.get(kind, 0) + 1
+        if kind == "broadcast":
+            self._broadcasts_by_node[node] = (
+                self._broadcasts_by_node.get(node, 0) + 1)
+
     # ------------------------------------------------------------------
     # Queries
     # ------------------------------------------------------------------
-    def of_kind(self, kind: str) -> list[TraceRecord]:
+    def of_kind(self, kind: str) -> List[TraceRecord]:
         """All records with the given kind, in order."""
-        return [r for r in self._records if r.kind == kind]
+        return list(self._by_kind.get(kind, ()))
 
-    def for_node(self, node: Any) -> list[TraceRecord]:
+    def for_node(self, node: Any) -> List[TraceRecord]:
         """All records whose primary node is ``node``, in order."""
-        return [r for r in self._records if r.node == node]
+        return list(self._by_node.get(node, ()))
 
-    def decisions(self) -> dict[Any, Any]:
+    def decisions(self) -> Dict[Any, Any]:
         """Map of node -> decided value (first decision per node)."""
-        out: dict[Any, Any] = {}
-        for r in self._records:
-            if r.kind == "decide" and r.node not in out:
-                out[r.node] = r.payload
-        return out
+        return dict(self._decisions)
 
-    def decision_times(self) -> dict[Any, float]:
+    def decision_times(self) -> Dict[Any, float]:
         """Map of node -> time of its (first) decision."""
-        out: dict[Any, float] = {}
-        for r in self._records:
-            if r.kind == "decide" and r.node not in out:
-                out[r.node] = r.time
-        return out
+        return dict(self._decision_times)
 
     def last_decision_time(self) -> Optional[float]:
         """Time at which the final node decided, or ``None``."""
-        times = self.decision_times()
-        if not times:
+        if not self._decision_times:
             return None
-        return max(times.values())
+        return max(self._decision_times.values())
 
     def broadcast_count(self, node: Any = None) -> int:
         """Number of completed broadcast events (optionally per node)."""
         if node is None:
-            return sum(1 for r in self._records if r.kind == "broadcast")
-        return sum(1 for r in self._records
-                   if r.kind == "broadcast" and r.node == node)
+            return self._kind_counts.get("broadcast", 0)
+        return self._broadcasts_by_node.get(node, 0)
+
+    def broadcasts_per_node(self) -> Dict[Any, int]:
+        """Map of node -> number of broadcasts it started."""
+        return dict(self._broadcasts_by_node)
 
     def delivery_count(self) -> int:
         """Total number of message deliveries in the execution."""
-        return sum(1 for r in self._records if r.kind == "deliver")
+        return self._kind_counts.get("deliver", 0)
 
-    def crashed_nodes(self) -> set[Any]:
+    def count_of_kind(self, kind: str) -> int:
+        """Occurrence count for ``kind`` (counts skipped records too)."""
+        return self._kind_counts.get(kind, 0)
+
+    def crashed_nodes(self) -> set:
         """The set of nodes that crashed during the execution."""
-        return {r.node for r in self._records if r.kind == "crash"}
+        return {r.node for r in self._by_kind.get("crash", ())}

@@ -1,0 +1,354 @@
+"""PR 1 fast-path tests: quiescence counters, trace indexes, levels,
+event-queue compaction, and parallel sweep determinism."""
+
+import random
+
+import pytest
+
+from repro.analysis import parallel_sweep, run_consensus, sweep
+from repro.analysis.sweeps import default_workers
+from repro.core.twophase import TwoPhaseConsensus
+from repro.core.wpaxos import WPaxosConfig, WPaxosNode
+from repro.macsim import (Process, TraceLevel, build_simulation,
+                          crash_plan)
+from repro.macsim.events import (ACK_PRIORITY, DELIVER_PRIORITY,
+                                 EventQueue)
+from repro.macsim.schedulers import (RandomDelayScheduler,
+                                     SynchronousScheduler)
+from repro.macsim.trace import TRACE_KINDS, Trace
+from repro.topology import clique, line
+
+
+class Chatter(Process):
+    """Broadcasts forever; decides after ``decide_after`` acks."""
+
+    def __init__(self, uid, decide_after=None):
+        super().__init__(uid=uid, initial_value=0)
+        self.decide_after = decide_after
+        self.acks = 0
+
+    def on_start(self):
+        self.broadcast(("m", self.uid))
+
+    def on_ack(self):
+        self.acks += 1
+        if self.decide_after is not None and self.acks >= self.decide_after:
+            self.decide(0)
+        self.broadcast(("m", self.uid))
+
+
+def oracle_all_alive_decided(sim):
+    """The seed engine's O(n) quiescence scan, as a reference."""
+    return all(sim.process_at(v).decided
+               for v in sim.graph.nodes if v not in sim._crashed)
+
+
+class TestQuiescenceCounter:
+    def test_counter_matches_oracle_under_interleaving(self):
+        # Nodes decide at different times; two crash along the way,
+        # one of them mid-broadcast, one after it already decided.
+        graph = clique(6)
+        decide_after = {0: 1, 1: 2, 2: 3, 3: 4, 4: 5, 5: 9}
+        sim = build_simulation(
+            graph, lambda v: Chatter(v, decide_after[v]),
+            SynchronousScheduler(1.0),
+            crashes=[crash_plan(5, 3.5, still_delivered=()),
+                     crash_plan(0, 4.5)])
+        checks = []
+
+        def predicate(s):
+            checks.append((s._undecided_alive == 0,
+                           oracle_all_alive_decided(s)))
+            return False
+
+        result = sim.run(stop_predicate=predicate)
+        assert result.stop_reason == "all_decided"
+        assert checks, "predicate never ran"
+        for fast, slow in checks:
+            assert fast == slow
+        assert sim._undecided_alive == 0
+        assert oracle_all_alive_decided(sim)
+
+    def test_crash_after_decide_does_not_double_count(self):
+        graph = clique(3)
+        sim = build_simulation(
+            graph, lambda v: Chatter(v, 1),
+            SynchronousScheduler(1.0),
+            # Node 0 decides at t=1, crashes at t=2.5.
+            crashes=[crash_plan(0, 2.5)])
+        result = sim.run(stop_when_all_decided=False, max_time=6.0)
+        assert sim._undecided_alive == 0
+        assert oracle_all_alive_decided(sim)
+        assert result.trace.crashed_nodes() == {0}
+
+    def test_undecided_forever_never_reaches_zero(self):
+        graph = clique(3)
+        sim = build_simulation(graph, lambda v: Chatter(v, None),
+                               SynchronousScheduler(1.0))
+        result = sim.run(max_events=200)
+        assert result.stop_reason == "max_events"
+        assert sim._undecided_alive == 3
+        assert not oracle_all_alive_decided(sim)
+
+    def test_all_crashed_counts_as_all_decided(self):
+        graph = clique(2)
+        sim = build_simulation(
+            graph, lambda v: Chatter(v, None),
+            SynchronousScheduler(1.0),
+            crashes=[crash_plan(0, 1.5), crash_plan(1, 1.5)])
+        sim.run(max_time=5.0)
+        assert sim._undecided_alive == 0
+        assert oracle_all_alive_decided(sim)  # vacuous truth
+
+
+class TestFinishObserverGuard:
+    def test_on_finish_fires_once_across_resumed_runs(self):
+        calls = []
+
+        class Observer:
+            def on_finish(self, sim):
+                calls.append(sim.now)
+
+        graph = clique(2)
+        sim = build_simulation(graph, lambda v: Chatter(v, None),
+                               SynchronousScheduler(1.0))
+        sim.add_observer(Observer())
+        sim.run(max_events=10)
+        sim.run(max_events=10)
+        sim.run(max_events=10)
+        assert len(calls) == 1
+
+
+def naive_trace_queries(records):
+    """Full-scan oracle for every indexed Trace query."""
+    decisions, decision_times = {}, {}
+    for r in records:
+        if r.kind == "decide" and r.node not in decisions:
+            decisions[r.node] = r.payload
+            decision_times[r.node] = r.time
+    return {
+        "of_kind": {k: [r for r in records if r.kind == k]
+                    for k in TRACE_KINDS},
+        "for_node": lambda v: [r for r in records if r.node == v],
+        "decisions": decisions,
+        "decision_times": decision_times,
+        "broadcast_count": sum(1 for r in records
+                               if r.kind == "broadcast"),
+        "delivery_count": sum(1 for r in records if r.kind == "deliver"),
+        "crashed": {r.node for r in records if r.kind == "crash"},
+    }
+
+
+class TestTraceIndexes:
+    def test_indexes_match_naive_oracle_on_random_log(self):
+        rng = random.Random(1234)
+        trace = Trace()
+        for i in range(3000):
+            kind = rng.choice(TRACE_KINDS)
+            node = rng.randrange(12)
+            trace.record(float(i), kind, node, broadcast_id=i,
+                         peer=rng.randrange(12), payload=rng.random())
+        oracle = naive_trace_queries(list(trace))
+        for kind in TRACE_KINDS:
+            assert trace.of_kind(kind) == oracle["of_kind"][kind]
+        for node in range(12):
+            assert trace.for_node(node) == oracle["for_node"](node)
+        assert trace.decisions() == oracle["decisions"]
+        assert trace.decision_times() == oracle["decision_times"]
+        assert trace.broadcast_count() == oracle["broadcast_count"]
+        assert trace.delivery_count() == oracle["delivery_count"]
+        assert trace.crashed_nodes() == oracle["crashed"]
+        per_node = trace.broadcasts_per_node()
+        for node in range(12):
+            assert trace.broadcast_count(node) == per_node.get(node, 0)
+            assert per_node.get(node, 0) == sum(
+                1 for r in oracle["of_kind"]["broadcast"]
+                if r.node == node)
+
+    def test_decisions_level_counts_match_full_level(self):
+        graph = clique(8)
+        uid = {v: i + 1 for i, v in enumerate(graph.nodes)}
+
+        def run(level):
+            sim = build_simulation(
+                graph,
+                lambda v: WPaxosNode(uid[v], graph.index_of(v) % 2,
+                                     graph.n, WPaxosConfig()),
+                SynchronousScheduler(1.0), trace_level=level)
+            return sim.run()
+
+        full = run(TraceLevel.FULL)
+        fast = run(TraceLevel.DECISIONS)
+        assert fast.decisions == full.decisions
+        assert fast.decision_times == full.decision_times
+        assert fast.events_processed == full.events_processed
+        assert fast.end_time == full.end_time
+        assert (fast.trace.broadcast_count()
+                == full.trace.broadcast_count())
+        assert (fast.trace.delivery_count()
+                == full.trace.delivery_count())
+        assert (fast.trace.broadcasts_per_node()
+                == full.trace.broadcasts_per_node())
+        # Only decide/crash records are materialized.
+        assert {r.kind for r in fast.trace} <= {"decide", "crash"}
+        assert len(fast.trace) == len(full.trace.of_kind("decide"))
+
+    def test_trace_level_coerce_accepts_strings(self):
+        assert TraceLevel.coerce("decisions") is TraceLevel.DECISIONS
+        assert TraceLevel.coerce(TraceLevel.FULL) is TraceLevel.FULL
+        assert Trace("decisions").level is TraceLevel.DECISIONS
+
+
+class TestEventQueueCompaction:
+    def test_mass_cancellation_preserves_order(self):
+        queue = EventQueue()
+        events = [queue.push(float(i % 31), DELIVER_PRIORITY, "deliver",
+                             node=i) for i in range(500)]
+        keep = [e for i, e in enumerate(events) if i % 7 == 0]
+        for i, event in enumerate(events):
+            if i % 7 != 0:
+                queue.cancel(event)
+        assert len(queue) == len(keep)
+        popped = []
+        while True:
+            event = queue.pop()
+            if event is None:
+                break
+            popped.append(event)
+        assert popped == sorted(keep, key=lambda e: e.sort_key)
+
+    def test_peek_time_skips_cancelled_run(self):
+        queue = EventQueue()
+        early = [queue.push(1.0, DELIVER_PRIORITY, "deliver", node=i)
+                 for i in range(10)]
+        queue.push(2.0, ACK_PRIORITY, "ack", node="x")
+        for event in early:
+            queue.cancel(event)
+        assert queue.peek_time() == 2.0
+        assert queue.pop().node == "x"
+        assert queue.peek_time() is None
+
+    def test_mid_run_compaction_does_not_orphan_the_heap(self):
+        # Regression: _compact() must keep the heap *list object*
+        # (in-place slice assignment), because Simulator.run() holds a
+        # direct reference across dispatches. A crash cancelling >= 64
+        # pending deliveries triggers compaction mid-run; everything
+        # scheduled afterwards must still be processed.
+        from repro.topology import star
+
+        graph = star(101)  # hub 0, leaves 1..100
+
+        class HubTalker(Process):
+            def __init__(self, uid):
+                super().__init__(uid=uid, initial_value=0)
+                self.acks = 0
+                self.received = []
+
+            def on_start(self):
+                if self.uid == 0:
+                    self.broadcast(("hub", 0))
+
+            def on_ack(self):
+                self.acks += 1
+                if self.uid == 1 and self.acks == 1:
+                    return  # leaf 1 broadcasts from on_receive below
+
+            def on_receive(self, message):
+                self.received.append(message)
+                if self.uid == 1 and len(self.received) == 1:
+                    self.broadcast(("leaf", 1))
+
+        sim = build_simulation(
+            graph, lambda v: HubTalker(v), SynchronousScheduler(1.0),
+            # Hub crashes mid-broadcast, cancelling all ~100 pending
+            # deliveries plus its ack: well past the compaction
+            # threshold, while later events are already scheduled.
+            crashes=[crash_plan(0, 0.5, still_delivered=(1,))])
+        result = sim.run(max_time=10.0)
+        queue = sim._queue
+        assert len(queue) == 0, "live events left behind after run"
+        assert queue._dead == 0
+        # Leaf 1 received the hub's partial broadcast, and its own
+        # follow-up broadcast -- scheduled *after* the compaction --
+        # must still have been acked (pre-fix the run went quiescent
+        # with those events stranded in an orphaned heap list).
+        assert sim.process_at(1).received == [("hub", 0)]
+        assert sim.process_at(1).acks == 1
+        deliveries = result.trace.of_kind("deliver")
+        assert [(r.node, r.broadcast_id) for r in deliveries] == [(1, 0)]
+
+    def test_push_light_interleaves_deterministically(self):
+        queue = EventQueue()
+        queue.push(2.0, DELIVER_PRIORITY, "deliver", node="heavy")
+        queue.push_light(1.0, DELIVER_PRIORITY, "deliver", node="light")
+        queue.push_light(2.0, ACK_PRIORITY, "ack", node="lite-ack")
+        assert len(queue) == 3
+        order = [queue.pop().node for _ in range(3)]
+        assert order == ["light", "heavy", "lite-ack"]
+        assert queue.pop() is None
+
+
+def _twophase_build(f_ack):
+    graph = clique(5)
+    return dict(
+        graph=graph,
+        scheduler=SynchronousScheduler(f_ack),
+        factory=lambda v, val: TwoPhaseConsensus(uid=v,
+                                                 initial_value=val))
+
+
+def _wpaxos_line_build(d):
+    graph = line(int(d) + 1)
+    uid = {v: i + 1 for i, v in enumerate(graph.nodes)}
+    return dict(
+        graph=graph,
+        scheduler=RandomDelayScheduler(1.0, seed=int(d)),
+        factory=lambda v, val: WPaxosNode(uid[v], val, graph.n,
+                                          WPaxosConfig()))
+
+
+def _points_signature(result):
+    return [(p.x, p.metrics.algorithm, p.metrics.topology,
+             p.metrics.n, p.metrics.correct, p.metrics.first_decision,
+             p.metrics.last_decision, p.metrics.broadcasts,
+             p.metrics.deliveries, p.metrics.events,
+             p.metrics.stop_reason) for p in result.points]
+
+
+class TestParallelSweep:
+    def test_matches_sequential_sweep_exactly(self):
+        xs = [1.0, 2.0, 4.0]
+        sequential = sweep("time vs f_ack", xs, _twophase_build)
+        parallel = parallel_sweep("time vs f_ack", xs, _twophase_build,
+                                  workers=3)
+        assert _points_signature(parallel) == _points_signature(
+            sequential)
+        assert parallel.xs == sequential.xs == xs
+
+    def test_random_scheduler_sweep_is_deterministic(self):
+        xs = [3, 5, 7]
+        runs = [parallel_sweep("wpaxos line", xs, _wpaxos_line_build,
+                               workers=2) for _ in range(2)]
+        assert (_points_signature(runs[0])
+                == _points_signature(runs[1]))
+        sequential = sweep("wpaxos line", xs, _wpaxos_line_build)
+        assert _points_signature(runs[0]) == _points_signature(
+            sequential)
+
+    def test_workers_one_falls_back_to_sequential(self):
+        xs = [1.0, 2.0]
+        result = parallel_sweep("fallback", xs, _twophase_build,
+                                workers=1)
+        assert [p.x for p in result.points] == xs
+        assert result.all_correct()
+
+    def test_decisions_level_sweep_matches_full(self):
+        xs = [1.0, 2.0]
+        full = sweep("levels", xs, _twophase_build,
+                     trace_level=TraceLevel.FULL)
+        fast = parallel_sweep("levels", xs, _twophase_build,
+                              trace_level="decisions", workers=2)
+        assert _points_signature(fast) == _points_signature(full)
+
+    def test_default_workers_positive(self):
+        assert default_workers() >= 1

@@ -1,5 +1,6 @@
 """The shipped examples must run cleanly end to end."""
 
+import os
 import pathlib
 import subprocess
 import sys
@@ -7,12 +8,20 @@ import sys
 import pytest
 
 EXAMPLES = pathlib.Path(__file__).resolve().parent.parent / "examples"
+SRC = EXAMPLES.parent / "src"
 
 
 def run_example(name: str) -> str:
+    # Ensure the example subprocess can import repro even when the
+    # test runner itself got src/ via pytest.ini's pythonpath rather
+    # than the PYTHONPATH environment variable.
+    env = dict(os.environ)
+    env["PYTHONPATH"] = os.pathsep.join(
+        p for p in (str(SRC), env.get("PYTHONPATH")) if p)
     result = subprocess.run(
         [sys.executable, str(EXAMPLES / name)],
-        capture_output=True, text=True, timeout=600, check=True)
+        capture_output=True, text=True, timeout=600, check=True,
+        env=env)
     return result.stdout
 
 
