@@ -138,6 +138,30 @@ def main(argv=None) -> int:
     parser.add_argument("--emit-raw", action="store_true",
                         help="measure and print raw results JSON to "
                              "stdout (internal; used for --seed-tree)")
+    parser.add_argument("--check", action="store_true",
+                        help="regression gate: fail if any workload's "
+                             "rate drops more than --check-threshold "
+                             "below the committed report "
+                             "(--check-against). Absolute rates are "
+                             "machine-specific -- use this gate on "
+                             "the machine that produced the report; "
+                             "CI uses --check-speedup instead")
+    parser.add_argument("--check-speedup", type=float, default=None,
+                        metavar="FLOOR",
+                        help="same-machine regression gate: fail if "
+                             "any workload's speedup vs the 'before' "
+                             "numbers (ideally --seed-tree, measured "
+                             "in-session) falls below FLOOR")
+    parser.add_argument("--check-against",
+                        default=os.path.join(
+                            os.path.dirname(os.path.dirname(
+                                os.path.abspath(__file__))),
+                            "BENCH_PR1.json"),
+                        help="committed perf report to gate against "
+                             "(its 'after' numbers)")
+    parser.add_argument("--check-threshold", type=float, default=0.20,
+                        help="allowed fractional rate regression "
+                             "(default 0.20)")
     args = parser.parse_args(argv)
 
     repeats = args.repeats or (3 if args.smoke else 7)
@@ -207,6 +231,60 @@ def main(argv=None) -> int:
         rate = _rate(entry)
         note = f"  ({speedups[name]}x vs seed)" if name in speedups else ""
         print(f"  {name:24s} {rate:>12,.0f}/s{note}")
+
+    if args.check_speedup is not None:
+        slow = {name: ratio for name, ratio in speedups.items()
+                if ratio < args.check_speedup}
+        if not speedups:
+            print("--check-speedup: no 'before' numbers available; "
+                  "skipping gate")
+        elif slow:
+            print(f"PERF REGRESSION (speedup < {args.check_speedup} "
+                  f"vs {before_source}): {slow}")
+            return 2
+        else:
+            print(f"perf speedup check ok (all >= "
+                  f"{args.check_speedup}x vs {before_source})")
+    if args.check:
+        return check_regressions(results, args.check_against,
+                                 args.check_threshold)
+    return 0
+
+
+def check_regressions(results: Dict[str, dict], reference_path: str,
+                      threshold: float) -> int:
+    """Gate fresh measurements against a committed report's rates.
+
+    Compares each shared workload's rate with the reference report's
+    ``after`` numbers and fails (exit 2) on any fractional drop beyond
+    ``threshold``. Cross-machine comparisons are inherently noisy --
+    the threshold should stay generous (CI uses the default 20%).
+    """
+    if not os.path.exists(reference_path):
+        print(f"--check: no reference report at {reference_path}; "
+              f"skipping gate")
+        return 0
+    with open(reference_path, encoding="utf-8") as handle:
+        reference = json.load(handle).get("after", {})
+    regressions = []
+    for name, entry in results.items():
+        base = reference.get(name)
+        if not base:
+            continue
+        after_rate, base_rate = _rate(entry), _rate(base)
+        if not (after_rate and base_rate):
+            continue
+        drop = 1.0 - after_rate / base_rate
+        if drop > threshold:
+            regressions.append((name, base_rate, after_rate, drop))
+    if regressions:
+        print(f"PERF REGRESSION (> {threshold:.0%} vs "
+              f"{reference_path}):")
+        for name, base_rate, after_rate, drop in regressions:
+            print(f"  {name:24s} {base_rate:>12,.0f}/s -> "
+                  f"{after_rate:>12,.0f}/s  ({drop:.1%} slower)")
+        return 2
+    print(f"perf check ok (no workload regressed > {threshold:.0%})")
     return 0
 
 

@@ -5,8 +5,9 @@ from .runner import (alternating_values, run_consensus, split_values)
 from .stats import correlation, growth_ratio, linear_fit, mean, stdev
 from .sweeps import SweepPoint, SweepResult, parallel_sweep, sweep
 from .tables import format_markdown_table, format_table
-from .export import (load_trace, save_trace, trace_from_json,
-                     trace_to_json, trace_to_records)
+from .export import (crashes_from_json, load_crashes, load_trace,
+                     save_trace, trace_from_json, trace_to_json,
+                     trace_to_records)
 
 __all__ = [
     "RunMetrics",
@@ -27,6 +28,8 @@ __all__ = [
     "SweepPoint",
     "save_trace",
     "load_trace",
+    "load_crashes",
+    "crashes_from_json",
     "trace_to_json",
     "trace_from_json",
     "trace_to_records",

@@ -6,17 +6,26 @@ EXPERIMENTS.md, or analyse executions with external tooling. Payloads
 are stored as ``repr`` strings: traces round-trip structurally
 (times, kinds, nodes, broadcast ids) with payloads preserved for
 human inspection rather than re-execution.
+
+Crash *scenarios* round-trip losslessly: ``save_trace(...,
+crashes=plans)`` serializes each :class:`~repro.macsim.crash.CrashPlan`
+via its ``to_dict`` (the None / empty / subset distinction of
+``still_delivered`` survives -- frozen sets no longer stringify), and
+:func:`load_crashes` rebuilds equal plans that can re-drive a
+simulation.
 """
 
 from __future__ import annotations
 
 import json
-from typing import Any, Dict, List, Optional
+from typing import Any, Dict, Iterable, List, Optional
 
+from ..macsim.crash import CrashPlan
 from ..macsim.trace import Trace, TraceRecord
 
-#: Schema version stamped into exports.
-SCHEMA_VERSION = 1
+#: Schema version stamped into exports. Version 2 added the optional
+#: ``crashes`` scenario block (version-1 documents still load).
+SCHEMA_VERSION = 2
 
 
 def trace_to_records(trace: Trace) -> List[Dict[str, Any]]:
@@ -36,14 +45,24 @@ def trace_to_records(trace: Trace) -> List[Dict[str, Any]]:
 
 
 def trace_to_json(trace: Trace, *, indent: Optional[int] = None,
-                  metadata: Optional[Dict[str, Any]] = None) -> str:
-    """Serialize a trace (plus optional run metadata) to JSON."""
+                  metadata: Optional[Dict[str, Any]] = None,
+                  crashes: Iterable[CrashPlan] = ()) -> str:
+    """Serialize a trace (plus metadata and crash scenario) to JSON."""
     document = {
         "schema": SCHEMA_VERSION,
         "metadata": metadata or {},
+        "crashes": [plan.to_dict() for plan in crashes],
         "records": trace_to_records(trace),
     }
     return json.dumps(document, indent=indent)
+
+
+def _parse_document(text: str) -> dict:
+    document = json.loads(text)
+    if document.get("schema") not in (1, SCHEMA_VERSION):
+        raise ValueError(
+            f"unsupported trace schema: {document.get('schema')!r}")
+    return document
 
 
 def trace_from_json(text: str) -> Trace:
@@ -53,10 +72,7 @@ def trace_from_json(text: str) -> Trace:
     queries (decision times, counts, crashed nodes) work as on the
     original.
     """
-    document = json.loads(text)
-    if document.get("schema") != SCHEMA_VERSION:
-        raise ValueError(
-            f"unsupported trace schema: {document.get('schema')!r}")
+    document = _parse_document(text)
     trace = Trace()
     for rec in document["records"]:
         trace.append(TraceRecord(
@@ -66,17 +82,32 @@ def trace_from_json(text: str) -> Trace:
     return trace
 
 
+def crashes_from_json(text: str) -> List[CrashPlan]:
+    """The crash scenario stored in an export (empty for v1 files)."""
+    document = _parse_document(text)
+    return [CrashPlan.from_dict(entry)
+            for entry in document.get("crashes", ())]
+
+
 def save_trace(trace: Trace, path: str, *,
-               metadata: Optional[Dict[str, Any]] = None) -> None:
-    """Write a trace export to ``path``."""
+               metadata: Optional[Dict[str, Any]] = None,
+               crashes: Iterable[CrashPlan] = ()) -> None:
+    """Write a trace export (optionally with its crash scenario)."""
     with open(path, "w", encoding="utf-8") as handle:
-        handle.write(trace_to_json(trace, indent=2, metadata=metadata))
+        handle.write(trace_to_json(trace, indent=2, metadata=metadata,
+                                   crashes=crashes))
 
 
 def load_trace(path: str) -> Trace:
     """Read a trace export from ``path``."""
     with open(path, encoding="utf-8") as handle:
         return trace_from_json(handle.read())
+
+
+def load_crashes(path: str) -> List[CrashPlan]:
+    """Read the crash scenario back from an export, losslessly."""
+    with open(path, encoding="utf-8") as handle:
+        return crashes_from_json(handle.read())
 
 
 def _label(value: Any) -> Any:

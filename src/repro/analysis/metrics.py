@@ -20,6 +20,7 @@ class RunMetrics:
     scheduler: str
     correct: bool
     agreement: bool
+    validity: bool
     termination: bool
     first_decision: Optional[float]
     last_decision: Optional[float]
@@ -47,9 +48,17 @@ class RunMetrics:
 def collect_metrics(*, algorithm: str, topology: str, graph,
                     scheduler, result: RunResult,
                     initial_values: Dict[Any, int],
-                    diameter: Optional[int] = None) -> RunMetrics:
-    """Build a :class:`RunMetrics` from a completed run."""
-    report = check_consensus(result.trace, initial_values)
+                    diameter: Optional[int] = None,
+                    faulty: frozenset = frozenset(),
+                    untrusted: Optional[frozenset] = None) -> RunMetrics:
+    """Build a :class:`RunMetrics` from a completed run.
+
+    ``faulty`` scopes the consensus properties to correct nodes and
+    ``untrusted`` the validity input set (fault-model runs); see
+    :func:`repro.macsim.invariants.check_consensus`.
+    """
+    report = check_consensus(result.trace, initial_values, faulty=faulty,
+                             untrusted=untrusted)
     trace = result.trace
     times = trace.decision_times()
     per_node = trace.broadcasts_per_node()
@@ -62,6 +71,7 @@ def collect_metrics(*, algorithm: str, topology: str, graph,
         scheduler=type(scheduler).__name__,
         correct=report.ok,
         agreement=report.agreement,
+        validity=report.validity,
         termination=report.termination,
         first_decision=min(times.values()) if times else None,
         last_decision=max(times.values()) if times else None,

@@ -32,6 +32,7 @@ def run_consensus(*, algorithm: str, topology: str, graph, scheduler,
                   max_events: int = 20_000_000,
                   max_time: Optional[float] = None,
                   check_invariants: bool = True,
+                  fault_model=None,
                   trace_level: "TraceLevel | str" = TraceLevel.FULL
                   ) -> RunMetrics:
     """Run one consensus execution and return its metrics.
@@ -39,6 +40,11 @@ def run_consensus(*, algorithm: str, topology: str, graph, scheduler,
     ``factory(label, value)`` builds the process for each node. Model
     invariants are verified on the trace unless disabled (they are
     O(trace) and cheap at experiment sizes).
+
+    ``fault_model`` is an optional
+    :class:`~repro.macsim.faults.base.FaultModel` adversary; when
+    present, invariants and consensus properties are scoped to its
+    correct (non-faulty) nodes.
 
     ``trace_level`` selects how much of the execution is materialized
     (see :class:`~repro.macsim.trace.TraceLevel`). Model-invariant
@@ -49,16 +55,22 @@ def run_consensus(*, algorithm: str, topology: str, graph, scheduler,
     """
     values = initial_values or alternating_values(graph)
     level = TraceLevel.coerce(trace_level)
+    faulty = (frozenset() if fault_model is None
+              else frozenset(fault_model.faulty_nodes()))
+    untrusted = (frozenset() if fault_model is None
+                 else frozenset(fault_model.lying_nodes()))
     sim = build_simulation(graph, lambda v: factory(v, values[v]),
-                           scheduler, trace_level=level)
+                           scheduler, fault_model=fault_model,
+                           trace_level=level)
     result = sim.run(max_events=max_events, max_time=max_time)
     if check_invariants and level is TraceLevel.FULL:
         report = check_model_invariants(graph, result.trace,
-                                        scheduler.f_ack)
+                                        scheduler.f_ack, faulty=faulty)
         if not report.ok:
             raise ModelViolationError(
                 f"{algorithm} on {topology}: " + "; ".join(
                     report.violations[:5]))
     return collect_metrics(algorithm=algorithm, topology=topology,
                            graph=graph, scheduler=scheduler,
-                           result=result, initial_values=values)
+                           result=result, initial_values=values,
+                           faulty=faulty, untrusted=untrusted)

@@ -20,17 +20,25 @@ from typing import Any, Dict
 
 from .analysis.export import save_trace
 from .analysis.metrics import collect_metrics
-from .core import (BenOrConsensus, GatherAllConsensus, PaxosFloodNode,
-                   TwoPhaseConsensus, WPaxosConfig, WPaxosNode)
+from .core import (BenOrConsensus, ByzantineConsensus, GatherAllConsensus,
+                   PaxosFloodNode, TwoPhaseConsensus, WPaxosConfig,
+                   WPaxosNode, max_tolerance)
 from .macsim import build_simulation, check_consensus
+from .macsim.faults import (ByzantineFaultModel, ByzantinePlan,
+                            CorruptStrategy, CrashFaultModel,
+                            EquivocateStrategy, OmissionFaultModel,
+                            OmissionPlan, SilentStrategy)
+from .macsim.crash import crash_plan
 from .macsim.schedulers import (MaxDelayScheduler, RandomDelayScheduler,
                                 SynchronousScheduler)
 from .topology import (clique, grid, line, random_connected,
                        random_geometric, ring, star, star_of_cliques)
 
 ALGORITHMS = ("two-phase", "wpaxos", "gatherall", "flood-paxos",
-              "ben-or")
+              "ben-or", "byzantine")
 SCHEDULERS = ("synchronous", "random", "max-delay")
+BYZ_STRATEGIES = {"silent": SilentStrategy, "corrupt": CorruptStrategy,
+                  "equivocate": EquivocateStrategy}
 
 
 def parse_topology(spec: str):
@@ -96,7 +104,60 @@ def make_factory(algorithm: str, graph, values: Dict[Any, int],
         f = (n - 1) // 2
         return lambda v: BenOrConsensus(uid[v], values[v], n, f,
                                         seed=seed * 101 + uid[v])
+    if algorithm == "byzantine":
+        f = max_tolerance(n)
+        relay = graph.diameter() > 1
+        return lambda v: ByzantineConsensus(uid[v], values[v], n, f,
+                                            seed=seed * 101 + uid[v],
+                                            relay=relay)
     raise SystemExit(f"unknown algorithm {algorithm!r}")
+
+
+def make_fault_model(args, graph):
+    """Build the fault model requested by the ``run`` flags.
+
+    The faulty nodes are taken from the *end* of the canonical node
+    order, so ``--byzantine 2`` on ``clique:8`` makes nodes 6 and 7
+    Byzantine. Only one fault family may be active per run.
+    """
+    nodes = list(graph.nodes)
+    if args.byzantine < 0 or args.omission < 0:
+        raise SystemExit("--byzantine/--omission take a non-negative "
+                         "node count")
+    requested = [name for name, flag in
+                 (("byzantine", args.byzantine),
+                  ("omission", args.omission),
+                  ("crash", args.crash)) if flag]
+    if len(requested) > 1:
+        raise SystemExit("choose one of --byzantine/--omission/--crash")
+    if args.byzantine:
+        if args.byzantine >= graph.n:
+            raise SystemExit("--byzantine must leave at least one "
+                             "correct node")
+        strategy_cls = BYZ_STRATEGIES[args.byz_strategy]
+        plans = [ByzantinePlan(node=v, strategy=strategy_cls(),
+                               seed=args.seed * 13 + i)
+                 for i, v in enumerate(nodes[-args.byzantine:])]
+        return ByzantineFaultModel(plans)
+    if args.omission:
+        if args.omission >= graph.n:
+            raise SystemExit("--omission must leave at least one "
+                             "correct node")
+        plans = [OmissionPlan(node=v, send=True, receive=False)
+                 for v in nodes[-args.omission:]]
+        return OmissionFaultModel(plans)
+    if args.crash:
+        node, _, when = args.crash.partition("@")
+        label = int(node) if node.isdigit() else node
+        if not graph.has_node(label):
+            raise SystemExit(f"--crash: unknown node {node!r}")
+        try:
+            time = float(when) if when else 1.0
+        except ValueError:
+            raise SystemExit(f"--crash: TIME must be a number, got "
+                             f"{when!r}")
+        return CrashFaultModel([crash_plan(label, time)])
+    return None
 
 
 def cmd_run(args: argparse.Namespace) -> int:
@@ -104,29 +165,46 @@ def cmd_run(args: argparse.Namespace) -> int:
     scheduler = make_scheduler(args.scheduler, args.f_ack, args.seed)
     values = {v: i % 2 for i, v in enumerate(graph.nodes)}
     factory = make_factory(args.algorithm, graph, values, args.seed)
-    sim = build_simulation(graph, factory, scheduler)
+    fault_model = make_fault_model(args, graph)
+    faulty = (frozenset() if fault_model is None
+              else frozenset(fault_model.faulty_nodes()))
+    untrusted = (frozenset() if fault_model is None
+                 else frozenset(fault_model.lying_nodes()))
+    sim = build_simulation(graph, factory, scheduler,
+                           fault_model=fault_model)
     result = sim.run(max_time=args.max_time)
-    report = check_consensus(result.trace, values)
+    report = check_consensus(result.trace, values, faulty=faulty,
+                             untrusted=untrusted)
     metrics = collect_metrics(
         algorithm=args.algorithm, topology=args.topology, graph=graph,
-        scheduler=scheduler, result=result, initial_values=values)
+        scheduler=scheduler, result=result, initial_values=values,
+        faulty=faulty, untrusted=untrusted)
 
     print(f"algorithm:      {args.algorithm}")
     print(f"topology:       {args.topology} "
           f"(n={graph.n}, D={metrics.diameter})")
     print(f"scheduler:      {scheduler.describe()}")
+    if fault_model is not None:
+        print(f"fault model:    {fault_model.describe()} "
+              f"(faulty: {sorted(map(str, faulty))})")
+    scope = " (among correct nodes)" if faulty else ""
     print(f"consensus:      agreement={report.agreement} "
           f"validity={report.validity} "
-          f"termination={report.termination}")
+          f"termination={report.termination}{scope}")
     print(f"decision:       {sorted(set(report.decisions.values()))}")
     print(f"decision time:  {metrics.last_decision} "
           f"({metrics.normalized_time} x F_ack)")
     print(f"broadcasts:     {metrics.broadcasts} "
           f"(max {metrics.max_broadcasts_per_node} per node)")
     if args.trace_out:
+        crashes = (fault_model.crash_plans()
+                   if fault_model is not None else ())
         save_trace(result.trace, args.trace_out, metadata={
             "algorithm": args.algorithm, "topology": args.topology,
-            "scheduler": scheduler.describe(), "seed": args.seed})
+            "scheduler": scheduler.describe(), "seed": args.seed,
+            "fault_model": (fault_model.describe()
+                            if fault_model is not None else None)},
+            crashes=crashes)
         print(f"trace written:  {args.trace_out} "
               f"({len(result.trace)} records)")
     return 0 if report.ok else 1
@@ -184,6 +262,17 @@ def build_parser() -> argparse.ArgumentParser:
     run_p.add_argument("--max-time", type=float, default=None)
     run_p.add_argument("--trace-out", default=None,
                        help="write the execution trace as JSON")
+    run_p.add_argument("--byzantine", type=int, default=0,
+                       metavar="K",
+                       help="make the last K nodes Byzantine")
+    run_p.add_argument("--byz-strategy", default="corrupt",
+                       choices=sorted(BYZ_STRATEGIES),
+                       help="Byzantine strategy (with --byzantine)")
+    run_p.add_argument("--omission", type=int, default=0, metavar="K",
+                       help="make the last K nodes send-omission "
+                            "faulty")
+    run_p.add_argument("--crash", default=None, metavar="NODE[@TIME]",
+                       help="crash NODE at TIME (default 1.0)")
     run_p.set_defaults(func=cmd_run)
 
     exp_p = sub.add_parser("experiments",

@@ -6,6 +6,9 @@
   ``O(n * F_ack)`` comparison points of Section 4.2.
 * :mod:`repro.core.heuristics` -- stability heuristics used to exhibit
   the Section 3 impossibility results.
+* :mod:`repro.core.byzantine` -- Byzantine-tolerant grading +
+  amplification consensus (the Tseng-Sardina direction), paired with
+  the :mod:`repro.macsim.faults` adversary subsystem.
 """
 
 from .base import ConsensusProcess, VALUES
@@ -14,10 +17,13 @@ from .wpaxos import SafetyMonitor, WPaxosConfig, WPaxosNode
 from .baselines import GatherAllConsensus, PaxosFloodNode
 from .heuristics import AnonymousMinFlood, NoSizeMinIdFlood
 from .randomized import BenOrConsensus
+from .byzantine import ByzantineConsensus, max_tolerance
 
 __all__ = [
     "ConsensusProcess",
     "VALUES",
+    "ByzantineConsensus",
+    "max_tolerance",
     "TwoPhaseConsensus",
     "Phase1Message",
     "Phase2Message",

@@ -1,0 +1,320 @@
+"""Byzantine-tolerant consensus over the abstract MAC layer.
+
+The protocol follows the *value-grading + amplification* shape of the
+abstract-MAC Byzantine line (Tseng & Sardina 2023), instantiated with
+Ben-Or's classic Byzantine thresholds. Each phase has two steps, both
+riding the MAC layer's ack/progress guarantees (a node's broadcast
+reaches every neighbor before its ack; ``F_ack`` bounds completion but
+is unknown to nodes):
+
+* **Grade step.** Broadcast ``(GRADE, r, v)`` and collect grade
+  messages for phase ``r`` from ``n - f`` distinct origins (waiting on
+  quorums, never on named nodes -- a silent Byzantine node must not be
+  able to block progress). If some value ``w`` holds *strictly more
+  than* ``(n + f) / 2`` of the collected votes, the node grades ``w``
+  (it is now sure a majority of correct nodes reported ``w``);
+  otherwise it carries the plain majority value ungraded.
+* **Amplify step.** Broadcast ``(AMP, r, w, graded)`` and again
+  collect ``n - f``. If strictly more than ``(n + f) / 2`` collected
+  amplifications are *graded* for the same ``w``: **decide** ``w``.
+  Else if at least ``f + 1`` are graded for ``w`` (at least one
+  correct grader): adopt ``w``. Else: flip a local coin for the next
+  phase's value.
+
+With ``n > 5f`` these thresholds give, even against *equivocating*
+Byzantine nodes (which plain local broadcast actually forbids --
+see :mod:`repro.macsim.faults.byzantine`):
+
+* per phase, at most one value can acquire any correct grader;
+* two correct nodes can never decide differently in the same phase;
+* once a correct node decides ``w``, every correct node adopts ``w``
+  and decides it in the following phase (so deciders participate for
+  exactly one more phase, then halt -- the run drains).
+
+Validity: with unanimous correct input ``v``, every correct node
+grades and decides ``v`` in phase 1. Termination is probabilistic via
+the local coins (deterministic Byzantine consensus with guaranteed
+termination is impossible here -- the model's Theorem 3.2 obstruction
+applies to crashes already), which mirrors the randomized fallback the
+papers use.
+
+Multi-hop networks (``relay=True``): messages are flooded inside
+:class:`Relay` envelopes, each node re-broadcasting every distinct
+protocol message once. The relay layer is *content-authenticated*
+(the signed-messages analogue of Tseng-Sardina's non-equivocation
+assumption): a Byzantine node freely corrupts, equivocates or
+suppresses traffic it *originates* -- and may silently drop what it
+should forward -- but cannot forge the content of another origin's
+message in transit (:meth:`Relay.forge` corrupts only self-originated
+payloads). Liveness then needs the graph minus the Byzantine nodes to
+stay connected. Unauthenticated multi-hop relaying (Dolev-style
+disjoint-path certification) is left as future work. Identity forgery
+(Sybil) is likewise out of scope, matching the papers' known-ids
+oral-messages model.
+"""
+
+from __future__ import annotations
+
+import random
+from collections import deque
+from dataclasses import dataclass
+from typing import Any, Dict, Optional, Set, Tuple, Union
+
+from .base import ConsensusProcess
+
+#: Step tags inside one phase.
+GRADE = "grade"
+AMP = "amp"
+
+
+@dataclass(frozen=True)
+class GradeMessage:
+    """``(GRADE, phase, origin, value)`` -- the phase-r report."""
+
+    origin: int
+    phase: int
+    value: int
+
+    def forge(self, value: Any) -> "GradeMessage":
+        """Adversary interface: same origin/phase, forged value."""
+        return GradeMessage(self.origin, self.phase, value)
+
+    def id_footprint(self) -> int:
+        return 1
+
+
+@dataclass(frozen=True)
+class AmpMessage:
+    """``(AMP, phase, origin, value, graded)`` -- the amplification.
+
+    ``graded`` asserts the origin saw a ``> (n + f) / 2`` majority for
+    ``value`` in this phase's grade step. A forged amplification
+    always claims the grade -- the strongest lie available.
+    """
+
+    origin: int
+    phase: int
+    value: Optional[int]
+    graded: bool
+
+    def forge(self, value: Any) -> "AmpMessage":
+        return AmpMessage(self.origin, self.phase, value, True)
+
+    def id_footprint(self) -> int:
+        return 1
+
+
+@dataclass(frozen=True)
+class Relay:
+    """Flooding envelope for multi-hop runs: who re-broadcast what."""
+
+    relayer: int
+    inner: Union[GradeMessage, AmpMessage]
+
+    def forge(self, value: Any) -> "Relay":
+        """Adversary interface, honouring relay authentication.
+
+        A Byzantine node corrupts what it *originates*; content it
+        merely forwards is authenticated by the origin and passes
+        through unmodified (see the module docstring).
+        """
+        if self.inner.origin == self.relayer:
+            return Relay(self.relayer, self.inner.forge(value))
+        return self
+
+    def id_footprint(self) -> int:
+        return 1 + self.inner.id_footprint()
+
+
+def max_tolerance(n: int) -> int:
+    """The largest ``f`` with ``n > 5f`` (the protocol's bound)."""
+    return max(0, (n - 1) // 5)
+
+
+class ByzantineConsensus(ConsensusProcess):
+    """Grading + amplification Byzantine binary consensus.
+
+    Parameters
+    ----------
+    uid:
+        Unique node id (the protocol embeds it in every message).
+    initial_value:
+        Binary consensus input.
+    n:
+        Number of participants (known, as in Tseng-Sardina).
+    f:
+        Assumed bound on Byzantine identities. Safety against
+        equivocating adversaries needs ``n > 5f``; the constructor
+        does *not* enforce that so experiments can run the protocol
+        past its bound and exhibit the violation.
+    seed:
+        Seed for the local coin (termination randomness).
+    relay:
+        Flood messages for multi-hop networks (see module docstring).
+    max_phases:
+        Hard stop: a node that reaches this phase without deciding
+        halts undecided (keeps adversarial runs finite).
+    """
+
+    def __init__(self, uid: int, initial_value: int, n: int, f: int, *,
+                 seed: int = 0, relay: bool = False,
+                 max_phases: int = 64) -> None:
+        super().__init__(uid=uid, initial_value=initial_value)
+        if uid is None:
+            raise ValueError("ByzantineConsensus requires a unique id")
+        if f < 0 or n < 1:
+            raise ValueError("need n >= 1 and f >= 0")
+        self.n = n
+        self.f = f
+        self.relay = relay
+        self.max_phases = max_phases
+        self.rng = random.Random(seed)
+
+        self.quorum = n - f
+        #: Strictly-more-than-(n+f)/2 as an integer floor+1.
+        self.super_threshold = (n + f) // 2 + 1
+        self.adopt_threshold = f + 1
+
+        self.phase = 1
+        self.step = GRADE
+        self.value = int(initial_value)
+        self.halt_after: Optional[int] = None
+        self.halted = False
+
+        #: phase -> origin -> reported value (first accepted wins).
+        self.grade_msgs: Dict[int, Dict[int, int]] = {}
+        #: phase -> origin -> (value, graded).
+        self.amp_msgs: Dict[int, Dict[int, Tuple[Optional[int], bool]]] = {}
+        #: Relay mode: protocol messages already re-broadcast.
+        self._relayed: Set[Any] = set()
+        self._outbox: deque = deque()
+
+    # ------------------------------------------------------------------
+    # MAC handlers
+    # ------------------------------------------------------------------
+    def on_start(self) -> None:
+        first = GradeMessage(self.uid, 1, self.value)
+        self._accept(first)
+        self._emit(first)
+
+    def on_ack(self) -> None:
+        self._pump()
+
+    def on_receive(self, message: Any) -> None:
+        if self.relay:
+            if not isinstance(message, Relay):
+                return
+            inner = message.inner
+            if not isinstance(inner, (GradeMessage, AmpMessage)):
+                return
+            if inner not in self._relayed and not self.halted:
+                self._relayed.add(inner)
+                self._enqueue(Relay(self.uid, inner))
+            self._accept(inner)
+        else:
+            if isinstance(message, (GradeMessage, AmpMessage)):
+                self._accept(message)
+        self._advance()
+
+    # ------------------------------------------------------------------
+    # Outbox (one in-flight broadcast at a time)
+    # ------------------------------------------------------------------
+    def _emit(self, message: Any) -> None:
+        if self.relay:
+            self._relayed.add(message)
+            message = Relay(self.uid, message)
+        self._enqueue(message)
+
+    def _enqueue(self, message: Any) -> None:
+        self._outbox.append(message)
+        self._pump()
+
+    def _pump(self) -> None:
+        while self._outbox and not self.ack_pending and not self.crashed:
+            if not self.broadcast(self._outbox.popleft()):
+                break
+
+    # ------------------------------------------------------------------
+    # Protocol state machine
+    # ------------------------------------------------------------------
+    def _accept(self, msg: Union[GradeMessage, AmpMessage]) -> None:
+        """First-accepted-wins buffering per (phase, step, origin).
+
+        Under equivocation different nodes may accept different values
+        for the same Byzantine origin; the thresholds are chosen to
+        tolerate exactly that.
+        """
+        if isinstance(msg, GradeMessage):
+            if msg.value in (0, 1):
+                bucket = self.grade_msgs.setdefault(msg.phase, {})
+                bucket.setdefault(msg.origin, msg.value)
+        else:
+            value = msg.value if msg.value in (0, 1) else None
+            graded = bool(msg.graded) and value is not None
+            bucket = self.amp_msgs.setdefault(msg.phase, {})
+            bucket.setdefault(msg.origin, (value, graded))
+
+    def _advance(self) -> None:
+        while not self.halted:
+            if self.step == GRADE:
+                bucket = self.grade_msgs.get(self.phase, {})
+                if len(bucket) < self.quorum:
+                    return
+                ones = sum(bucket.values())
+                zeros = len(bucket) - ones
+                if zeros >= self.super_threshold:
+                    candidate, graded = 0, True
+                elif ones >= self.super_threshold:
+                    candidate, graded = 1, True
+                else:
+                    candidate, graded = (0 if zeros >= ones else 1), False
+                self.step = AMP
+                msg = AmpMessage(self.uid, self.phase, candidate, graded)
+                self._accept(msg)
+                self._emit(msg)
+            else:
+                bucket = self.amp_msgs.get(self.phase, {})
+                if len(bucket) < self.quorum:
+                    return
+                g0 = sum(1 for value, graded in bucket.values()
+                         if graded and value == 0)
+                g1 = sum(1 for value, graded in bucket.values()
+                         if graded and value == 1)
+                if g0 >= self.super_threshold:
+                    self._decide_once(0)
+                elif g1 >= self.super_threshold:
+                    self._decide_once(1)
+                if self.decided:
+                    self.value = self.decision
+                elif g0 >= self.adopt_threshold and g0 > g1:
+                    self.value = 0
+                elif g1 >= self.adopt_threshold and g1 > g0:
+                    self.value = 1
+                else:
+                    self.value = self.rng.randint(0, 1)
+                if self.decided and self.halt_after is None:
+                    # Help laggards for exactly one more phase.
+                    self.halt_after = self.phase + 1
+                if (self.halt_after is not None
+                        and self.phase >= self.halt_after) \
+                        or self.phase >= self.max_phases:
+                    self.halted = True
+                    return
+                self.phase += 1
+                self.step = GRADE
+                msg = GradeMessage(self.uid, self.phase, self.value)
+                self._accept(msg)
+                self._emit(msg)
+
+    def _decide_once(self, value: int) -> None:
+        # Within the tolerance bound the protocol never reaches a
+        # conflicting second decision; past the bound (the E12
+        # violation runs) the irrevocability guard must not crash the
+        # node -- the first decision simply stands.
+        if not self.decided:
+            self.decide(value)
+
+    # ------------------------------------------------------------------
+    def state_fingerprint(self) -> Any:
+        return (self.phase, self.step, self.value, self.decided,
+                self.decision, self.halted)

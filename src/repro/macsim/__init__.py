@@ -19,16 +19,32 @@ Entry points:
 from .crash import CrashPlan, crash_plan
 from .errors import (ConfigurationError, MacSimError, ModelViolationError,
                      ProcessError, SimulationLimitError)
+from .faults import (DROP, ByzantineFaultModel, ByzantinePlan,
+                     ByzantineStrategy, CorruptStrategy, CrashFaultModel,
+                     EquivocateStrategy, FaultModel, OmissionFaultModel,
+                     OmissionPlan, SilentStrategy)
 from .invariants import (ConsensusReport, InvariantReport, check_consensus,
                          check_model_invariants)
 from .process import Process
 from .simulator import RunResult, Simulator, build_simulation
 from .trace import Trace, TraceLevel, TraceRecord
-from . import schedulers
+from . import faults, schedulers
 
 __all__ = [
     "CrashPlan",
     "crash_plan",
+    "DROP",
+    "FaultModel",
+    "CrashFaultModel",
+    "OmissionFaultModel",
+    "OmissionPlan",
+    "ByzantineFaultModel",
+    "ByzantinePlan",
+    "ByzantineStrategy",
+    "SilentStrategy",
+    "CorruptStrategy",
+    "EquivocateStrategy",
+    "faults",
     "MacSimError",
     "ConfigurationError",
     "ModelViolationError",

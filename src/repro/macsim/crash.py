@@ -9,6 +9,14 @@ to receive it.
 
 The Theorem 3.2 reproduction (E7) uses mid-broadcast crashes to build
 the witness-deadlock execution that stalls Two-Phase Consensus.
+
+Since the fault-model subsystem landed, crash injection is one fault
+model among several: the engine normalizes ``crashes=[...]`` into a
+:class:`repro.macsim.faults.crash.CrashFaultModel`, whose executions
+are byte-identical to the original machinery. This module keeps the
+original plan API, now with lossless serialization
+(:meth:`CrashPlan.to_dict` / :meth:`CrashPlan.from_dict`, used by
+:mod:`repro.analysis.export`) and a deterministic ``repr``.
 """
 
 from __future__ import annotations
@@ -41,11 +49,71 @@ class CrashPlan:
     time: float
     still_delivered: Optional[FrozenSet[Any]] = field(default=None)
 
+    def __post_init__(self) -> None:
+        # Coerce any iterable subset to frozenset so plans are
+        # hashable and ``repr`` round-trips through eval.
+        if (self.still_delivered is not None
+                and not isinstance(self.still_delivered, frozenset)):
+            object.__setattr__(self, "still_delivered",
+                               frozenset(self.still_delivered))
+
     def allows_delivery(self, receiver: Any) -> bool:
         """Whether a pending delivery to ``receiver`` survives the crash."""
         if self.still_delivered is None:
             return True
         return receiver in self.still_delivered
+
+    def __repr__(self) -> str:
+        """Deterministic repr: the frozen subset prints sorted.
+
+        The dataclass default stringifies ``frozenset`` in hash order,
+        which varies across runs/interpreters -- useless for diffing
+        exported scenarios. This form is stable and eval-round-trips
+        via :func:`crash_plan`.
+        """
+        if self.still_delivered is None:
+            subset = "None"
+        else:
+            subset = ("{" + ", ".join(
+                repr(v) for v in sorted(self.still_delivered,
+                                        key=lambda x: (str(type(x)),
+                                                       str(x), repr(x))))
+                + "}") if self.still_delivered else "frozenset()"
+        return (f"CrashPlan(node={self.node!r}, time={self.time!r}, "
+                f"still_delivered={subset})")
+
+    def to_dict(self) -> dict:
+        """JSON-serializable form; see :func:`CrashPlan.from_dict`.
+
+        ``still_delivered`` keeps the None / empty / subset
+        distinction: ``None`` (everything pending proceeds) maps to
+        JSON ``null``, a subset to a sorted list. The round-trip is
+        lossless for int/str/float labels and (nested) tuples of them
+        -- JSON turns tuples into lists, which ``from_dict`` freezes
+        back.
+        """
+        subset = (None if self.still_delivered is None
+                  else sorted(self.still_delivered,
+                              key=lambda x: (str(type(x)), str(x),
+                                             repr(x))))
+        return {"node": self.node, "time": self.time,
+                "still_delivered": subset}
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "CrashPlan":
+        """Inverse of :meth:`to_dict` (see there for label caveats)."""
+        subset = data.get("still_delivered")
+        return cls(node=_freeze(data["node"]), time=float(data["time"]),
+                   still_delivered=(None if subset is None
+                                    else frozenset(_freeze(v)
+                                                   for v in subset)))
+
+
+def _freeze(value: Any) -> Any:
+    """Re-hashable-ify a JSON-decoded label: lists become tuples."""
+    if isinstance(value, list):
+        return tuple(_freeze(v) for v in value)
+    return value
 
 
 def crash_plan(node: Any, time: float,

@@ -1,0 +1,57 @@
+"""Crash faults as a fault model.
+
+:class:`CrashFaultModel` is the subsystem's wrapper around the engine's
+original crash machinery: it contributes
+:class:`~repro.macsim.crash.CrashPlan` instances (including
+mid-broadcast partial-delivery semantics via ``still_delivered``) and
+intercepts nothing. Because the engine schedules and cancels crash
+events exactly as it did for the legacy ``crashes=`` argument -- which
+is itself normalized into this model -- a crash-only execution is
+byte-identical to the pre-subsystem engine, fast path included
+(``tests/test_faults.py`` pins this equivalence property).
+"""
+
+from __future__ import annotations
+
+from typing import Any, FrozenSet, Iterable, Tuple
+
+from ..crash import CrashPlan
+from ..errors import ConfigurationError
+from .base import FaultModel
+
+
+class CrashFaultModel(FaultModel):
+    """Fail-stop faults: each plan crashes one node once.
+
+    Parameters
+    ----------
+    plans:
+        The :class:`CrashPlan` instances to inject. At most one per
+        node (the engine enforces this too; failing early here gives a
+        clearer message).
+    """
+
+    name = "crash"
+
+    def __init__(self, plans: Iterable[CrashPlan] = ()) -> None:
+        self._plans: Tuple[CrashPlan, ...] = tuple(plans)
+        seen = set()
+        for plan in self._plans:
+            if plan.node in seen:
+                raise ConfigurationError(
+                    f"multiple crash plans for node {plan.node!r}")
+            seen.add(plan.node)
+        self._faulty = frozenset(seen)
+
+    @property
+    def plans(self) -> Tuple[CrashPlan, ...]:
+        return self._plans
+
+    def crash_plans(self) -> Tuple[CrashPlan, ...]:
+        return self._plans
+
+    def faulty_nodes(self) -> FrozenSet[Any]:
+        return self._faulty
+
+    def describe(self) -> str:
+        return f"crash(f={len(self._plans)})"

@@ -1,0 +1,134 @@
+"""Omission faults: nodes whose sends and/or receives are dropped.
+
+An omission-faulty node runs its program correctly but the adversary
+discards some of its traffic. Two directions, per
+:class:`OmissionPlan`:
+
+* **Send omission** -- the node's broadcasts are (probabilistically)
+  dropped before reaching any neighbor. The MAC layer still acks the
+  broadcast: the fault sits between the MAC and the air, so the sender
+  cannot detect it (the defining property of omission faults).
+* **Receive omission** -- deliveries *to* the node are dropped before
+  its ``on_receive`` fires.
+
+A dropped delivery never gates another sender's ack -- the dropped
+receiver is faulty, so the model's "every non-faulty neighbor receives
+before the ack" contract is untouched. The engine records each drop as
+a ``drop`` trace record, which the scoped invariant checker verifies
+only ever involves a faulty endpoint.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Any, Dict, FrozenSet, Iterable, Optional
+
+from ..errors import ConfigurationError
+from .base import DROP, DeliverHook, FaultModel, SendHook
+
+
+@dataclass(frozen=True)
+class OmissionPlan:
+    """Omission behaviour for one node.
+
+    Parameters
+    ----------
+    node:
+        Graph label of the faulty node.
+    send:
+        Drop the node's outgoing deliveries.
+    receive:
+        Drop deliveries addressed to the node.
+    start:
+        Faults only apply from this simulated time on (the node is
+        correct before it; models a component failing mid-run).
+    drop_rate:
+        Probability that any individual delivery is dropped. ``1.0``
+        (default) is deterministic total omission.
+    seed:
+        RNG seed for ``drop_rate < 1`` sampling; runs stay
+        deterministic for a fixed seed and scheduler.
+    """
+
+    node: Any
+    send: bool = True
+    receive: bool = False
+    start: float = 0.0
+    drop_rate: float = 1.0
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if not (self.send or self.receive):
+            raise ConfigurationError(
+                f"omission plan for {self.node!r} omits nothing")
+        if not 0.0 <= self.drop_rate <= 1.0:
+            raise ConfigurationError(
+                f"drop_rate must lie in [0, 1], got {self.drop_rate}")
+
+
+class OmissionFaultModel(FaultModel):
+    """Per-node send/receive omission under an adversary policy."""
+
+    name = "omission"
+
+    def __init__(self, plans: Iterable[OmissionPlan] = ()) -> None:
+        self._by_node: Dict[Any, OmissionPlan] = {}
+        for plan in plans:
+            if plan.node in self._by_node:
+                raise ConfigurationError(
+                    f"multiple omission plans for node {plan.node!r}")
+            self._by_node[plan.node] = plan
+        self._rngs: Dict[Any, random.Random] = {
+            node: random.Random(plan.seed)
+            for node, plan in self._by_node.items()
+            if plan.drop_rate < 1.0}
+        self._send_nodes = {n for n, p in self._by_node.items() if p.send}
+        self._recv_nodes = {n for n, p in self._by_node.items()
+                            if p.receive}
+
+    def faulty_nodes(self) -> FrozenSet[Any]:
+        return frozenset(self._by_node)
+
+    def _drops(self, plan: OmissionPlan, now: float) -> bool:
+        if now < plan.start:
+            return False
+        if plan.drop_rate >= 1.0:
+            return True
+        return self._rngs[plan.node].random() < plan.drop_rate
+
+    def send_hook(self) -> Optional[SendHook]:
+        if not self._send_nodes:
+            return None
+        by_node = self._by_node
+        send_nodes = self._send_nodes
+
+        def on_send(sender: Any, payload: Any, neighbors: tuple,
+                    now: float) -> Optional[dict]:
+            if sender not in send_nodes:
+                return None
+            plan = by_node[sender]
+            overrides = {v: DROP for v in neighbors
+                         if self._drops(plan, now)}
+            return overrides or None
+
+        return on_send
+
+    def deliver_hook(self) -> Optional[DeliverHook]:
+        if not self._recv_nodes:
+            return None
+        by_node = self._by_node
+        recv_nodes = self._recv_nodes
+
+        def on_deliver(sender: Any, receiver: Any, payload: Any,
+                       now: float) -> Any:
+            if receiver in recv_nodes and self._drops(by_node[receiver],
+                                                      now):
+                return DROP
+            return payload
+
+        return on_deliver
+
+    def describe(self) -> str:
+        return (f"omission(send={sorted(map(str, self._send_nodes))}, "
+                f"receive={sorted(map(str, self._recv_nodes))})")

@@ -6,12 +6,25 @@ and, where applicable, the three consensus properties (agreement,
 validity, termination). The test-suite runs them over every simulation
 it performs; the hypothesis property tests run them over thousands of
 randomized schedules.
+
+Correct-node scoping
+--------------------
+Under the fault-model subsystem (:mod:`repro.macsim.faults`) both
+checkers accept a ``faulty`` node set. Faulty nodes are exempt from
+the obligations the model only imposes on correct ones -- a Byzantine
+sender's broadcast need not reach every neighbor before its ack, its
+delivered payloads may differ from what it "sent", and its decisions
+are ignored -- while *new* checks hold the adversary to its license:
+a ``drop`` record between two correct endpoints, or a payload
+mutation on a correct sender's broadcast, is still a model violation.
+Agreement and validity are judged among correct nodes only, the form
+in which they are provable at all under Byzantine faults.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Any, Optional
+from typing import Any, FrozenSet, Optional
 
 from .errors import ModelViolationError
 from .trace import Trace
@@ -35,7 +48,9 @@ class InvariantReport:
 
 def check_model_invariants(graph, trace: Trace,
                            f_ack: Optional[float] = None,
-                           unreliable_graph=None) -> InvariantReport:
+                           unreliable_graph=None,
+                           faulty: FrozenSet[Any] = frozenset()
+                           ) -> InvariantReport:
     """Verify the MAC-layer contract over a completed trace.
 
     Checks, per broadcast:
@@ -47,10 +62,16 @@ def check_model_invariants(graph, trace: Trace,
     * the ack arrives within ``f_ack`` of the broadcast (if given);
     * every non-crashed *reliable* neighbor received the message
       before the ack (unreliable neighbors never gate the ack);
-    * no activity by a node after its crash.
+    * no activity by a node after its crash;
+    * with a ``faulty`` set (fault-model runs): delivered payloads
+      match the broadcast payload unless the sender is faulty, and
+      ``drop`` records only ever involve a faulty endpoint. The ack
+      coverage rule is not enforced for faulty senders or faulty
+      neighbors (their deliveries may be legitimately dropped).
     """
     report = InvariantReport(ok=True)
     starts: dict[int, tuple[float, Any]] = {}
+    payloads: dict[int, Any] = {}
     delivered: dict[int, set] = {}
     delivery_last: dict[int, float] = {}
     crash_time: dict[Any, float] = {}
@@ -62,10 +83,22 @@ def check_model_invariants(graph, trace: Trace,
     for rec in trace:
         if rec.kind == "broadcast":
             starts[rec.broadcast_id] = (rec.time, rec.node)
+            payloads[rec.broadcast_id] = rec.payload
             delivered[rec.broadcast_id] = set()
             if rec.node in crash_time and rec.time > crash_time[rec.node]:
                 report.add(f"crashed node {rec.node!r} broadcast at "
                            f"{rec.time}")
+        elif rec.kind == "drop":
+            bid = rec.broadcast_id
+            if bid not in starts:
+                report.add(f"drop for unknown broadcast {bid}")
+                continue
+            _, sender = starts[bid]
+            if sender not in faulty and rec.node not in faulty:
+                report.add(
+                    f"broadcast {bid} dropped between correct nodes "
+                    f"{sender!r} -> {rec.node!r}")
+            delivered[bid].add(rec.node)
         elif rec.kind == "deliver":
             bid = rec.broadcast_id
             if bid not in starts:
@@ -86,6 +119,10 @@ def check_model_invariants(graph, trace: Trace,
                            f"start")
             if rec.node in crash_time and rec.time > crash_time[rec.node]:
                 report.add(f"delivery to crashed node {rec.node!r}")
+            if sender not in faulty and rec.payload != payloads.get(bid):
+                report.add(
+                    f"broadcast {bid} of correct node {sender!r} "
+                    f"delivered mutated payload to {rec.node!r}")
             delivered[bid].add(rec.node)
             delivery_last[bid] = max(delivery_last.get(bid, rec.time),
                                      rec.time)
@@ -104,10 +141,16 @@ def check_model_invariants(graph, trace: Trace,
             if f_ack is not None and rec.time - start_time > f_ack + 1e-6:
                 report.add(f"ack for broadcast {bid} took "
                            f"{rec.time - start_time} > F_ack={f_ack}")
+            if sender in faulty:
+                # A faulty sender's broadcast may be partially or
+                # wholly suppressed; its ack gates nothing.
+                continue
             for neighbor in graph.neighbors(sender):
                 neighbor_crashed = (neighbor in crash_time
                                     and crash_time[neighbor] <= rec.time)
-                if neighbor not in delivered[bid] and not neighbor_crashed:
+                if (neighbor not in delivered[bid]
+                        and not neighbor_crashed
+                        and neighbor not in faulty):
                     report.add(
                         f"ack for broadcast {bid} of {sender!r} before "
                         f"non-faulty neighbor {neighbor!r} received")
@@ -130,21 +173,41 @@ class ConsensusReport:
 
 
 def check_consensus(trace: Trace, initial_values: dict,
-                    alive_nodes: Optional[list] = None) -> ConsensusReport:
+                    alive_nodes: Optional[list] = None,
+                    faulty: FrozenSet[Any] = frozenset(),
+                    untrusted: Optional[FrozenSet[Any]] = None
+                    ) -> ConsensusReport:
     """Check agreement/validity/termination against a trace.
 
     ``initial_values`` maps node label -> consensus input. Termination
     is judged over ``alive_nodes`` (defaults to every node that did not
-    crash in the trace).
+    crash in the trace and is not ``faulty``).
+
+    With a non-empty ``faulty`` set, agreement and termination are
+    scoped to *correct* nodes: faulty decisions are ignored.
+    ``untrusted`` additionally names the nodes whose *inputs* do not
+    validate a decision; it defaults to ``faulty`` (the Byzantine
+    reading). Crash/omission callers pass
+    ``untrusted=fault_model.lying_nodes()`` (empty for those models),
+    because a crashed node executes its program correctly and its
+    input remains a legitimate decision value.
     """
+    if untrusted is None:
+        untrusted = faulty
     decisions = trace.decisions()
     crashed = trace.crashed_nodes()
+    if faulty:
+        decisions = {node: value for node, value in decisions.items()
+                     if node not in faulty}
     if alive_nodes is None:
-        alive_nodes = [v for v in initial_values if v not in crashed]
+        alive_nodes = [v for v in initial_values
+                       if v not in crashed and v not in faulty]
 
     values = set(decisions.values())
     agreement = len(values) <= 1
-    validity = all(v in set(initial_values.values()) for v in values)
+    trusted_inputs = {value for node, value in initial_values.items()
+                      if node not in untrusted}
+    validity = all(v in trusted_inputs for v in values)
     undecided = [v for v in alive_nodes if v not in decisions]
     termination = not undecided
     return ConsensusReport(

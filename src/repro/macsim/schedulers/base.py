@@ -81,6 +81,13 @@ class Scheduler:
     #: Maximum broadcast-to-ack delay this scheduler will produce.
     f_ack: float = 1.0
 
+    #: Trusted schedulers produce plans that are correct by
+    #: construction; the engine skips :meth:`DeliveryPlan.validate`
+    #: for them (overridable via ``Simulator(validate_plans=...)``).
+    #: Adversarial/scripted schedulers stay untrusted: validation is
+    #: exactly the guard that keeps hand-built plans honest.
+    trusted: bool = False
+
     def plan(self, *, sender: Any, message: Any, start_time: float,
              neighbors: tuple) -> DeliveryPlan:
         """Return the delivery plan for a broadcast started now.

@@ -29,6 +29,8 @@ class RandomDelayScheduler(Scheduler):
         the broadcast (defaults to 0, i.e. arbitrarily fast deliveries).
     """
 
+    trusted = True  # plans are in-bounds by construction
+
     def __init__(self, f_ack: float = 1.0, seed: Optional[int] = None,
                  min_fraction: float = 0.0) -> None:
         if f_ack <= 0:
@@ -63,6 +65,8 @@ class JitteredRoundScheduler(Scheduler):
     by robustness tests to confirm the algorithms do not secretly rely
     on exact lock-step timing.
     """
+
+    trusted = True  # plans are clamped in-bounds by construction
 
     def __init__(self, round_length: float = 1.0, jitter: float = 0.25,
                  seed: Optional[int] = None) -> None:

@@ -28,8 +28,22 @@ from .base import DeliveryPlan, Scheduler
 _EPS = 1e-9
 
 
+#: Plan-pool eviction bound; the pool is cleared wholesale when full
+#: (time moves forward, so old boundaries never recur anyway).
+_PLAN_POOL_MAX = 1024
+
+
 class SynchronousScheduler(Scheduler):
     """Lock-step round delivery.
+
+    Plans are *pooled*: every broadcast landing in the same round gets
+    ``{neighbor: boundary}`` deliveries and ``ack_time = boundary``, so
+    the plan is fully determined by ``(neighbors, boundary)`` -- one
+    frozen :class:`DeliveryPlan` is built per such pair and shared
+    across senders and re-broadcasts (``DeliveryPlan`` is immutable and
+    the engine only reads it). The scheduler is also ``trusted``:
+    pooled plans are correct by construction, so the engine skips the
+    O(deg) ``validate`` per broadcast.
 
     Parameters
     ----------
@@ -38,11 +52,14 @@ class SynchronousScheduler(Scheduler):
         ``F_ack`` (every broadcast completes within one round).
     """
 
+    trusted = True
+
     def __init__(self, round_length: float = 1.0) -> None:
         if round_length <= 0:
             raise ValueError("round_length must be positive")
         self.round_length = float(round_length)
         self.f_ack = float(round_length)
+        self._plan_pool: dict = {}
 
     def next_boundary(self, after: float) -> float:
         """The first round boundary strictly later than ``after``."""
@@ -56,10 +73,17 @@ class SynchronousScheduler(Scheduler):
     def plan(self, *, sender: Any, message: Any, start_time: float,
              neighbors: tuple) -> DeliveryPlan:
         boundary = self.next_boundary(start_time)
-        return DeliveryPlan(
-            deliveries={v: boundary for v in neighbors},
-            ack_time=boundary,
-        )
+        key = (neighbors, boundary)
+        plan = self._plan_pool.get(key)
+        if plan is None:
+            if len(self._plan_pool) >= _PLAN_POOL_MAX:
+                self._plan_pool.clear()
+            plan = DeliveryPlan(
+                deliveries=dict.fromkeys(neighbors, boundary),
+                ack_time=boundary,
+            )
+            self._plan_pool[key] = plan
+        return plan
 
     def describe(self) -> str:
         return f"SynchronousScheduler(round_length={self.round_length})"

@@ -14,6 +14,11 @@ of Section 2 of the paper:
 * **Zero-time computation.** Handlers run atomically at event times.
 * **Crashes mid-broadcast.** A :class:`~repro.macsim.crash.CrashPlan`
   may cut off part of an in-flight broadcast's audience.
+* **Pluggable fault models.** A
+  :class:`~repro.macsim.faults.base.FaultModel` adversary (crash,
+  omission, Byzantine) is consulted at the broadcast, delivery and
+  step boundaries; see :mod:`repro.macsim.faults`. Fault-free and
+  crash-only models keep the inlined fast path.
 * **Bounded messages.** In strict mode, each payload's ``id_footprint()``
   must stay below a constant, enforcing the paper's O(1)-ids rule.
 
@@ -53,7 +58,9 @@ from .crash import CrashPlan
 from .errors import (ConfigurationError, ModelViolationError,
                      SimulationLimitError)
 from .events import (ACK_PRIORITY, CRASH_PRIORITY, DELIVER_PRIORITY,
-                     Event, EventQueue)
+                     WAKEUP_PRIORITY, Event, EventQueue)
+from .faults.base import DROP, FaultModel
+from .faults.crash import CrashFaultModel
 from .process import Process
 from .schedulers.base import Scheduler
 from .trace import Trace, TraceLevel
@@ -80,6 +87,9 @@ class _BroadcastRecord:
     delivered: set = field(default_factory=set)
     delivery_events: dict = field(default_factory=dict)
     ack_event: Optional[Event] = None
+    # Per-receiver forged payloads / DROPs from the fault model's
+    # broadcast-boundary hook; None on the fault-free fast path.
+    overrides: Optional[dict] = None
 
 
 @dataclass
@@ -115,7 +125,18 @@ class Simulator:
     scheduler:
         The message scheduler controlling all timing.
     crashes:
-        Optional iterable of :class:`CrashPlan`.
+        Optional iterable of :class:`CrashPlan` (legacy API;
+        normalized into a
+        :class:`~repro.macsim.faults.crash.CrashFaultModel`).
+    fault_model:
+        A :class:`~repro.macsim.faults.base.FaultModel` adversary
+        consulted at the broadcast, delivery and step boundaries.
+        Mutually exclusive with ``crashes``.
+    validate_plans:
+        Whether scheduler plans are validated against the model
+        contract. ``None`` (default) validates unless the scheduler
+        declares itself ``trusted`` (built-in schedulers whose plans
+        are correct by construction).
     strict_sizes:
         When true, payloads exposing ``id_footprint()`` are checked
         against ``id_budget``.
@@ -129,9 +150,11 @@ class Simulator:
     def __init__(self, graph, processes: Mapping[Any, Process],
                  scheduler: Scheduler, *,
                  crashes: Iterable[CrashPlan] = (),
+                 fault_model: Optional[FaultModel] = None,
                  strict_sizes: bool = True,
                  id_budget: int = DEFAULT_ID_BUDGET,
                  unreliable_graph=None,
+                 validate_plans: Optional[bool] = None,
                  trace_level: "TraceLevel | str" = TraceLevel.FULL) -> None:
         self.graph = graph
         self.scheduler = scheduler
@@ -140,6 +163,30 @@ class Simulator:
         self.unreliable_graph = unreliable_graph
         self.trace = Trace(trace_level)
         self.now = 0.0
+
+        # Normalize the legacy crashes= API into the fault-model
+        # subsystem: crash plans become a CrashFaultModel, whose
+        # execution is byte-identical (it feeds the same machinery).
+        crashes = tuple(crashes)
+        if fault_model is not None and crashes:
+            raise ConfigurationError(
+                "pass crash plans via the fault model, not both "
+                "crashes= and fault_model=")
+        if fault_model is None:
+            fault_model = CrashFaultModel(crashes)
+        self.fault_model = fault_model
+        self._fault_send = fault_model.send_hook()
+        self._fault_deliver = fault_model.deliver_hook()
+        # Any boundary interception routes deliveries off the inlined
+        # fast path; crash-only and fault-free models keep it.
+        self._fault_active = (self._fault_send is not None
+                              or self._fault_deliver is not None)
+
+        # Plan validation: trusted built-in schedulers produce correct
+        # plans by construction and may skip the O(deg) validate.
+        if validate_plans is None:
+            validate_plans = not getattr(scheduler, "trusted", False)
+        self._validate_plans = bool(validate_plans)
 
         self._processes: dict[Any, Process] = {}
         self._labels: dict[int, Any] = {}
@@ -156,6 +203,7 @@ class Simulator:
                 f"nodes without processes: {missing[:5]!r}...")
 
         self._queue = EventQueue()
+        self._callbacks: list = []
         self._inflight: dict[Any, _BroadcastRecord] = {}
         # Broadcast records, indexed by their sequential bid.
         self._records: list[_BroadcastRecord] = []
@@ -182,7 +230,7 @@ class Simulator:
         self._kind_counts = self.trace._kind_counts
 
         self._crash_by_node: dict[Any, CrashPlan] = {}
-        for plan in crashes:
+        for plan in fault_model.crash_plans():
             if not graph.has_node(plan.node):
                 raise ConfigurationError(
                     f"crash plan for unknown node {plan.node!r}")
@@ -196,6 +244,9 @@ class Simulator:
         # Without crash plans nothing can ever cancel a delivery or an
         # ack, so the queue may skip allocating cancellation handles.
         self._cancellable = bool(self._crash_by_node)
+
+        # Step-boundary behaviour (observers, target validation).
+        fault_model.attach(self)
 
     # ------------------------------------------------------------------
     # Introspection
@@ -215,6 +266,23 @@ class Simulator:
 
     def alive_nodes(self) -> list:
         return [v for v in self.graph.nodes if v not in self._crashed]
+
+    def schedule_callback(self, time: float,
+                          callback: Callable[["Simulator"], None]) -> None:
+        """Run ``callback(sim)`` as a proper event at ``time``.
+
+        The callback executes with ``sim.now == time``, after any
+        deliveries/acks at that timestamp (wakeup priority). Fault
+        models use this for step-boundary behaviour that must happen
+        at an exact simulated time (e.g. forged Byzantine decisions).
+        """
+        if time < self.now:
+            raise ConfigurationError(
+                f"callback scheduled in the past: {time} < {self.now}")
+        index = len(self._callbacks)
+        self._callbacks.append(callback)
+        self._queue.push_light(time, WAKEUP_PRIORITY, "wakeup",
+                               node=None, broadcast_id=index)
 
     def add_observer(self, observer) -> None:
         """Register an observer.
@@ -261,14 +329,29 @@ class Simulator:
         neighbors = self._neighbors[sender]
         plan = self.scheduler.plan(sender=sender, message=payload,
                                    start_time=self.now, neighbors=neighbors)
-        plan.validate(start_time=self.now, neighbors=neighbors,
-                      f_ack=self.scheduler.f_ack)
+        if self._validate_plans:
+            plan.validate(start_time=self.now, neighbors=neighbors,
+                          f_ack=self.scheduler.f_ack)
+
+        # Broadcast boundary: the fault model may forge per-receiver
+        # payloads or drop deliveries for a faulty sender.
+        overrides = None
+        fault_send = self._fault_send
+        if fault_send is not None:
+            overrides = fault_send(sender, payload, neighbors, self.now)
+            if overrides and self.strict_sizes:
+                # Byzantine nodes are still bound by the MAC layer's
+                # O(1)-ids rule; forged payloads are checked too.
+                for forged in overrides.values():
+                    if forged is not DROP and forged is not payload:
+                        self._check_size(forged)
 
         if self._cancellable:
             record = _BroadcastRecord(
                 bid=bid, sender=sender, payload=payload,
                 start_time=self.now,
                 pending=set(neighbors),
+                overrides=overrides,
             )
             push = self._queue.push
             delivery_events = record.delivery_events
@@ -290,6 +373,7 @@ class Simulator:
                 bid=bid, sender=sender, payload=payload,
                 start_time=self.now,
                 pending=set(),
+                overrides=overrides,
             )
             # Inline batch of EventQueue.push_light: one seq/live
             # update for the whole fan-out (see EventQueue docstring).
@@ -408,7 +492,7 @@ class Simulator:
         kind_counts = self._kind_counts
         trace_record = self.trace.record
         trace_mac = self._trace_mac
-        fast_deliver = not self._cancellable
+        fast_deliver = not self._cancellable and not self._fault_active
 
         events_processed = 0
         stop_reason = "quiescent"
@@ -471,6 +555,8 @@ class Simulator:
                 dispatch_ack(entry[4], entry[5])
             elif kind == "crash":
                 dispatch_crash(entry[4])
+            elif kind == "wakeup":
+                self._callbacks[entry[5]](self)
             else:  # pragma: no cover - defensive
                 raise ModelViolationError(f"unknown event kind {kind!r}")
             events_processed += 1
@@ -507,16 +593,40 @@ class Simulator:
                 return
             # (Deliveries from a crashed sender were re-validated at
             # crash time; reaching here means this one was allowed.)
+        payload = record.payload
+        if self._fault_active:
+            # Delivery boundary: apply the sender-side override map,
+            # then give the model a chance to drop/substitute on the
+            # receiver side (receive omission).
+            overrides = record.overrides
+            if overrides is not None:
+                payload = overrides.get(receiver, payload)
+            fault_deliver = self._fault_deliver
+            if fault_deliver is not None and payload is not DROP:
+                payload = fault_deliver(record.sender, receiver, payload,
+                                        self.now)
+            if payload is DROP:
+                # The drop never gates the sender's ack: the faulty
+                # endpoint is exempt from the coverage rule.
+                if self._cancellable:
+                    record.pending.discard(receiver)
+                    record.delivery_events.pop(receiver, None)
+                self.trace.record(self.now, "drop", receiver,
+                                  broadcast_id=record.bid,
+                                  peer=record.sender,
+                                  payload=record.payload)
+                return
+        if self._cancellable:
             record.pending.discard(receiver)
             record.delivered.add(receiver)
             record.delivery_events.pop(receiver, None)
         if self._trace_mac:
             self.trace.record(self.now, "deliver", receiver,
                               broadcast_id=record.bid, peer=record.sender,
-                              payload=record.payload)
+                              payload=payload)
         else:
             self._kind_counts["deliver"] += 1
-        self._processes[receiver].on_receive(record.payload)
+        self._processes[receiver].on_receive(payload)
 
     def _dispatch_ack(self, sender: Any, bid: int) -> None:
         record = self._records[bid]
@@ -580,9 +690,11 @@ class Simulator:
 def build_simulation(graph, process_factory: Callable[[Any], Process],
                      scheduler: Scheduler, *,
                      crashes: Iterable[CrashPlan] = (),
+                     fault_model: Optional[FaultModel] = None,
                      strict_sizes: bool = True,
                      id_budget: int = DEFAULT_ID_BUDGET,
                      unreliable_graph=None,
+                     validate_plans: Optional[bool] = None,
                      trace_level: "TraceLevel | str" = TraceLevel.FULL
                      ) -> Simulator:
     """Construct a simulator, creating one process per graph node.
@@ -593,6 +705,8 @@ def build_simulation(graph, process_factory: Callable[[Any], Process],
     """
     processes = {label: process_factory(label) for label in graph.nodes}
     return Simulator(graph, processes, scheduler, crashes=crashes,
+                     fault_model=fault_model,
                      strict_sizes=strict_sizes, id_budget=id_budget,
                      unreliable_graph=unreliable_graph,
+                     validate_plans=validate_plans,
                      trace_level=trace_level)

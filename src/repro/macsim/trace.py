@@ -42,7 +42,8 @@ from dataclasses import dataclass
 from typing import Any, Dict, Iterator, List, Optional
 
 #: The record kinds a trace may contain.
-TRACE_KINDS = ("broadcast", "deliver", "ack", "decide", "crash", "discard")
+TRACE_KINDS = ("broadcast", "deliver", "ack", "decide", "crash",
+               "discard", "drop")
 _TRACE_KIND_SET = frozenset(TRACE_KINDS)
 
 #: Kinds always materialized, even at ``TraceLevel.DECISIONS``.
@@ -80,6 +81,9 @@ class TraceRecord:
     * ``crash``: ``node`` crashed.
     * ``discard``: ``node`` attempted a broadcast while one was already
       in flight; the message was dropped (Section 2 of the paper).
+    * ``drop``: a fault model swallowed the delivery of broadcast
+      ``broadcast_id`` (from ``peer``) to ``node``; ``payload`` is the
+      original (pre-forgery) payload that was lost.
     """
 
     time: float

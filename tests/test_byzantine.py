@@ -1,0 +1,186 @@
+"""Byzantine consensus protocol tests (core/byzantine.py).
+
+Safety among correct nodes for budgets within the ``n > 5f`` bound
+across strategies and schedulers, validity under unanimity, relay mode
+on multi-hop graphs, and the past-the-bound violation construction
+E12 records.
+"""
+
+import pytest
+from hypothesis import HealthCheck, given, settings, strategies as st
+
+from repro.core.byzantine import (AmpMessage, ByzantineConsensus,
+                                  GradeMessage, Relay, max_tolerance)
+from repro.macsim import (ByzantineFaultModel, ByzantinePlan,
+                          CorruptStrategy, EquivocateStrategy,
+                          SilentStrategy, build_simulation,
+                          check_consensus, check_model_invariants)
+from repro.macsim.schedulers import (RandomDelayScheduler,
+                                     SynchronousScheduler)
+from repro.topology import clique, random_connected
+
+SETTINGS = dict(max_examples=15, deadline=None,
+                suppress_health_check=[HealthCheck.too_slow])
+
+STRATEGIES = (SilentStrategy, CorruptStrategy, EquivocateStrategy)
+
+
+def run_byzantine(graph, f, byz_nodes, strategy_cls, values, *,
+                  scheduler=None, relay=False, seed=0):
+    nodes = list(graph.nodes)
+    uid = {v: i + 1 for i, v in enumerate(nodes)}
+    plans = [ByzantinePlan(node=v, strategy=strategy_cls(),
+                           seed=seed + uid[v])
+             for v in byz_nodes]
+    model = ByzantineFaultModel(plans) if plans else None
+    scheduler = scheduler or SynchronousScheduler(1.0)
+    sim = build_simulation(
+        graph,
+        lambda v: ByzantineConsensus(uid[v], values[v], graph.n, f,
+                                     seed=seed * 97 + uid[v],
+                                     relay=relay),
+        scheduler, fault_model=model)
+    result = sim.run(max_events=10_000_000, max_time=4_000.0)
+    faulty = frozenset(byz_nodes)
+    consensus = check_consensus(result.trace, values, faulty=faulty)
+    invariants = check_model_invariants(graph, result.trace,
+                                        scheduler.f_ack, faulty=faulty)
+    assert invariants.ok, invariants.violations[:5]
+    return result, consensus
+
+
+class TestWithinBound:
+    def test_unanimous_input_decides_in_first_phase(self):
+        graph = clique(6)
+        values = {v: 1 for v in graph.nodes}
+        result, report = run_byzantine(graph, 1, [5], SilentStrategy,
+                                       values)
+        assert report.agreement and report.validity
+        assert report.termination
+        assert set(report.decisions.values()) == {1}
+        # Grade + amplify of phase 1 under the synchronous scheduler.
+        assert result.trace.last_decision_time() == 2.0
+
+    @pytest.mark.parametrize("strategy", STRATEGIES,
+                             ids=lambda s: s.name)
+    def test_safety_at_max_tolerance(self, strategy):
+        graph = clique(11)
+        f = max_tolerance(11)
+        assert f == 2
+        values = {v: 0 if v < 7 else 1 for v in graph.nodes}
+        _, report = run_byzantine(graph, f, [9, 10], strategy, values)
+        assert report.agreement, report.decisions
+        assert report.validity
+        assert report.termination, report.undecided
+
+    @given(seed=st.integers(0, 10 ** 5),
+           strategy_index=st.integers(0, len(STRATEGIES) - 1),
+           byz_count=st.integers(0, 2))
+    @settings(**SETTINGS)
+    def test_safety_property_under_random_schedules(
+            self, seed, strategy_index, byz_count):
+        graph = clique(11)
+        values = {v: (v * 7 + seed) % 2 for v in graph.nodes}
+        byz = list(graph.nodes)[-byz_count:] if byz_count else []
+        _, report = run_byzantine(
+            graph, 2, byz, STRATEGIES[strategy_index], values,
+            scheduler=RandomDelayScheduler(1.0, seed=seed), seed=seed)
+        assert report.agreement, report.decisions
+        assert report.validity
+        assert report.termination, report.undecided
+
+    def test_relay_mode_on_multihop(self):
+        graph = random_connected(12, 0.35, seed=7)
+        assert graph.diameter() > 1
+        nodes = list(graph.nodes)
+        values = {v: 0 if i < 8 else 1 for i, v in enumerate(nodes)}
+        _, report = run_byzantine(graph, 2, nodes[-2:],
+                                  EquivocateStrategy, values,
+                                  relay=True)
+        assert report.agreement and report.validity
+        assert report.termination
+
+
+class TestPastBound:
+    def test_split_world_equivocation_violates_agreement(self):
+        graph = clique(5)
+        values = {0: 0, 1: 1, 2: 0, 3: 1, 4: 0}
+        strategy = lambda: EquivocateStrategy(  # noqa: E731
+            assignment={0: 0, 2: 0, 1: 1, 3: 1})
+        model = ByzantineFaultModel(
+            [ByzantinePlan(node=4, strategy=strategy())])
+        sim = build_simulation(
+            graph,
+            lambda v: ByzantineConsensus(v + 1, values[v], 5, 0,
+                                         seed=3 * v),
+            SynchronousScheduler(1.0), fault_model=model)
+        result = sim.run(max_time=500.0)
+        report = check_consensus(result.trace, values,
+                                 faulty=frozenset({4}))
+        assert not report.agreement
+        assert report.decisions[0] == report.decisions[2] == 0
+        assert report.decisions[1] == report.decisions[3] == 1
+
+
+class TestProtocolPlumbing:
+    def test_max_tolerance_bound(self):
+        assert max_tolerance(5) == 0
+        assert max_tolerance(6) == 1
+        assert max_tolerance(11) == 2
+        assert max_tolerance(16) == 3
+        assert max_tolerance(1) == 0
+
+    def test_messages_forge_and_footprint(self):
+        grade = GradeMessage(origin=3, phase=2, value=0)
+        assert grade.forge(1) == GradeMessage(3, 2, 1)
+        assert grade.id_footprint() == 1
+        amp = AmpMessage(origin=3, phase=2, value=0, graded=False)
+        assert amp.forge(1) == AmpMessage(3, 2, 1, True)
+
+    def test_relay_forge_respects_authentication(self):
+        own = Relay(relayer=3, inner=GradeMessage(3, 1, 0))
+        assert own.forge(1).inner.value == 1
+        forwarded = Relay(relayer=3, inner=GradeMessage(5, 1, 0))
+        assert forwarded.forge(1) is forwarded  # cannot corrupt
+        assert forwarded.id_footprint() == 2
+
+    def test_requires_uid(self):
+        with pytest.raises(ValueError):
+            ByzantineConsensus(None, 0, 5, 0)
+        with pytest.raises(ValueError):
+            ByzantineConsensus(1, 0, 5, -1)
+
+    def test_starved_quorum_stalls_safely(self):
+        # An adversary holding the quorum hostage: 3 of 4 nodes
+        # silent-Byzantine leaves the correct node short of n - f
+        # messages forever. The run must drain without decisions or
+        # model violations, never terminate wrongly.
+        graph = clique(4)
+        values = {v: v % 2 for v in graph.nodes}
+        model = ByzantineFaultModel(
+            [ByzantinePlan(node=v, strategy=SilentStrategy())
+             for v in (1, 2, 3)])
+        sim = build_simulation(
+            graph,
+            lambda v: ByzantineConsensus(v + 1, values[v], 4, 0,
+                                         seed=v),
+            SynchronousScheduler(1.0), fault_model=model)
+        result = sim.run(max_time=100.0)
+        assert result.stop_reason == "quiescent"
+        assert 0 not in result.decisions
+
+    def test_max_phases_halts_undecided(self):
+        # Split 2-2 inputs with f=0 end phase 1 ungraded for everyone;
+        # max_phases=1 then halts each node before the coin-flip phase
+        # can start, so the run drains with no decisions at all.
+        graph = clique(4)
+        values = {0: 0, 1: 0, 2: 1, 3: 1}
+        sim = build_simulation(
+            graph,
+            lambda v: ByzantineConsensus(v + 1, values[v], 4, 0,
+                                         seed=v, max_phases=1),
+            SynchronousScheduler(1.0))
+        result = sim.run(max_time=100.0)
+        assert result.stop_reason == "quiescent"
+        assert result.decisions == {}
+        assert all(sim.process_at(v).halted for v in graph.nodes)

@@ -72,6 +72,64 @@ class TestRunCommand:
         from repro.analysis.export import load_trace
         assert len(load_trace(str(out_path))) > 0
 
+    def test_byzantine_run_with_adversary(self, capsys):
+        code = main(["run", "--algorithm", "byzantine", "--topology",
+                     "clique:11", "--scheduler", "synchronous",
+                     "--byzantine", "2", "--byz-strategy",
+                     "equivocate"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "byzantine(f=2" in out
+        assert "agreement=True" in out
+        assert "(among correct nodes)" in out
+
+    def test_omission_run(self, capsys):
+        code = main(["run", "--algorithm", "gatherall", "--topology",
+                     "clique:5", "--scheduler", "synchronous",
+                     "--omission", "1", "--max-time", "30"])
+        # The non-tolerant baseline legitimately loses termination;
+        # the CLI reports it and exits nonzero.
+        out = capsys.readouterr().out
+        assert "omission" in out
+        assert code == 1
+
+    def test_crash_flag_exports_scenario(self, tmp_path, capsys):
+        out_path = tmp_path / "t.json"
+        code = main(["run", "--algorithm", "wpaxos", "--topology",
+                     "clique:5", "--scheduler", "synchronous",
+                     "--crash", "2@1.5", "--trace-out",
+                     str(out_path)])
+        assert code == 0
+        from repro.analysis.export import load_crashes
+        plans = load_crashes(str(out_path))
+        assert [(p.node, p.time) for p in plans] == [(2, 1.5)]
+
+    def test_fault_families_are_exclusive(self):
+        with pytest.raises(SystemExit):
+            main(["run", "--algorithm", "wpaxos", "--topology",
+                  "clique:5", "--byzantine", "1", "--omission", "1"])
+
+    def test_negative_fault_counts_rejected(self):
+        for flag in ("--byzantine", "--omission"):
+            with pytest.raises(SystemExit):
+                main(["run", "--algorithm", "wpaxos", "--topology",
+                      "clique:5", flag, "-2"])
+
+    def test_non_numeric_crash_time_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["run", "--algorithm", "wpaxos", "--topology",
+                  "clique:5", "--crash", "2@soon"])
+
+    def test_crash_run_keeps_validity(self, capsys):
+        # GatherAll on clique:2 decides node 0's input, which no other
+        # node shares; crashing node 0 after delivery must not flip
+        # validity (crash faults are benign: lying_nodes is empty).
+        code = main(["run", "--algorithm", "gatherall", "--topology",
+                     "clique:2", "--scheduler", "synchronous",
+                     "--crash", "0@1.5"])
+        assert code == 0
+        assert "validity=True" in capsys.readouterr().out
+
 
 class TestExperimentsCommand:
     def test_forwards_to_driver(self, capsys):

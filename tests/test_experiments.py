@@ -89,3 +89,10 @@ class TestExtensionExperiments:
         from repro.experiments import e11_fprog
         report = e11_fprog.run(f_progs=(8.0, 2.0, 1.0))
         assert report.passed, report.render()
+
+    def test_e12(self):
+        from repro.experiments import e12_byzantine
+        report = e12_byzantine.run(clique_n=11, multihop_n=12)
+        assert report.passed, report.render()
+        # The past-the-bound row must actually record the violation.
+        assert any("violated" in c for c in report.conclusions)

@@ -50,7 +50,8 @@ class TestExport:
         text = trace_to_json(result.trace, metadata={"seed": 42})
         document = json.loads(text)
         assert document["metadata"] == {"seed": 42}
-        assert document["schema"] == 1
+        assert document["schema"] == 2  # v2 added the crashes block
+        assert document["crashes"] == []
 
     def test_file_roundtrip(self, tmp_path):
         result = sample_run()
