@@ -23,6 +23,8 @@ imported defensively.
 
 from __future__ import annotations
 
+import os
+
 from repro.macsim import Process, build_simulation
 from repro.macsim.events import DELIVER_PRIORITY, EventQueue
 from repro.macsim.schedulers import SynchronousScheduler
@@ -33,6 +35,11 @@ try:  # engine >= PR 1
     from repro.macsim.trace import TraceLevel
 except ImportError:  # seed engine
     TraceLevel = None
+
+try:  # engine >= PR 3
+    from repro.macsim.trace import SpillSink
+except ImportError:  # earlier engines
+    SpillSink = None
 
 try:  # analysis >= PR 1
     from repro.analysis import parallel_sweep
@@ -87,6 +94,34 @@ def run_broadcast_fanout(n_nodes: int = 48, rounds: int = 5) -> int:
     sim = build_simulation(graph, lambda v: _EchoProcess(v, rounds),
                            SynchronousScheduler(1.0))
     return sim.run().events_processed
+
+
+def run_dense_fanout(n_nodes: int = 96, rounds: int = 3) -> int:
+    """The batched-scheduling showcase: an echo flood on a dense
+    clique under the synchronous scheduler, where every broadcast's
+    fan-out shares one timestamp -- one ``bdeliver`` heap entry per
+    broadcast on PR 3+, one entry per neighbor before. Returns events
+    processed (identical across engines)."""
+    return run_broadcast_fanout(n_nodes, rounds)
+
+
+def run_spill_clique(n: int = 24, rounds: int = 40,
+                     chunk_records: int = 20_000) -> int:
+    """Full-level SpillSink throughput: an echo flood whose complete
+    trace streams to chunked JSONL on disk. Returns events processed;
+    the sink's temp directory is removed before returning."""
+    graph = clique(n)
+    sink = SpillSink(chunk_records=chunk_records)
+    try:
+        sim = build_simulation(graph, lambda v: _EchoProcess(v, rounds),
+                               SynchronousScheduler(1.0),
+                               trace_sink=sink)
+        result = sim.run()
+        sink.close()
+        assert len(sink) > 0
+        return result.events_processed
+    finally:
+        sink.cleanup()
 
 
 def build_query_trace(records: int = 50_000) -> Trace:
@@ -159,6 +194,62 @@ def run_sweep_parallel(sizes=SWEEP_SIZES) -> int:
     return len(result.points)
 
 
+def run_spill_probe(n: int = 24, rounds: int = 120,
+                    chunk_records: int = 20_000) -> dict:
+    """RSS/throughput probe for the spill pipeline.
+
+    Runs a full-level SpillSink execution, replays it through
+    ``check_model_invariants`` (the chunk-iterating query API), and
+    reports throughput plus the peak *Python-heap* footprint of the
+    whole run+replay (``tracemalloc``, deterministic) and the process
+    ``ru_maxrss`` for context. The point being probed: peak memory is
+    O(n + chunk), not O(records).
+    """
+    import resource
+    import time
+    import tracemalloc
+
+    from repro.macsim import check_model_invariants
+
+    graph = clique(n)
+    sink = SpillSink(chunk_records=chunk_records)
+    try:
+        tracemalloc.start()
+        start = time.perf_counter()
+        sim = build_simulation(graph, lambda v: _EchoProcess(v, rounds),
+                               SynchronousScheduler(1.0),
+                               trace_sink=sink)
+        result = sim.run()
+        sink.close()
+        run_seconds = time.perf_counter() - start
+        start = time.perf_counter()
+        report = check_model_invariants(graph, sink, 1.0)
+        replay_seconds = time.perf_counter() - start
+        _, peak = tracemalloc.get_traced_memory()
+        tracemalloc.stop()
+        assert report.ok, report.violations[:3]
+        spilled_bytes = sum(os.path.getsize(p)
+                            for p in sink.chunk_paths())
+        return {
+            "events": result.events_processed,
+            "records": len(sink),
+            "chunks": len(sink.chunk_paths()),
+            "spilled_mb": round(spilled_bytes / 1e6, 2),
+            "run_seconds": round(run_seconds, 4),
+            "replay_seconds": round(replay_seconds, 4),
+            "events_per_sec": round(
+                result.events_processed / run_seconds, 1),
+            "replay_records_per_sec": round(
+                len(sink) / replay_seconds, 1),
+            "py_heap_peak_mb": round(peak / 1e6, 2),
+            "ru_maxrss_mb": round(
+                resource.getrusage(resource.RUSAGE_SELF).ru_maxrss
+                / 1024, 1),
+        }
+    finally:
+        sink.cleanup()
+
+
 # ----------------------------------------------------------------------
 # pytest-benchmark wrappers
 # ----------------------------------------------------------------------
@@ -194,3 +285,16 @@ def test_parallel_sweep_e2_style(benchmark):
         import pytest
         pytest.skip("engine predates parallel_sweep")
     assert benchmark(run_sweep_parallel, (8, 12)) == 2
+
+
+def test_dense_fanout_batched(benchmark):
+    events = benchmark(run_dense_fanout, 48, 2)
+    assert events > 0
+
+
+def test_spill_clique_throughput(benchmark):
+    if SpillSink is None:
+        import pytest
+        pytest.skip("engine predates SpillSink")
+    events = benchmark(run_spill_clique, 16, 10)
+    assert events > 0

@@ -1,10 +1,19 @@
 """Before/after perf harness: ``python -m benchmarks.perf_report``.
 
 Runs the engine microbenchmarks (:mod:`benchmarks.bench_engine`) and
-writes a JSON report -- ``BENCH_PR1.json`` by default -- containing the
+writes a JSON report -- ``BENCH_PR3.json`` by default -- containing the
 median wall-clock time and rate (events/ops/queries per second) of
 each workload, alongside "before" numbers so every PR from PR 1 onward
-has a perf trajectory to regress against.
+has a perf trajectory to regress against. The ``--check`` gate keeps
+comparing against the committed ``BENCH_PR1.json`` rates, so new
+reports regress against the PR 1 trajectory.
+
+PR 3 additions: a dense-clique scenario showcasing batched delivery
+scheduling (``fanout_clique96_dense``), a full-level ``SpillSink``
+throughput workload (``spill_clique24``), and a one-shot
+``spill_probe`` section recording the spill pipeline's peak Python-heap
+footprint during a run + invariant replay (the bounded-memory claim,
+in numbers).
 
 "Before" numbers come from, in order of preference:
 
@@ -60,6 +69,13 @@ def _workloads() -> Dict[str, Tuple[Callable[[], int], str]]:
     if bench_engine.parallel_sweep is not None:
         workloads["sweep_wpaxos_par"] = (
             lambda: bench_engine.run_sweep_parallel(), "points")
+    # Dense-clique batched-scheduling scenario: runs on every engine
+    # (PR 3 batches the per-broadcast fan-out into one heap entry).
+    workloads["fanout_clique96_dense"] = (
+        lambda: bench_engine.run_dense_fanout(96, 3), "events")
+    if bench_engine.SpillSink is not None:
+        workloads["spill_clique24"] = (
+            lambda: bench_engine.run_spill_clique(24, 40), "events")
     return workloads
 
 
@@ -121,8 +137,8 @@ def main(argv=None) -> int:
     parser = argparse.ArgumentParser(
         prog="python -m benchmarks.perf_report",
         description="Engine microbenchmark report (before/after).")
-    parser.add_argument("--out", default="BENCH_PR1.json",
-                        help="output path (default: BENCH_PR1.json)")
+    parser.add_argument("--out", default="BENCH_PR3.json",
+                        help="output path (default: BENCH_PR3.json)")
     parser.add_argument("--repeats", type=int, default=None,
                         help="timings per workload (default 7; 3 smoke)")
     parser.add_argument("--smoke", action="store_true",
@@ -187,7 +203,8 @@ def main(argv=None) -> int:
             # New fast-path workloads compare against what the seed
             # engine offered for the same job: the full-trace run for
             # the decisions-level run, the sequential sweep for the
-            # parallel one.
+            # parallel one. (spill_clique24 has no seed counterpart:
+            # the seed could not produce a disk-backed full trace.)
             fallback = {"wpaxos_clique32_fast": "wpaxos_clique32",
                         "sweep_wpaxos_par": "sweep_wpaxos_seq"}
             base = before.get(name) or before.get(
@@ -198,8 +215,13 @@ def main(argv=None) -> int:
             if after_rate and before_rate:
                 speedups[name] = round(after_rate / before_rate, 2)
 
+    spill_probe = None
+    if bench_engine.SpillSink is not None:
+        probe_rounds = 40 if args.smoke else 120
+        spill_probe = bench_engine.run_spill_probe(24, probe_rounds)
+
     report = {
-        "pr": 1,
+        "pr": 3,
         "notes": {
             "wpaxos_clique32": "full-trace engine vs full-trace seed "
                                "(like-for-like; trace byte-identical)",
@@ -213,6 +235,20 @@ def main(argv=None) -> int:
             "sweep_wpaxos_par": "parallel_sweep + DECISIONS level vs "
                                 "the seed's sequential full-trace "
                                 "sweep (same comparison basis)",
+            "fanout_clique96_dense": "dense-clique echo flood under "
+                                     "the synchronous scheduler: the "
+                                     "batched delivery-scheduling "
+                                     "showcase (one bdeliver heap "
+                                     "entry per broadcast on PR 3+, "
+                                     "one per neighbor before)",
+            "spill_clique24": "the same engine writing its complete "
+                              "full-level trace to chunked JSONL via "
+                              "SpillSink (disk-backed replayable "
+                              "trace; no seed counterpart)",
+            "spill_probe": "one-shot RSS/throughput probe: SpillSink "
+                           "run + streaming invariant replay under "
+                           "tracemalloc; py_heap_peak_mb is the "
+                           "bounded-memory claim in numbers",
         },
         "mode": "smoke" if args.smoke else "full",
         "repeats": repeats,
@@ -221,6 +257,7 @@ def main(argv=None) -> int:
         "before": before,
         "after": results,
         "speedup": speedups,
+        "spill_probe": spill_probe,
     }
     with open(args.out, "w", encoding="utf-8") as handle:
         json.dump(report, handle, indent=2)
@@ -231,6 +268,14 @@ def main(argv=None) -> int:
         rate = _rate(entry)
         note = f"  ({speedups[name]}x vs seed)" if name in speedups else ""
         print(f"  {name:24s} {rate:>12,.0f}/s{note}")
+    if spill_probe is not None:
+        print(f"  {'spill_probe':24s} "
+              f"{spill_probe['records']:,} records -> "
+              f"{spill_probe['chunks']} chunks "
+              f"({spill_probe['spilled_mb']} MB), "
+              f"py heap peak {spill_probe['py_heap_peak_mb']} MB, "
+              f"replay {spill_probe['replay_records_per_sec']:,.0f} "
+              f"rec/s")
 
     if args.check_speedup is not None:
         slow = {name: ratio for name, ratio in speedups.items()

@@ -1,0 +1,160 @@
+"""Bounded-memory smoke for the spill pipeline:
+``python -m benchmarks.spill_smoke``.
+
+Sets a *hard* address-space ceiling (``resource.setrlimit``) at the
+process's current footprint plus ``--headroom-mb``, then drives a
+full-level :class:`~repro.macsim.trace.SpillSink` run of at least
+``--events`` events, streams the trace back through
+``check_model_invariants``, collects metrics, and exports the trace
+with the streaming (schema v3) writer. If any stage's memory grew with
+the trace instead of the chunk size, the allocation fails and the
+smoke exits non-zero -- the ceiling is enforced by the kernel, not by
+sampling.
+
+CI runs this at 10^6 events; the acceptance-scale 10^7-event run is
+the same invocation with ``--events 10000000`` (a few minutes of
+wall-clock, same ceiling).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import resource
+import sys
+import tempfile
+
+from repro.analysis import collect_metrics, save_trace
+from repro.macsim import (Process, SpillSink, build_simulation,
+                          check_model_invariants)
+from repro.macsim.schedulers import SynchronousScheduler
+from repro.topology import clique
+
+
+class _FloodProcess(Process):
+    """Broadcasts ``rounds`` messages back-to-back, then decides."""
+
+    def __init__(self, uid, rounds: int):
+        super().__init__(uid=uid, initial_value=uid % 2)
+        self.rounds = rounds
+        self.sent = 0
+
+    def on_start(self):
+        self._next()
+
+    def on_ack(self):
+        self._next()
+
+    def _next(self):
+        if self.sent < self.rounds:
+            self.sent += 1
+            self.broadcast(("m", self.uid, self.sent))
+        elif not self.decided:
+            # Not a real consensus protocol -- every node "decides" 0
+            # so the smoke can assert agreement/termination checking
+            # works over the spilled trace.
+            self.decide(0)
+
+
+def _vm_size_mb() -> float:
+    with open("/proc/self/status", encoding="ascii") as handle:
+        for line in handle:
+            if line.startswith("VmSize:"):
+                return int(line.split()[1]) / 1024.0
+    raise RuntimeError("VmSize not found")  # pragma: no cover
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m benchmarks.spill_smoke",
+        description="SpillSink bounded-memory smoke (hard RSS ceiling).")
+    parser.add_argument("--events", type=int, default=1_000_000,
+                        help="minimum events to process (default 1M)")
+    parser.add_argument("--nodes", type=int, default=24,
+                        help="clique size (default 24)")
+    parser.add_argument("--headroom-mb", type=int, default=256,
+                        help="address-space ceiling above the current "
+                             "footprint (default 256 MB); an in-RAM "
+                             "full trace of the same run needs far "
+                             "more")
+    parser.add_argument("--chunk-records", type=int, default=50_000)
+    parser.add_argument("--skip-rlimit", action="store_true",
+                        help="measure without enforcing the ceiling "
+                             "(non-Linux debugging)")
+    args = parser.parse_args(argv)
+
+    n = args.nodes
+    # Per full round: n broadcasts x (n-1 deliveries + 1 ack) events.
+    per_round = n * n
+    rounds = args.events // per_round + 1
+
+    baseline_mb = _vm_size_mb()
+    if not args.skip_rlimit:
+        limit = int((baseline_mb + args.headroom_mb) * 1024 * 1024)
+        resource.setrlimit(resource.RLIMIT_AS, (limit, limit))
+        print(f"address-space ceiling: {limit / 1e6:,.0f} MB "
+              f"(baseline {baseline_mb:,.0f} MB "
+              f"+ {args.headroom_mb} MB headroom)")
+
+    graph = clique(n)
+    values = {v: v % 2 for v in graph.nodes}
+    with tempfile.TemporaryDirectory(prefix="spill-smoke-") as spill_dir:
+        sink = SpillSink(spill_dir, chunk_records=args.chunk_records)
+        sim = build_simulation(
+            graph, lambda v: _FloodProcess(v, rounds),
+            SynchronousScheduler(1.0), trace_sink=sink,
+            # Validated plans let the engine free each broadcast's
+            # book-keeping at its ack (O(n) records in RAM).
+            validate_plans=True)
+        # Each flood round completes in one f_ack (= 1.0); leave slack
+        # for the final decision wave rather than inheriting the
+        # engine's default time ceiling.
+        result = sim.run(max_events=args.events * 2,
+                         max_time=float(rounds) + 10.0)
+        sink.close()
+        print(f"run: {result.events_processed:,} events, "
+              f"{len(sink):,} records, "
+              f"{len(sink.chunk_paths())} chunks, "
+              f"stop={result.stop_reason}")
+        if result.events_processed < args.events:
+            print(f"FAIL: processed fewer than {args.events:,} events")
+            return 1
+
+        report = check_model_invariants(graph, sink, 1.0)
+        if not report.ok:
+            print(f"FAIL: invariants violated: {report.violations[:3]}")
+            return 1
+        print("invariants: ok (streamed replay)")
+
+        metrics = collect_metrics(
+            algorithm="flood", topology=f"clique({n})", graph=graph,
+            scheduler=sim.scheduler, result=result,
+            initial_values=values, diameter=1)
+        print(f"metrics: broadcasts={metrics.broadcasts:,} "
+              f"deliveries={metrics.deliveries:,} "
+              f"termination={metrics.termination}")
+        if not (metrics.agreement and metrics.termination):
+            print("FAIL: consensus checks failed on the smoke workload")
+            return 1
+
+        export_path = os.path.join(spill_dir, "export.jsonl")
+        save_trace(sink, export_path,
+                   metadata={"smoke": True, "events": args.events})
+        export_mb = os.path.getsize(export_path) / 1e6
+        print(f"export: {export_mb:,.1f} MB (streamed, schema v3)")
+
+    peak_mb = resource.getrusage(resource.RUSAGE_SELF).ru_maxrss / 1024
+    print(json.dumps({
+        "events": result.events_processed,
+        "records": len(sink),
+        "ru_maxrss_mb": round(peak_mb, 1),
+        "baseline_vmsize_mb": round(baseline_mb, 1),
+    }))
+    print("spill smoke ok: full-level trace replayed, checked and "
+          "exported under the memory ceiling")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -5,9 +5,10 @@ from .runner import (alternating_values, run_consensus, split_values)
 from .stats import correlation, growth_ratio, linear_fit, mean, stdev
 from .sweeps import SweepPoint, SweepResult, parallel_sweep, sweep
 from .tables import format_markdown_table, format_table
-from .export import (crashes_from_json, load_crashes, load_trace,
-                     save_trace, trace_from_json, trace_to_json,
-                     trace_to_records)
+from .export import (crashes_from_json, iter_saved_records,
+                     iter_trace_dicts, load_crashes, load_metadata,
+                     load_trace, save_trace, trace_from_json,
+                     trace_to_json, trace_to_records)
 
 __all__ = [
     "RunMetrics",
@@ -29,8 +30,11 @@ __all__ = [
     "save_trace",
     "load_trace",
     "load_crashes",
+    "load_metadata",
     "crashes_from_json",
     "trace_to_json",
     "trace_from_json",
     "trace_to_records",
+    "iter_trace_dicts",
+    "iter_saved_records",
 ]

@@ -7,6 +7,21 @@ are stored as ``repr`` strings: traces round-trip structurally
 (times, kinds, nodes, broadcast ids) with payloads preserved for
 human inspection rather than re-execution.
 
+Streaming (schema v3)
+---------------------
+:func:`save_trace` writes a JSON-Lines document: a header line
+(schema/metadata/crash scenario) followed by one JSON array of records
+per *chunk*. Records are serialized straight off the sink's iterator,
+so exporting a :class:`~repro.macsim.trace.SpillSink` run of 10^7+
+events never materializes the record list. :func:`load_trace` streams
+the chunks back -- into any :class:`~repro.macsim.trace.TraceSink`
+(pass ``sink=SpillSink(...)`` to keep the reload bounded too) -- and
+still reads the v1/v2 single-document exports of earlier PRs.
+
+:func:`trace_to_json` keeps the v2 single-document layout: it is the
+in-memory diff/archival format for small traces (and what the
+byte-identity tests compare).
+
 Crash *scenarios* round-trip losslessly: ``save_trace(...,
 crashes=plans)`` serializes each :class:`~repro.macsim.crash.CrashPlan`
 via its ``to_dict`` (the None / empty / subset distinction of
@@ -18,38 +33,60 @@ simulation.
 from __future__ import annotations
 
 import json
-from typing import Any, Dict, Iterable, List, Optional
+from typing import Any, Dict, Iterable, Iterator, List, Optional
 
 from ..macsim.crash import CrashPlan
-from ..macsim.trace import Trace, TraceRecord
+from ..macsim.trace import Trace, TraceRecord, TraceSink
 
-#: Schema version stamped into exports. Version 2 added the optional
-#: ``crashes`` scenario block (version-1 documents still load).
-SCHEMA_VERSION = 2
+#: Schema version stamped into streamed (JSONL) file exports.
+SCHEMA_VERSION = 3
+
+#: Schema of the single-document layout (:func:`trace_to_json`).
+INLINE_SCHEMA_VERSION = 2
+
+#: Records per chunk line in v3 exports.
+EXPORT_CHUNK_RECORDS = 50_000
 
 
-def trace_to_records(trace: Trace) -> List[Dict[str, Any]]:
-    """Convert a trace to JSON-serializable dicts."""
-    out = []
+def record_to_dict(record: TraceRecord, *,
+                   preserialized: bool = False) -> Dict[str, Any]:
+    """One record as a JSON-serializable dict."""
+    payload = record.payload
+    if payload is not None and not preserialized:
+        payload = repr(payload)
+    return {
+        "time": record.time,
+        "kind": record.kind,
+        "node": _label(record.node),
+        "broadcast_id": record.broadcast_id,
+        "peer": _label(record.peer),
+        "payload": payload,
+    }
+
+
+def iter_trace_dicts(trace: TraceSink) -> Iterator[Dict[str, Any]]:
+    """Stream a sink's records as JSON-serializable dicts, in order.
+
+    Sinks that replay ``repr``-serialized payloads (``SpillSink``)
+    are passed through without a second ``repr``.
+    """
+    preserialized = getattr(trace, "payloads_preserialized", False)
     for record in trace:
-        out.append({
-            "time": record.time,
-            "kind": record.kind,
-            "node": _label(record.node),
-            "broadcast_id": record.broadcast_id,
-            "peer": _label(record.peer),
-            "payload": None if record.payload is None
-            else repr(record.payload),
-        })
-    return out
+        yield record_to_dict(record, preserialized=preserialized)
 
 
-def trace_to_json(trace: Trace, *, indent: Optional[int] = None,
+def trace_to_records(trace: TraceSink) -> List[Dict[str, Any]]:
+    """Convert a trace to JSON-serializable dicts (materialized)."""
+    return list(iter_trace_dicts(trace))
+
+
+def trace_to_json(trace: TraceSink, *, indent: Optional[int] = None,
                   metadata: Optional[Dict[str, Any]] = None,
                   crashes: Iterable[CrashPlan] = ()) -> str:
-    """Serialize a trace (plus metadata and crash scenario) to JSON."""
+    """Serialize a trace (plus metadata and crash scenario) to a v2
+    single-document JSON string (in-memory diff format)."""
     document = {
-        "schema": SCHEMA_VERSION,
+        "schema": INLINE_SCHEMA_VERSION,
         "metadata": metadata or {},
         "crashes": [plan.to_dict() for plan in crashes],
         "records": trace_to_records(trace),
@@ -59,14 +96,21 @@ def trace_to_json(trace: Trace, *, indent: Optional[int] = None,
 
 def _parse_document(text: str) -> dict:
     document = json.loads(text)
-    if document.get("schema") not in (1, SCHEMA_VERSION):
+    if document.get("schema") not in (1, INLINE_SCHEMA_VERSION):
         raise ValueError(
             f"unsupported trace schema: {document.get('schema')!r}")
     return document
 
 
+def _record_from_dict(rec: Dict[str, Any]) -> TraceRecord:
+    return TraceRecord(
+        time=rec["time"], kind=rec["kind"], node=rec["node"],
+        broadcast_id=rec["broadcast_id"], peer=rec["peer"],
+        payload=rec["payload"])
+
+
 def trace_from_json(text: str) -> Trace:
-    """Rebuild a structural trace from a JSON export.
+    """Rebuild a structural trace from a v1/v2 JSON document.
 
     Payloads come back as their ``repr`` strings; all timing/topology
     queries (decision times, counts, crashed nodes) work as on the
@@ -75,10 +119,7 @@ def trace_from_json(text: str) -> Trace:
     document = _parse_document(text)
     trace = Trace()
     for rec in document["records"]:
-        trace.append(TraceRecord(
-            time=rec["time"], kind=rec["kind"], node=rec["node"],
-            broadcast_id=rec["broadcast_id"], peer=rec["peer"],
-            payload=rec["payload"]))
+        trace.append(_record_from_dict(rec))
     return trace
 
 
@@ -89,25 +130,107 @@ def crashes_from_json(text: str) -> List[CrashPlan]:
             for entry in document.get("crashes", ())]
 
 
-def save_trace(trace: Trace, path: str, *,
+def save_trace(trace: TraceSink, path: str, *,
                metadata: Optional[Dict[str, Any]] = None,
-               crashes: Iterable[CrashPlan] = ()) -> None:
-    """Write a trace export (optionally with its crash scenario)."""
+               crashes: Iterable[CrashPlan] = (),
+               chunk_records: int = EXPORT_CHUNK_RECORDS) -> None:
+    """Write a streamed (schema v3) trace export.
+
+    Records are written ``chunk_records`` at a time straight off the
+    sink's iterator: peak memory is O(chunk) regardless of trace
+    length, which is what makes exporting a
+    :class:`~repro.macsim.trace.SpillSink` run feasible.
+    """
+    header = {
+        "schema": SCHEMA_VERSION,
+        "format": "jsonl-chunks",
+        "metadata": metadata or {},
+        "crashes": [plan.to_dict() for plan in crashes],
+    }
     with open(path, "w", encoding="utf-8") as handle:
-        handle.write(trace_to_json(trace, indent=2, metadata=metadata,
-                                   crashes=crashes))
+        handle.write(json.dumps(header))
+        handle.write("\n")
+        chunk: List[Dict[str, Any]] = []
+        for rec in iter_trace_dicts(trace):
+            chunk.append(rec)
+            if len(chunk) >= chunk_records:
+                handle.write(json.dumps(chunk))
+                handle.write("\n")
+                chunk = []
+        if chunk:
+            handle.write(json.dumps(chunk))
+            handle.write("\n")
 
 
-def load_trace(path: str) -> Trace:
-    """Read a trace export from ``path``."""
+def _read_header(path: str) -> Optional[dict]:
+    """The v3 header line, or ``None`` for v1/v2 single documents."""
     with open(path, encoding="utf-8") as handle:
-        return trace_from_json(handle.read())
+        first = handle.readline()
+    try:
+        header = json.loads(first)
+    except json.JSONDecodeError:
+        return None
+    if isinstance(header, dict) and header.get("schema", 0) >= 3:
+        if header["schema"] > SCHEMA_VERSION:
+            raise ValueError(
+                f"unsupported trace schema: {header['schema']!r}")
+        return header
+    return None
+
+
+def iter_saved_records(path: str) -> Iterator[TraceRecord]:
+    """Stream the records of a v3 export without materializing them."""
+    with open(path, encoding="utf-8") as handle:
+        handle.readline()  # header
+        for line in handle:
+            if not line.strip():
+                continue
+            for rec in json.loads(line):
+                yield _record_from_dict(rec)
+
+
+def load_trace(path: str, *, sink: Optional[TraceSink] = None) -> TraceSink:
+    """Read a trace export from ``path`` (any schema version).
+
+    ``sink`` receives the records (default: a fresh in-memory
+    :class:`Trace`); pass a :class:`~repro.macsim.trace.SpillSink` to
+    keep a huge reload in bounded memory. v3 files are streamed chunk
+    by chunk; v1/v2 single documents are parsed whole.
+    """
+    trace = sink if sink is not None else Trace()
+    # Exported payloads are already repr strings; sinks that
+    # re-serialize on ingest (SpillSink) take their serialized-append
+    # path so reload -> re-export round-trips without double-repr.
+    append = getattr(trace, "append_serialized", trace.append)
+    header = _read_header(path)
+    if header is None:
+        with open(path, encoding="utf-8") as handle:
+            document = _parse_document(handle.read())
+        for rec in document["records"]:
+            append(_record_from_dict(rec))
+        return trace
+    for record in iter_saved_records(path):
+        append(record)
+    return trace
 
 
 def load_crashes(path: str) -> List[CrashPlan]:
     """Read the crash scenario back from an export, losslessly."""
+    header = _read_header(path)
+    if header is not None:
+        return [CrashPlan.from_dict(entry)
+                for entry in header.get("crashes", ())]
     with open(path, encoding="utf-8") as handle:
         return crashes_from_json(handle.read())
+
+
+def load_metadata(path: str) -> Dict[str, Any]:
+    """The metadata block of an export (any schema version)."""
+    header = _read_header(path)
+    if header is not None:
+        return dict(header.get("metadata") or {})
+    with open(path, encoding="utf-8") as handle:
+        return dict(_parse_document(handle.read()).get("metadata") or {})
 
 
 def _label(value: Any) -> Any:

@@ -29,6 +29,9 @@ class RunMetrics:
     deliveries: int
     events: int
     stop_reason: str
+    #: Algorithm-specific observables harvested by a runner ``probe``
+    #: (e.g. Ben-Or round counts); ``None`` when no probe ran.
+    extras: Optional[Dict[str, Any]] = None
 
     @property
     def normalized_time(self) -> Optional[float]:
@@ -50,7 +53,8 @@ def collect_metrics(*, algorithm: str, topology: str, graph,
                     initial_values: Dict[Any, int],
                     diameter: Optional[int] = None,
                     faulty: frozenset = frozenset(),
-                    untrusted: Optional[frozenset] = None) -> RunMetrics:
+                    untrusted: Optional[frozenset] = None,
+                    extras: Optional[Dict[str, Any]] = None) -> RunMetrics:
     """Build a :class:`RunMetrics` from a completed run.
 
     ``faulty`` scopes the consensus properties to correct nodes and
@@ -80,4 +84,5 @@ def collect_metrics(*, algorithm: str, topology: str, graph,
         deliveries=trace.delivery_count(),
         events=result.events_processed,
         stop_reason=result.stop_reason,
+        extras=extras,
     )

@@ -2,12 +2,13 @@
 
 from __future__ import annotations
 
-from typing import Any, Callable, Dict, Optional
+from typing import Any, Callable, Dict, Iterable, Optional
 
 from ..macsim import build_simulation
+from ..macsim.crash import CrashPlan
 from ..macsim.errors import ModelViolationError
 from ..macsim.invariants import check_model_invariants
-from ..macsim.trace import TraceLevel
+from ..macsim.trace import TraceLevel, TraceSink
 from .metrics import RunMetrics, collect_metrics
 
 #: Factory signature: (label, initial value) -> process.
@@ -33,44 +34,64 @@ def run_consensus(*, algorithm: str, topology: str, graph, scheduler,
                   max_time: Optional[float] = None,
                   check_invariants: bool = True,
                   fault_model=None,
-                  trace_level: "TraceLevel | str" = TraceLevel.FULL
+                  crashes: Iterable[CrashPlan] = (),
+                  unreliable_graph=None,
+                  trace_level: "TraceLevel | str" = TraceLevel.FULL,
+                  trace_sink: Optional[TraceSink] = None,
+                  probe: Optional[Callable[[Any], Dict[str, Any]]] = None
                   ) -> RunMetrics:
     """Run one consensus execution and return its metrics.
 
     ``factory(label, value)`` builds the process for each node. Model
-    invariants are verified on the trace unless disabled (they are
-    O(trace) and cheap at experiment sizes).
+    invariants are verified on the trace unless disabled (the replay
+    is streaming and O(n) in memory, so it stays cheap even for
+    spilled traces).
 
     ``fault_model`` is an optional
     :class:`~repro.macsim.faults.base.FaultModel` adversary; when
     present, invariants and consensus properties are scoped to its
-    correct (non-faulty) nodes.
+    correct (non-faulty) nodes. ``crashes`` is the legacy crash-plan
+    API (crashed nodes execute their program correctly, so they are
+    *not* treated as faulty for validity); the two are mutually
+    exclusive. ``unreliable_graph`` runs the dual-graph model variant.
 
-    ``trace_level`` selects how much of the execution is materialized
-    (see :class:`~repro.macsim.trace.TraceLevel`). Model-invariant
-    replay needs a full trace, so invariant checking is skipped
-    automatically below ``TraceLevel.FULL``; consensus checking and
-    all metrics still work (they use the decision/crash records and
-    the exact occurrence counters).
+    ``trace_level``/``trace_sink`` select the trace sink (see
+    :mod:`repro.macsim.trace`): invariant replay needs a replayable
+    sink (FULL or SPILL), so invariant checking is skipped
+    automatically for counting sinks; consensus checking and all
+    metrics work on every sink (they use the decision/crash records
+    and the exact occurrence counters).
+
+    ``probe(sim)`` may harvest algorithm-specific observables from the
+    finished simulator (e.g. round counts); its dict lands in
+    :attr:`RunMetrics.extras`. Keep probe results small and picklable
+    -- sweeps ship them across process boundaries.
     """
     values = initial_values or alternating_values(graph)
-    level = TraceLevel.coerce(trace_level)
     faulty = (frozenset() if fault_model is None
               else frozenset(fault_model.faulty_nodes()))
     untrusted = (frozenset() if fault_model is None
                  else frozenset(fault_model.lying_nodes()))
     sim = build_simulation(graph, lambda v: factory(v, values[v]),
                            scheduler, fault_model=fault_model,
-                           trace_level=level)
+                           crashes=crashes,
+                           unreliable_graph=unreliable_graph,
+                           trace_level=trace_level,
+                           trace_sink=trace_sink)
     result = sim.run(max_events=max_events, max_time=max_time)
-    if check_invariants and level is TraceLevel.FULL:
-        report = check_model_invariants(graph, result.trace,
-                                        scheduler.f_ack, faulty=faulty)
+    sink = result.trace
+    sink.close()
+    if check_invariants and sink.replayable:
+        report = check_model_invariants(graph, sink, scheduler.f_ack,
+                                        unreliable_graph=unreliable_graph,
+                                        faulty=faulty)
         if not report.ok:
             raise ModelViolationError(
                 f"{algorithm} on {topology}: " + "; ".join(
                     report.violations[:5]))
+    extras = probe(sim) if probe is not None else None
     return collect_metrics(algorithm=algorithm, topology=topology,
                            graph=graph, scheduler=scheduler,
                            result=result, initial_values=values,
-                           faulty=faulty, untrusted=untrusted)
+                           faulty=faulty, untrusted=untrusted,
+                           extras=extras)

@@ -7,12 +7,23 @@ a ready-made tool for their own measurements.
 
 Two runners share one point-execution helper:
 
-* :func:`sweep` -- sequential, one consensus execution per ``x``.
+* :func:`sweep` -- sequential, one consensus execution per key.
 * :func:`parallel_sweep` -- same contract and *identical results*, but
   sweep points fan out over ``multiprocessing`` workers. Results come
   back in the order of ``xs`` regardless of worker completion order,
   and each point is itself deterministic (fixed scheduler/seed), so a
   parallel sweep is byte-for-byte equivalent to the sequential one.
+
+Structured sweep keys
+---------------------
+A sweep key may be a plain scalar (the classic ``x``) or any tuple --
+``(x, seed)``, ``((n, f), seed)`` -- and ``build(key)`` receives it
+verbatim. This is how seed-replicated series (one execution per
+``(x, seed)`` pair, the shape of E1/E9/E10) fan out across workers
+instead of looping seeds sequentially inside each x. The point's
+scalar axis is the first numeric leaf of the key, unless ``build``
+returns an explicit ``x`` entry; :meth:`SweepResult.by_x` regroups the
+replicas for aggregation.
 
 ``parallel_sweep`` uses the ``fork`` start method so the (typically
 unpicklable) ``build`` closures never cross a process boundary: workers
@@ -41,6 +52,9 @@ class SweepPoint:
 
     x: float
     metrics: RunMetrics
+    #: The full sweep key this point was built from (equal to ``x``
+    #: for scalar sweeps; the ``(x, seed)``-style tuple otherwise).
+    key: Any = None
 
 
 @dataclass
@@ -60,6 +74,17 @@ class SweepResult:
     def all_correct(self) -> bool:
         return all(p.metrics.correct for p in self.points)
 
+    def by_x(self) -> Dict[float, List[SweepPoint]]:
+        """Points regrouped by scalar axis, in first-seen x order.
+
+        The aggregation view for seed-replicated sweeps: every
+        ``(x, seed)`` replica of one x lands in one bucket.
+        """
+        groups: Dict[float, List[SweepPoint]] = {}
+        for point in self.points:
+            groups.setdefault(point.x, []).append(point)
+        return groups
+
     def fit(self, attribute: str = "last_decision"):
         """Least-squares (slope, intercept) of ``attribute`` vs x."""
         return linear_fit(self.xs, self.ys(attribute))
@@ -70,35 +95,53 @@ class SweepResult:
                  getattr(p.metrics, attribute)] for p in self.points]
 
 
-def _run_point(name: str, x: float,
-               build: Callable[[float], Dict[str, Any]],
+def _scalar_axis(key: Any) -> float:
+    """The plotting axis of a sweep key: its first numeric leaf."""
+    while isinstance(key, tuple):
+        if not key:
+            raise ValueError("empty tuple sweep key")
+        key = key[0]
+    if isinstance(key, bool) or not isinstance(key, (int, float)):
+        raise ValueError(
+            f"cannot derive a scalar axis from sweep key leaf {key!r}; "
+            f"have build() return an explicit 'x' entry")
+    return float(key)
+
+
+def _run_point(name: str, key: Any,
+               build: Callable[[Any], Dict[str, Any]],
                max_events: int, max_time: Optional[float],
                trace_level: "TraceLevel | str") -> SweepPoint:
     """Execute one sweep point; shared by both runners."""
-    spec = dict(build(x))
+    spec = dict(build(key))
     graph = spec.pop("graph")
     scheduler = spec.pop("scheduler")
     factory: ProcessFactory = spec.pop("factory")
-    topology = spec.pop("topology", f"{name}@{x}")
+    topology = spec.pop("topology", f"{name}@{key}")
+    x = spec.pop("x", None)
+    if x is None:
+        x = _scalar_axis(key)
     metrics = run_consensus(
         algorithm=name, topology=topology, graph=graph,
         scheduler=scheduler, factory=factory,
         max_events=max_events, max_time=max_time,
         trace_level=trace_level, **spec)
-    return SweepPoint(x=float(x), metrics=metrics)
+    return SweepPoint(x=float(x), metrics=metrics, key=key)
 
 
-def sweep(name: str, xs: Sequence[float],
-          build: Callable[[float], Dict[str, Any]],
+def sweep(name: str, xs: Sequence[Any],
+          build: Callable[[Any], Dict[str, Any]],
           *, max_events: int = 20_000_000,
           max_time: Optional[float] = None,
           trace_level: "TraceLevel | str" = TraceLevel.FULL) -> SweepResult:
-    """Run one consensus execution per ``x`` and collect metrics.
+    """Run one consensus execution per key in ``xs`` and collect metrics.
 
-    ``build(x)`` returns the keyword arguments for
+    ``build(key)`` returns the keyword arguments for
     :func:`run_consensus` at that sweep point: ``graph``,
     ``scheduler``, ``factory`` and optionally ``initial_values`` /
-    ``topology``.
+    ``topology`` / ``crashes`` / ``unreliable_graph`` /
+    ``check_invariants`` / ``probe``, plus ``x`` to pin the point's
+    scalar axis when the key alone does not determine it.
 
     Example::
 
@@ -109,6 +152,13 @@ def sweep(name: str, xs: Sequence[float],
                 scheduler=SynchronousScheduler(1.0),
                 factory=make_wpaxos_factory(line(int(d) + 1))))
         slope, intercept = result.fit()
+
+    Seed-replicated series pass ``(x, seed)`` tuples::
+
+        result = sweep(
+            "time vs p", [(p, s) for p in probs for s in range(5)],
+            lambda key: build_for(prob=key[0], seed=key[1]))
+        for p, replicas in result.by_x().items(): ...
     """
     result = SweepResult(name=name)
     for x in xs:
@@ -133,8 +183,8 @@ def default_workers() -> int:
     return max(1, (os.cpu_count() or 2) // 2)
 
 
-def parallel_sweep(name: str, xs: Sequence[float],
-                   build: Callable[[float], Dict[str, Any]],
+def parallel_sweep(name: str, xs: Sequence[Any],
+                   build: Callable[[Any], Dict[str, Any]],
                    *, max_events: int = 20_000_000,
                    max_time: Optional[float] = None,
                    trace_level: "TraceLevel | str" = TraceLevel.FULL,
@@ -144,9 +194,10 @@ def parallel_sweep(name: str, xs: Sequence[float],
     Results are deterministic and identical to :func:`sweep`: points
     are returned in ``xs`` order (``Pool.map`` preserves input order)
     and each point's execution is fully determined by its scheduler
-    and seed. Falls back to the sequential path when parallelism is
-    unavailable (no ``fork``; nested inside a daemon worker) or not
-    worth it (fewer than two points, ``workers=1``).
+    and seed. Structured ``(x, seed)`` keys fan every replica out as
+    its own worker task. Falls back to the sequential path when
+    parallelism is unavailable (no ``fork``; nested inside a daemon
+    worker) or not worth it (fewer than two points, ``workers=1``).
     """
     global _FORK_STATE
     xs = list(xs)

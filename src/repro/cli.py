@@ -171,8 +171,10 @@ def cmd_run(args: argparse.Namespace) -> int:
     untrusted = (frozenset() if fault_model is None
                  else frozenset(fault_model.lying_nodes()))
     sim = build_simulation(graph, factory, scheduler,
-                           fault_model=fault_model)
+                           fault_model=fault_model,
+                           trace_level=args.trace_level)
     result = sim.run(max_time=args.max_time)
+    result.trace.close()
     report = check_consensus(result.trace, values, faulty=faulty,
                              untrusted=untrusted)
     metrics = collect_metrics(
@@ -261,7 +263,18 @@ def build_parser() -> argparse.ArgumentParser:
     run_p.add_argument("--seed", type=int, default=0)
     run_p.add_argument("--max-time", type=float, default=None)
     run_p.add_argument("--trace-out", default=None,
-                       help="write the execution trace as JSON")
+                       help="write the execution trace as JSON "
+                            "(streamed chunks, schema v3)")
+    run_p.add_argument("--trace-level", default="full",
+                       choices=("full", "decisions", "spill"),
+                       help="trace sink: 'full' keeps every record "
+                            "in RAM (default; replayable, exact); "
+                            "'decisions' keeps only decisions/crashes "
+                            "plus exact counters (fastest, for sweeps "
+                            "and metrics-only runs); 'spill' streams "
+                            "full records to chunked JSONL on disk "
+                            "with an in-RAM index (replayable at "
+                            "10^7+ events in bounded memory)")
     run_p.add_argument("--byzantine", type=int, default=0,
                        metavar="K",
                        help="make the last K nodes Byzantine")

@@ -14,6 +14,7 @@ kind that deadlock Two-Phase Consensus, and records:
 
 from __future__ import annotations
 
+from ..analysis import parallel_sweep
 from ..core.randomized import BenOrConsensus
 from ..core.twophase import TwoPhaseConsensus
 from ..macsim import build_simulation, check_consensus, crash_plan
@@ -23,6 +24,29 @@ from .common import ExperimentReport
 
 CONFIGS = ((3, 1), (5, 1), (5, 2), (9, 4))
 SEEDS = range(6)
+
+
+def _build_point(key):
+    """One Ben-Or execution for a ``((n, f), seed)`` sweep key."""
+    (n, f), seed = key
+    graph = clique(n)
+    values = {v: v % 2 for v in graph.nodes}
+    crash_count = min(f, 1)
+    crashes = [crash_plan(0, 1.5, still_delivered=frozenset({1}))]
+
+    def factory(v, val):
+        return BenOrConsensus(v + 1, val, n, f, seed=seed * 31 + v)
+
+    def probe(sim):
+        return {"rounds": max(sim.process_at(v).round_no
+                              for v in graph.nodes)}
+
+    return dict(graph=graph,
+                scheduler=RandomDelayScheduler(1.0, seed=seed),
+                factory=factory, initial_values=values,
+                crashes=crashes[:crash_count],
+                topology=f"clique({n})", check_invariants=False,
+                probe=probe, x=n)
 
 
 def run(*, configs=CONFIGS, seeds=SEEDS) -> ExperimentReport:
@@ -35,29 +59,22 @@ def run(*, configs=CONFIGS, seeds=SEEDS) -> ExperimentReport:
                  "max rounds"],
     )
 
-    for n, f in configs:
-        crash_count = min(f, 1)
-        safe, finished, max_rounds = 0, 0, 0
-        for seed in seeds:
-            graph = clique(n)
-            values = {v: v % 2 for v in graph.nodes}
-            crashes = [crash_plan(0, 1.5,
-                                  still_delivered=frozenset({1}))]
-            sim = build_simulation(
-                graph,
-                lambda v: BenOrConsensus(v + 1, values[v], n, f,
-                                         seed=seed * 31 + v),
-                RandomDelayScheduler(1.0, seed=seed),
-                crashes=crashes[:crash_count])
-            result = sim.run(max_events=3_000_000, max_time=5_000.0)
-            consensus = check_consensus(result.trace, values)
-            safe += consensus.agreement and consensus.validity
-            finished += consensus.termination
-            rounds = max(sim.process_at(v).round_no
-                         for v in graph.nodes)
-            max_rounds = max(max_rounds, rounds)
-        total = len(list(seeds))
-        report.add_row(n, f, crash_count, total, f"{safe}/{total}",
+    # Every ((n, f), seed) replica fans out as its own sweep point;
+    # results are grouped back per configuration for the table.
+    series = parallel_sweep(
+        "ben-or", [((n, f), seed) for n, f in configs
+                   for seed in seeds],
+        _build_point, max_events=3_000_000, max_time=5_000.0)
+    total = len(list(seeds))
+    by_config = {}
+    for point in series.points:
+        by_config.setdefault(point.key[0], []).append(point)
+    for (n, f), replicas in by_config.items():
+        safe = sum(p.metrics.agreement and p.metrics.validity
+                   for p in replicas)
+        finished = sum(p.metrics.termination for p in replicas)
+        max_rounds = max(p.metrics.extras["rounds"] for p in replicas)
+        report.add_row(n, f, min(f, 1), total, f"{safe}/{total}",
                        f"{finished}/{total}", max_rounds)
         if safe != total or finished != total:
             report.conclude(f"Ben-Or failed at n={n}, f={f}", ok=False)

@@ -16,7 +16,7 @@ random schedulers, and records the pseudocode-erratum regression
 
 from __future__ import annotations
 
-from ..analysis import linear_fit, run_consensus
+from ..analysis import linear_fit, parallel_sweep, run_consensus
 from ..core.twophase import TwoPhaseConsensus
 from ..macsim.schedulers import (RandomDelayScheduler,
                                  StaggeredScheduler,
@@ -79,12 +79,18 @@ def run(*, n_sweep=N_SWEEP, f_sweep=F_SWEEP,
         ok=slope <= 2.0 + 1e-9)
 
     # --- adversarial and random schedulers ----------------------------
+    # The seed-replicated series fans out across workers: one sweep
+    # point per (n, seed) key, identical results to the old loop.
+    random_series = parallel_sweep(
+        "two-phase", [(12, seed) for seed in random_seeds],
+        lambda key: dict(
+            graph=clique(key[0]),
+            scheduler=RandomDelayScheduler(2.0, seed=key[1]),
+            factory=factory, topology=f"clique({key[0]})"))
     worst_ratio = 0.0
-    for seed in random_seeds:
-        scheduler = RandomDelayScheduler(2.0, seed=seed)
-        metrics = run_consensus(
-            algorithm="two-phase", topology="clique(12)",
-            graph=clique(12), scheduler=scheduler, factory=factory)
+    for point in random_series.points:
+        metrics = point.metrics
+        seed = point.key[1]
         worst_ratio = max(worst_ratio, metrics.normalized_time or 0.0)
         if seed == 0:
             report.add_row("random", 12, 2.0, metrics.correct,

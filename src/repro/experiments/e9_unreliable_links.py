@@ -19,8 +19,8 @@ reliable line augmented with random unreliable chords:
 
 from __future__ import annotations
 
+from ..analysis import parallel_sweep
 from ..core.wpaxos import WPaxosConfig, WPaxosNode
-from ..macsim import build_simulation, check_consensus
 from ..macsim.schedulers import (AdversarialUnreliableScheduler,
                                  BernoulliUnreliableScheduler,
                                  SynchronousScheduler)
@@ -30,19 +30,6 @@ from .common import ExperimentReport
 
 PROBS = (0.0, 0.25, 0.5, 0.75, 1.0)
 SEEDS = range(5)
-
-
-def _run_once(graph, overlay, scheduler):
-    uid = {v: i + 1 for i, v in enumerate(graph.nodes)}
-    values = {v: i % 2 for i, v in enumerate(graph.nodes)}
-    sim = build_simulation(
-        graph,
-        lambda v: WPaxosNode(uid[v], values[v], graph.n,
-                             WPaxosConfig()),
-        scheduler, unreliable_graph=overlay)
-    result = sim.run(max_events=5_000_000, max_time=2_000.0)
-    report = check_consensus(result.trace, values)
-    return report, result.trace.last_decision_time()
 
 
 def run(*, probs=PROBS, seeds=SEEDS) -> ExperimentReport:
@@ -57,35 +44,57 @@ def run(*, probs=PROBS, seeds=SEEDS) -> ExperimentReport:
     )
     graph = line(12)
     overlay = unreliable_overlay(graph, 0.15, seed=3)
+    uid = {v: i + 1 for i, v in enumerate(graph.nodes)}
+    values = {v: i % 2 for i, v in enumerate(graph.nodes)}
+
+    def factory(v, val):
+        return WPaxosNode(uid[v], val, graph.n, WPaxosConfig())
+
+    def build(scheduler, x):
+        return dict(graph=graph, scheduler=scheduler, factory=factory,
+                    initial_values=values, unreliable_graph=overlay,
+                    topology="line(12)+overlay", check_invariants=False,
+                    x=x)
+
+    # The full (prob, seed) grid fans out across workers -- every
+    # replica is one sweep point, grouped back per probability below.
+    bernoulli = parallel_sweep(
+        "wpaxos-unreliable",
+        [(prob, seed) for prob in probs for seed in seeds],
+        lambda key: build(
+            BernoulliUnreliableScheduler(SynchronousScheduler(1.0),
+                                         key[0], seed=key[1]),
+            x=key[0]),
+        max_events=5_000_000, max_time=2_000.0)
 
     liveness_ever_lost = False
-    for prob in probs:
-        agree, finished, times = 0, 0, []
-        for seed in seeds:
-            scheduler = BernoulliUnreliableScheduler(
-                SynchronousScheduler(1.0), prob, seed=seed)
-            consensus, last = _run_once(graph, overlay, scheduler)
-            agree += consensus.agreement and consensus.validity
-            if consensus.termination:
-                finished += 1
-                times.append(last)
+    total = len(list(seeds))
+    for prob, replicas in bernoulli.by_x().items():
+        agree = sum(p.metrics.agreement and p.metrics.validity
+                    for p in replicas)
+        times = [p.metrics.last_decision for p in replicas
+                 if p.metrics.termination]
+        finished = len(times)
         mean_time = (sum(times) / len(times)) if times else None
-        report.add_row(f"bernoulli p={prob}", len(list(seeds)),
-                       f"{agree}/{len(list(seeds))}",
-                       f"{finished}/{len(list(seeds))}", mean_time)
-        if agree != len(list(seeds)):
+        report.add_row(f"bernoulli p={prob}", total,
+                       f"{agree}/{total}", f"{finished}/{total}",
+                       mean_time)
+        if agree != total:
             report.conclude(f"safety violated at p={prob}", ok=False)
-        if finished < len(list(seeds)):
+        if finished < total:
             liveness_ever_lost = True
 
     # Adversarial policy: links work, then vanish.
-    agree, finished = 0, 0
-    for cutoff in (5.0, 10.0, 20.0):
-        scheduler = AdversarialUnreliableScheduler(
-            SynchronousScheduler(1.0), cutoff=cutoff)
-        consensus, _ = _run_once(graph, overlay, scheduler)
-        agree += consensus.agreement and consensus.validity
-        finished += consensus.termination
+    adversarial = parallel_sweep(
+        "wpaxos-unreliable-adv", [5.0, 10.0, 20.0],
+        lambda cutoff: build(
+            AdversarialUnreliableScheduler(SynchronousScheduler(1.0),
+                                           cutoff=cutoff),
+            x=cutoff),
+        max_events=5_000_000, max_time=2_000.0)
+    agree = sum(p.metrics.agreement and p.metrics.validity
+                for p in adversarial.points)
+    finished = sum(p.metrics.termination for p in adversarial.points)
     report.add_row("adversarial cutoffs 5/10/20", 3, f"{agree}/3",
                    f"{finished}/3", None)
     if agree != 3:

@@ -27,7 +27,8 @@ from .invariants import (ConsensusReport, InvariantReport, check_consensus,
                          check_model_invariants)
 from .process import Process
 from .simulator import RunResult, Simulator, build_simulation
-from .trace import Trace, TraceLevel, TraceRecord
+from .trace import (DecisionsSink, IndexedMemorySink, SpillSink, Trace,
+                    TraceLevel, TraceRecord, TraceSink, make_sink)
 from . import faults, schedulers
 
 __all__ = [
@@ -57,6 +58,11 @@ __all__ = [
     "Trace",
     "TraceLevel",
     "TraceRecord",
+    "TraceSink",
+    "IndexedMemorySink",
+    "DecisionsSink",
+    "SpillSink",
+    "make_sink",
     "InvariantReport",
     "ConsensusReport",
     "check_model_invariants",

@@ -47,8 +47,11 @@ DELIVER_PRIORITY = 1
 ACK_PRIORITY = 2
 WAKEUP_PRIORITY = 3
 
-#: Valid ``Event.kind`` values.
-EVENT_KINDS = ("crash", "deliver", "ack", "wakeup")
+#: Valid ``Event.kind`` values. ``bdeliver`` is a *delivery batch*: one
+#: entry for a whole broadcast fan-out whose deliveries share a
+#: timestamp; the simulator expands it into per-receiver deliveries at
+#: pop time (its ``node`` slot carries the receiver tuple).
+EVENT_KINDS = ("crash", "deliver", "bdeliver", "ack", "wakeup")
 _EVENT_KIND_SET = frozenset(EVENT_KINDS)
 
 #: Heap entry layout (see module docstring).

@@ -28,6 +28,14 @@ engine then keeps PR 1's inlined fast path. A model that *does*
 intercept returns a callable once, at construction time; the engine
 caches it so the hot loop pays one attribute test, never a dispatch
 through the model object.
+
+Batched delivery scheduling (PR 3) does not change the contract: a
+broadcast whose fan-out shares one timestamp is *scheduled* as a
+single heap entry, but it still expands into per-receiver dispatches,
+so :meth:`FaultModel.deliver_hook` fires once per (sender, receiver)
+delivery and ``drop``/substitution semantics are unchanged. The
+send-hook override map is likewise applied per receiver at expansion
+time, and crash plans cancel batched receivers individually.
 """
 
 from __future__ import annotations

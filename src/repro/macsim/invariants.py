@@ -1,11 +1,25 @@
 """Post-hoc model and consensus invariant checking.
 
-These functions replay a :class:`~repro.macsim.trace.Trace` and verify
-that an execution respected the abstract MAC layer contract (Section 2)
-and, where applicable, the three consensus properties (agreement,
-validity, termination). The test-suite runs them over every simulation
-it performs; the hypothesis property tests run them over thousands of
+These functions replay a trace sink and verify that an execution
+respected the abstract MAC layer contract (Section 2) and, where
+applicable, the three consensus properties (agreement, validity,
+termination). The test-suite runs them over every simulation it
+performs; the hypothesis property tests run them over thousands of
 randomized schedules.
+
+Bounded-memory replay
+---------------------
+:func:`check_model_invariants` consumes the trace as a single forward
+stream (plus the O(crashes) crash index), and *evicts* a broadcast's
+audit state -- payload, delivered set, last-delivery time -- as soon as
+its ack has been checked: after the ack no further event may
+legitimately reference the broadcast, and at most one broadcast per
+node is in flight. Peak memory is therefore O(n + crashes), not
+O(trace), which is what lets a
+:class:`~repro.macsim.trace.SpillSink` replay a 10^7+-event run
+without materializing it. (On a malformed trace, an event arriving
+after its broadcast's ack is reported as referencing an unknown
+broadcast -- still a violation, just attributed differently.)
 
 Correct-node scoping
 --------------------
@@ -27,7 +41,7 @@ from dataclasses import dataclass, field
 from typing import Any, FrozenSet, Optional
 
 from .errors import ModelViolationError
-from .trace import Trace
+from .trace import TraceSink
 
 
 @dataclass
@@ -46,7 +60,7 @@ class InvariantReport:
             raise ModelViolationError("; ".join(self.violations[:10]))
 
 
-def check_model_invariants(graph, trace: Trace,
+def check_model_invariants(graph, trace: TraceSink,
                            f_ack: Optional[float] = None,
                            unreliable_graph=None,
                            faulty: FrozenSet[Any] = frozenset()
@@ -68,6 +82,10 @@ def check_model_invariants(graph, trace: Trace,
       ``drop`` records only ever involve a faulty endpoint. The ack
       coverage rule is not enforced for faulty senders or faulty
       neighbors (their deliveries may be legitimately dropped).
+
+    ``trace`` is any replayable :class:`~repro.macsim.trace.TraceSink`
+    (or a plain iterable of records); the replay runs in O(n + crashes)
+    memory -- see the module docstring.
     """
     report = InvariantReport(ok=True)
     starts: dict[int, tuple[float, Any]] = {}
@@ -76,9 +94,18 @@ def check_model_invariants(graph, trace: Trace,
     delivery_last: dict[int, float] = {}
     crash_time: dict[Any, float] = {}
 
-    for rec in trace:
-        if rec.kind == "crash":
-            crash_time.setdefault(rec.node, rec.time)
+    # Crash times come from the sink's essential-kind index when it
+    # has one (every sink does). A plain iterable is materialized
+    # once so the pre-scan does not exhaust a generator before the
+    # main replay pass.
+    of_kind = getattr(trace, "of_kind", None)
+    if of_kind is not None:
+        crash_records = of_kind("crash")
+    else:
+        trace = list(trace)
+        crash_records = [r for r in trace if r.kind == "crash"]
+    for rec in crash_records:
+        crash_time.setdefault(rec.node, rec.time)
 
     for rec in trace:
         if rec.kind == "broadcast":
@@ -91,7 +118,7 @@ def check_model_invariants(graph, trace: Trace,
         elif rec.kind == "drop":
             bid = rec.broadcast_id
             if bid not in starts:
-                report.add(f"drop for unknown broadcast {bid}")
+                report.add(f"drop for unknown or closed broadcast {bid}")
                 continue
             _, sender = starts[bid]
             if sender not in faulty and rec.node not in faulty:
@@ -102,7 +129,7 @@ def check_model_invariants(graph, trace: Trace,
         elif rec.kind == "deliver":
             bid = rec.broadcast_id
             if bid not in starts:
-                report.add(f"delivery for unknown broadcast {bid}")
+                report.add(f"delivery for unknown or closed (already acked) broadcast {bid}")
                 continue
             start_time, sender = starts[bid]
             reachable = graph.has_edge(sender, rec.node) or (
@@ -129,7 +156,7 @@ def check_model_invariants(graph, trace: Trace,
         elif rec.kind == "ack":
             bid = rec.broadcast_id
             if bid not in starts:
-                report.add(f"ack for unknown broadcast {bid}")
+                report.add(f"ack for unknown or closed broadcast {bid}")
                 continue
             start_time, sender = starts[bid]
             if rec.node != sender:
@@ -141,19 +168,26 @@ def check_model_invariants(graph, trace: Trace,
             if f_ack is not None and rec.time - start_time > f_ack + 1e-6:
                 report.add(f"ack for broadcast {bid} took "
                            f"{rec.time - start_time} > F_ack={f_ack}")
-            if sender in faulty:
-                # A faulty sender's broadcast may be partially or
-                # wholly suppressed; its ack gates nothing.
-                continue
-            for neighbor in graph.neighbors(sender):
-                neighbor_crashed = (neighbor in crash_time
-                                    and crash_time[neighbor] <= rec.time)
-                if (neighbor not in delivered[bid]
-                        and not neighbor_crashed
-                        and neighbor not in faulty):
-                    report.add(
-                        f"ack for broadcast {bid} of {sender!r} before "
-                        f"non-faulty neighbor {neighbor!r} received")
+            if sender not in faulty:
+                # (A faulty sender's broadcast may be partially or
+                # wholly suppressed; its ack gates nothing.)
+                for neighbor in graph.neighbors(sender):
+                    neighbor_crashed = (
+                        neighbor in crash_time
+                        and crash_time[neighbor] <= rec.time)
+                    if (neighbor not in delivered[bid]
+                            and not neighbor_crashed
+                            and neighbor not in faulty):
+                        report.add(
+                            f"ack for broadcast {bid} of {sender!r} "
+                            f"before non-faulty neighbor {neighbor!r} "
+                            f"received")
+            # The ack closes the broadcast: evict its audit state so
+            # replay memory stays O(in-flight), not O(trace).
+            del starts[bid]
+            del delivered[bid]
+            payloads.pop(bid, None)
+            delivery_last.pop(bid, None)
     return report
 
 
@@ -172,7 +206,7 @@ class ConsensusReport:
         return self.agreement and self.validity and self.termination
 
 
-def check_consensus(trace: Trace, initial_values: dict,
+def check_consensus(trace: TraceSink, initial_values: dict,
                     alive_nodes: Optional[list] = None,
                     faulty: FrozenSet[Any] = frozenset(),
                     untrusted: Optional[FrozenSet[Any]] = None

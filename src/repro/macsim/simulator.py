@@ -40,12 +40,26 @@ The main loop is O(1) per event with no per-event scans:
 * **Observer hooks** are pre-resolved into lists at registration time;
   when no observer implements a hook, the loop pays a single falsy
   check, not a ``getattr`` scan.
-* At ``TraceLevel.DECISIONS`` the engine counts MAC-level occurrences
-  instead of materializing trace records.
+* Trace occurrences are emitted to a pluggable
+  :class:`~repro.macsim.trace.TraceSink`; when the sink does not
+  materialize MAC-level kinds the engine counts occurrences instead of
+  allocating records.
+* **Batched delivery scheduling**: when every delivery of a broadcast
+  lands at one timestamp (dense graphs under round-structured
+  schedulers), ``mac_broadcast`` pushes a single ``bdeliver`` heap
+  entry carrying the receiver tuple instead of one entry per neighbor
+  -- O(deg) -> O(1) heap traffic. The entry expands at pop time into a
+  per-receiver cursor the main loop consumes before touching the heap
+  again, so each delivery still runs through the normal dispatch
+  (fault-model hooks included), counts as one processed event, and
+  honours ``max_events``/``stop_predicate`` exactly as per-receiver
+  entries did. Crash plans cancel batched receivers through the
+  broadcast record's ``batch_cancelled`` set, filtered at expansion.
 
 For a fixed scheduler, seed and crash plan, the event order -- and
 therefore the full-level trace -- is identical to the pre-fast-path
-engine.
+engine (batch expansion preserves the plan-order seq ordering of the
+per-neighbor entries it replaces).
 """
 
 from __future__ import annotations
@@ -63,7 +77,7 @@ from .faults.base import DROP, FaultModel
 from .faults.crash import CrashFaultModel
 from .process import Process
 from .schedulers.base import Scheduler
-from .trace import Trace, TraceLevel
+from .trace import Trace, TraceLevel, TraceSink, make_sink
 
 #: Default ceiling on processed events; prevents runaway executions.
 DEFAULT_MAX_EVENTS = 2_000_000
@@ -77,26 +91,37 @@ DEFAULT_ID_BUDGET = 24
 
 @dataclass(slots=True)
 class _BroadcastRecord:
-    """Book-keeping for one in-flight broadcast."""
+    """Book-keeping for one in-flight broadcast.
+
+    The audit sets (``pending``/``delivered``) and the cancellation
+    maps are allocated only on the cancellable (crash-plan) path; on
+    the crash-free fast path they stay ``None`` so long runs do not
+    pay four containers per broadcast.
+    """
 
     bid: int
     sender: Any
     payload: Any
     start_time: float
-    pending: set
-    delivered: set = field(default_factory=set)
-    delivery_events: dict = field(default_factory=dict)
+    pending: Optional[set] = None
+    delivered: Optional[set] = None
+    delivery_events: Optional[dict] = None
     ack_event: Optional[Event] = None
     # Per-receiver forged payloads / DROPs from the fault model's
     # broadcast-boundary hook; None on the fault-free fast path.
     overrides: Optional[dict] = None
+    # Receivers scheduled through a single batched ``bdeliver`` entry
+    # (all deliveries at one timestamp), and the subset a crash plan
+    # cancelled before expansion.
+    batch_receivers: Optional[tuple] = None
+    batch_cancelled: Optional[set] = None
 
 
 @dataclass
 class RunResult:
     """Outcome of :meth:`Simulator.run`."""
 
-    trace: Trace
+    trace: TraceSink
     decisions: dict
     decision_times: dict
     end_time: float
@@ -143,8 +168,18 @@ class Simulator:
     id_budget:
         Strict-mode bound on ids per message.
     trace_level:
-        How much the run's :class:`Trace` materializes; see
-        :class:`~repro.macsim.trace.TraceLevel`.
+        How much the run's trace materializes, and where; see
+        :class:`~repro.macsim.trace.TraceLevel`. Ignored when
+        ``trace_sink`` is given.
+    trace_sink:
+        A pre-built :class:`~repro.macsim.trace.TraceSink` to emit
+        occurrences to (e.g. a :class:`~repro.macsim.trace.SpillSink`
+        with a chosen directory). Overrides ``trace_level``.
+    batch_deliveries:
+        Whether same-timestamp broadcast fan-outs are scheduled as a
+        single expanding ``bdeliver`` entry (the default). Event order
+        and traces are identical either way; the flag exists for A/B
+        verification and benchmarking.
     """
 
     def __init__(self, graph, processes: Mapping[Any, Process],
@@ -155,13 +190,16 @@ class Simulator:
                  id_budget: int = DEFAULT_ID_BUDGET,
                  unreliable_graph=None,
                  validate_plans: Optional[bool] = None,
-                 trace_level: "TraceLevel | str" = TraceLevel.FULL) -> None:
+                 trace_level: "TraceLevel | str" = TraceLevel.FULL,
+                 trace_sink: Optional[TraceSink] = None,
+                 batch_deliveries: bool = True) -> None:
         self.graph = graph
         self.scheduler = scheduler
         self.strict_sizes = strict_sizes
         self.id_budget = id_budget
         self.unreliable_graph = unreliable_graph
-        self.trace = Trace(trace_level)
+        self.trace = (trace_sink if trace_sink is not None
+                      else make_sink(trace_level))
         self.now = 0.0
 
         # Normalize the legacy crashes= API into the fault-model
@@ -181,6 +219,8 @@ class Simulator:
         # fast path; crash-only and fault-free models keep it.
         self._fault_active = (self._fault_send is not None
                               or self._fault_deliver is not None)
+
+        self._batch_deliveries = bool(batch_deliveries)
 
         # Plan validation: trusted built-in schedulers produce correct
         # plans by construction and may skip the O(deg) validate.
@@ -223,11 +263,18 @@ class Simulator:
         self._neighbors: dict[Any, tuple] = {
             v: tuple(graph.neighbors(v)) for v in graph.nodes}
 
-        # MAC-level occurrences are materialized only at FULL level.
-        self._trace_mac = self.trace.level is TraceLevel.FULL
-        # Direct alias into the trace's occurrence counters for the
+        # Whether the sink materializes MAC-level occurrences (vs. the
+        # counter-only bump fast path).
+        self._trace_mac = self.trace.materializes_mac
+        # Direct alias into the sink's occurrence counters for the
         # counts-only fast path (avoids a method call per event).
-        self._kind_counts = self.trace._kind_counts
+        # Third-party sinks without the shared dict fall back to the
+        # protocol-level bump() at every count site.
+        self._kind_counts = getattr(self.trace, "_kind_counts", None)
+        # Mid-expansion delivery-batch cursor: [time, bid, receivers,
+        # next_index]. Lives on the instance so a run interrupted by
+        # max_events/stop_predicate resumes exactly where it stopped.
+        self._pending_batch: Optional[list] = None
 
         self._crash_by_node: dict[Any, CrashPlan] = {}
         for plan in fault_model.crash_plans():
@@ -346,18 +393,48 @@ class Simulator:
                     if forged is not DROP and forged is not payload:
                         self._check_size(forged)
 
+        # Delivery-batch detection: when every delivery lands at one
+        # timestamp (round-structured schedulers on any topology), one
+        # ``bdeliver`` entry carrying the receiver tuple replaces the
+        # per-neighbor fan-out -- O(deg) -> O(1) heap traffic. The
+        # receiver tuple preserves plan order, which is exactly the
+        # seq order the per-neighbor entries would have had, so event
+        # order (and the full trace) is unchanged.
+        deliveries = plan.deliveries
+        batch = None
+        if self._batch_deliveries and len(deliveries) > 1:
+            times = iter(deliveries.values())
+            first = next(times)
+            for when in times:
+                if when != first:
+                    break
+            else:
+                batch = (first, tuple(deliveries))
+
         if self._cancellable:
             record = _BroadcastRecord(
                 bid=bid, sender=sender, payload=payload,
                 start_time=self.now,
                 pending=set(neighbors),
+                delivered=set(),
+                delivery_events={},
                 overrides=overrides,
             )
             push = self._queue.push
-            delivery_events = record.delivery_events
-            for receiver, when in plan.deliveries.items():
-                delivery_events[receiver] = push(when, DELIVER_PRIORITY,
-                                                 "deliver", receiver, bid)
+            if batch is not None:
+                when, receivers = batch
+                record.batch_receivers = receivers
+                # Crash plans cancel batched receivers through
+                # record.batch_cancelled (filtered at expansion), so
+                # the entry itself needs no cancellation handle.
+                self._queue.push_light(when, DELIVER_PRIORITY,
+                                       "bdeliver", node=receivers,
+                                       broadcast_id=bid)
+            else:
+                delivery_events = record.delivery_events
+                for receiver, when in deliveries.items():
+                    delivery_events[receiver] = push(
+                        when, DELIVER_PRIORITY, "deliver", receiver, bid)
             if self.unreliable_graph is not None:
                 self._schedule_unreliable(record, payload, plan.ack_time,
                                           set(neighbors))
@@ -367,12 +444,11 @@ class Simulator:
             # Crash-free run: plan validation plus the deliver-before-
             # ack event priority already guarantee every neighbor
             # receives before the ack fires, so the pending/delivered
-            # audit sets stay empty -- nothing can ever remove or miss
+            # audit sets stay None -- nothing can ever remove or miss
             # a delivery.
             record = _BroadcastRecord(
                 bid=bid, sender=sender, payload=payload,
                 start_time=self.now,
-                pending=set(),
                 overrides=overrides,
             )
             # Inline batch of EventQueue.push_light: one seq/live
@@ -380,14 +456,22 @@ class Simulator:
             queue = self._queue
             heap = queue._heap
             seq = queue._next_seq
-            for receiver, when in plan.deliveries.items():
-                heappush(heap, (when, DELIVER_PRIORITY, seq, "deliver",
-                                receiver, bid, None))
+            if batch is not None:
+                when, receivers = batch
+                record.batch_receivers = receivers
+                heappush(heap, (when, DELIVER_PRIORITY, seq, "bdeliver",
+                                receivers, bid, None))
                 seq += 1
+                queue._live += 2
+            else:
+                for receiver, when in deliveries.items():
+                    heappush(heap, (when, DELIVER_PRIORITY, seq,
+                                    "deliver", receiver, bid, None))
+                    seq += 1
+                queue._live += len(deliveries) + 1
             heappush(heap, (plan.ack_time, ACK_PRIORITY, seq, "ack",
                             sender, bid, None))
             queue._next_seq = seq + 1
-            queue._live += len(plan.deliveries) + 1
             if self.unreliable_graph is not None:
                 self._schedule_unreliable(record, payload, plan.ack_time,
                                           set(neighbors))
@@ -490,6 +574,7 @@ class Simulator:
         records = self._records
         processes = self._processes
         kind_counts = self._kind_counts
+        trace_bump = self.trace.bump
         trace_record = self.trace.record
         trace_mac = self._trace_mac
         fast_deliver = not self._cancellable and not self._fault_active
@@ -503,6 +588,56 @@ class Simulator:
             if stop_predicate is not None and stop_predicate(self):
                 stop_reason = "predicate"
                 break
+            # -- delivery-batch cursor -----------------------------------
+            # A popped ``bdeliver`` entry expands here, one receiver per
+            # loop iteration, before the heap is touched again. Nothing
+            # in the heap can be ordered before the remaining receivers
+            # (they share the popped entry's key), so consuming the
+            # cursor first preserves exact event order while each
+            # delivery still counts as one processed event.
+            batch = self._pending_batch
+            if batch is not None:
+                event_time = batch[0]
+                if event_time > max_time:
+                    stop_reason = "max_time"
+                    if raise_on_limit:
+                        raise SimulationLimitError(
+                            f"exceeded max_time={max_time}")
+                    break
+                bid = batch[1]
+                receivers = batch[2]
+                i = batch[3]
+                receiver = receivers[i]
+                i += 1
+                if i == len(receivers):
+                    self._pending_batch = None
+                else:
+                    batch[3] = i
+                record = records[bid]
+                cancelled = record.batch_cancelled
+                if cancelled is not None and receiver in cancelled:
+                    continue
+                if fast_deliver:
+                    if trace_mac:
+                        trace_record(event_time, "deliver", receiver,
+                                     broadcast_id=bid,
+                                     peer=record.sender,
+                                     payload=record.payload)
+                    elif kind_counts is not None:
+                        kind_counts["deliver"] += 1
+                    else:
+                        trace_bump("deliver", receiver)
+                    processes[receiver].on_receive(record.payload)
+                else:
+                    self._dispatch_delivery(receiver, bid)
+                events_processed += 1
+                if events_processed >= max_events:
+                    stop_reason = "max_events"
+                    if raise_on_limit:
+                        raise SimulationLimitError(
+                            f"exceeded max_events={max_events}")
+                    break
+                continue
             # -- inline EventQueue.pop_entry -----------------------------
             entry = None
             while heap:
@@ -546,11 +681,18 @@ class Simulator:
                                      broadcast_id=record.bid,
                                      peer=record.sender,
                                      payload=record.payload)
-                    else:
+                    elif kind_counts is not None:
                         kind_counts["deliver"] += 1
+                    else:
+                        trace_bump("deliver", receiver)
                     processes[receiver].on_receive(record.payload)
                 else:
                     self._dispatch_delivery(entry[4], entry[5])
+            elif kind == "bdeliver":
+                # Expand the batch into the cursor; the deliveries are
+                # processed (and counted) one per iteration above.
+                self._pending_batch = [event_time, entry[5], entry[4], 0]
+                continue
             elif kind == "ack":
                 dispatch_ack(entry[4], entry[5])
             elif kind == "crash":
@@ -624,8 +766,10 @@ class Simulator:
             self.trace.record(self.now, "deliver", receiver,
                               broadcast_id=record.bid, peer=record.sender,
                               payload=payload)
-        else:
+        elif self._kind_counts is not None:
             self._kind_counts["deliver"] += 1
+        else:
+            self.trace.bump("deliver", receiver)
         self._processes[receiver].on_receive(payload)
 
     def _dispatch_ack(self, sender: Any, bid: int) -> None:
@@ -648,9 +792,22 @@ class Simulator:
         if self._trace_mac:
             self.trace.record(self.now, "ack", sender,
                               broadcast_id=record.bid)
-        else:
+        elif self._kind_counts is not None:
             self._kind_counts["ack"] += 1
+        else:
+            self.trace.bump("ack", sender)
         self._processes[sender].on_ack()
+        # With validated plans the ack is a broadcast's final event
+        # (deliveries are bounded by the ack time; cancelled ones are
+        # tombstoned before the record is touched), so its book-keeping
+        # can be freed -- long runs keep O(n) broadcast records in RAM,
+        # not O(events). Unvalidated (trusted-scheduler) runs keep the
+        # records: a plan could, in principle, deliver after its ack.
+        # Dual-graph runs keep them too: _schedule_unreliable's window
+        # tolerates deliveries up to ack_time + 1e-9, which sort after
+        # the ack.
+        if self._validate_plans and self.unreliable_graph is None:
+            self._records[bid] = None
 
     def _dispatch_crash(self, node: Any) -> None:
         if node in self._crashed:
@@ -672,6 +829,16 @@ class Simulator:
                     self._queue.cancel(delivery)
                     record.delivery_events.pop(receiver, None)
                     record.pending.discard(receiver)
+            if record.batch_receivers is not None:
+                # Batched deliveries have no per-receiver events to
+                # cancel; the expansion cursor filters this set.
+                cancelled = record.batch_cancelled
+                for receiver in record.batch_receivers:
+                    if not plan.allows_delivery(receiver):
+                        if cancelled is None:
+                            cancelled = record.batch_cancelled = set()
+                        cancelled.add(receiver)
+                        record.pending.discard(receiver)
 
     # ------------------------------------------------------------------
     # Helpers
@@ -695,7 +862,9 @@ def build_simulation(graph, process_factory: Callable[[Any], Process],
                      id_budget: int = DEFAULT_ID_BUDGET,
                      unreliable_graph=None,
                      validate_plans: Optional[bool] = None,
-                     trace_level: "TraceLevel | str" = TraceLevel.FULL
+                     trace_level: "TraceLevel | str" = TraceLevel.FULL,
+                     trace_sink: Optional[TraceSink] = None,
+                     batch_deliveries: bool = True
                      ) -> Simulator:
     """Construct a simulator, creating one process per graph node.
 
@@ -709,4 +878,6 @@ def build_simulation(graph, process_factory: Callable[[Any], Process],
                      strict_sizes=strict_sizes, id_budget=id_budget,
                      unreliable_graph=unreliable_graph,
                      validate_plans=validate_plans,
-                     trace_level=trace_level)
+                     trace_level=trace_level,
+                     trace_sink=trace_sink,
+                     batch_deliveries=batch_deliveries)

@@ -1,8 +1,10 @@
-"""Execution traces.
+"""Execution traces: the pluggable sink pipeline.
 
-Every run of the simulator produces a :class:`Trace`: an append-only log
-of model-level occurrences (broadcasts, deliveries, acks, decisions,
-crashes). Traces serve three purposes in this reproduction:
+Every run of the simulator produces a stream of model-level
+*occurrences* (broadcasts, deliveries, acks, decisions, crashes). The
+engine does not mutate a concrete log; it emits each occurrence to a
+:class:`TraceSink`, and the sink decides what to materialize. Traces
+serve three purposes in this reproduction:
 
 1. **Metrics** -- decision times and message counts for the experiment
    harness (`repro.analysis.metrics`).
@@ -13,31 +15,55 @@ crashes). Traces serve three purposes in this reproduction:
    per-node event sequences across executions in different networks
    (`repro.lowerbounds.indist`).
 
-Fast-path design
-----------------
-The record log stays append-only, but every query the harness performs
-is now backed by an index maintained incrementally at ``append`` time:
-per-kind and per-node record lists, first-decision maps, and occurrence
-counters. ``decisions()``, ``decision_times()``, ``of_kind()``,
-``for_node()`` and the count helpers are therefore O(1)/O(k) in the
-size of their *answer*, never in the length of the trace.
+Choosing a sink
+---------------
+Three sinks ship behind the protocol (:func:`make_sink` maps a
+:class:`TraceLevel` to one):
 
-``TraceLevel`` controls how much is materialized:
-
-* :attr:`TraceLevel.FULL` (default) -- every occurrence is stored as a
-  :class:`TraceRecord`; byte-identical to the pre-fast-path engine.
-* :attr:`TraceLevel.DECISIONS` -- only ``decide`` and ``crash`` records
-  are stored. MAC-level occurrences (broadcast/deliver/ack/discard)
-  still update the occurrence *counters* (so ``broadcast_count()``,
+* :class:`IndexedMemorySink` (``TraceLevel.FULL``, the default) --
+  every occurrence is stored in RAM as a :class:`TraceRecord`, with
+  every query backed by an index maintained incrementally at append
+  time. Byte-identical to the pre-pipeline engine; required by the
+  indistinguishability experiments and anything that touches original
+  payload objects. Memory is O(events) -- fine up to a few million
+  records.
+* :class:`DecisionsSink` (``TraceLevel.DECISIONS``) -- only ``decide``
+  and ``crash`` records are stored. MAC-level occurrences still update
+  the occurrence *counters* (so ``broadcast_count()``,
   ``delivery_count()`` and per-node broadcast counts stay exact) but no
-  record object is allocated. This is the opt-in sweep/benchmark mode:
-  consensus checking and metrics work, full-trace replays (model
-  invariants, indistinguishability) do not.
+  record object is allocated. The sweep/benchmark mode: consensus
+  checking and metrics work, full-trace replays do not.
+* :class:`SpillSink` (``TraceLevel.SPILL``) -- full-level records
+  stream to chunked JSONL files on disk while decisions, crashes and
+  all counters stay in an in-RAM index. Replay-style consumers
+  (model-invariant checking, export) iterate the chunks back in order
+  with O(chunk) memory, so 10^7+-event runs complete in bounded RAM.
+  Replayed payloads come back as ``repr`` strings (the export
+  convention); decisions/counters keep original objects.
+
+``Trace`` remains the concrete in-memory implementation (both FULL and
+DECISIONS levels) for backwards compatibility; ``IndexedMemorySink``
+and ``DecisionsSink`` are thin level-pinning subclasses.
+
+Sink capability flags drive the harness:
+
+* ``replayable`` -- iterating the sink yields every occurrence, so
+  model-invariant replay is possible (FULL and SPILL, not DECISIONS);
+* ``materializes_mac`` -- the engine must call :meth:`TraceSink.record`
+  for MAC-level kinds (vs. the counter-only ``bump`` fast path);
+* ``payloads_preserialized`` -- replayed payloads are already ``repr``
+  strings (SPILL), so exporters must not re-``repr`` them.
 """
 
 from __future__ import annotations
 
 import enum
+import io
+import json
+import os
+import shutil
+import tempfile
+import weakref
 from dataclasses import dataclass
 from typing import Any, Dict, Iterator, List, Optional
 
@@ -46,18 +72,21 @@ TRACE_KINDS = ("broadcast", "deliver", "ack", "decide", "crash",
                "discard", "drop")
 _TRACE_KIND_SET = frozenset(TRACE_KINDS)
 
-#: Kinds always materialized, even at ``TraceLevel.DECISIONS``.
+#: Kinds always materialized in RAM, even by counting/spilling sinks.
 _ESSENTIAL_KINDS = frozenset(("decide", "crash"))
 
 
 class TraceLevel(enum.Enum):
-    """How much of an execution a :class:`Trace` materializes."""
+    """How much of an execution a trace sink materializes, and where."""
 
-    #: Store every occurrence (the default; required by invariant
-    #: checking and the indistinguishability experiments).
+    #: Store every occurrence in RAM (the default; required by the
+    #: indistinguishability experiments).
     FULL = "full"
     #: Store only decisions and crashes; count everything else.
     DECISIONS = "decisions"
+    #: Store every occurrence, streamed to chunked JSONL on disk with
+    #: an in-RAM decisions/counter index (bounded-memory full traces).
+    SPILL = "spill"
 
     @classmethod
     def coerce(cls, value: "TraceLevel | str") -> "TraceLevel":
@@ -94,8 +123,94 @@ class TraceRecord:
     payload: Any = None
 
 
-class Trace:
-    """Append-only event log with indexed query helpers."""
+class TraceSink:
+    """Protocol for execution-trace consumers.
+
+    The simulator emits every occurrence through :meth:`record` (or
+    :meth:`bump` when the sink does not materialize MAC-level kinds);
+    the analysis layer reads results back through the query API. All
+    query methods must stay exact regardless of what is materialized --
+    counters count every reported occurrence.
+
+    Subclasses must implement :meth:`record`, :meth:`bump` and the
+    queries; the capability flags (class attributes here) tell the
+    engine and harness what the sink supports.
+    """
+
+    __slots__ = ()
+
+    #: Level tag for introspection / CLI round-tripping.
+    level = TraceLevel.FULL
+    #: Whether iterating the sink replays every occurrence in order.
+    replayable = False
+    #: Whether the engine must route MAC-level kinds through record().
+    materializes_mac = False
+    #: Whether replayed payloads are already ``repr`` strings.
+    payloads_preserialized = False
+
+    def record(self, time: float, kind: str, node: Any, *,
+               broadcast_id: Optional[int] = None, peer: Any = None,
+               payload: Any = None) -> None:
+        """Consume one occurrence."""
+        raise NotImplementedError
+
+    def bump(self, kind: str, node: Any = None) -> None:
+        """Count an occurrence without materializing a record."""
+        raise NotImplementedError
+
+    # -- queries (shared contract; see Trace for semantics) ------------
+    def of_kind(self, kind: str) -> List[TraceRecord]:
+        raise NotImplementedError
+
+    def for_node(self, node: Any) -> List[TraceRecord]:
+        raise NotImplementedError
+
+    def decisions(self) -> Dict[Any, Any]:
+        raise NotImplementedError
+
+    def decision_times(self) -> Dict[Any, float]:
+        raise NotImplementedError
+
+    def last_decision_time(self) -> Optional[float]:
+        times = self.decision_times()
+        return max(times.values()) if times else None
+
+    def broadcast_count(self, node: Any = None) -> int:
+        raise NotImplementedError
+
+    def broadcasts_per_node(self) -> Dict[Any, int]:
+        raise NotImplementedError
+
+    def delivery_count(self) -> int:
+        return self.count_of_kind("deliver")
+
+    def count_of_kind(self, kind: str) -> int:
+        raise NotImplementedError
+
+    def crashed_nodes(self) -> set:
+        return {r.node for r in self.of_kind("crash")}
+
+    def close(self) -> None:
+        """Flush buffered state; queries stay valid afterwards."""
+
+    def __enter__(self) -> "TraceSink":
+        return self
+
+    def __exit__(self, *_exc) -> None:
+        self.close()
+
+
+class Trace(TraceSink):
+    """Append-only in-memory event log with indexed query helpers.
+
+    The record log stays append-only, but every query the harness
+    performs is backed by an index maintained incrementally at
+    ``append`` time: per-kind and per-node record lists, first-decision
+    maps, and occurrence counters. ``decisions()``,
+    ``decision_times()``, ``of_kind()``, ``for_node()`` and the count
+    helpers are therefore O(1)/O(k) in the size of their *answer*,
+    never in the length of the trace.
+    """
 
     __slots__ = ("level", "_records", "_by_kind", "_by_node",
                  "_decisions", "_decision_times", "_kind_counts",
@@ -113,6 +228,14 @@ class Trace:
         #: so hot paths may increment without a .get() dance.
         self._kind_counts: Dict[str, int] = {k: 0 for k in TRACE_KINDS}
         self._broadcasts_by_node: Dict[Any, int] = {}
+
+    @property
+    def replayable(self) -> bool:
+        return self.level is TraceLevel.FULL
+
+    @property
+    def materializes_mac(self) -> bool:
+        return self.level is TraceLevel.FULL
 
     def __len__(self) -> int:
         return len(self._records)
@@ -216,3 +339,277 @@ class Trace:
     def crashed_nodes(self) -> set:
         """The set of nodes that crashed during the execution."""
         return {r.node for r in self._by_kind.get("crash", ())}
+
+
+class IndexedMemorySink(Trace):
+    """The default sink: today's fully indexed in-RAM trace."""
+
+    __slots__ = ()
+
+    def __init__(self) -> None:
+        super().__init__(TraceLevel.FULL)
+
+
+class DecisionsSink(Trace):
+    """Counting sink: decide/crash records only, exact counters."""
+
+    __slots__ = ()
+
+    def __init__(self) -> None:
+        super().__init__(TraceLevel.DECISIONS)
+
+
+# ----------------------------------------------------------------------
+# Spill-to-disk sink
+# ----------------------------------------------------------------------
+#: Records per JSONL chunk file; bounds replay memory and buffer size.
+DEFAULT_CHUNK_RECORDS = 50_000
+
+_TUPLE_TAG = "__t__"
+
+
+def _pack_label(value: Any) -> Any:
+    """JSON-lossless packing for node/peer labels (ints, strings,
+    floats, None, and tuples thereof); anything else falls back to
+    ``repr``."""
+    if value is None or isinstance(value, (int, str, float)):
+        return value
+    if isinstance(value, tuple):
+        return [_TUPLE_TAG] + [_pack_label(v) for v in value]
+    return repr(value)
+
+
+def _unpack_label(value: Any) -> Any:
+    if isinstance(value, list):
+        if value and value[0] == _TUPLE_TAG:
+            return tuple(_unpack_label(v) for v in value[1:])
+        return [_unpack_label(v) for v in value]
+    return value
+
+
+class SpillSink(TraceSink):
+    """Full-level trace streamed to chunked JSONL files on disk.
+
+    Every occurrence is serialized into the current chunk buffer and
+    flushed to ``chunk-NNNNN.jsonl`` every ``chunk_records`` records;
+    decisions, crashes and all occurrence counters additionally stay in
+    an in-RAM index, so metrics and consensus checking never touch the
+    disk. Iterating the sink replays the records in order, one chunk at
+    a time -- O(chunk) memory however long the run -- which is what
+    :func:`repro.macsim.invariants.check_model_invariants` and the
+    streaming exporter consume.
+
+    Serialization follows the export convention: node labels
+    round-trip losslessly (ints/strings/floats/tuples), payloads come
+    back as their ``repr`` strings. The in-RAM decision index keeps the
+    *original* payload objects, so ``decisions()`` (and therefore
+    consensus checking) is exact.
+
+    The sink owns its directory when none is supplied (a fresh temp
+    dir, removed on :meth:`cleanup` or garbage collection). ``close()``
+    flushes the tail chunk; queries and iteration stay valid after it.
+    """
+
+    __slots__ = ("directory", "chunk_records", "_chunk_paths", "_buffer",
+                 "_spilled", "_by_kind_essential", "_decisions",
+                 "_decision_times", "_kind_counts", "_broadcasts_by_node",
+                 "_owns_dir", "_finalizer", "__weakref__")
+
+    level = TraceLevel.SPILL
+    replayable = True
+    materializes_mac = True
+    payloads_preserialized = True
+
+    def __init__(self, directory: Optional[str] = None, *,
+                 chunk_records: int = DEFAULT_CHUNK_RECORDS) -> None:
+        if chunk_records <= 0:
+            raise ValueError("chunk_records must be positive")
+        self._owns_dir = directory is None
+        if directory is None:
+            directory = tempfile.mkdtemp(prefix="macsim-spill-")
+        else:
+            os.makedirs(directory, exist_ok=True)
+        self.directory = directory
+        self.chunk_records = chunk_records
+        self._chunk_paths: List[str] = []
+        self._buffer: List[str] = []
+        self._spilled = 0
+        self._by_kind_essential: Dict[str, List[TraceRecord]] = {}
+        self._decisions: Dict[Any, Any] = {}
+        self._decision_times: Dict[Any, float] = {}
+        self._kind_counts: Dict[str, int] = {k: 0 for k in TRACE_KINDS}
+        self._broadcasts_by_node: Dict[Any, int] = {}
+        if self._owns_dir:
+            self._finalizer = weakref.finalize(
+                self, shutil.rmtree, directory, True)
+        else:
+            self._finalizer = None
+
+    # -- ingestion -----------------------------------------------------
+    def record(self, time: float, kind: str, node: Any, *,
+               broadcast_id: Optional[int] = None, peer: Any = None,
+               payload: Any = None) -> None:
+        if kind not in _TRACE_KIND_SET:
+            raise ValueError(f"unknown trace kind: {kind!r}")
+        self._buffer.append(json.dumps(
+            [time, kind, _pack_label(node), broadcast_id,
+             _pack_label(peer),
+             None if payload is None else repr(payload)]))
+        if len(self._buffer) >= self.chunk_records:
+            self.flush()
+        self._kind_counts[kind] += 1
+        if kind == "decide":
+            if node not in self._decisions:
+                self._decisions[node] = payload
+                self._decision_times[node] = time
+        elif kind == "broadcast":
+            self._broadcasts_by_node[node] = (
+                self._broadcasts_by_node.get(node, 0) + 1)
+        if kind in _ESSENTIAL_KINDS:
+            bucket = self._by_kind_essential.get(kind)
+            if bucket is None:
+                bucket = self._by_kind_essential[kind] = []
+            bucket.append(TraceRecord(time, kind, node,
+                                      broadcast_id=broadcast_id,
+                                      peer=peer, payload=payload))
+
+    def append(self, record: TraceRecord) -> None:
+        """Protocol parity with :class:`Trace` (used by trace import)."""
+        self.record(record.time, record.kind, record.node,
+                    broadcast_id=record.broadcast_id, peer=record.peer,
+                    payload=record.payload)
+
+    def append_serialized(self, record: TraceRecord) -> None:
+        """Append a record whose payload is *already* a ``repr`` string
+        (the replay/import path: reloading a v3 export or another
+        sink's replay stream). Skips the second ``repr`` that
+        :meth:`record` would apply, so reload -> re-export round-trips
+        byte-identically."""
+        kind = record.kind
+        if kind not in _TRACE_KIND_SET:
+            raise ValueError(f"unknown trace kind: {kind!r}")
+        self._buffer.append(json.dumps(
+            [record.time, kind, _pack_label(record.node),
+             record.broadcast_id, _pack_label(record.peer),
+             record.payload]))
+        if len(self._buffer) >= self.chunk_records:
+            self.flush()
+        self._kind_counts[kind] += 1
+        node = record.node
+        if kind == "decide":
+            if node not in self._decisions:
+                self._decisions[node] = record.payload
+                self._decision_times[node] = record.time
+        elif kind == "broadcast":
+            self._broadcasts_by_node[node] = (
+                self._broadcasts_by_node.get(node, 0) + 1)
+        if kind in _ESSENTIAL_KINDS:
+            bucket = self._by_kind_essential.get(kind)
+            if bucket is None:
+                bucket = self._by_kind_essential[kind] = []
+            bucket.append(record)
+
+    def bump(self, kind: str, node: Any = None) -> None:
+        self._kind_counts[kind] = self._kind_counts.get(kind, 0) + 1
+        if kind == "broadcast":
+            self._broadcasts_by_node[node] = (
+                self._broadcasts_by_node.get(node, 0) + 1)
+
+    def flush(self) -> None:
+        """Write the buffered tail out as a new chunk file."""
+        if not self._buffer:
+            return
+        path = os.path.join(self.directory,
+                            f"chunk-{len(self._chunk_paths):05d}.jsonl")
+        with io.open(path, "w", encoding="utf-8") as handle:
+            handle.write("\n".join(self._buffer))
+            handle.write("\n")
+        self._chunk_paths.append(path)
+        self._spilled += len(self._buffer)
+        self._buffer = []
+
+    def close(self) -> None:
+        self.flush()
+
+    def cleanup(self) -> None:
+        """Remove the spill directory (only if this sink created it)."""
+        if self._finalizer is not None:
+            self._finalizer()
+
+    # -- replay --------------------------------------------------------
+    def __len__(self) -> int:
+        return self._spilled + len(self._buffer)
+
+    def __iter__(self) -> Iterator[TraceRecord]:
+        return self.iter_records()
+
+    def iter_records(self) -> Iterator[TraceRecord]:
+        """Replay every record in order, one chunk at a time."""
+        for path in self._chunk_paths:
+            with io.open(path, encoding="utf-8") as handle:
+                for line in handle:
+                    yield self._parse(line)
+        for line in self._buffer:
+            yield self._parse(line)
+
+    @staticmethod
+    def _parse(line: str) -> TraceRecord:
+        time, kind, node, bid, peer, payload = json.loads(line)
+        return TraceRecord(time, kind, _unpack_label(node),
+                           broadcast_id=bid, peer=_unpack_label(peer),
+                           payload=payload)
+
+    def chunk_paths(self) -> List[str]:
+        """Paths of the flushed chunks, in record order."""
+        return list(self._chunk_paths)
+
+    # -- queries -------------------------------------------------------
+    def of_kind(self, kind: str) -> List[TraceRecord]:
+        """All records of ``kind``.
+
+        O(1) for decide/crash (RAM index, original payloads); a full
+        streaming scan -- materializing the answer -- for MAC-level
+        kinds. Prefer :meth:`iter_records` for bounded-memory scans.
+        """
+        if kind in _ESSENTIAL_KINDS:
+            return list(self._by_kind_essential.get(kind, ()))
+        return [r for r in self.iter_records() if r.kind == kind]
+
+    def for_node(self, node: Any) -> List[TraceRecord]:
+        return [r for r in self.iter_records() if r.node == node]
+
+    def decisions(self) -> Dict[Any, Any]:
+        return dict(self._decisions)
+
+    def decision_times(self) -> Dict[Any, float]:
+        return dict(self._decision_times)
+
+    def broadcast_count(self, node: Any = None) -> int:
+        if node is None:
+            return self._kind_counts.get("broadcast", 0)
+        return self._broadcasts_by_node.get(node, 0)
+
+    def broadcasts_per_node(self) -> Dict[Any, int]:
+        return dict(self._broadcasts_by_node)
+
+    def count_of_kind(self, kind: str) -> int:
+        return self._kind_counts.get(kind, 0)
+
+    def crashed_nodes(self) -> set:
+        return {r.node for r in self._by_kind_essential.get("crash", ())}
+
+
+def make_sink(level: "TraceLevel | str", **spill_kwargs) -> TraceSink:
+    """Construct the sink for a :class:`TraceLevel`.
+
+    ``spill_kwargs`` (``directory``, ``chunk_records``) apply only to
+    :attr:`TraceLevel.SPILL`.
+    """
+    level = TraceLevel.coerce(level)
+    if level is TraceLevel.SPILL:
+        return SpillSink(**spill_kwargs)
+    if spill_kwargs:
+        raise ValueError(f"spill options are invalid for {level}")
+    if level is TraceLevel.DECISIONS:
+        return DecisionsSink()
+    return IndexedMemorySink()

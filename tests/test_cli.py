@@ -72,6 +72,23 @@ class TestRunCommand:
         from repro.analysis.export import load_trace
         assert len(load_trace(str(out_path))) > 0
 
+    def test_trace_level_spill_runs_and_exports(self, tmp_path, capsys):
+        out_path = tmp_path / "spill.json"
+        code = main(["run", "--algorithm", "gatherall", "--topology",
+                     "clique:4", "--scheduler", "synchronous",
+                     "--trace-level", "spill",
+                     "--trace-out", str(out_path)])
+        assert code == 0
+        from repro.analysis.export import load_trace
+        assert len(load_trace(str(out_path))) > 0
+
+    def test_trace_level_decisions_runs(self, capsys):
+        code = main(["run", "--algorithm", "wpaxos", "--topology",
+                     "clique:5", "--scheduler", "synchronous",
+                     "--trace-level", "decisions"])
+        assert code == 0
+        assert "termination=True" in capsys.readouterr().out
+
     def test_byzantine_run_with_adversary(self, capsys):
         code = main(["run", "--algorithm", "byzantine", "--topology",
                      "clique:11", "--scheduler", "synchronous",
