@@ -44,6 +44,12 @@ from .core import (AnonymousMinFlood, BenOrConsensus,
                    ConsensusProcess, GatherAllConsensus,
                    NoSizeMinIdFlood, PaxosFloodNode, SafetyMonitor,
                    TwoPhaseConsensus, WPaxosConfig, WPaxosNode)
+from .registry import (register_algorithm, register_fault_model,
+                       register_overlay, register_scheduler,
+                       register_topology, register_values)
+from .scenario import (AlgorithmSpec, FaultSpec, OverlaySpec, Scenario,
+                       ScenarioError, ScenarioGrid, SchedulerSpec,
+                       TopologySpec)
 
 __version__ = "1.0.0"
 
@@ -97,4 +103,19 @@ __all__ = [
     "AnonymousMinFlood",
     "NoSizeMinIdFlood",
     "BenOrConsensus",
+    # scenarios
+    "Scenario",
+    "ScenarioError",
+    "ScenarioGrid",
+    "AlgorithmSpec",
+    "TopologySpec",
+    "SchedulerSpec",
+    "FaultSpec",
+    "OverlaySpec",
+    "register_algorithm",
+    "register_topology",
+    "register_scheduler",
+    "register_fault_model",
+    "register_overlay",
+    "register_values",
 ]

@@ -7,8 +7,8 @@ from .sweeps import SweepPoint, SweepResult, parallel_sweep, sweep
 from .tables import format_markdown_table, format_table
 from .export import (crashes_from_json, iter_saved_records,
                      iter_trace_dicts, load_crashes, load_metadata,
-                     load_trace, save_trace, trace_from_json,
-                     trace_to_json, trace_to_records)
+                     load_scenario, load_trace, save_trace,
+                     trace_from_json, trace_to_json, trace_to_records)
 
 __all__ = [
     "RunMetrics",
@@ -31,6 +31,7 @@ __all__ = [
     "load_trace",
     "load_crashes",
     "load_metadata",
+    "load_scenario",
     "crashes_from_json",
     "trace_to_json",
     "trace_from_json",

@@ -7,16 +7,19 @@ are stored as ``repr`` strings: traces round-trip structurally
 (times, kinds, nodes, broadcast ids) with payloads preserved for
 human inspection rather than re-execution.
 
-Streaming (schema v3)
+Streaming (schema v4)
 ---------------------
 :func:`save_trace` writes a JSON-Lines document: a header line
-(schema/metadata/crash scenario) followed by one JSON array of records
-per *chunk*. Records are serialized straight off the sink's iterator,
+(schema / metadata / crash scenario / embedded
+:class:`~repro.scenario.Scenario`) followed by one JSON array of
+records per *chunk*. Records are serialized straight off the sink's iterator,
 so exporting a :class:`~repro.macsim.trace.SpillSink` run of 10^7+
 events never materializes the record list. :func:`load_trace` streams
 the chunks back -- into any :class:`~repro.macsim.trace.TraceSink`
 (pass ``sink=SpillSink(...)`` to keep the reload bounded too) -- and
-still reads the v1/v2 single-document exports of earlier PRs.
+still reads the v1-v3 exports of earlier PRs. A v4 file whose header
+embeds a scenario can rebuild and re-execute the exact run
+(:func:`load_scenario`).
 
 :func:`trace_to_json` keeps the v2 single-document layout: it is the
 in-memory diff/archival format for small traces (and what the
@@ -39,7 +42,10 @@ from ..macsim.crash import CrashPlan
 from ..macsim.trace import Trace, TraceRecord, TraceSink
 
 #: Schema version stamped into streamed (JSONL) file exports.
-SCHEMA_VERSION = 3
+#: v4 adds the embedded :class:`~repro.scenario.Scenario` (the full
+#: declarative run description, so a trace file can rebuild and
+#: re-execute the exact run); v1-v3 files still load.
+SCHEMA_VERSION = 4
 
 #: Schema of the single-document layout (:func:`trace_to_json`).
 INLINE_SCHEMA_VERSION = 2
@@ -133,19 +139,26 @@ def crashes_from_json(text: str) -> List[CrashPlan]:
 def save_trace(trace: TraceSink, path: str, *,
                metadata: Optional[Dict[str, Any]] = None,
                crashes: Iterable[CrashPlan] = (),
+               scenario=None,
                chunk_records: int = EXPORT_CHUNK_RECORDS) -> None:
-    """Write a streamed (schema v3) trace export.
+    """Write a streamed (schema v4) trace export.
 
     Records are written ``chunk_records`` at a time straight off the
     sink's iterator: peak memory is O(chunk) regardless of trace
     length, which is what makes exporting a
     :class:`~repro.macsim.trace.SpillSink` run feasible.
+
+    ``scenario`` (a :class:`~repro.scenario.Scenario`, or anything
+    with a compatible ``to_dict``) embeds the declarative run
+    description in the header; :func:`load_scenario` reads it back so
+    the exact execution can be rebuilt and replayed.
     """
     header = {
         "schema": SCHEMA_VERSION,
         "format": "jsonl-chunks",
         "metadata": metadata or {},
         "crashes": [plan.to_dict() for plan in crashes],
+        "scenario": scenario.to_dict() if scenario is not None else None,
     }
     with open(path, "w", encoding="utf-8") as handle:
         handle.write(json.dumps(header))
@@ -222,6 +235,26 @@ def load_crashes(path: str) -> List[CrashPlan]:
                 for entry in header.get("crashes", ())]
     with open(path, encoding="utf-8") as handle:
         return crashes_from_json(handle.read())
+
+
+def load_scenario(path: str):
+    """The embedded :class:`~repro.scenario.Scenario` of an export.
+
+    Returns ``None`` for exports that carry no scenario (schema v1-v3
+    files, or v4 files saved without one). The rebuilt scenario
+    re-executes to a byte-identical trace -- ``repro replay`` is built
+    on this.
+    """
+    header = _read_header(path)
+    if header is not None:
+        data = header.get("scenario")
+    else:
+        with open(path, encoding="utf-8") as handle:
+            data = _parse_document(handle.read()).get("scenario")
+    if not data:
+        return None
+    from ..scenario import Scenario
+    return Scenario.from_dict(data)
 
 
 def load_metadata(path: str) -> Dict[str, Any]:

@@ -42,6 +42,14 @@ def run_consensus(*, algorithm: str, topology: str, graph, scheduler,
                   ) -> RunMetrics:
     """Run one consensus execution and return its metrics.
 
+    .. note:: New code should usually describe the run as a
+       :class:`repro.scenario.Scenario` and call ``scenario.run()`` --
+       a frozen, JSON-round-trippable form of exactly this call that
+       also serializes into trace exports, expands into sweep grids
+       and replays. This function remains the execution engine
+       underneath (``Scenario.run`` resolves its specs and calls it
+       with byte-identical results).
+
     ``factory(label, value)`` builds the process for each node. Model
     invariants are verified on the trace unless disabled (the replay
     is streaming and O(n) in memory, so it stays cheap even for

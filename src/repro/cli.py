@@ -1,126 +1,85 @@
 """Command line interface.
 
-Three subcommands::
+Four subcommands::
 
     python -m repro run --algorithm wpaxos --topology grid:5x5 \\
         --scheduler random --seed 7 --trace-out run.json
+    python -m repro run --scenario saved_scenario.json
+    python -m repro replay run.json
     python -m repro experiments E3 E4
     python -m repro demo
 
-``run`` executes one consensus instance and prints its metrics (and
-optionally exports the trace); ``experiments`` forwards to the E1-E10
-drivers; ``demo`` runs the impossibility tour.
+``run`` executes one consensus instance and prints its metrics; every
+flag combination is internally a :class:`repro.scenario.Scenario`, so
+``--dump-scenario`` prints the equivalent JSON description and
+``--scenario`` executes one from a file. Exported traces (schema v4)
+embed the scenario, and ``replay`` re-executes a saved trace's
+embedded scenario and verifies the records match byte for byte.
+``--list-algorithms`` / ``--list-topologies`` / ``--list-schedulers``
+print the live registry catalogues (including anything registered by
+user code). ``experiments`` forwards to the E1-E12 drivers; ``demo``
+runs the impossibility tour.
 """
 
 from __future__ import annotations
 
 import argparse
+import itertools
+import json
 import sys
-from typing import Any, Dict
+from typing import Optional
 
-from .analysis.export import save_trace
+from .analysis.export import (iter_saved_records, iter_trace_dicts,
+                              load_scenario, record_to_dict, save_trace)
 from .analysis.metrics import collect_metrics
-from .core import (BenOrConsensus, ByzantineConsensus, GatherAllConsensus,
-                   PaxosFloodNode, TwoPhaseConsensus, WPaxosConfig,
-                   WPaxosNode, max_tolerance)
-from .macsim import build_simulation, check_consensus
-from .macsim.faults import (ByzantineFaultModel, ByzantinePlan,
-                            CorruptStrategy, CrashFaultModel,
-                            EquivocateStrategy, OmissionFaultModel,
-                            OmissionPlan, SilentStrategy)
-from .macsim.crash import crash_plan
-from .macsim.schedulers import (MaxDelayScheduler, RandomDelayScheduler,
-                                SynchronousScheduler)
-from .topology import (clique, grid, line, random_connected,
-                       random_geometric, ring, star, star_of_cliques)
+from .macsim import check_consensus
+from .registry import (ALGORITHMS, SCHEDULERS, TOPOLOGIES,
+                       UnknownNameError)
+from .scenario import (BYZANTINE_STRATEGIES, AlgorithmSpec, FaultSpec,
+                       Scenario, ScenarioError, SchedulerSpec,
+                       TopologySpec, parse_topology_spec)
 
-ALGORITHMS = ("two-phase", "wpaxos", "gatherall", "flood-paxos",
-              "ben-or", "byzantine")
-SCHEDULERS = ("synchronous", "random", "max-delay")
-BYZ_STRATEGIES = {"silent": SilentStrategy, "corrupt": CorruptStrategy,
-                  "equivocate": EquivocateStrategy}
+#: Flag defaults, applied after ``--scenario`` merging so an explicit
+#: flag overrides the scenario file while an omitted one defers to it.
+RUN_DEFAULTS = {
+    "algorithm": "wpaxos",
+    "topology": "grid:4x4",
+    "scheduler": "random",
+    "f_ack": 1.0,
+    "seed": 0,
+    "trace_level": "full",
+}
 
 
 def parse_topology(spec: str):
     """Parse ``name[:args]`` topology specs, e.g. ``grid:4x6``."""
-    name, _, args = spec.partition(":")
-    if name == "clique":
-        return clique(int(args or 8))
-    if name == "line":
-        return line(int(args or 8))
-    if name == "ring":
-        return ring(int(args or 8))
-    if name == "star":
-        return star(int(args or 8))
-    if name == "grid":
-        rows, _, cols = (args or "4x4").partition("x")
-        return grid(int(rows), int(cols))
-    if name == "star-of-cliques":
-        arms, _, size = (args or "4x6").partition("x")
-        return star_of_cliques(int(arms), int(size))
-    if name == "random":
-        n, _, seed = (args or "16").partition(":")
-        return random_connected(int(n), 0.1,
-                                seed=int(seed) if seed else 0)
-    if name == "geometric":
-        n, _, seed = (args or "24").partition(":")
-        return random_geometric(int(n), 0.3,
-                                seed=int(seed) if seed else 0)
-    raise SystemExit(f"unknown topology {spec!r}; try clique:8, "
-                     f"line:10, grid:4x6, star-of-cliques:4x6, "
-                     f"random:16:3, geometric:24:1")
+    try:
+        return parse_topology_spec(spec).build()
+    except (UnknownNameError, ScenarioError, ValueError) as exc:
+        raise SystemExit(str(exc)) from None
+
+
+def _scheduler_accepts(name: str, param: str) -> bool:
+    import inspect
+    try:
+        builder = SCHEDULERS.get(name)
+    except UnknownNameError as exc:
+        raise SystemExit(str(exc)) from None
+    return param in inspect.signature(builder).parameters
 
 
 def make_scheduler(name: str, f_ack: float, seed: int):
-    if name == "synchronous":
-        return SynchronousScheduler(f_ack)
-    if name == "random":
-        return RandomDelayScheduler(f_ack, seed=seed)
-    if name == "max-delay":
-        return MaxDelayScheduler(f_ack)
-    raise SystemExit(f"unknown scheduler {name!r}")
+    params = {"f_ack": f_ack} if _scheduler_accepts(name, "f_ack") else {}
+    return SchedulerSpec(name, **params).build(seed=seed)
 
 
-def make_factory(algorithm: str, graph, values: Dict[Any, int],
-                 seed: int):
-    uid = {v: i + 1 for i, v in enumerate(graph.nodes)}
-    n = graph.n
-    if algorithm == "two-phase":
-        if graph.diameter() > 1:
-            raise SystemExit("two-phase requires a single hop "
-                             "(clique) topology")
-        return lambda v: TwoPhaseConsensus(uid[v], values[v])
-    if algorithm == "wpaxos":
-        return lambda v: WPaxosNode(uid[v], values[v], n,
-                                    WPaxosConfig())
-    if algorithm == "gatherall":
-        return lambda v: GatherAllConsensus(uid[v], values[v], n)
-    if algorithm == "flood-paxos":
-        return lambda v: PaxosFloodNode(uid[v], values[v], n)
-    if algorithm == "ben-or":
-        if graph.diameter() > 1:
-            raise SystemExit("ben-or requires a single hop (clique) "
-                             "topology")
-        f = (n - 1) // 2
-        return lambda v: BenOrConsensus(uid[v], values[v], n, f,
-                                        seed=seed * 101 + uid[v])
-    if algorithm == "byzantine":
-        f = max_tolerance(n)
-        relay = graph.diameter() > 1
-        return lambda v: ByzantineConsensus(uid[v], values[v], n, f,
-                                            seed=seed * 101 + uid[v],
-                                            relay=relay)
-    raise SystemExit(f"unknown algorithm {algorithm!r}")
-
-
-def make_fault_model(args, graph):
-    """Build the fault model requested by the ``run`` flags.
+def _fault_spec_from_args(args: argparse.Namespace) -> Optional[FaultSpec]:
+    """The fault model requested by the ``run`` flags, as a spec.
 
     The faulty nodes are taken from the *end* of the canonical node
     order, so ``--byzantine 2`` on ``clique:8`` makes nodes 6 and 7
     Byzantine. Only one fault family may be active per run.
     """
-    nodes = list(graph.nodes)
     if args.byzantine < 0 or args.omission < 0:
         raise SystemExit("--byzantine/--omission take a non-negative "
                          "node count")
@@ -131,59 +90,159 @@ def make_fault_model(args, graph):
     if len(requested) > 1:
         raise SystemExit("choose one of --byzantine/--omission/--crash")
     if args.byzantine:
-        if args.byzantine >= graph.n:
-            raise SystemExit("--byzantine must leave at least one "
-                             "correct node")
-        strategy_cls = BYZ_STRATEGIES[args.byz_strategy]
-        plans = [ByzantinePlan(node=v, strategy=strategy_cls(),
-                               seed=args.seed * 13 + i)
-                 for i, v in enumerate(nodes[-args.byzantine:])]
-        return ByzantineFaultModel(plans)
+        return FaultSpec("byzantine", count=args.byzantine,
+                         strategy=args.byz_strategy)
     if args.omission:
-        if args.omission >= graph.n:
-            raise SystemExit("--omission must leave at least one "
-                             "correct node")
-        plans = [OmissionPlan(node=v, send=True, receive=False)
-                 for v in nodes[-args.omission:]]
-        return OmissionFaultModel(plans)
+        return FaultSpec("omission", count=args.omission, send=True,
+                         receive=False)
     if args.crash:
         node, _, when = args.crash.partition("@")
         label = int(node) if node.isdigit() else node
-        if not graph.has_node(label):
-            raise SystemExit(f"--crash: unknown node {node!r}")
         try:
             time = float(when) if when else 1.0
         except ValueError:
             raise SystemExit(f"--crash: TIME must be a number, got "
                              f"{when!r}")
-        return CrashFaultModel([crash_plan(label, time)])
+        return FaultSpec("crash", node=label, time=time)
     return None
 
 
+def _scenario_from_args(args: argparse.Namespace) -> Scenario:
+    """Build the scenario the ``run`` flags describe.
+
+    With ``--scenario FILE`` the file is the base and explicitly
+    passed flags override it; without, built-in defaults fill the
+    gaps.
+    """
+    if args.scenario:
+        base = Scenario.from_file(args.scenario)
+        if args.algorithm is not None:
+            base = base.override({"algorithm":
+                                  AlgorithmSpec(args.algorithm)})
+        if args.topology is not None:
+            base = base.override(
+                {"topology": parse_topology_spec(args.topology),
+                 "label": args.topology})
+        if args.scheduler is not None:
+            # New scheduler name: inherit the file's f_ack when the
+            # new scheduler has that knob and no flag pins it.
+            if args.f_ack is not None:
+                f_ack = args.f_ack
+            else:
+                f_ack = base.scheduler.params.get(
+                    "f_ack", RUN_DEFAULTS["f_ack"])
+            params = ({"f_ack": f_ack}
+                      if _scheduler_accepts(args.scheduler, "f_ack")
+                      else {})
+            if args.f_ack is not None and not params:
+                raise SystemExit(f"--f-ack: scheduler "
+                                 f"{args.scheduler!r} takes no f_ack "
+                                 f"parameter")
+            base = base.override(
+                {"scheduler": SchedulerSpec(args.scheduler, **params)})
+        elif args.f_ack is not None:
+            # Override just f_ack, keeping every other pinned param.
+            if not _scheduler_accepts(base.scheduler.name, "f_ack"):
+                raise SystemExit(f"--f-ack: scheduler "
+                                 f"{base.scheduler.name!r} takes no "
+                                 f"f_ack parameter")
+            base = base.override({"scheduler.f_ack": args.f_ack})
+        if args.seed is not None:
+            base = base.override({"seed": args.seed})
+        if args.trace_level is not None:
+            base = base.override({"trace_level": args.trace_level})
+        if args.max_time is not None:
+            base = base.override({"max_time": args.max_time})
+        fault = _fault_spec_from_args(args)
+        if fault is not None:
+            base = base.override({"fault": fault})
+        return base
+
+    algorithm = args.algorithm or RUN_DEFAULTS["algorithm"]
+    topology = args.topology or RUN_DEFAULTS["topology"]
+    scheduler = args.scheduler or RUN_DEFAULTS["scheduler"]
+    seed = args.seed if args.seed is not None else RUN_DEFAULTS["seed"]
+    trace_level = args.trace_level or RUN_DEFAULTS["trace_level"]
+    if _scheduler_accepts(scheduler, "f_ack"):
+        f_ack = (args.f_ack if args.f_ack is not None
+                 else RUN_DEFAULTS["f_ack"])
+        scheduler_spec = SchedulerSpec(scheduler, f_ack=f_ack)
+    elif args.f_ack is not None:
+        raise SystemExit(f"--f-ack: scheduler {scheduler!r} takes no "
+                         f"f_ack parameter")
+    else:
+        scheduler_spec = SchedulerSpec(scheduler)
+    return Scenario(
+        algorithm=AlgorithmSpec(algorithm),
+        topology=parse_topology_spec(topology),
+        scheduler=scheduler_spec,
+        fault=_fault_spec_from_args(args),
+        seed=seed,
+        trace_level=trace_level,
+        max_time=args.max_time,
+        label=topology,
+    )
+
+
+def _print_catalogue(title: str, registry) -> None:
+    print(f"{title}:")
+    for name in registry.names():
+        summary = registry.describe(name)
+        print(f"  {name:<24}{summary}" if summary else f"  {name}")
+
+
 def cmd_run(args: argparse.Namespace) -> int:
-    graph = parse_topology(args.topology)
-    scheduler = make_scheduler(args.scheduler, args.f_ack, args.seed)
-    values = {v: i % 2 for i, v in enumerate(graph.nodes)}
-    factory = make_factory(args.algorithm, graph, values, args.seed)
-    fault_model = make_fault_model(args, graph)
+    listed = False
+    for flag, title, registry in (
+            (args.list_algorithms, "algorithms", ALGORITHMS),
+            (args.list_topologies, "topologies", TOPOLOGIES),
+            (args.list_schedulers, "schedulers", SCHEDULERS)):
+        if flag:
+            _print_catalogue(title, registry)
+            listed = True
+    if listed:
+        return 0
+
+    try:
+        scenario = _scenario_from_args(args)
+    except (ScenarioError, UnknownNameError, ValueError) as exc:
+        raise SystemExit(str(exc)) from None
+
+    if args.dump_scenario:
+        text = scenario.to_json()
+        if args.dump_scenario == "-":
+            print(text)
+        else:
+            with open(args.dump_scenario, "w", encoding="utf-8") as out:
+                out.write(text)
+                out.write("\n")
+            print(f"scenario written: {args.dump_scenario}")
+        return 0
+
+    try:
+        resolved = scenario.resolve()
+    except (ScenarioError, UnknownNameError, ValueError,
+            TypeError) as exc:
+        raise SystemExit(str(exc)) from None
+    graph = resolved.graph
+    scheduler = resolved.scheduler
+    fault_model = resolved.fault_model
+    values = resolved.initial_values
     faulty = (frozenset() if fault_model is None
               else frozenset(fault_model.faulty_nodes()))
     untrusted = (frozenset() if fault_model is None
                  else frozenset(fault_model.lying_nodes()))
-    sim = build_simulation(graph, factory, scheduler,
-                           fault_model=fault_model,
-                           trace_level=args.trace_level)
-    result = sim.run(max_time=args.max_time)
-    result.trace.close()
+    result = resolved.simulate()
     report = check_consensus(result.trace, values, faulty=faulty,
                              untrusted=untrusted)
+    topology_display = scenario.display_label()
     metrics = collect_metrics(
-        algorithm=args.algorithm, topology=args.topology, graph=graph,
-        scheduler=scheduler, result=result, initial_values=values,
-        faulty=faulty, untrusted=untrusted)
+        algorithm=scenario.algorithm.name, topology=topology_display,
+        graph=graph, scheduler=scheduler, result=result,
+        initial_values=values, faulty=faulty, untrusted=untrusted)
 
-    print(f"algorithm:      {args.algorithm}")
-    print(f"topology:       {args.topology} "
+    print(f"algorithm:      {scenario.algorithm.name}")
+    print(f"topology:       {topology_display} "
           f"(n={graph.n}, D={metrics.diameter})")
     print(f"scheduler:      {scheduler.describe()}")
     if fault_model is not None:
@@ -202,14 +261,40 @@ def cmd_run(args: argparse.Namespace) -> int:
         crashes = (fault_model.crash_plans()
                    if fault_model is not None else ())
         save_trace(result.trace, args.trace_out, metadata={
-            "algorithm": args.algorithm, "topology": args.topology,
-            "scheduler": scheduler.describe(), "seed": args.seed,
+            "algorithm": scenario.algorithm.name,
+            "topology": topology_display,
+            "scheduler": scheduler.describe(), "seed": scenario.seed,
             "fault_model": (fault_model.describe()
                             if fault_model is not None else None)},
-            crashes=crashes)
+            crashes=crashes, scenario=scenario)
         print(f"trace written:  {args.trace_out} "
               f"({len(result.trace)} records)")
     return 0 if report.ok else 1
+
+
+def cmd_replay(args: argparse.Namespace) -> int:
+    """Re-execute a saved trace's embedded scenario and verify it."""
+    scenario = load_scenario(args.trace)
+    if scenario is None:
+        raise SystemExit(
+            f"{args.trace}: no embedded scenario (only schema v4 "
+            f"exports written by this version can replay)")
+    print(f"scenario:       {scenario.algorithm.name} on "
+          f"{scenario.display_label()}, seed={scenario.seed}")
+    result = scenario.simulate()
+    saved = (record_to_dict(rec, preserialized=True)
+             for rec in iter_saved_records(args.trace))
+    replayed = iter_trace_dicts(result.trace)
+    count = 0
+    for old, new in itertools.zip_longest(saved, replayed):
+        if old != new:
+            print(f"replay DIVERGED at record {count}:")
+            print(f"  saved:    {json.dumps(old)}")
+            print(f"  replayed: {json.dumps(new)}")
+            return 1
+        count += 1
+    print(f"replay matched: {count} records byte-identical")
+    return 0
 
 
 def cmd_experiments(args: argparse.Namespace) -> int:
@@ -252,20 +337,41 @@ def build_parser() -> argparse.ArgumentParser:
     sub = parser.add_subparsers(dest="command", required=True)
 
     run_p = sub.add_parser("run", help="run one consensus execution")
-    run_p.add_argument("--algorithm", choices=ALGORITHMS,
-                       default="wpaxos")
-    run_p.add_argument("--topology", default="grid:4x4",
+    run_p.add_argument("--algorithm", choices=ALGORITHMS.names(),
+                       default=None,
+                       help=f"default: {RUN_DEFAULTS['algorithm']}")
+    run_p.add_argument("--topology", default=None,
                        help="e.g. clique:8, line:10, grid:4x6, "
-                            "star-of-cliques:4x6, random:16:3")
-    run_p.add_argument("--scheduler", choices=SCHEDULERS,
-                       default="random")
-    run_p.add_argument("--f-ack", type=float, default=1.0)
-    run_p.add_argument("--seed", type=int, default=0)
+                            "star-of-cliques:4x6, random:16:3, "
+                            "random:n=16,density=0.2,seed=3 "
+                            "(--list-topologies for the catalogue; "
+                            f"default: {RUN_DEFAULTS['topology']})")
+    run_p.add_argument("--scheduler", choices=SCHEDULERS.names(),
+                       default=None,
+                       help=f"default: {RUN_DEFAULTS['scheduler']}")
+    run_p.add_argument("--f-ack", type=float, default=None)
+    run_p.add_argument("--seed", type=int, default=None)
     run_p.add_argument("--max-time", type=float, default=None)
+    run_p.add_argument("--scenario", default=None, metavar="FILE",
+                       help="run the Scenario described by this JSON "
+                            "file (explicit flags override its "
+                            "fields)")
+    run_p.add_argument("--dump-scenario", default=None,
+                       metavar="FILE",
+                       help="write the scenario JSON these flags "
+                            "describe ('-' for stdout) and exit "
+                            "without running")
+    run_p.add_argument("--list-algorithms", action="store_true",
+                       help="list registered algorithms and exit")
+    run_p.add_argument("--list-topologies", action="store_true",
+                       help="list registered topologies and exit")
+    run_p.add_argument("--list-schedulers", action="store_true",
+                       help="list registered schedulers and exit")
     run_p.add_argument("--trace-out", default=None,
                        help="write the execution trace as JSON "
-                            "(streamed chunks, schema v3)")
-    run_p.add_argument("--trace-level", default="full",
+                            "(streamed chunks, schema v4 with the "
+                            "embedded scenario; see 'repro replay')")
+    run_p.add_argument("--trace-level", default=None,
                        choices=("full", "decisions", "spill"),
                        help="trace sink: 'full' keeps every record "
                             "in RAM (default; replayable, exact); "
@@ -279,7 +385,7 @@ def build_parser() -> argparse.ArgumentParser:
                        metavar="K",
                        help="make the last K nodes Byzantine")
     run_p.add_argument("--byz-strategy", default="corrupt",
-                       choices=sorted(BYZ_STRATEGIES),
+                       choices=sorted(BYZANTINE_STRATEGIES),
                        help="Byzantine strategy (with --byzantine)")
     run_p.add_argument("--omission", type=int, default=0, metavar="K",
                        help="make the last K nodes send-omission "
@@ -287,6 +393,13 @@ def build_parser() -> argparse.ArgumentParser:
     run_p.add_argument("--crash", default=None, metavar="NODE[@TIME]",
                        help="crash NODE at TIME (default 1.0)")
     run_p.set_defaults(func=cmd_run)
+
+    replay_p = sub.add_parser(
+        "replay", help="re-execute a saved trace's embedded scenario "
+                       "and verify byte-identity")
+    replay_p.add_argument("trace", help="a schema-v4 trace export "
+                                        "written by run --trace-out")
+    replay_p.set_defaults(func=cmd_replay)
 
     exp_p = sub.add_parser("experiments",
                            help="regenerate experiment tables")

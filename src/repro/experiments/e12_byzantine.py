@@ -19,28 +19,28 @@ amplification, tolerance bound ``n > 5f``) against the
   in the report -- the measured reason the tolerance bound is not an
   artifact of the analysis.
 
-All within-bound points run through ``parallel_sweep``; each point
-builds its own fault model (models hold per-run RNG state).
+All within-bound points are one scenario grid per (topology,
+strategy): the base :class:`~repro.scenario.Scenario` pins the
+uid-proportional RNG construction (``uid_seed_scale`` /
+``plan_seed_scale``) and the grid sweeps ``fault.count`` through
+``parallel_sweep``; each worker builds its own fault model (models
+hold per-run RNG state).
 """
 
 from __future__ import annotations
 
-from ..analysis import parallel_sweep
 from ..core.byzantine import ByzantineConsensus, max_tolerance
 from ..macsim import build_simulation, check_consensus
 from ..macsim.faults import (ByzantineFaultModel, ByzantinePlan,
-                             CorruptStrategy, EquivocateStrategy,
-                             SilentStrategy)
+                             EquivocateStrategy)
 from ..macsim.schedulers import SynchronousScheduler
-from ..topology import clique, random_connected
+from ..scenario import (AlgorithmSpec, FaultSpec, Scenario,
+                        SchedulerSpec, TopologySpec)
+from ..topology import clique
 from .common import ExperimentReport
 
 #: Adversary strategies swept within the tolerance bound.
-STRATEGIES = (
-    ("silent", SilentStrategy),
-    ("corrupt", CorruptStrategy),
-    ("equivocate", EquivocateStrategy),
-)
+STRATEGIES = ("silent", "corrupt", "equivocate")
 
 CLIQUE_N = 16
 MULTIHOP_N = 12
@@ -48,40 +48,21 @@ MULTIHOP_EDGE_PROB = 0.35
 MULTIHOP_SEED = 7
 
 
-def _values(nodes):
-    """Two-thirds zeros: a clear but non-unanimous correct majority."""
-    nodes = list(nodes)
-    cut = (2 * len(nodes)) // 3
-    return {v: 0 if i < cut else 1 for i, v in enumerate(nodes)}
-
-
-def _build_point(graph, strategy_cls, f_assumed, relay):
-    """Sweep closure: one within-bound run at Byzantine count ``b``."""
-    nodes = list(graph.nodes)
-    uid = {v: i + 1 for i, v in enumerate(nodes)}
-    values = _values(nodes)
-    n = graph.n
-
-    def build(b):
-        b = int(b)
-        byz = nodes[-b:] if b else []
-        plans = [ByzantinePlan(node=v, strategy=strategy_cls(),
-                               seed=11 * uid[v])
-                 for v in byz]
-        fault_model = ByzantineFaultModel(plans, budget=f_assumed)
-
-        def factory(label, value):
-            return ByzantineConsensus(uid[label], value, n, f_assumed,
-                                      seed=1013 * uid[label],
-                                      relay=relay)
-
-        return dict(graph=graph, scheduler=SynchronousScheduler(1.0),
-                    factory=factory, initial_values=values,
-                    fault_model=fault_model,
-                    topology=("clique" if not relay else "multihop")
-                    + f"({n})")
-
-    return build
+def _base_scenario(topology: TopologySpec, n: int, relay: bool,
+                   strategy: str) -> Scenario:
+    """One within-bound base: Byzantine consensus assuming
+    ``f = max_tolerance(n)``, uid-scaled process seeds (1013 * uid)
+    and plan seeds (11 * uid), two-thirds-zeros inputs."""
+    f_assumed = max_tolerance(n)
+    return Scenario(
+        algorithm=AlgorithmSpec("byzantine", f=f_assumed, relay=relay,
+                                uid_seed_scale=1013),
+        topology=topology,
+        scheduler=SchedulerSpec("synchronous", f_ack=1.0),
+        fault=FaultSpec("byzantine", count=0, strategy=strategy,
+                        plan_seed_scale=11, budget=f_assumed),
+        values="two-thirds-zeros",
+        label=("multihop" if relay else "clique") + f"({n})")
 
 
 def _violation_run():
@@ -123,20 +104,21 @@ def run(*, clique_n=CLIQUE_N, multihop_n=MULTIHOP_N,
                  "decision time"],
     )
 
-    # --- within the bound: clique and multi-hop sweeps -----------------
+    # --- within the bound: clique and multi-hop grids ------------------
     scenarios = [
-        (clique(clique_n), False),
-        (random_connected(multihop_n, MULTIHOP_EDGE_PROB,
-                          seed=MULTIHOP_SEED), True),
+        (TopologySpec("clique", n=clique_n), clique_n, False),
+        (TopologySpec("random", n=multihop_n,
+                      density=MULTIHOP_EDGE_PROB, seed=MULTIHOP_SEED),
+         multihop_n, True),
     ]
     all_safe = True
-    for graph, relay in scenarios:
-        f_assumed = max_tolerance(graph.n)
+    for topology, n, relay in scenarios:
+        f_assumed = max_tolerance(n)
         byz_counts = tuple(range(f_assumed + 1))
-        for strategy_name, strategy_cls in strategies:
-            series = parallel_sweep(
-                "byzantine", byz_counts,
-                _build_point(graph, strategy_cls, f_assumed, relay))
+        for strategy_name in strategies:
+            base = _base_scenario(topology, n, relay, strategy_name)
+            series = base.grid({"fault.count": list(byz_counts)}).run(
+                name="byzantine")
             for b, point in zip(byz_counts, series.points):
                 m = point.metrics
                 report.add_row(

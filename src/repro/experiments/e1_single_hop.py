@@ -12,20 +12,27 @@ Regenerates two series:
 Also exercises the witness path with adversarial (staggered) and
 random schedulers, and records the pseudocode-erratum regression
 (module docstring of :mod:`repro.core.twophase`).
+
+All series are declarative scenario grids: one base
+:class:`~repro.scenario.Scenario` per claim, swept along dotted-path
+axes (``topology.n``, ``scheduler.f_ack``, ``scheduler.seed``).
 """
 
 from __future__ import annotations
 
-from ..analysis import linear_fit, parallel_sweep, run_consensus
-from ..core.twophase import TwoPhaseConsensus
-from ..macsim.schedulers import (RandomDelayScheduler,
-                                 StaggeredScheduler,
-                                 SynchronousScheduler)
-from ..topology import clique
+from ..analysis import linear_fit
+from ..scenario import AlgorithmSpec, Scenario, SchedulerSpec, TopologySpec
 from .common import ExperimentReport
 
 N_SWEEP = (1, 2, 3, 5, 8, 13, 21, 34, 55)
 F_SWEEP = (0.5, 1.0, 2.0, 4.0, 8.0)
+
+#: Two-Phase with label uids (``uid_base=0``: node label == uid on
+#: cliques, the construction this experiment has always used).
+BASE = Scenario(
+    algorithm=AlgorithmSpec("two-phase", uid_base=0),
+    topology=TopologySpec("clique", n=10),
+    scheduler=SchedulerSpec("synchronous", f_ack=1.0))
 
 
 def run(*, n_sweep=N_SWEEP, f_sweep=F_SWEEP,
@@ -39,16 +46,12 @@ def run(*, n_sweep=N_SWEEP, f_sweep=F_SWEEP,
                  "decision time", "time/F_ack"],
     )
 
-    def factory(label, value):
-        return TwoPhaseConsensus(uid=label, initial_value=value)
-
     # --- time vs n (fixed F_ack = 1) ---------------------------------
+    n_series = BASE.grid({"topology.n": list(n_sweep)}).run(
+        name="two-phase", parallel=False)
     times_vs_n = []
-    for n in n_sweep:
-        metrics = run_consensus(
-            algorithm="two-phase", topology=f"clique({n})",
-            graph=clique(n), scheduler=SynchronousScheduler(1.0),
-            factory=factory)
+    for n, point in zip(n_sweep, n_series.points):
+        metrics = point.metrics
         times_vs_n.append((n, metrics.last_decision))
         report.add_row("synchronous", n, 1.0, metrics.correct,
                        metrics.last_decision, metrics.normalized_time)
@@ -62,12 +65,11 @@ def run(*, n_sweep=N_SWEEP, f_sweep=F_SWEEP,
             f"dependence)", ok=abs(slope) < 0.05)
 
     # --- time vs F_ack (fixed n = 10) ---------------------------------
+    f_series = BASE.grid({"scheduler.f_ack": list(f_sweep)}).run(
+        name="two-phase", parallel=False)
     times_vs_f = []
-    for f_ack in f_sweep:
-        metrics = run_consensus(
-            algorithm="two-phase", topology="clique(10)",
-            graph=clique(10), scheduler=SynchronousScheduler(f_ack),
-            factory=factory)
+    for f_ack, point in zip(f_sweep, f_series.points):
+        metrics = point.metrics
         times_vs_f.append((f_ack, metrics.last_decision))
         report.add_row("synchronous", 10, f_ack, metrics.correct,
                        metrics.last_decision, metrics.normalized_time)
@@ -79,14 +81,13 @@ def run(*, n_sweep=N_SWEEP, f_sweep=F_SWEEP,
         ok=slope <= 2.0 + 1e-9)
 
     # --- adversarial and random schedulers ----------------------------
-    # The seed-replicated series fans out across workers: one sweep
+    # The seed-replicated grid fans out across workers: one sweep
     # point per (n, seed) key, identical results to the old loop.
-    random_series = parallel_sweep(
-        "two-phase", [(12, seed) for seed in random_seeds],
-        lambda key: dict(
-            graph=clique(key[0]),
-            scheduler=RandomDelayScheduler(2.0, seed=key[1]),
-            factory=factory, topology=f"clique({key[0]})"))
+    random_series = BASE.override(
+        {"scheduler": SchedulerSpec("random", f_ack=2.0),
+         "label": "clique(12)"},
+    ).grid({"topology.n": [12],
+            "scheduler.seed": list(random_seeds)}).run(name="two-phase")
     worst_ratio = 0.0
     for point in random_series.points:
         metrics = point.metrics
@@ -98,11 +99,13 @@ def run(*, n_sweep=N_SWEEP, f_sweep=F_SWEEP,
                            metrics.normalized_time)
         if not metrics.correct:
             report.conclude(f"random seed {seed} failed", ok=False)
-    stag = StaggeredScheduler(0.25, max_degree=16)
-    metrics = run_consensus(
-        algorithm="two-phase", topology="clique(12)",
-        graph=clique(12), scheduler=stag, factory=factory)
-    report.add_row("staggered", 12, stag.f_ack, metrics.correct,
+    staggered = BASE.override(
+        {"topology.n": 12,
+         "scheduler": SchedulerSpec("staggered", step=0.25,
+                                    max_degree=16),
+         "label": "clique(12)"})
+    metrics = staggered.run()
+    report.add_row("staggered", 12, metrics.f_ack, metrics.correct,
                    metrics.last_decision, metrics.normalized_time)
     report.conclude(
         f"correct under random/staggered schedulers; worst observed "

@@ -9,31 +9,26 @@ Regenerates three series:
 * decision time vs ``F_ack``: linear.
 
 Each row also re-verifies agreement/validity/termination and the model
-invariants (the runner checks them on every trace).
+invariants (the runner checks them on every trace). Every series is a
+declarative scenario grid over one axis (``topology.n``,
+``scheduler.f_ack``); the grid/random spot checks derive from the same
+base scenario via dotted-path overrides.
 """
 
 from __future__ import annotations
 
-from ..analysis import linear_fit, parallel_sweep, run_consensus
-from ..core.wpaxos import WPaxosConfig, WPaxosNode
-from ..macsim.schedulers import (RandomDelayScheduler,
-                                 SynchronousScheduler)
-from ..topology import clique, grid, line, random_connected
+from ..analysis import linear_fit
+from ..scenario import AlgorithmSpec, Scenario, SchedulerSpec, TopologySpec
 from .common import ExperimentReport
 
 LINE_DIAMETERS = (4, 9, 19, 29, 39)
 CLIQUE_SIZES = (4, 8, 16, 32, 48)
 F_SWEEP = (0.5, 1.0, 2.0, 4.0)
 
-
-def _factory(graph):
-    uid = {v: i + 1 for i, v in enumerate(graph.nodes)}
-    n = graph.n
-
-    def make(label, value):
-        return WPaxosNode(uid=uid[label], initial_value=value, n=n,
-                          config=WPaxosConfig())
-    return make
+BASE = Scenario(
+    algorithm=AlgorithmSpec("wpaxos"),
+    topology=TopologySpec("line", n=13),
+    scheduler=SchedulerSpec("synchronous", f_ack=1.0))
 
 
 def run(*, line_diameters=LINE_DIAMETERS, clique_sizes=CLIQUE_SIZES,
@@ -47,14 +42,10 @@ def run(*, line_diameters=LINE_DIAMETERS, clique_sizes=CLIQUE_SIZES,
                  "decision time", "time/(D*F_ack)"],
     )
 
-    # --- time vs D on lines (parallel sweep) ---------------------------
-    def line_build(d):
-        graph = line(int(d) + 1)
-        return dict(graph=graph, scheduler=SynchronousScheduler(1.0),
-                    factory=_factory(graph),
-                    topology=f"line(D={int(d)})")
-
-    line_series = parallel_sweep("wpaxos", line_diameters, line_build)
+    # --- time vs D on lines (parallel grid) ----------------------------
+    line_series = BASE.grid(
+        {"topology.n": [int(d) + 1 for d in line_diameters]},
+    ).run(name="wpaxos")
     points = []
     for d, point in zip(line_diameters, line_series.points):
         metrics = point.metrics
@@ -70,14 +61,11 @@ def run(*, line_diameters=LINE_DIAMETERS, clique_sizes=CLIQUE_SIZES,
         f"intercept={intercept:.2f} (claim: linear in D; constant "
         f"factor small)", ok=0.5 <= slope <= 12.0)
 
-    # --- time vs n at fixed D (cliques, D=1; parallel sweep) -----------
-    def clique_build(n):
-        graph = clique(int(n))
-        return dict(graph=graph, scheduler=SynchronousScheduler(1.0),
-                    factory=_factory(graph),
-                    topology=f"clique({int(n)})")
-
-    clique_series = parallel_sweep("wpaxos", clique_sizes, clique_build)
+    # --- time vs n at fixed D (cliques, D=1; parallel grid) ------------
+    clique_series = BASE.override(
+        {"topology": TopologySpec("clique", n=4)},
+    ).grid({"topology.n": [int(n) for n in clique_sizes]}).run(
+        name="wpaxos")
     clique_times = []
     for n, point in zip(clique_sizes, clique_series.points):
         metrics = point.metrics
@@ -92,33 +80,27 @@ def run(*, line_diameters=LINE_DIAMETERS, clique_sizes=CLIQUE_SIZES,
 
     # --- grids and random graphs ---------------------------------------
     for rows, cols in ((4, 4), (6, 6), (8, 8)):
-        graph = grid(rows, cols)
-        metrics = run_consensus(
-            algorithm="wpaxos", topology=f"grid({rows}x{cols})",
-            graph=graph, scheduler=SynchronousScheduler(1.0),
-            factory=_factory(graph))
-        report.add_row(f"grid {rows}x{cols}", graph.n,
+        metrics = BASE.override(
+            {"topology": TopologySpec("grid", rows=rows, cols=cols),
+             "label": f"grid({rows}x{cols})"}).run()
+        report.add_row(f"grid {rows}x{cols}", metrics.n,
                        metrics.diameter, 1.0, metrics.correct,
                        metrics.last_decision, metrics.time_per_diameter)
     for n, seed in ((24, 1), (48, 2)):
-        graph = random_connected(n, 0.08, seed=seed)
-        metrics = run_consensus(
-            algorithm="wpaxos", topology=f"random({n})", graph=graph,
-            scheduler=RandomDelayScheduler(1.0, seed=seed),
-            factory=_factory(graph))
-        report.add_row(f"random({n})", graph.n, metrics.diameter,
+        metrics = BASE.override(
+            {"topology": TopologySpec("random", n=n, density=0.08,
+                                      seed=seed),
+             "scheduler": SchedulerSpec("random", f_ack=1.0, seed=seed),
+             "label": f"random({n})"}).run()
+        report.add_row(f"random({n})", metrics.n, metrics.diameter,
                        1.0, metrics.correct, metrics.last_decision,
                        metrics.time_per_diameter)
         if not metrics.correct:
             report.conclude(f"random n={n} failed", ok=False)
 
-    # --- time vs F_ack (parallel sweep) --------------------------------
-    def f_build(f_ack):
-        graph = line(13)
-        return dict(graph=graph, scheduler=SynchronousScheduler(f_ack),
-                    factory=_factory(graph), topology="line(D=12)")
-
-    f_series = parallel_sweep("wpaxos", f_sweep, f_build)
+    # --- time vs F_ack (parallel grid) ---------------------------------
+    f_series = BASE.override({"label": "line(D=12)"}).grid(
+        {"scheduler.f_ack": list(f_sweep)}).run(name="wpaxos")
     f_points = []
     for f_ack, point in zip(f_sweep, f_series.points):
         metrics = point.metrics

@@ -15,21 +15,35 @@ reliable line augmented with random unreliable chords:
   silence swallows acceptor responses, and the run deadlocks. This is
   a *measured* demonstration of why the dual-graph upper bound is
   genuinely open rather than a routine extension.
+
+Both policies are scenario grids over one base description (line +
+random overlay); the Bernoulli grid sweeps the full
+``(scheduler.p, scheduler.seed)`` product across workers and regroups
+per probability via :meth:`~repro.analysis.sweeps.SweepResult.by_x`.
 """
 
 from __future__ import annotations
 
-from ..analysis import parallel_sweep
-from ..core.wpaxos import WPaxosConfig, WPaxosNode
-from ..macsim.schedulers import (AdversarialUnreliableScheduler,
-                                 BernoulliUnreliableScheduler,
-                                 SynchronousScheduler)
-from ..topology import line
-from ..topology.standard import unreliable_overlay
+from ..scenario import (AlgorithmSpec, OverlaySpec, Scenario,
+                        SchedulerSpec, TopologySpec)
 from .common import ExperimentReport
 
 PROBS = (0.0, 0.25, 0.5, 0.75, 1.0)
 SEEDS = range(5)
+
+#: Reliable line(12) plus 15%-density unreliable chords; invariant
+#: replay is off because deadlocking runs hit the time limit mid-ack.
+BASE = Scenario(
+    algorithm=AlgorithmSpec("wpaxos"),
+    topology=TopologySpec("line", n=12),
+    overlay=OverlaySpec("random-overlay", density=0.15, seed=3),
+    scheduler=SchedulerSpec(
+        "bernoulli-unreliable", p=1.0, seed=0,
+        inner=SchedulerSpec("synchronous", f_ack=1.0)),
+    label="line(12)+overlay",
+    check_invariants=False,
+    max_events=5_000_000,
+    max_time=2_000.0)
 
 
 def run(*, probs=PROBS, seeds=SEEDS) -> ExperimentReport:
@@ -42,30 +56,12 @@ def run(*, probs=PROBS, seeds=SEEDS) -> ExperimentReport:
         headers=["policy", "runs", "agreement", "terminated",
                  "mean time (when terminating)"],
     )
-    graph = line(12)
-    overlay = unreliable_overlay(graph, 0.15, seed=3)
-    uid = {v: i + 1 for i, v in enumerate(graph.nodes)}
-    values = {v: i % 2 for i, v in enumerate(graph.nodes)}
-
-    def factory(v, val):
-        return WPaxosNode(uid[v], val, graph.n, WPaxosConfig())
-
-    def build(scheduler, x):
-        return dict(graph=graph, scheduler=scheduler, factory=factory,
-                    initial_values=values, unreliable_graph=overlay,
-                    topology="line(12)+overlay", check_invariants=False,
-                    x=x)
 
     # The full (prob, seed) grid fans out across workers -- every
     # replica is one sweep point, grouped back per probability below.
-    bernoulli = parallel_sweep(
-        "wpaxos-unreliable",
-        [(prob, seed) for prob in probs for seed in seeds],
-        lambda key: build(
-            BernoulliUnreliableScheduler(SynchronousScheduler(1.0),
-                                         key[0], seed=key[1]),
-            x=key[0]),
-        max_events=5_000_000, max_time=2_000.0)
+    bernoulli = BASE.grid({"scheduler.p": list(probs),
+                           "scheduler.seed": list(seeds)}).run(
+        name="wpaxos-unreliable")
 
     liveness_ever_lost = False
     total = len(list(seeds))
@@ -85,13 +81,12 @@ def run(*, probs=PROBS, seeds=SEEDS) -> ExperimentReport:
             liveness_ever_lost = True
 
     # Adversarial policy: links work, then vanish.
-    adversarial = parallel_sweep(
-        "wpaxos-unreliable-adv", [5.0, 10.0, 20.0],
-        lambda cutoff: build(
-            AdversarialUnreliableScheduler(SynchronousScheduler(1.0),
-                                           cutoff=cutoff),
-            x=cutoff),
-        max_events=5_000_000, max_time=2_000.0)
+    adversarial = BASE.override(
+        {"scheduler": SchedulerSpec(
+            "adversarial-unreliable", cutoff=5.0,
+            inner=SchedulerSpec("synchronous", f_ack=1.0))},
+    ).grid({"scheduler.cutoff": [5.0, 10.0, 20.0]}).run(
+        name="wpaxos-unreliable-adv")
     agree = sum(p.metrics.agreement and p.metrics.validity
                 for p in adversarial.points)
     finished = sum(p.metrics.termination for p in adversarial.points)

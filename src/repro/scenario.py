@@ -1,0 +1,1154 @@
+"""Declarative, serializable consensus run descriptions.
+
+Every experiment in this repo is "one algorithm x one topology x one
+scheduler x one adversary", but the codebase historically spelled that
+product four different ways: ``run_consensus``'s kwarg list, the CLI's
+hand-rolled parsers, each E-driver's bespoke factory wiring, and the
+export layer's ad-hoc metadata. A :class:`Scenario` is the single
+declarative form: a frozen, JSON-round-trippable description that can
+be **named** (specs), **built** (resolved through the
+:mod:`repro.registry` registries), **run** (wrapping
+:func:`repro.analysis.runner.run_consensus`), **swept**
+(:meth:`Scenario.grid` feeding ``sweep``/``parallel_sweep``) and
+**replayed** (embedded in schema-v4 trace exports)::
+
+    from repro.scenario import (AlgorithmSpec, FaultSpec, Scenario,
+                                SchedulerSpec, TopologySpec)
+
+    scenario = Scenario(
+        algorithm=AlgorithmSpec("wpaxos"),
+        topology=TopologySpec("grid", rows=4, cols=6),
+        scheduler=SchedulerSpec("random", f_ack=2.0),
+        fault=FaultSpec("crash", node=3, time=1.5),
+        seed=7)
+    metrics = scenario.run()                 # one execution
+    text = scenario.to_json()                # lossless round trip
+    assert Scenario.from_json(text) == scenario
+
+    series = scenario.grid({"topology.cols": [4, 6, 8],
+                            "seed": range(5)}).run()   # (x, seed) keys
+
+Resolution is **pure**: specs hold only JSON-serializable parameters,
+and every stateful object (graphs, scheduler RNGs, fault-model RNGs)
+is built fresh per run, so a scenario executed twice -- or loaded back
+from a trace file and executed on another machine -- produces
+byte-identical FULL traces.
+
+The registries (``@register_algorithm`` / ``@register_topology`` /
+``@register_scheduler`` / ``@register_fault_model``, plus overlays and
+initial-value assignments) are documented in :mod:`repro.registry`;
+the built-in catalogue is registered at the bottom of this module and
+matches the legacy CLI factories parameter for parameter.
+"""
+
+from __future__ import annotations
+
+import inspect
+import itertools
+import json
+from dataclasses import dataclass, field, fields, replace
+from typing import Any, Callable, Dict, Iterator, List, Mapping, Optional
+
+from .registry import (ALGORITHMS, FAULT_MODELS, OVERLAYS, SCHEDULERS,
+                       TOPOLOGIES, VALUES, UnknownNameError,
+                       register_algorithm, register_fault_model,
+                       register_overlay, register_scheduler,
+                       register_topology, register_values)
+
+
+class ScenarioError(ValueError):
+    """An invalid scenario: unknown names, bad params, wrong shapes."""
+
+
+# ---------------------------------------------------------------------------
+# Specs: one named, parameterized axis of a scenario
+# ---------------------------------------------------------------------------
+
+_SCALARS = (int, float, str, bool, type(None))
+
+
+def _normalize(value: Any, where: str) -> Any:
+    """Coerce ``value`` into the JSON-stable subset specs may hold.
+
+    Tuples become lists (what JSON would do anyway) so that equality
+    survives a dump/load cycle; nested specs pass through.
+    """
+    if isinstance(value, Spec):
+        return value
+    if isinstance(value, _SCALARS):
+        return value
+    if isinstance(value, (list, tuple)):
+        return [_normalize(v, where) for v in value]
+    if isinstance(value, (dict,)):
+        out = {}
+        for k, v in value.items():
+            if not isinstance(k, str):
+                raise ScenarioError(
+                    f"{where}: dict params need string keys to survive "
+                    f"JSON, got key {k!r}")
+            out[k] = _normalize(v, where)
+        return out
+    if isinstance(value, range):
+        return [int(v) for v in value]
+    raise ScenarioError(
+        f"{where}: param value {value!r} is not JSON-serializable "
+        f"(allowed: int/float/str/bool/None, lists, string-keyed "
+        f"dicts, nested specs)")
+
+
+def _freeze(value: Any) -> Any:
+    """A hashable mirror of a normalized param value (or sweep key)."""
+    if isinstance(value, Spec):
+        return (value.kind, value.name, _freeze(dict(value.params)))
+    if isinstance(value, (list, tuple)):
+        return tuple(_freeze(v) for v in value)
+    if isinstance(value, dict):
+        return tuple(sorted((k, _freeze(v)) for k, v in value.items()))
+    return value
+
+
+def _jsonable(value: Any) -> Any:
+    if isinstance(value, Spec):
+        return value.to_dict()
+    if isinstance(value, list):
+        return [_jsonable(v) for v in value]
+    if isinstance(value, dict):
+        return {k: _jsonable(v) for k, v in value.items()}
+    return value
+
+
+def _from_jsonable(value: Any) -> Any:
+    if isinstance(value, dict) and "__spec__" in value:
+        cls = _SPEC_CLASSES.get(value["__spec__"])
+        if cls is None:
+            raise ScenarioError(f"unknown spec kind {value['__spec__']!r}")
+        return cls.from_dict(value)
+    if isinstance(value, list):
+        return [_from_jsonable(v) for v in value]
+    if isinstance(value, dict):
+        return {k: _from_jsonable(v) for k, v in value.items()}
+    return value
+
+
+class Spec:
+    """One named axis choice plus its JSON-serializable parameters.
+
+    Immutable; equality and hashing cover the subclass, name and
+    params, so specs can be dict keys and scenario equality is
+    structural.
+    """
+
+    kind = "spec"
+    registry = None  # set by subclasses
+
+    __slots__ = ("_name", "_params")
+
+    def __init__(self, name: str, **params: Any) -> None:
+        object.__setattr__(self, "_name", str(name))
+        object.__setattr__(
+            self, "_params",
+            {k: _normalize(v, f"{type(self).__name__}({name!r})")
+             for k, v in params.items()})
+
+    # -- immutability ----------------------------------------------------
+    def __setattr__(self, key: str, value: Any) -> None:
+        raise AttributeError(f"{type(self).__name__} is frozen")
+
+    def __delattr__(self, key: str) -> None:
+        raise AttributeError(f"{type(self).__name__} is frozen")
+
+    # -- pickling (slots + frozen need explicit state handling; sweep
+    # keys holding specs cross process boundaries in parallel grids) --
+    def __getstate__(self):
+        return (self._name, self._params)
+
+    def __setstate__(self, state) -> None:
+        name, params = state
+        object.__setattr__(self, "_name", name)
+        object.__setattr__(self, "_params", params)
+
+    # -- accessors -------------------------------------------------------
+    @property
+    def name(self) -> str:
+        return self._name
+
+    @property
+    def params(self) -> Mapping[str, Any]:
+        return dict(self._params)
+
+    def with_params(self, **updates: Any) -> "Spec":
+        """A copy with the given params replaced/added."""
+        merged = dict(self._params)
+        merged.update(updates)
+        return type(self)(self._name, **merged)
+
+    # -- identity --------------------------------------------------------
+    def __eq__(self, other: Any) -> bool:
+        return (type(self) is type(other)
+                and self._name == other._name
+                and self._params == other._params)
+
+    def __hash__(self) -> int:
+        return hash((type(self), self._name, _freeze(dict(self._params))))
+
+    def __repr__(self) -> str:
+        args = "".join(f", {k}={v!r}" for k, v in self._params.items())
+        return f"{type(self).__name__}({self._name!r}{args})"
+
+    def describe(self) -> str:
+        """Compact human label, e.g. ``grid(rows=4, cols=6)``."""
+        if not self._params:
+            return self._name
+        inner = ", ".join(f"{k}={v!r}" if not isinstance(v, Spec)
+                          else f"{k}={v.describe()}"
+                          for k, v in self._params.items())
+        return f"{self._name}({inner})"
+
+    # -- serialization ---------------------------------------------------
+    def to_dict(self) -> Dict[str, Any]:
+        return {"__spec__": self.kind, "name": self._name,
+                "params": {k: _jsonable(v)
+                           for k, v in self._params.items()}}
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "Spec":
+        if not isinstance(data, Mapping) or "name" not in data:
+            raise ScenarioError(
+                f"not a {cls.__name__} dict: {data!r}")
+        params = {k: _from_jsonable(v)
+                  for k, v in (data.get("params") or {}).items()}
+        return cls(data["name"], **params)
+
+    # -- resolution ------------------------------------------------------
+    def builder(self) -> Callable:
+        """This spec's registered builder (raises on unknown names)."""
+        return self.registry.get(self._name)
+
+
+class TopologySpec(Spec):
+    """A named topology, e.g. ``TopologySpec("grid", rows=4, cols=6)``."""
+
+    kind = "topology"
+    registry = TOPOLOGIES
+
+    def build(self):
+        """Construct the graph."""
+        return self.builder()(**self.params)
+
+
+class SchedulerSpec(Spec):
+    """A named scheduler; params may nest another :class:`SchedulerSpec`
+    (wrapper schedulers take ``inner=...``)."""
+
+    kind = "scheduler"
+    registry = SCHEDULERS
+
+    def build(self, seed: int = 0):
+        """Construct the scheduler, injecting ``seed`` where accepted.
+
+        A builder with a ``seed`` parameter that the spec does not pin
+        receives the scenario seed; nested scheduler specs resolve
+        recursively under the same rule.
+        """
+        builder = self.builder()
+        params = {k: (v.build(seed) if isinstance(v, SchedulerSpec) else v)
+                  for k, v in self.params.items()}
+        return _call_seeded(builder, params, seed)
+
+
+class AlgorithmSpec(Spec):
+    """A named algorithm; ``build`` returns a ``(label, value) ->
+    process`` factory."""
+
+    kind = "algorithm"
+    registry = ALGORITHMS
+
+    def build(self, graph, seed: int = 0):
+        return self.builder()(graph, seed, **self.params)
+
+
+class FaultSpec(Spec):
+    """A named fault model (crash / omission / byzantine / custom)."""
+
+    kind = "fault"
+    registry = FAULT_MODELS
+
+    def build(self, graph, seed: int = 0):
+        return self.builder()(graph, seed, **self.params)
+
+
+class OverlaySpec(Spec):
+    """A named unreliable-link overlay for the dual-graph model."""
+
+    kind = "overlay"
+    registry = OVERLAYS
+
+    def build(self, graph, seed: int = 0):
+        return _call_seeded(self.builder(), dict(self.params), seed, graph)
+
+
+_SPEC_CLASSES = {cls.kind: cls for cls in
+                 (TopologySpec, SchedulerSpec, AlgorithmSpec, FaultSpec,
+                  OverlaySpec)}
+
+
+def _call_seeded(builder: Callable, params: Dict[str, Any], seed: int,
+                 *args: Any):
+    """Call ``builder(*args, **params)``, injecting ``seed=seed`` when
+    the builder accepts one and the params do not pin it."""
+    if "seed" not in params:
+        try:
+            accepts_seed = "seed" in inspect.signature(builder).parameters
+        except (TypeError, ValueError):  # builtins without signatures
+            accepts_seed = False
+        if accepts_seed:
+            params = dict(params, seed=seed)
+    return builder(*args, **params)
+
+
+# ---------------------------------------------------------------------------
+# Scenario: the full run description
+# ---------------------------------------------------------------------------
+
+@dataclass
+class ResolvedScenario:
+    """A scenario's stateful ingredients, built fresh and ready to run."""
+
+    scenario: "Scenario"
+    graph: Any
+    scheduler: Any
+    factory: Callable[[Any, int], Any]
+    initial_values: Dict[Any, int]
+    fault_model: Any = None
+    unreliable_graph: Any = None
+
+    def simulate(self, *, trace_sink=None):
+        """Run the simulation and return the raw
+        :class:`~repro.macsim.simulator.RunResult` (trace included,
+        closed). This is the byte-identity/replay entry point; use
+        :meth:`Scenario.run` when you want metrics."""
+        from .macsim import build_simulation
+        scenario = self.scenario
+        values = self.initial_values
+        factory = self.factory
+        sim = build_simulation(
+            self.graph, lambda v: factory(v, values[v]), self.scheduler,
+            fault_model=self.fault_model,
+            unreliable_graph=self.unreliable_graph,
+            trace_level=scenario.trace_level, trace_sink=trace_sink)
+        result = sim.run(max_events=scenario.max_events,
+                         max_time=scenario.max_time)
+        result.trace.close()
+        return result
+
+
+@dataclass(frozen=True)
+class Scenario:
+    """A complete, serializable description of one consensus run.
+
+    Frozen and structurally comparable:
+    ``Scenario.from_dict(s.to_dict()) == s`` holds losslessly (the
+    round-trip property test pins it). ``seed`` feeds the algorithm's
+    per-process RNGs, any scheduler/overlay builder that accepts a
+    seed the spec does not pin, and the fault model's plan seeds --
+    one knob reseeds the whole run.
+    """
+
+    algorithm: AlgorithmSpec
+    topology: TopologySpec
+    scheduler: SchedulerSpec = field(
+        default_factory=lambda: SchedulerSpec("synchronous"))
+    fault: Optional[FaultSpec] = None
+    overlay: Optional[OverlaySpec] = None
+    #: Registered initial-value assignment name (see ``register_values``).
+    values: str = "alternating"
+    seed: int = 0
+    trace_level: str = "full"
+    max_events: int = 20_000_000
+    max_time: Optional[float] = None
+    check_invariants: bool = True
+    #: Optional display label (lands in ``RunMetrics.topology``);
+    #: defaults to ``topology.describe()``.
+    label: Optional[str] = None
+
+    def __post_init__(self) -> None:
+        for name, cls in (("algorithm", AlgorithmSpec),
+                          ("topology", TopologySpec),
+                          ("scheduler", SchedulerSpec)):
+            if not isinstance(getattr(self, name), cls):
+                raise ScenarioError(
+                    f"Scenario.{name} must be a {cls.__name__}, got "
+                    f"{getattr(self, name)!r}")
+        for name, cls in (("fault", FaultSpec), ("overlay", OverlaySpec)):
+            value = getattr(self, name)
+            if value is not None and not isinstance(value, cls):
+                raise ScenarioError(
+                    f"Scenario.{name} must be a {cls.__name__} or None, "
+                    f"got {value!r}")
+        from .macsim.trace import TraceLevel
+        object.__setattr__(self, "trace_level",
+                           TraceLevel(self.trace_level).value)
+
+    # -- building and running -------------------------------------------
+    def resolve(self) -> ResolvedScenario:
+        """Build every stateful ingredient, fresh for this call."""
+        graph = self.topology.build()
+        return ResolvedScenario(
+            scenario=self,
+            graph=graph,
+            scheduler=self.scheduler.build(self.seed),
+            factory=self.algorithm.build(graph, self.seed),
+            initial_values=VALUES.get(self.values)(graph),
+            fault_model=(self.fault.build(graph, self.seed)
+                         if self.fault is not None else None),
+            unreliable_graph=(self.overlay.build(graph, self.seed)
+                              if self.overlay is not None else None),
+        )
+
+    def run_kwargs(self) -> Dict[str, Any]:
+        """The exact :func:`~repro.analysis.runner.run_consensus`
+        keyword arguments this scenario denotes."""
+        resolved = self.resolve()
+        out: Dict[str, Any] = dict(
+            algorithm=self.algorithm.name,
+            topology=self.display_label(),
+            graph=resolved.graph,
+            scheduler=resolved.scheduler,
+            factory=resolved.factory,
+            initial_values=resolved.initial_values,
+            check_invariants=self.check_invariants,
+        )
+        if resolved.fault_model is not None:
+            out["fault_model"] = resolved.fault_model
+        if resolved.unreliable_graph is not None:
+            out["unreliable_graph"] = resolved.unreliable_graph
+        return out
+
+    def run(self, *, trace_sink=None, probe=None):
+        """Execute once and return
+        :class:`~repro.analysis.metrics.RunMetrics` -- exactly what
+        the equivalent ``run_consensus`` call returns (the A/B tests
+        pin byte-identical traces)."""
+        from .analysis.runner import run_consensus
+        return run_consensus(max_events=self.max_events,
+                             max_time=self.max_time,
+                             trace_level=self.trace_level,
+                             trace_sink=trace_sink, probe=probe,
+                             **self.run_kwargs())
+
+    def simulate(self, *, trace_sink=None):
+        """Execute once and return the raw run result (with trace)."""
+        return self.resolve().simulate(trace_sink=trace_sink)
+
+    def display_label(self) -> str:
+        return self.label if self.label else self.topology.describe()
+
+    # -- derivation ------------------------------------------------------
+    def override(self, changes: Optional[Mapping[str, Any]] = None,
+                 **kw: Any) -> "Scenario":
+        """A copy with dotted-path overrides applied.
+
+        Paths address scenario fields and spec params:
+        ``{"seed": 3, "topology.n": 16, "scheduler.inner.f_ack": 2.0}``.
+        Keyword form uses ``__`` for dots: ``override(topology__n=16)``.
+        """
+        merged: Dict[str, Any] = {}
+        if changes:
+            merged.update(changes)
+        for key, value in kw.items():
+            merged[key.replace("__", ".")] = value
+        scenario = self
+        for path, value in merged.items():
+            scenario = scenario._apply(path, value)
+        return scenario
+
+    def _apply(self, path: str, value: Any) -> "Scenario":
+        head, _, rest = path.partition(".")
+        if head not in _SCENARIO_FIELDS:
+            raise ScenarioError(
+                f"unknown scenario field {head!r} in override path "
+                f"{path!r}; fields: {', '.join(sorted(_SCENARIO_FIELDS))}")
+        if not rest:
+            return replace(self, **{head: value})
+        current = getattr(self, head)
+        if not isinstance(current, Spec):
+            raise ScenarioError(
+                f"override path {path!r} descends into {head!r}, which "
+                f"is not a spec (it is {current!r})")
+        return replace(self, **{head: _spec_apply(current, rest, value)})
+
+    def grid(self, axes: Optional[Mapping[str, Any]] = None,
+             **kw: Any) -> "ScenarioGrid":
+        """A declarative sweep grid over dotted-path axes.
+
+        ``grid({"topology.n": [8, 16], "seed": range(5)})`` (or
+        ``grid(topology__n=[8, 16], seed=range(5))``) is the cartesian
+        product, one derived scenario per cell. Keys are structured
+        sweep keys: ``(x, seed)``-style tuples in axis declaration
+        order (a single axis keeps plain scalar keys), feeding
+        :func:`~repro.analysis.sweeps.parallel_sweep` directly.
+        """
+        ordered: Dict[str, List[Any]] = {}
+        if axes:
+            for key, vals in axes.items():
+                ordered[key] = list(vals)
+        for key, vals in kw.items():
+            ordered[key.replace("__", ".")] = list(vals)
+        return ScenarioGrid(self, ordered)
+
+    # -- serialization ---------------------------------------------------
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "schema": "scenario/v1",
+            "algorithm": self.algorithm.to_dict(),
+            "topology": self.topology.to_dict(),
+            "scheduler": self.scheduler.to_dict(),
+            "fault": self.fault.to_dict() if self.fault else None,
+            "overlay": self.overlay.to_dict() if self.overlay else None,
+            "values": self.values,
+            "seed": self.seed,
+            "trace_level": self.trace_level,
+            "max_events": self.max_events,
+            "max_time": self.max_time,
+            "check_invariants": self.check_invariants,
+            "label": self.label,
+        }
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "Scenario":
+        if not isinstance(data, Mapping):
+            raise ScenarioError(f"not a scenario dict: {data!r}")
+        for required in ("algorithm", "topology"):
+            if not data.get(required):
+                raise ScenarioError(
+                    f"scenario dict is missing {required!r}")
+
+        def opt(spec_cls, key):
+            raw = data.get(key)
+            return spec_cls.from_dict(raw) if raw else None
+
+        defaults = cls.__dataclass_fields__
+        return cls(
+            algorithm=AlgorithmSpec.from_dict(data["algorithm"]),
+            topology=TopologySpec.from_dict(data["topology"]),
+            scheduler=(SchedulerSpec.from_dict(data["scheduler"])
+                       if data.get("scheduler")
+                       else SchedulerSpec("synchronous")),
+            fault=opt(FaultSpec, "fault"),
+            overlay=opt(OverlaySpec, "overlay"),
+            values=data.get("values", "alternating"),
+            seed=int(data.get("seed", 0)),
+            trace_level=data.get("trace_level", "full"),
+            max_events=int(data.get(
+                "max_events", defaults["max_events"].default)),
+            max_time=(None if data.get("max_time") is None
+                      else float(data["max_time"])),
+            check_invariants=bool(data.get("check_invariants", True)),
+            label=data.get("label"),
+        )
+
+    def to_json(self, *, indent: Optional[int] = 2) -> str:
+        return json.dumps(self.to_dict(), indent=indent)
+
+    @classmethod
+    def from_json(cls, text: str) -> "Scenario":
+        try:
+            data = json.loads(text)
+        except json.JSONDecodeError as exc:
+            raise ScenarioError(f"invalid scenario JSON: {exc}") from None
+        return cls.from_dict(data)
+
+    @classmethod
+    def from_file(cls, path: str) -> "Scenario":
+        with open(path, encoding="utf-8") as handle:
+            return cls.from_json(handle.read())
+
+    def dump(self, path: str) -> None:
+        with open(path, "w", encoding="utf-8") as handle:
+            handle.write(self.to_json())
+            handle.write("\n")
+
+
+_SCENARIO_FIELDS = {f.name for f in fields(Scenario)}
+
+
+def _spec_apply(spec: Spec, path: str, value: Any) -> Spec:
+    head, _, rest = path.partition(".")
+    if not rest:
+        return spec.with_params(**{head: value})
+    nested = spec.params.get(head)
+    if not isinstance(nested, Spec):
+        raise ScenarioError(
+            f"override path descends into param {head!r} of "
+            f"{spec.describe()}, which is not a spec")
+    return spec.with_params(**{head: _spec_apply(nested, rest, value)})
+
+
+class ScenarioGrid:
+    """The cartesian product of dotted-path axes over a base scenario.
+
+    Feeds :func:`~repro.analysis.sweeps.sweep` /
+    :func:`~repro.analysis.sweeps.parallel_sweep` with structured
+    keys: each cell's key is the tuple of its axis values in
+    declaration order (plain scalars for single-axis grids), so
+    seed-replicated grids produce the classic ``(x, seed)`` keys and
+    :meth:`~repro.analysis.sweeps.SweepResult.by_x` regroups them.
+    """
+
+    def __init__(self, base: Scenario,
+                 axes: Mapping[str, List[Any]]) -> None:
+        if not axes:
+            raise ScenarioError("grid needs at least one axis")
+        for path, values in axes.items():
+            if not values:
+                raise ScenarioError(f"grid axis {path!r} is empty")
+        self.base = base
+        self.axes: Dict[str, List[Any]] = {k: list(v)
+                                           for k, v in axes.items()}
+        self._single = len(self.axes) == 1
+        self._keys: Optional[List[Any]] = None
+        self._index: Optional[Dict[Any, int]] = None
+
+    def keys(self) -> List[Any]:
+        """Structured sweep keys, one per grid cell."""
+        if self._keys is None:
+            if self._single:
+                (values,) = self.axes.values()
+                self._keys = list(values)
+            else:
+                self._keys = [tuple(combo) for combo in
+                              itertools.product(*self.axes.values())]
+        return list(self._keys)
+
+    def _key_index(self, key: Any) -> int:
+        if self._index is None:
+            index: Dict[Any, int] = {}
+            for i, k in enumerate(self.keys()):
+                index.setdefault(_freeze(k), i)
+            self._index = index
+        return self._index[_freeze(key)]
+
+    def scenario_at(self, key: Any) -> Scenario:
+        """The derived scenario for one sweep key."""
+        combo = (key,) if self._single else tuple(key)
+        if len(combo) != len(self.axes):
+            raise ScenarioError(
+                f"key {key!r} does not match grid axes "
+                f"{list(self.axes)}")
+        return self.base.override(dict(zip(self.axes, combo)))
+
+    def scenarios(self) -> List[Scenario]:
+        return [self.scenario_at(key) for key in self.keys()]
+
+    def __len__(self) -> int:
+        total = 1
+        for values in self.axes.values():
+            total *= len(values)
+        return total
+
+    def __iter__(self) -> Iterator[Scenario]:
+        return iter(self.scenarios())
+
+    def _point_kwargs(self, key: Any) -> Dict[str, Any]:
+        """Sweep ``build(key)`` hook: the run kwargs for one cell."""
+        kwargs = self.scenario_at(key).run_kwargs()
+        kwargs.pop("algorithm")   # sweep passes its own name
+        from .analysis.sweeps import _scalar_axis
+        try:
+            _scalar_axis(key)
+        except ValueError:
+            # Non-numeric axis (e.g. sweeping whole fault specs):
+            # the cell's position is the plotting axis.
+            kwargs["x"] = float(self._key_index(key))
+        return kwargs
+
+    def run(self, *, name: Optional[str] = None, parallel: bool = True,
+            workers: Optional[int] = None):
+        """Execute the whole grid and return a
+        :class:`~repro.analysis.sweeps.SweepResult`.
+
+        ``parallel=True`` (default) fans cells out over
+        :func:`~repro.analysis.sweeps.parallel_sweep` workers; results
+        are byte-identical to the sequential path either way.
+        """
+        from .analysis.sweeps import parallel_sweep, sweep
+        base = self.base
+        label = name or base.algorithm.name
+        if parallel:
+            return parallel_sweep(
+                label, self.keys(), self._point_kwargs,
+                max_events=base.max_events, max_time=base.max_time,
+                trace_level=base.trace_level, workers=workers)
+        return sweep(label, self.keys(), self._point_kwargs,
+                     max_events=base.max_events, max_time=base.max_time,
+                     trace_level=base.trace_level)
+
+
+# ---------------------------------------------------------------------------
+# Topology string shorthands (the CLI syntax)
+# ---------------------------------------------------------------------------
+
+#: ``name:args`` shorthand parsers for the historical CLI syntax.
+_TOPOLOGY_SHORTHANDS: Dict[str, Callable[[str], Dict[str, Any]]] = {}
+
+
+def _shorthand(name):
+    def _decorate(fn):
+        _TOPOLOGY_SHORTHANDS[name] = fn
+        return fn
+    return _decorate
+
+
+@_shorthand("grid")
+def _sh_grid(args: str) -> Dict[str, Any]:
+    rows, _, cols = (args or "4x4").partition("x")
+    return {"rows": int(rows), "cols": int(cols)}
+
+
+@_shorthand("torus")
+def _sh_torus(args: str) -> Dict[str, Any]:
+    rows, _, cols = (args or "4x4").partition("x")
+    return {"rows": int(rows), "cols": int(cols)}
+
+
+@_shorthand("star-of-cliques")
+def _sh_soc(args: str) -> Dict[str, Any]:
+    arms, _, size = (args or "4x6").partition("x")
+    return {"arms": int(arms), "size": int(size)}
+
+
+@_shorthand("tree")
+def _sh_tree(args: str) -> Dict[str, Any]:
+    branching, _, depth = (args or "2x3").partition("x")
+    return {"branching": int(branching), "depth": int(depth)}
+
+
+@_shorthand("barbell")
+def _sh_barbell(args: str) -> Dict[str, Any]:
+    size, _, path = (args or "4x2").partition("x")
+    return {"clique_size": int(size), "path_length": int(path)}
+
+
+@_shorthand("random")
+def _sh_random(args: str) -> Dict[str, Any]:
+    n, _, seed = (args or "16").partition(":")
+    out: Dict[str, Any] = {"n": int(n)}
+    if seed:
+        out["seed"] = int(seed)
+    return out
+
+
+@_shorthand("geometric")
+def _sh_geometric(args: str) -> Dict[str, Any]:
+    n, _, seed = (args or "24").partition(":")
+    out: Dict[str, Any] = {"n": int(n)}
+    if seed:
+        out["seed"] = int(seed)
+    return out
+
+
+def parse_topology_spec(text: str) -> TopologySpec:
+    """Parse ``name[:args]`` topology shorthands into a spec.
+
+    Known shapes keep their historical syntax (``grid:4x6``,
+    ``random:16:3``); any registered name additionally accepts
+    ``name``, ``name:<first-param>`` or ``name:k=v,k=v`` -- so a
+    topology registered by user code is immediately addressable from
+    the CLI. Unknown names raise :class:`UnknownNameError` listing
+    the live registry.
+    """
+    name, _, args = text.partition(":")
+    builder = TOPOLOGIES.get(name)   # raises UnknownNameError
+    if "=" in args:
+        params: Dict[str, Any] = {}
+        for pair in args.split(","):
+            key, eq, raw = pair.partition("=")
+            if not eq:
+                raise ScenarioError(
+                    f"bad topology param {pair!r} in {text!r} "
+                    f"(expected k=v)")
+            params[key.strip()] = _literal(raw.strip())
+        return TopologySpec(name, **params)
+    shorthand = _TOPOLOGY_SHORTHANDS.get(name)
+    if shorthand is not None:
+        return TopologySpec(name, **shorthand(args))
+    if not args:
+        return TopologySpec(name)
+    # Bare positional shorthand: value binds the builder's first param.
+    first = next(iter(inspect.signature(builder).parameters), None)
+    if first is None:
+        raise ScenarioError(
+            f"topology {name!r} takes no parameters, got {args!r}")
+    return TopologySpec(name, **{first: _literal(args)})
+
+
+def _literal(raw: str) -> Any:
+    lowered = raw.lower()
+    if lowered in ("true", "false"):
+        return lowered == "true"
+    if lowered in ("none", "null"):
+        return None
+    try:
+        return int(raw)
+    except ValueError:
+        pass
+    try:
+        return float(raw)
+    except ValueError:
+        pass
+    return raw
+
+
+# ===========================================================================
+# Built-in catalogue
+# ===========================================================================
+# These registrations subsume the string tables the CLI, runner and
+# experiment drivers used to duplicate. Parameter names and defaults
+# deliberately mirror the legacy factories so scenarios resolve to
+# byte-identical executions (pinned by tests/test_scenario.py).
+
+from .core import (BenOrConsensus, ByzantineConsensus,  # noqa: E402
+                   GatherAllConsensus, PaxosFloodNode, TwoPhaseConsensus,
+                   WPaxosConfig, WPaxosNode, max_tolerance)
+from .macsim.crash import CrashPlan, crash_plan  # noqa: E402
+from .macsim.faults import (ByzantineFaultModel, ByzantinePlan,  # noqa: E402
+                            CorruptStrategy, CrashFaultModel,
+                            EquivocateStrategy, OmissionFaultModel,
+                            OmissionPlan, SilentStrategy)
+from .macsim.schedulers import (AdversarialUnreliableScheduler,  # noqa: E402
+                                BernoulliUnreliableScheduler,
+                                EagerDeliveryScheduler,
+                                JitteredRoundScheduler, MaxDelayScheduler,
+                                RandomDelayScheduler, StaggeredScheduler,
+                                SynchronousScheduler)
+from .topology import standard as _topo  # noqa: E402
+
+#: Byzantine strategy names accepted by the ``byzantine`` fault model
+#: (and the CLI's ``--byz-strategy``).
+BYZANTINE_STRATEGIES = {
+    "silent": SilentStrategy,
+    "corrupt": CorruptStrategy,
+    "equivocate": EquivocateStrategy,
+}
+
+
+def _uid_map(graph, base: int = 1) -> Dict[Any, int]:
+    """Canonical-order uids (``index + base``), the legacy CLI rule."""
+    return {v: i + base for i, v in enumerate(graph.nodes)}
+
+
+def _require_single_hop(graph, algorithm: str) -> None:
+    if graph.diameter() > 1:
+        raise ScenarioError(
+            f"{algorithm} requires a single hop (clique) topology")
+
+
+def _tail_nodes(graph, count: int, nodes, kind: str) -> List[Any]:
+    """Fault targets: explicit labels, or the last ``count`` nodes of
+    the canonical order (the legacy CLI rule)."""
+    if nodes is not None:
+        labels = list(nodes)
+        for label in labels:
+            if not graph.has_node(label):
+                raise ScenarioError(
+                    f"{kind} fault model names unknown node {label!r}")
+        return labels
+    if count < 0:
+        raise ScenarioError(f"{kind} count must be non-negative")
+    if count >= graph.n:
+        raise ScenarioError(
+            f"{kind} fault model must leave at least one correct node "
+            f"(count={count}, n={graph.n})")
+    return list(graph.nodes)[-count:] if count else []
+
+
+# -- topologies -------------------------------------------------------------
+
+@register_topology("clique")
+def _t_clique(n: int = 8):
+    """Complete graph (single hop)."""
+    return _topo.clique(n)
+
+
+@register_topology("line")
+def _t_line(n: int = 8):
+    """Path graph; diameter n-1 (the worst-case multihop shape)."""
+    return _topo.line(n)
+
+
+@register_topology("ring")
+def _t_ring(n: int = 8):
+    """Cycle graph."""
+    return _topo.ring(n)
+
+
+@register_topology("star")
+def _t_star(n: int = 8):
+    """Hub-and-leaves bottleneck."""
+    return _topo.star(n)
+
+
+@register_topology("grid")
+def _t_grid(rows: int = 4, cols: int = 4):
+    """rows x cols mesh."""
+    return _topo.grid(rows, cols)
+
+
+@register_topology("torus")
+def _t_torus(rows: int = 4, cols: int = 4):
+    """Wrap-around mesh."""
+    return _topo.torus(rows, cols)
+
+
+@register_topology("tree")
+def _t_tree(branching: int = 2, depth: int = 3):
+    """Complete branching-ary tree."""
+    return _topo.balanced_tree(branching, depth)
+
+
+@register_topology("barbell")
+def _t_barbell(clique_size: int = 4, path_length: int = 2):
+    """Two cliques joined by a path."""
+    return _topo.barbell(clique_size, path_length)
+
+
+@register_topology("star-of-cliques")
+def _t_star_of_cliques(arms: int = 4, size: int = 6):
+    """Hub joined to arms cliques (the aggregation stress shape)."""
+    return _topo.star_of_cliques(arms, size)
+
+
+@register_topology("random")
+def _t_random(n: int = 16, density: float = 0.1, seed: int = 0):
+    """Random connected graph: spanning tree + G(n, density) edges."""
+    return _topo.random_connected(n, density, seed=seed)
+
+
+@register_topology("geometric")
+def _t_geometric(n: int = 24, radius: float = 0.3, seed: int = 0):
+    """Random geometric graph on the unit square, stitched connected."""
+    return _topo.random_geometric(n, radius, seed=seed)
+
+
+# -- schedulers -------------------------------------------------------------
+
+@register_scheduler("synchronous")
+def _s_synchronous(f_ack: float = 1.0):
+    """Lock-step rounds of length f_ack."""
+    return SynchronousScheduler(f_ack)
+
+
+@register_scheduler("random")
+def _s_random(f_ack: float = 1.0, seed: Optional[int] = None,
+              min_fraction: float = 0.0):
+    """Uniformly random delivery/ack delays within f_ack."""
+    return RandomDelayScheduler(f_ack, seed=seed,
+                                min_fraction=min_fraction)
+
+
+@register_scheduler("max-delay")
+def _s_max_delay(f_ack: float = 1.0):
+    """Adversarial: every delivery and ack at the last legal moment."""
+    return MaxDelayScheduler(f_ack)
+
+
+@register_scheduler("jittered")
+def _s_jittered(round_length: float = 1.0, jitter: float = 0.25,
+                seed: Optional[int] = None):
+    """TDMA-like rounds with bounded per-delivery jitter."""
+    return JitteredRoundScheduler(round_length, jitter, seed=seed)
+
+
+@register_scheduler("staggered")
+def _s_staggered(step: float = 1.0, max_degree: int = 64,
+                 reverse: bool = False):
+    """Serialized one-at-a-time deliveries (FLP-style orderings)."""
+    return StaggeredScheduler(step, max_degree=max_degree,
+                              reverse=reverse)
+
+
+@register_scheduler("eager")
+def _s_eager(f_prog: float = 0.5, f_ack: float = 1.0,
+             seed: Optional[int] = None, worst_case_acks: bool = True):
+    """Fast deliveries (F_prog) under a slack ack bound (F_ack)."""
+    return EagerDeliveryScheduler(f_prog, f_ack, seed=seed,
+                                  worst_case_acks=worst_case_acks)
+
+
+@register_scheduler("bernoulli-unreliable")
+def _s_bernoulli(p: float = 0.5, seed: Optional[int] = None,
+                 inner=None):
+    """Dual-graph wrapper: each unreliable link delivers w.p. p."""
+    return BernoulliUnreliableScheduler(
+        inner if inner is not None else SynchronousScheduler(1.0),
+        p, seed=seed)
+
+
+@register_scheduler("adversarial-unreliable")
+def _s_adversarial_unreliable(cutoff: float = 10.0, inner=None):
+    """Dual-graph wrapper: unreliable links die at the cutoff."""
+    return AdversarialUnreliableScheduler(
+        inner if inner is not None else SynchronousScheduler(1.0),
+        cutoff)
+
+
+# -- algorithms -------------------------------------------------------------
+
+@register_algorithm("two-phase")
+def _a_two_phase(graph, seed: int, uid_base: int = 1):
+    """Two-Phase Consensus (Theorem 4.1; single hop only)."""
+    _require_single_hop(graph, "two-phase")
+    uid = _uid_map(graph, uid_base)
+    return lambda label, value: TwoPhaseConsensus(uid[label], value)
+
+
+@register_algorithm("wpaxos")
+def _a_wpaxos(graph, seed: int, tree_priority: bool = True,
+              aggregation: bool = True, retry_policy: str = "paper",
+              attempts_per_change: int = 2):
+    """wPAXOS (Theorem 4.6; any connected topology)."""
+    uid = _uid_map(graph)
+    n = graph.n
+
+    def make(label, value):
+        config = WPaxosConfig(tree_priority=tree_priority,
+                              aggregation=aggregation,
+                              retry_policy=retry_policy,
+                              attempts_per_change=attempts_per_change)
+        return WPaxosNode(uid[label], value, n, config)
+    return make
+
+
+@register_algorithm("gatherall")
+def _a_gatherall(graph, seed: int):
+    """GatherAll baseline (O(n * F_ack), Section 4.2)."""
+    uid = _uid_map(graph)
+    n = graph.n
+    return lambda label, value: GatherAllConsensus(uid[label], value, n)
+
+
+@register_algorithm("flood-paxos")
+def _a_flood_paxos(graph, seed: int):
+    """Flooding-PAXOS baseline (O(n * F_ack), Section 4.2)."""
+    uid = _uid_map(graph)
+    n = graph.n
+    return lambda label, value: PaxosFloodNode(uid[label], value, n)
+
+
+@register_algorithm("ben-or")
+def _a_ben_or(graph, seed: int, f: Optional[int] = None,
+              seed_scale: int = 101, uid_seed_scale: int = 1):
+    """Ben-Or randomized consensus (single hop, crash minority)."""
+    _require_single_hop(graph, "ben-or")
+    uid = _uid_map(graph)
+    n = graph.n
+    tolerance = (n - 1) // 2 if f is None else f
+    return lambda label, value: BenOrConsensus(
+        uid[label], value, n, tolerance,
+        seed=seed * seed_scale + uid_seed_scale * uid[label])
+
+
+@register_algorithm("byzantine")
+def _a_byzantine(graph, seed: int, f: Optional[int] = None,
+                 relay: Optional[bool] = None, seed_scale: int = 101,
+                 uid_seed_scale: int = 1):
+    """Grading+amplification Byzantine consensus (n > 5f)."""
+    uid = _uid_map(graph)
+    n = graph.n
+    tolerance = max_tolerance(n) if f is None else f
+    use_relay = graph.diameter() > 1 if relay is None else relay
+    return lambda label, value: ByzantineConsensus(
+        uid[label], value, n, tolerance,
+        seed=seed * seed_scale + uid_seed_scale * uid[label],
+        relay=use_relay)
+
+
+# -- fault models -----------------------------------------------------------
+
+@register_fault_model("crash")
+def _f_crash(graph, seed: int, node=None, time: float = 1.0,
+             still_delivered=None, plans=None):
+    """Fail-stop: crash one node (or a ``plans`` list of dicts)."""
+    if plans is not None:
+        return CrashFaultModel([CrashPlan.from_dict(p) for p in plans])
+    if node is None:
+        raise ScenarioError("crash fault model needs node= or plans=")
+    if not graph.has_node(node):
+        raise ScenarioError(f"crash fault model: unknown node {node!r}")
+    return CrashFaultModel([crash_plan(node, float(time),
+                                       still_delivered)])
+
+
+@register_fault_model("omission")
+def _f_omission(graph, seed: int, count: int = 1, send: bool = True,
+                receive: bool = False, start: float = 0.0,
+                drop_rate: float = 1.0, nodes=None):
+    """Send/receive omission on the last ``count`` nodes."""
+    targets = _tail_nodes(graph, count, nodes, "omission")
+    return OmissionFaultModel([
+        OmissionPlan(node=v, send=send, receive=receive, start=start,
+                     drop_rate=drop_rate, seed=seed * 13 + i)
+        for i, v in enumerate(targets)])
+
+
+@register_fault_model("byzantine")
+def _f_byzantine(graph, seed: int, count: int = 1,
+                 strategy: str = "corrupt",
+                 budget: Optional[int] = None,
+                 plan_seed_scale: Optional[int] = None,
+                 strategy_value=None, nodes=None):
+    """Byzantine adversary on the last ``count`` nodes.
+
+    ``plan_seed_scale`` switches plan seeding from the CLI rule
+    (``seed * 13 + i``) to uid-proportional seeds
+    (``plan_seed_scale * uid``, the E12 construction).
+    """
+    try:
+        strategy_cls = BYZANTINE_STRATEGIES[strategy]
+    except KeyError:
+        raise UnknownNameError("byzantine strategy", strategy,
+                               sorted(BYZANTINE_STRATEGIES)) from None
+    targets = _tail_nodes(graph, count, nodes, "byzantine")
+    uid = _uid_map(graph)
+    plans = []
+    for i, v in enumerate(targets):
+        plan_seed = (plan_seed_scale * uid[v]
+                     if plan_seed_scale is not None else seed * 13 + i)
+        strat = (strategy_cls(strategy_value)
+                 if strategy == "corrupt" and strategy_value is not None
+                 else strategy_cls())
+        plans.append(ByzantinePlan(node=v, strategy=strat,
+                                   seed=plan_seed))
+    return ByzantineFaultModel(plans, budget=budget)
+
+
+# -- overlays ---------------------------------------------------------------
+
+@register_overlay("random-overlay")
+def _o_random_overlay(graph, density: float = 0.1,
+                      seed: Optional[int] = None):
+    """Random non-edges of the base graph as unreliable links."""
+    return _topo.unreliable_overlay(graph, density, seed=seed)
+
+
+# -- initial values ---------------------------------------------------------
+
+@register_values("alternating")
+def _v_alternating(graph):
+    """0/1/0/1... over the canonical node order (the default)."""
+    return {v: i % 2 for i, v in enumerate(graph.nodes)}
+
+
+@register_values("split")
+def _v_split(graph):
+    """First half 0, second half 1 (partition-argument inputs)."""
+    half = graph.n // 2
+    return {v: 0 if i < half else 1 for i, v in enumerate(graph.nodes)}
+
+
+@register_values("two-thirds-zeros")
+def _v_two_thirds_zeros(graph):
+    """Two-thirds zeros: clear but non-unanimous majority (E12)."""
+    nodes = list(graph.nodes)
+    cut = (2 * len(nodes)) // 3
+    return {v: 0 if i < cut else 1 for i, v in enumerate(nodes)}

@@ -171,3 +171,189 @@ class TestExperimentsMarkdown:
         assert code == 0
         out = capsys.readouterr().out
         assert "### E7" in out
+
+
+class TestRegistryCatalogues:
+    def test_list_algorithms(self, capsys):
+        assert main(["run", "--list-algorithms"]) == 0
+        out = capsys.readouterr().out
+        for name in ("two-phase", "wpaxos", "gatherall", "flood-paxos",
+                     "ben-or", "byzantine"):
+            assert name in out
+
+    def test_list_topologies_and_schedulers(self, capsys):
+        assert main(["run", "--list-topologies",
+                     "--list-schedulers"]) == 0
+        out = capsys.readouterr().out
+        for name in ("clique", "grid", "random", "geometric",
+                     "synchronous", "max-delay", "jittered"):
+            assert name in out
+
+    def test_unknown_names_list_the_registry(self):
+        import pytest as _pytest
+        with _pytest.raises(SystemExit) as err:
+            parse_topology("hypercube:4")
+        assert "registered:" in str(err.value)
+        assert "clique" in str(err.value)
+        with _pytest.raises(SystemExit) as err:
+            make_scheduler("quantum", 1.0, 0)
+        assert "registered:" in str(err.value)
+        assert "synchronous" in str(err.value)
+
+    def test_topology_kv_params(self):
+        dense = parse_topology("random:n=12,density=0.6,seed=1")
+        sparse = parse_topology("random:n=12,density=0.1,seed=1")
+        assert dense.n == sparse.n == 12
+        assert dense.edge_count > sparse.edge_count
+
+
+class TestScenarioFlags:
+    def test_dump_then_run_scenario(self, tmp_path, capsys):
+        path = str(tmp_path / "scenario.json")
+        assert main(["run", "--algorithm", "two-phase", "--topology",
+                     "clique:5", "--scheduler", "synchronous",
+                     "--seed", "3", "--dump-scenario", path]) == 0
+        capsys.readouterr()
+        from repro.scenario import Scenario
+        scenario = Scenario.from_file(path)
+        assert scenario.algorithm.name == "two-phase"
+        assert scenario.topology.params["n"] == 5
+        assert scenario.seed == 3
+        assert main(["run", "--scenario", path]) == 0
+        out = capsys.readouterr().out
+        assert "algorithm:      two-phase" in out
+        assert "agreement=True" in out
+
+    def test_dump_scenario_to_stdout(self, capsys):
+        assert main(["run", "--dump-scenario", "-"]) == 0
+        out = capsys.readouterr().out
+        assert '"schema": "scenario/v1"' in out
+        assert '"wpaxos"' in out
+
+    def test_scenario_flag_overrides(self, tmp_path, capsys):
+        path = str(tmp_path / "scenario.json")
+        assert main(["run", "--algorithm", "wpaxos", "--topology",
+                     "clique:4", "--scheduler", "synchronous",
+                     "--dump-scenario", path]) == 0
+        capsys.readouterr()
+        assert main(["run", "--scenario", path, "--seed", "9",
+                     "--topology", "line:5"]) == 0
+        out = capsys.readouterr().out
+        assert "topology:       line:5" in out
+
+    def test_cli_flags_equal_scenario_file(self, tmp_path, capsys):
+        """The same run through flags and through a scenario file
+        must produce identical output (shared resolution path)."""
+        argv = ["run", "--algorithm", "wpaxos", "--topology",
+                "grid:3x3", "--scheduler", "random", "--seed", "5"]
+        path = str(tmp_path / "scenario.json")
+        assert main(argv + ["--dump-scenario", path]) == 0
+        capsys.readouterr()
+        assert main(argv) == 0
+        direct = capsys.readouterr().out
+        assert main(["run", "--scenario", path]) == 0
+        via_file = capsys.readouterr().out
+        assert direct == via_file
+
+
+class TestReplayCommand:
+    def test_replay_verifies_byte_identity(self, tmp_path, capsys):
+        trace = str(tmp_path / "trace.json")
+        assert main(["run", "--algorithm", "wpaxos", "--topology",
+                     "clique:5", "--scheduler", "random", "--seed",
+                     "2", "--crash", "1@1.0", "--trace-out",
+                     trace]) == 0
+        capsys.readouterr()
+        assert main(["replay", trace]) == 0
+        out = capsys.readouterr().out
+        assert "replay matched" in out
+        assert "byte-identical" in out
+
+    def test_replay_detects_divergence(self, tmp_path, capsys):
+        import json
+        trace = str(tmp_path / "trace.json")
+        assert main(["run", "--algorithm", "wpaxos", "--topology",
+                     "clique:4", "--scheduler", "synchronous",
+                     "--trace-out", trace]) == 0
+        capsys.readouterr()
+        with open(trace) as fh:
+            lines = fh.readlines()
+        records = json.loads(lines[1])
+        records[0]["time"] += 0.5   # tamper
+        lines[1] = json.dumps(records) + "\n"
+        with open(trace, "w") as fh:
+            fh.writelines(lines)
+        assert main(["replay", trace]) == 1
+        assert "DIVERGED" in capsys.readouterr().out
+
+    def test_replay_without_scenario_errors(self, tmp_path):
+        import pytest as _pytest
+        from repro.analysis.export import save_trace
+        from repro.scenario import (AlgorithmSpec, Scenario,
+                                    TopologySpec)
+        result = Scenario(algorithm=AlgorithmSpec("wpaxos"),
+                          topology=TopologySpec("clique", n=4)
+                          ).simulate()
+        path = str(tmp_path / "bare.json")
+        save_trace(result.trace, path)
+        with _pytest.raises(SystemExit):
+            main(["replay", path])
+
+
+class TestReviewRegressions:
+    def test_bad_shorthand_is_a_usage_error(self):
+        with pytest.raises(SystemExit):
+            main(["run", "--topology", "grid:5"])
+
+    def test_f_ack_override_keeps_other_scheduler_params(self, tmp_path,
+                                                         capsys):
+        from repro.scenario import (AlgorithmSpec, Scenario,
+                                    SchedulerSpec, TopologySpec)
+        path = str(tmp_path / "s.json")
+        Scenario(algorithm=AlgorithmSpec("wpaxos"),
+                 topology=TopologySpec("clique", n=4),
+                 scheduler=SchedulerSpec("random", f_ack=4.0, seed=9,
+                                         min_fraction=0.5)).dump(path)
+        assert main(["run", "--scenario", path, "--f-ack", "2.0"]) == 0
+        out = capsys.readouterr().out
+        assert "f_ack=2.0" in out
+        assert "min_fraction=0.5" in out
+
+    def test_f_ack_on_knobless_scheduler_errors(self, tmp_path):
+        from repro.scenario import (AlgorithmSpec, Scenario,
+                                    SchedulerSpec, TopologySpec)
+        path = str(tmp_path / "s.json")
+        Scenario(algorithm=AlgorithmSpec("wpaxos"),
+                 topology=TopologySpec("clique", n=4),
+                 scheduler=SchedulerSpec(
+                     "bernoulli-unreliable", p=1.0,
+                     inner=SchedulerSpec("synchronous"))).dump(path)
+        with pytest.raises(SystemExit):
+            main(["run", "--scenario", path, "--f-ack", "2.0"])
+
+    def test_scheduler_switch_inherits_file_f_ack(self, tmp_path,
+                                                  capsys):
+        from repro.scenario import (AlgorithmSpec, Scenario,
+                                    SchedulerSpec, TopologySpec)
+        path = str(tmp_path / "s.json")
+        Scenario(algorithm=AlgorithmSpec("wpaxos"),
+                 topology=TopologySpec("clique", n=4),
+                 scheduler=SchedulerSpec("random", f_ack=4.0)).dump(path)
+        assert main(["run", "--scenario", path, "--scheduler",
+                     "max-delay"]) == 0
+        out = capsys.readouterr().out
+        assert "MaxDelayScheduler" in out
+        assert "f_ack=4.0" in out
+
+    def test_make_scheduler_without_f_ack_knob(self):
+        sched = make_scheduler("staggered", 2.0, 0)
+        assert type(sched).__name__ == "StaggeredScheduler"
+
+    def test_knobless_scheduler_from_plain_flags(self, capsys):
+        assert main(["run", "--algorithm", "two-phase", "--topology",
+                     "clique:5", "--scheduler", "staggered"]) == 0
+        assert "StaggeredScheduler" in capsys.readouterr().out
+        with pytest.raises(SystemExit):
+            main(["run", "--algorithm", "two-phase", "--topology",
+                  "clique:5", "--scheduler", "staggered", "--f-ack",
+                  "2.0"])

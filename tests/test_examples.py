@@ -53,3 +53,10 @@ class TestExamples:
         assert "termination violated: True" in out
         assert "agreement violated: True" in out
         assert "All three lower bounds reproduced." in out
+
+    def test_scenario_grid(self):
+        out = run_example("scenario_grid.py")
+        assert "round-trips losslessly: True" in out
+        assert "12 cells" in out
+        assert "(fault free)" in out
+        assert '"name": "wheel"' in out
