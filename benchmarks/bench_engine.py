@@ -41,6 +41,11 @@ try:  # engine >= PR 3
 except ImportError:  # earlier engines
     SpillSink = None
 
+try:  # engine >= PR 5
+    from repro.macsim.dynamics import EdgeChurn
+except ImportError:  # earlier engines
+    EdgeChurn = None
+
 try:  # analysis >= PR 1
     from repro.analysis import parallel_sweep
 except ImportError:  # seed engine
@@ -164,6 +169,21 @@ def run_wpaxos_clique(n: int = 32, trace_level=None) -> int:
     result = sim.run()
     assert result.stop_reason in ("all_decided", "quiescent_all_decided")
     return result.events_processed
+
+
+def run_churn_clique(n: int = 24, rounds: int = 40,
+                     rate: float = 0.1) -> int:
+    """The E13-shaped dynamic-topology workload: an echo flood on a
+    clique under per-epoch edge churn (spanning-tree floor). Measures
+    the cost of epoch application -- per-epoch graph rebuild, neighbor
+    recomputation, plan-pool invalidation, topo trace records -- on
+    top of the normal delivery path. Returns events processed."""
+    graph = clique(n)
+    sim = build_simulation(
+        graph, lambda v: _EchoProcess(v, rounds),
+        SynchronousScheduler(1.0),
+        dynamics=EdgeChurn(rate=rate, seed=7))
+    return sim.run().events_processed
 
 
 SWEEP_SIZES = (16, 24, 32, 40)

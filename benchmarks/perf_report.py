@@ -1,7 +1,7 @@
 """Before/after perf harness: ``python -m benchmarks.perf_report``.
 
 Runs the engine microbenchmarks (:mod:`benchmarks.bench_engine`) and
-writes a JSON report -- ``BENCH_PR3.json`` by default -- containing the
+writes a JSON report -- ``BENCH_PR5.json`` by default -- containing the
 median wall-clock time and rate (events/ops/queries per second) of
 each workload, alongside "before" numbers so every PR from PR 1 onward
 has a perf trajectory to regress against. The ``--check`` gate keeps
@@ -14,6 +14,11 @@ throughput workload (``spill_clique24``), and a one-shot
 ``spill_probe`` section recording the spill pipeline's peak Python-heap
 footprint during a run + invariant replay (the bounded-memory claim,
 in numbers).
+
+PR 5 addition: ``e13_churn``, the dynamic-topology workload -- an echo
+flood under per-epoch edge churn, measuring the cost of topology-epoch
+application on top of the delivery path (no seed counterpart; gated
+against its own trajectory from this report onward).
 
 "Before" numbers come from, in order of preference:
 
@@ -76,6 +81,10 @@ def _workloads() -> Dict[str, Tuple[Callable[[], int], str]]:
     if bench_engine.SpillSink is not None:
         workloads["spill_clique24"] = (
             lambda: bench_engine.run_spill_clique(24, 40), "events")
+    if bench_engine.EdgeChurn is not None:
+        workloads["e13_churn"] = (
+            lambda: bench_engine.run_churn_clique(24, 40, 0.1),
+            "events")
     return workloads
 
 
@@ -137,8 +146,8 @@ def main(argv=None) -> int:
     parser = argparse.ArgumentParser(
         prog="python -m benchmarks.perf_report",
         description="Engine microbenchmark report (before/after).")
-    parser.add_argument("--out", default="BENCH_PR3.json",
-                        help="output path (default: BENCH_PR3.json)")
+    parser.add_argument("--out", default="BENCH_PR5.json",
+                        help="output path (default: BENCH_PR5.json)")
     parser.add_argument("--repeats", type=int, default=None,
                         help="timings per workload (default 7; 3 smoke)")
     parser.add_argument("--smoke", action="store_true",
@@ -221,7 +230,7 @@ def main(argv=None) -> int:
         spill_probe = bench_engine.run_spill_probe(24, probe_rounds)
 
     report = {
-        "pr": 3,
+        "pr": 5,
         "notes": {
             "wpaxos_clique32": "full-trace engine vs full-trace seed "
                                "(like-for-like; trace byte-identical)",
@@ -249,6 +258,12 @@ def main(argv=None) -> int:
                            "run + streaming invariant replay under "
                            "tracemalloc; py_heap_peak_mb is the "
                            "bounded-memory claim in numbers",
+            "e13_churn": "the dense echo flood under per-epoch edge "
+                         "churn (spanning-tree floor): epoch "
+                         "application cost -- graph rebuild, neighbor "
+                         "recompute, plan-pool invalidation, topo "
+                         "records -- on top of the delivery path (no "
+                         "seed counterpart)",
         },
         "mode": "smoke" if args.smoke else "full",
         "repeats": repeats,

@@ -6,7 +6,7 @@ process's current footprint plus ``--headroom-mb``, then drives a
 full-level :class:`~repro.macsim.trace.SpillSink` run of at least
 ``--events`` events, streams the trace back through
 ``check_model_invariants``, collects metrics, and exports the trace
-with the streaming (schema v4) writer. If any stage's memory grew with
+with the streaming (schema v5) writer. If any stage's memory grew with
 the trace instead of the chunk size, the allocation fails and the
 smoke exits non-zero -- the ceiling is enforced by the kernel, not by
 sampling.
@@ -142,7 +142,7 @@ def main(argv=None) -> int:
         save_trace(sink, export_path,
                    metadata={"smoke": True, "events": args.events})
         export_mb = os.path.getsize(export_path) / 1e6
-        print(f"export: {export_mb:,.1f} MB (streamed, schema v4)")
+        print(f"export: {export_mb:,.1f} MB (streamed, schema v5)")
 
     peak_mb = resource.getrusage(resource.RUSAGE_SELF).ru_maxrss / 1024
     print(json.dumps({

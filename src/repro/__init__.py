@@ -25,9 +25,12 @@ See README.md for the architecture tour and DESIGN.md / EXPERIMENTS.md
 for the reproduction methodology and measured results.
 """
 
-from .macsim import (CrashPlan, Process, RunResult, Simulator,
+from .macsim import (CrashPlan, EdgeChurn, NodeChurn, Process,
+                     RandomWaypoint, RunResult, ScriptedDynamics,
+                     Simulator, TopologyDelta, TopologyDynamics,
                      build_simulation, check_consensus,
-                     check_model_invariants, crash_plan)
+                     check_model_invariants, connectivity_report,
+                     crash_plan)
 from .macsim.schedulers import (AdversarialUnreliableScheduler,
                                 BernoulliUnreliableScheduler,
                                 JitteredRoundScheduler,
@@ -44,12 +47,13 @@ from .core import (AnonymousMinFlood, BenOrConsensus,
                    ConsensusProcess, GatherAllConsensus,
                    NoSizeMinIdFlood, PaxosFloodNode, SafetyMonitor,
                    TwoPhaseConsensus, WPaxosConfig, WPaxosNode)
-from .registry import (register_algorithm, register_fault_model,
-                       register_overlay, register_scheduler,
-                       register_topology, register_values)
-from .scenario import (AlgorithmSpec, FaultSpec, OverlaySpec, Scenario,
-                       ScenarioError, ScenarioGrid, SchedulerSpec,
-                       TopologySpec)
+from .registry import (register_algorithm, register_dynamics,
+                       register_fault_model, register_overlay,
+                       register_scheduler, register_topology,
+                       register_values)
+from .scenario import (AlgorithmSpec, DynamicsSpec, FaultSpec,
+                       OverlaySpec, Scenario, ScenarioError,
+                       ScenarioGrid, SchedulerSpec, TopologySpec)
 
 __version__ = "1.0.0"
 
@@ -103,6 +107,14 @@ __all__ = [
     "AnonymousMinFlood",
     "NoSizeMinIdFlood",
     "BenOrConsensus",
+    # dynamics
+    "TopologyDynamics",
+    "TopologyDelta",
+    "EdgeChurn",
+    "NodeChurn",
+    "RandomWaypoint",
+    "ScriptedDynamics",
+    "connectivity_report",
     # scenarios
     "Scenario",
     "ScenarioError",
@@ -112,10 +124,12 @@ __all__ = [
     "SchedulerSpec",
     "FaultSpec",
     "OverlaySpec",
+    "DynamicsSpec",
     "register_algorithm",
     "register_topology",
     "register_scheduler",
     "register_fault_model",
+    "register_dynamics",
     "register_overlay",
     "register_values",
 ]

@@ -7,7 +7,7 @@ are stored as ``repr`` strings: traces round-trip structurally
 (times, kinds, nodes, broadcast ids) with payloads preserved for
 human inspection rather than re-execution.
 
-Streaming (schema v4)
+Streaming (schema v5)
 ---------------------
 :func:`save_trace` writes a JSON-Lines document: a header line
 (schema / metadata / crash scenario / embedded
@@ -42,10 +42,13 @@ from ..macsim.crash import CrashPlan
 from ..macsim.trace import Trace, TraceRecord, TraceSink
 
 #: Schema version stamped into streamed (JSONL) file exports.
-#: v4 adds the embedded :class:`~repro.scenario.Scenario` (the full
+#: v4 added the embedded :class:`~repro.scenario.Scenario` (the full
 #: declarative run description, so a trace file can rebuild and
-#: re-execute the exact run); v1-v3 files still load.
-SCHEMA_VERSION = 4
+#: re-execute the exact run); v5 extends the embedded scenario with
+#: the optional ``dynamics`` spec and the record stream with
+#: JSON-lossless ``topo`` records, so dynamic-topology runs replay
+#: byte-identically too. v1-v4 files still load.
+SCHEMA_VERSION = 5
 
 #: Schema of the single-document layout (:func:`trace_to_json`).
 INLINE_SCHEMA_VERSION = 2
@@ -141,7 +144,7 @@ def save_trace(trace: TraceSink, path: str, *,
                crashes: Iterable[CrashPlan] = (),
                scenario=None,
                chunk_records: int = EXPORT_CHUNK_RECORDS) -> None:
-    """Write a streamed (schema v4) trace export.
+    """Write a streamed (schema v5) trace export.
 
     Records are written ``chunk_records`` at a time straight off the
     sink's iterator: peak memory is O(chunk) regardless of trace

@@ -36,6 +36,7 @@ def run_consensus(*, algorithm: str, topology: str, graph, scheduler,
                   fault_model=None,
                   crashes: Iterable[CrashPlan] = (),
                   unreliable_graph=None,
+                  dynamics=None,
                   trace_level: "TraceLevel | str" = TraceLevel.FULL,
                   trace_sink: Optional[TraceSink] = None,
                   probe: Optional[Callable[[Any], Dict[str, Any]]] = None
@@ -63,6 +64,14 @@ def run_consensus(*, algorithm: str, topology: str, graph, scheduler,
     *not* treated as faulty for validity); the two are mutually
     exclusive. ``unreliable_graph`` runs the dual-graph model variant.
 
+    ``dynamics`` is an optional
+    :class:`~repro.macsim.dynamics.base.TopologyDynamics` model: the
+    run executes over a time-varying graph, invariants audit
+    deliveries against the graph as of each broadcast (from the
+    trace's ``topo`` records), and a ``connectivity`` probe -- epoch
+    count, connected fraction, T-interval connectivity -- lands in
+    :attr:`RunMetrics.extras` automatically.
+
     ``trace_level``/``trace_sink`` select the trace sink (see
     :mod:`repro.macsim.trace`): invariant replay needs a replayable
     sink (FULL or SPILL), so invariant checking is skipped
@@ -84,6 +93,7 @@ def run_consensus(*, algorithm: str, topology: str, graph, scheduler,
                            scheduler, fault_model=fault_model,
                            crashes=crashes,
                            unreliable_graph=unreliable_graph,
+                           dynamics=dynamics,
                            trace_level=trace_level,
                            trace_sink=trace_sink)
     result = sim.run(max_events=max_events, max_time=max_time)
@@ -98,6 +108,10 @@ def run_consensus(*, algorithm: str, topology: str, graph, scheduler,
                 f"{algorithm} on {topology}: " + "; ".join(
                     report.violations[:5]))
     extras = probe(sim) if probe is not None else None
+    if dynamics is not None:
+        from ..macsim.dynamics import connectivity_report
+        extras = dict(extras or {})
+        extras["connectivity"] = connectivity_report(graph, sink)
     return collect_metrics(algorithm=algorithm, topology=topology,
                            graph=graph, scheduler=scheduler,
                            result=result, initial_values=values,

@@ -12,7 +12,7 @@ Four subcommands::
 ``run`` executes one consensus instance and prints its metrics; every
 flag combination is internally a :class:`repro.scenario.Scenario`, so
 ``--dump-scenario`` prints the equivalent JSON description and
-``--scenario`` executes one from a file. Exported traces (schema v4)
+``--scenario`` executes one from a file. Exported traces (schema v5)
 embed the scenario, and ``replay`` re-executes a saved trace's
 embedded scenario and verifies the records match byte for byte.
 ``--list-algorithms`` / ``--list-topologies`` / ``--list-schedulers``
@@ -33,11 +33,12 @@ from .analysis.export import (iter_saved_records, iter_trace_dicts,
                               load_scenario, record_to_dict, save_trace)
 from .analysis.metrics import collect_metrics
 from .macsim import check_consensus
-from .registry import (ALGORITHMS, SCHEDULERS, TOPOLOGIES,
+from .registry import (ALGORITHMS, DYNAMICS, SCHEDULERS, TOPOLOGIES,
                        UnknownNameError)
 from .scenario import (BYZANTINE_STRATEGIES, AlgorithmSpec, FaultSpec,
                        Scenario, ScenarioError, SchedulerSpec,
-                       TopologySpec, parse_topology_spec)
+                       TopologySpec, parse_dynamics_spec,
+                       parse_topology_spec)
 
 #: Flag defaults, applied after ``--scenario`` merging so an explicit
 #: flag overrides the scenario file while an omitted one defers to it.
@@ -156,6 +157,9 @@ def _scenario_from_args(args: argparse.Namespace) -> Scenario:
         fault = _fault_spec_from_args(args)
         if fault is not None:
             base = base.override({"fault": fault})
+        if args.dynamics is not None:
+            base = base.override(
+                {"dynamics": parse_dynamics_spec(args.dynamics)})
         return base
 
     algorithm = args.algorithm or RUN_DEFAULTS["algorithm"]
@@ -177,6 +181,8 @@ def _scenario_from_args(args: argparse.Namespace) -> Scenario:
         topology=parse_topology_spec(topology),
         scheduler=scheduler_spec,
         fault=_fault_spec_from_args(args),
+        dynamics=(parse_dynamics_spec(args.dynamics)
+                  if args.dynamics else None),
         seed=seed,
         trace_level=trace_level,
         max_time=args.max_time,
@@ -196,7 +202,8 @@ def cmd_run(args: argparse.Namespace) -> int:
     for flag, title, registry in (
             (args.list_algorithms, "algorithms", ALGORITHMS),
             (args.list_topologies, "topologies", TOPOLOGIES),
-            (args.list_schedulers, "schedulers", SCHEDULERS)):
+            (args.list_schedulers, "schedulers", SCHEDULERS),
+            (args.list_dynamics, "dynamics", DYNAMICS)):
         if flag:
             _print_catalogue(title, registry)
             listed = True
@@ -248,6 +255,13 @@ def cmd_run(args: argparse.Namespace) -> int:
     if fault_model is not None:
         print(f"fault model:    {fault_model.describe()} "
               f"(faulty: {sorted(map(str, faulty))})")
+    if resolved.dynamics is not None:
+        from .macsim.dynamics import connectivity_report
+        conn = connectivity_report(graph, result.trace)
+        print(f"dynamics:       {resolved.dynamics.describe()} "
+              f"({conn['topologies']} topologies, "
+              f"{conn['topo_events']} topo events, "
+              f"T-interval connectivity {conn['max_t_interval']})")
     scope = " (among correct nodes)" if faulty else ""
     print(f"consensus:      agreement={report.agreement} "
           f"validity={report.validity} "
@@ -277,8 +291,8 @@ def cmd_replay(args: argparse.Namespace) -> int:
     scenario = load_scenario(args.trace)
     if scenario is None:
         raise SystemExit(
-            f"{args.trace}: no embedded scenario (only schema v4 "
-            f"exports written by this version can replay)")
+            f"{args.trace}: no embedded scenario (only schema v4+ "
+            f"exports embedding one can replay)")
     print(f"scenario:       {scenario.algorithm.name} on "
           f"{scenario.display_label()}, seed={scenario.seed}")
     result = scenario.simulate()
@@ -367,9 +381,18 @@ def build_parser() -> argparse.ArgumentParser:
                        help="list registered topologies and exit")
     run_p.add_argument("--list-schedulers", action="store_true",
                        help="list registered schedulers and exit")
+    run_p.add_argument("--list-dynamics", action="store_true",
+                       help="list registered dynamics models and exit")
+    run_p.add_argument("--dynamics", default=None,
+                       metavar="NAME[:K=V,...]",
+                       help="run over a time-varying topology, e.g. "
+                            "edge_churn:rate=0.05, "
+                            "node_churn:leave_rate=0.1, "
+                            "random_waypoint:radius=0.3,speed=0.1 "
+                            "(--list-dynamics for the catalogue)")
     run_p.add_argument("--trace-out", default=None,
                        help="write the execution trace as JSON "
-                            "(streamed chunks, schema v4 with the "
+                            "(streamed chunks, schema v5 with the "
                             "embedded scenario; see 'repro replay')")
     run_p.add_argument("--trace-level", default=None,
                        choices=("full", "decisions", "spill"),
@@ -397,7 +420,7 @@ def build_parser() -> argparse.ArgumentParser:
     replay_p = sub.add_parser(
         "replay", help="re-execute a saved trace's embedded scenario "
                        "and verify byte-identity")
-    replay_p.add_argument("trace", help="a schema-v4 trace export "
+    replay_p.add_argument("trace", help="a schema-v4+ trace export "
                                         "written by run --trace-out")
     replay_p.set_defaults(func=cmd_replay)
 

@@ -23,13 +23,16 @@ from .faults import (DROP, ByzantineFaultModel, ByzantinePlan,
                      ByzantineStrategy, CorruptStrategy, CrashFaultModel,
                      EquivocateStrategy, FaultModel, OmissionFaultModel,
                      OmissionPlan, SilentStrategy)
+from .dynamics import (EdgeChurn, NodeChurn, RandomWaypoint,
+                       ScriptedDynamics, TopologyDelta, TopologyDynamics,
+                       connectivity_report)
 from .invariants import (ConsensusReport, InvariantReport, check_consensus,
                          check_model_invariants)
 from .process import Process
 from .simulator import RunResult, Simulator, build_simulation
 from .trace import (DecisionsSink, IndexedMemorySink, SpillSink, Trace,
                     TraceLevel, TraceRecord, TraceSink, make_sink)
-from . import faults, schedulers
+from . import dynamics, faults, schedulers
 
 __all__ = [
     "CrashPlan",
@@ -68,4 +71,12 @@ __all__ = [
     "check_model_invariants",
     "check_consensus",
     "schedulers",
+    "dynamics",
+    "TopologyDynamics",
+    "TopologyDelta",
+    "EdgeChurn",
+    "NodeChurn",
+    "RandomWaypoint",
+    "ScriptedDynamics",
+    "connectivity_report",
 ]

@@ -1,0 +1,194 @@
+"""Churn models: seeded per-epoch edge and node arrival/departure.
+
+:class:`EdgeChurn` flips individual links up and down -- the "flaky
+radio" model -- while an optional *floor* (a protected edge set, by
+default a spanning tree of the initial graph) guarantees the network
+never partitions, mirroring the dual-graph idea of the unreliable-link
+model variant: a reliable core survives underneath a churning fringe.
+
+:class:`NodeChurn` models devices leaving and rejoining the network:
+a departed node keeps running but loses every link; on rejoin its
+base-graph links (to currently-present peers) come back and its
+process state is **reset** -- the rejoin-with-amnesia semantics of
+real churn.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Any, Optional, Set, Tuple
+
+from ..errors import ConfigurationError
+from .base import PeriodicDynamics, TopologyDelta, edge_key
+from ...topology.graphs import label_sort_key
+
+
+def _sorted_edges(edges) -> Tuple:
+    return tuple(sorted(edges, key=lambda e: (label_sort_key(e[0]),
+                                              label_sort_key(e[1]))))
+
+
+def spanning_tree_edges(graph) -> Set[Tuple[Any, Any]]:
+    """A deterministic BFS spanning forest of ``graph``, as canonical
+    edge tuples (one tree per connected component)."""
+    seen: Set[Any] = set()
+    edges: Set[Tuple[Any, Any]] = set()
+    for root in graph.nodes:
+        if root in seen:
+            continue
+        seen.add(root)
+        frontier = [root]
+        while frontier:
+            u = frontier.pop(0)
+            for v in graph.neighbors(u):
+                if v not in seen:
+                    seen.add(v)
+                    edges.add(edge_key(u, v))
+                    frontier.append(v)
+    return edges
+
+
+class EdgeChurn(PeriodicDynamics):
+    """Seeded per-epoch link add/remove churn with a protected floor.
+
+    Every ``epoch_length`` of simulated time, each *removable* present
+    edge goes down independently with probability ``rate`` and each
+    absent node pair comes up with probability ``add_rate`` (default:
+    ``rate``). Edges in the floor are never removed:
+
+    * ``floor="spanning-tree"`` (default) protects a BFS spanning tree
+      of the initial graph, so the network stays connected through any
+      churn -- the guaranteed-link core of the dual-graph model.
+    * ``floor="initial"`` protects every initial edge (pure growth
+      churn).
+    * ``floor="none"`` protects nothing; the graph may partition.
+
+    Deterministic for a fixed seed: candidate edges are visited in
+    canonical order each epoch.
+    """
+
+    name = "edge-churn"
+
+    def __init__(self, rate: float = 0.05,
+                 add_rate: Optional[float] = None,
+                 epoch_length: float = 1.0,
+                 floor: str = "spanning-tree",
+                 seed: Optional[int] = None) -> None:
+        super().__init__(epoch_length)
+        if not 0.0 <= rate <= 1.0:
+            raise ConfigurationError("churn rate must lie in [0, 1]")
+        if add_rate is not None and not 0.0 <= add_rate <= 1.0:
+            raise ConfigurationError("add_rate must lie in [0, 1]")
+        if floor not in ("spanning-tree", "initial", "none"):
+            raise ConfigurationError(
+                f"unknown floor {floor!r} (spanning-tree/initial/none)")
+        self.rate = float(rate)
+        self.add_rate = float(rate if add_rate is None else add_rate)
+        self.floor = floor
+        self._rng = random.Random(seed)
+        self._floor_edges: Set[Tuple[Any, Any]] = set()
+
+    def bind(self, sim) -> None:
+        graph = sim.graph
+        if self.floor == "spanning-tree":
+            self._floor_edges = spanning_tree_edges(graph)
+        elif self.floor == "initial":
+            self._floor_edges = set(graph.edges())
+
+    def advance(self, time: float, graph) -> Optional[TopologyDelta]:
+        rng = self._rng
+        removed = []
+        if self.rate > 0.0:
+            floor = self._floor_edges
+            for edge in graph.edges():
+                if edge in floor:
+                    continue
+                if rng.random() < self.rate:
+                    removed.append(edge)
+        added = []
+        if self.add_rate > 0.0:
+            nodes = graph.nodes
+            for i, u in enumerate(nodes):
+                for v in nodes[i + 1:]:
+                    if not graph.has_edge(u, v) \
+                            and rng.random() < self.add_rate:
+                        added.append((u, v))
+        if not removed and not added:
+            return None
+        return TopologyDelta(added=tuple(added), removed=tuple(removed))
+
+    def describe(self) -> str:
+        return (f"edge-churn(rate={self.rate}, "
+                f"add_rate={self.add_rate}, floor={self.floor})")
+
+
+class NodeChurn(PeriodicDynamics):
+    """Seeded node leave/join churn with state reset on rejoin.
+
+    Every epoch, each present (unprotected) node departs independently
+    with probability ``leave_rate`` -- its links all drop, though the
+    process keeps running in isolation -- and each absent node rejoins
+    with probability ``rejoin_rate``: its base-graph links to
+    currently-present peers return, and its process is rebuilt fresh
+    from the simulation's factory (``arrived`` reset semantics).
+
+    The first ``protect`` nodes of the canonical order never leave
+    (default 1, so the network always has an anchor).
+    """
+
+    name = "node-churn"
+
+    def __init__(self, leave_rate: float = 0.05,
+                 rejoin_rate: float = 0.5,
+                 epoch_length: float = 1.0,
+                 protect: int = 1,
+                 seed: Optional[int] = None) -> None:
+        super().__init__(epoch_length)
+        for label, value in (("leave_rate", leave_rate),
+                             ("rejoin_rate", rejoin_rate)):
+            if not 0.0 <= value <= 1.0:
+                raise ConfigurationError(f"{label} must lie in [0, 1]")
+        if protect < 1:
+            raise ConfigurationError(
+                "protect must keep at least one node present")
+        self.leave_rate = float(leave_rate)
+        self.rejoin_rate = float(rejoin_rate)
+        self.protect = int(protect)
+        self._rng = random.Random(seed)
+        self._away: Set[Any] = set()
+        self._base_edges: Set[Tuple[Any, Any]] = set()
+        self._protected: Set[Any] = set()
+
+    def bind(self, sim) -> None:
+        graph = sim.graph
+        self._base_edges = set(graph.edges())
+        self._protected = set(graph.nodes[:self.protect])
+
+    def advance(self, time: float, graph) -> Optional[TopologyDelta]:
+        rng = self._rng
+        away = self._away
+        departed = []
+        arrived = []
+        for v in graph.nodes:
+            if v in away:
+                if rng.random() < self.rejoin_rate:
+                    arrived.append(v)
+            elif v not in self._protected:
+                if rng.random() < self.leave_rate:
+                    departed.append(v)
+        if not departed and not arrived:
+            return None
+        away.difference_update(arrived)
+        away.update(departed)
+        target = {e for e in self._base_edges
+                  if e[0] not in away and e[1] not in away}
+        current = set(graph.edges())
+        return TopologyDelta(
+            added=_sorted_edges(target - current),
+            removed=_sorted_edges(current - target),
+            departed=tuple(departed),
+            arrived=tuple(arrived))
+
+    def describe(self) -> str:
+        return (f"node-churn(leave={self.leave_rate}, "
+                f"rejoin={self.rejoin_rate}, protect={self.protect})")

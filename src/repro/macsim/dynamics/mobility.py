@@ -1,0 +1,120 @@
+"""Random-waypoint mobility: geometric connectivity under motion.
+
+The classic MANET mobility model the abstract MAC layer was designed
+for: each node lives at a point of the unit square, walks toward a
+private waypoint at a fixed speed, picks a new waypoint on arrival,
+and is linked to every node within a geometric radius. Every epoch the
+positions advance and the edge set is recomputed; the engine receives
+the diff.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+from typing import Any, Dict, Optional, Set, Tuple
+
+from ..errors import ConfigurationError
+from .base import PeriodicDynamics, TopologyDelta, edge_key
+from .churn import _sorted_edges
+from ...topology.standard import stitch_nearest_components
+
+
+class RandomWaypoint(PeriodicDynamics):
+    """Unit-square random-waypoint mobility with geometric links.
+
+    Parameters
+    ----------
+    radius:
+        Link radius: two nodes are connected while within ``radius``
+        of each other.
+    speed:
+        Distance travelled per epoch (unit square per epoch).
+    epoch_length:
+        Simulated time between position updates.
+    stitch:
+        When true (default), a disconnected snapshot is stitched back
+        together by linking nearest pairs across components -- the
+        same convention as the ``geometric`` topology builder, so runs
+        stay connected. ``stitch=False`` lets the network partition.
+    seed:
+        RNG seed for the initial positions and every waypoint.
+
+    The model generates its own positions at bind time; pair it with a
+    ``geometric`` initial topology for a plausible time-zero graph
+    (the first epoch replaces the initial edge set with the
+    position-derived one either way).
+    """
+
+    name = "random-waypoint"
+
+    def __init__(self, radius: float = 0.35, speed: float = 0.08,
+                 epoch_length: float = 1.0, stitch: bool = True,
+                 seed: Optional[int] = None) -> None:
+        super().__init__(epoch_length)
+        if radius <= 0:
+            raise ConfigurationError("radius must be positive")
+        if speed < 0:
+            raise ConfigurationError("speed must be non-negative")
+        self.radius = float(radius)
+        self.speed = float(speed)
+        self.stitch = bool(stitch)
+        self._rng = random.Random(seed)
+        self._pos: Dict[Any, Tuple[float, float]] = {}
+        self._waypoint: Dict[Any, Tuple[float, float]] = {}
+
+    def bind(self, sim) -> None:
+        rng = self._rng
+        for v in sim.graph.nodes:
+            self._pos[v] = (rng.random(), rng.random())
+            self._waypoint[v] = (rng.random(), rng.random())
+
+    def positions(self) -> Dict[Any, Tuple[float, float]]:
+        """The current node positions (for inspection/plotting)."""
+        return dict(self._pos)
+
+    def _move(self, nodes) -> None:
+        rng = self._rng
+        step = self.speed
+        for v in nodes:
+            x, y = self._pos[v]
+            wx, wy = self._waypoint[v]
+            dx, dy = wx - x, wy - y
+            dist = math.hypot(dx, dy)
+            if dist <= step or dist == 0.0:
+                self._pos[v] = (wx, wy)
+                self._waypoint[v] = (rng.random(), rng.random())
+            else:
+                scale = step / dist
+                self._pos[v] = (x + dx * scale, y + dy * scale)
+
+    def _geometric_edges(self, nodes) -> Set[Tuple[Any, Any]]:
+        pos = self._pos
+        r2 = self.radius * self.radius
+        edges: Set[Tuple[Any, Any]] = set()
+        for i, u in enumerate(nodes):
+            ux, uy = pos[u]
+            for v in nodes[i + 1:]:
+                vx, vy = pos[v]
+                dx, dy = ux - vx, uy - vy
+                if dx * dx + dy * dy <= r2:
+                    edges.add(edge_key(u, v))
+        if self.stitch:
+            # The exact convention of the ``geometric`` topology
+            # builder, shared so the two can never drift.
+            stitch_nearest_components(nodes, edges, pos)
+        return edges
+
+    def advance(self, time: float, graph) -> Optional[TopologyDelta]:
+        nodes = graph.nodes
+        self._move(nodes)
+        target = self._geometric_edges(nodes)
+        current = set(graph.edges())
+        if target == current:
+            return None
+        return TopologyDelta(added=_sorted_edges(target - current),
+                             removed=_sorted_edges(current - target))
+
+    def describe(self) -> str:
+        return (f"random-waypoint(radius={self.radius}, "
+                f"speed={self.speed}, stitch={self.stitch})")

@@ -1,0 +1,129 @@
+"""A fully scripted dynamics model for hand-built topology timelines.
+
+The dynamics analogue of the scripted *scheduler*: tests and scenario
+files spell out exactly which edges and nodes change at which times.
+The timeline is JSON-friendly -- a list of plain dicts -- so a
+``ScriptedDynamics`` run round-trips through scenario files and trace
+exports untouched::
+
+    ScriptedDynamics(timeline=[
+        {"time": 2.0, "remove": [[0, 1]]},
+        {"time": 4.0, "leave": [3]},
+        {"time": 6.0, "join": [3], "add": [[0, 1]]},
+    ])
+
+``leave`` drops every incident edge of the node; ``join`` restores the
+node's *initial-graph* links to currently-present peers (on top of any
+explicit ``add``/``remove`` of the same entry) and resets its process
+state. An empty timeline is the static model: byte-identical to a run
+without dynamics.
+"""
+
+from __future__ import annotations
+
+from bisect import bisect_right
+from typing import Any, Dict, List, Optional, Sequence, Set, Tuple
+
+from ..errors import ConfigurationError
+from .base import TopologyDelta, TopologyDynamics, edge_key
+from .churn import _sorted_edges
+
+
+class ScriptedDynamics(TopologyDynamics):
+    """Replay an explicit topology timeline.
+
+    Parameters
+    ----------
+    timeline:
+        A sequence of entries, each a mapping with a ``time`` (strictly
+        increasing, positive) plus any of ``add`` / ``remove`` (lists
+        of ``[u, v]`` edge pairs), ``leave`` / ``join`` (lists of node
+        labels). Entries and labels are validated against the graph at
+        bind time.
+    """
+
+    name = "scripted"
+
+    def __init__(self, timeline: Sequence = ()) -> None:
+        entries: List[Dict[str, Any]] = []
+        last = 0.0
+        for raw in timeline:
+            if "time" not in raw:
+                raise ConfigurationError(
+                    f"scripted dynamics entry without a time: {raw!r}")
+            when = float(raw["time"])
+            if when <= last:
+                raise ConfigurationError(
+                    "scripted dynamics timeline must have strictly "
+                    f"increasing positive times (got {when} after "
+                    f"{last})")
+            last = when
+            entries.append({
+                "time": when,
+                "add": [tuple(e) for e in (raw.get("add") or ())],
+                "remove": [tuple(e) for e in (raw.get("remove") or ())],
+                "leave": list(raw.get("leave") or ()),
+                "join": list(raw.get("join") or ()),
+            })
+        self._entries = entries
+        self._times = [e["time"] for e in entries]
+        self._base_adj: Dict[Any, Tuple] = {}
+        self._away: Set[Any] = set()
+
+    def bind(self, sim) -> None:
+        graph = sim.graph
+        self._base_adj = {v: graph.neighbors(v) for v in graph.nodes}
+        for entry in self._entries:
+            for u, v in entry["add"] + entry["remove"]:
+                for label in (u, v):
+                    if not graph.has_node(label):
+                        raise ConfigurationError(
+                            f"scripted dynamics names unknown node "
+                            f"{label!r}")
+            for label in entry["leave"] + entry["join"]:
+                if not graph.has_node(label):
+                    raise ConfigurationError(
+                        f"scripted dynamics names unknown node "
+                        f"{label!r}")
+
+    def next_epoch_time(self, after: float) -> Optional[float]:
+        index = bisect_right(self._times, after)
+        if index >= len(self._times):
+            return None
+        return self._times[index]
+
+    def advance(self, time: float, graph) -> Optional[TopologyDelta]:
+        index = bisect_right(self._times, time) - 1
+        if index < 0 or self._times[index] != time:
+            return None
+        entry = self._entries[index]
+        away = self._away
+        # Presence tracking: joins restore base-graph links, so only
+        # an actually-absent node can arrive (a join of a present node
+        # is a no-op).
+        departed = [v for v in entry["leave"] if v not in away]
+        away.update(departed)
+        arrived = [v for v in entry["join"] if v in away]
+        away.difference_update(arrived)
+        removed: Set[Tuple[Any, Any]] = \
+            {edge_key(u, v) for u, v in entry["remove"]}
+        for node in departed:
+            for peer in graph.neighbors(node):
+                removed.add(edge_key(node, peer))
+        added: Set[Tuple[Any, Any]] = \
+            {edge_key(u, v) for u, v in entry["add"]}
+        for node in arrived:
+            for peer in self._base_adj[node]:
+                if peer not in away and peer != node:
+                    key = edge_key(node, peer)
+                    if key not in removed:
+                        added.add(key)
+        added -= removed
+        delta = TopologyDelta(added=_sorted_edges(added),
+                              removed=_sorted_edges(removed),
+                              departed=tuple(departed),
+                              arrived=tuple(arrived))
+        return delta if delta else None
+
+    def describe(self) -> str:
+        return f"scripted({len(self._entries)} epochs)"

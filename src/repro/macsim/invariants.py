@@ -41,7 +41,7 @@ from dataclasses import dataclass, field
 from typing import Any, FrozenSet, Optional
 
 from .errors import ModelViolationError
-from .trace import TraceSink
+from .trace import TOPO_EDGE_DOWN, TOPO_EDGE_UP, TraceSink
 
 
 @dataclass
@@ -83,9 +83,20 @@ def check_model_invariants(graph, trace: TraceSink,
       coverage rule is not enforced for faulty senders or faulty
       neighbors (their deliveries may be legitimately dropped).
 
+    Dynamic-topology runs (:mod:`repro.macsim.dynamics`) are audited
+    against the graph **as of each broadcast**: ``topo`` records in
+    the stream update a live adjacency, each broadcast snapshots its
+    sender's neighbor set at that moment, and the delivery-target and
+    ack-coverage checks use the snapshot -- a delivery scheduled over
+    an edge that later churned away is legitimate; one over an edge
+    absent at broadcast time is a violation. Traces without ``topo``
+    records take the original static-graph path untouched.
+
     ``trace`` is any replayable :class:`~repro.macsim.trace.TraceSink`
     (or a plain iterable of records); the replay runs in O(n + crashes)
-    memory -- see the module docstring.
+    memory -- see the module docstring (per-broadcast neighbor
+    snapshots add O(deg) per in-flight broadcast on dynamic runs,
+    evicted at ack like the rest).
     """
     report = InvariantReport(ok=True)
     starts: dict[int, tuple[float, Any]] = {}
@@ -93,6 +104,11 @@ def check_model_invariants(graph, trace: TraceSink,
     delivered: dict[int, set] = {}
     delivery_last: dict[int, float] = {}
     crash_time: dict[Any, float] = {}
+    # Dynamic-topology state: a live adjacency built lazily at the
+    # first topo record, plus the per-broadcast snapshot of the
+    # sender's neighbors as of the broadcast (None => initial graph).
+    adjacency: Optional[dict] = None
+    neighbors_at_start: dict[int, frozenset] = {}
 
     # Crash times come from the sink's essential-kind index when it
     # has one (every sink does). A plain iterable is materialized
@@ -108,10 +124,27 @@ def check_model_invariants(graph, trace: TraceSink,
         crash_time.setdefault(rec.node, rec.time)
 
     for rec in trace:
-        if rec.kind == "broadcast":
+        if rec.kind == "topo":
+            if rec.broadcast_id not in (TOPO_EDGE_UP, TOPO_EDGE_DOWN):
+                continue  # node leave/join markers carry no edges
+            if adjacency is None:
+                adjacency = {v: set(graph.neighbors(v))
+                             for v in graph.nodes}
+            us = adjacency.setdefault(rec.node, set())
+            vs = adjacency.setdefault(rec.peer, set())
+            if rec.broadcast_id == TOPO_EDGE_UP:
+                us.add(rec.peer)
+                vs.add(rec.node)
+            else:
+                us.discard(rec.peer)
+                vs.discard(rec.node)
+        elif rec.kind == "broadcast":
             starts[rec.broadcast_id] = (rec.time, rec.node)
             payloads[rec.broadcast_id] = rec.payload
             delivered[rec.broadcast_id] = set()
+            if adjacency is not None:
+                neighbors_at_start[rec.broadcast_id] = frozenset(
+                    adjacency.get(rec.node, ()))
             if rec.node in crash_time and rec.time > crash_time[rec.node]:
                 report.add(f"crashed node {rec.node!r} broadcast at "
                            f"{rec.time}")
@@ -132,12 +165,19 @@ def check_model_invariants(graph, trace: TraceSink,
                 report.add(f"delivery for unknown or closed (already acked) broadcast {bid}")
                 continue
             start_time, sender = starts[bid]
-            reachable = graph.has_edge(sender, rec.node) or (
+            snapshot = neighbors_at_start.get(bid)
+            if snapshot is not None:
+                reachable = rec.node in snapshot
+            else:
+                reachable = graph.has_edge(sender, rec.node)
+            reachable = reachable or (
                 unreliable_graph is not None
                 and unreliable_graph.has_edge(sender, rec.node))
             if not reachable:
+                suffix = (" (as of the broadcast)"
+                          if snapshot is not None else "")
                 report.add(f"broadcast {bid} delivered to non-neighbor "
-                           f"{rec.node!r} of {sender!r}")
+                           f"{rec.node!r} of {sender!r}{suffix}")
             if rec.node in delivered[bid]:
                 report.add(f"duplicate delivery of broadcast {bid} to "
                            f"{rec.node!r}")
@@ -170,8 +210,13 @@ def check_model_invariants(graph, trace: TraceSink,
                            f"{rec.time - start_time} > F_ack={f_ack}")
             if sender not in faulty:
                 # (A faulty sender's broadcast may be partially or
-                # wholly suppressed; its ack gates nothing.)
-                for neighbor in graph.neighbors(sender):
+                # wholly suppressed; its ack gates nothing.) The
+                # coverage obligation is the sender's neighbor set as
+                # of the broadcast, not as of the ack.
+                snapshot = neighbors_at_start.get(bid)
+                obligated = (snapshot if snapshot is not None
+                             else graph.neighbors(sender))
+                for neighbor in obligated:
                     neighbor_crashed = (
                         neighbor in crash_time
                         and crash_time[neighbor] <= rec.time)
@@ -188,6 +233,7 @@ def check_model_invariants(graph, trace: TraceSink,
             del delivered[bid]
             payloads.pop(bid, None)
             delivery_last.pop(bid, None)
+            neighbors_at_start.pop(bid, None)
     return report
 
 

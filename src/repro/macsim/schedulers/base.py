@@ -107,6 +107,15 @@ class Scheduler:
         """
         raise NotImplementedError
 
+    def on_topology_change(self) -> None:
+        """Invalidate topology-derived caches (e.g. pooled plans).
+
+        Called by the engine after every applied topology epoch of a
+        dynamic-topology run (:mod:`repro.macsim.dynamics`). Stateless
+        schedulers need nothing; schedulers that memoize per-neighbor
+        structures must drop them here.
+        """
+
     def plan_unreliable(self, *, sender: Any, message: Any,
                         start_time: float, ack_time: float,
                         neighbors: tuple) -> Mapping[Any, float]:

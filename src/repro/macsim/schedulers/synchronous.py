@@ -85,5 +85,12 @@ class SynchronousScheduler(Scheduler):
             self._plan_pool[key] = plan
         return plan
 
+    def on_topology_change(self) -> None:
+        """Drop pooled plans: their neighbor-tuple keys may describe
+        edges that no longer exist. (Keys would differ for the new
+        tuples anyway, but stale entries must not accumulate across
+        the epochs of a long dynamic run.)"""
+        self._plan_pool.clear()
+
     def describe(self) -> str:
         return f"SynchronousScheduler(round_length={self.round_length})"

@@ -19,6 +19,18 @@ of Section 2 of the paper:
   omission, Byzantine) is consulted at the broadcast, delivery and
   step boundaries; see :mod:`repro.macsim.faults`. Fault-free and
   crash-only models keep the inlined fast path.
+* **Dynamic topologies.** A
+  :class:`~repro.macsim.dynamics.base.TopologyDynamics` model (edge
+  churn, node churn, mobility, scripted timelines; see
+  :mod:`repro.macsim.dynamics`) may rewrite the live graph at epoch
+  boundaries. Epochs are applied whenever simulated time is about to
+  advance past them -- before any event at or after the epoch runs --
+  so a broadcast always uses the topology in force at its start time
+  (deliveries already in flight complete on the old topology). Each
+  applied epoch recomputes the cached neighbor tuples, invalidates
+  pooled scheduler plans via ``Scheduler.on_topology_change`` and
+  emits JSON-lossless ``topo`` trace records; nodes rejoining after
+  churn are rebuilt fresh from the process factory (state reset).
 * **Bounded messages.** In strict mode, each payload's ``id_footprint()``
   must stay below a constant, enforcing the paper's O(1)-ids rule.
 
@@ -44,17 +56,23 @@ The main loop is O(1) per event with no per-event scans:
   :class:`~repro.macsim.trace.TraceSink`; when the sink does not
   materialize MAC-level kinds the engine counts occurrences instead of
   allocating records.
-* **Batched delivery scheduling**: when every delivery of a broadcast
-  lands at one timestamp (dense graphs under round-structured
-  schedulers), ``mac_broadcast`` pushes a single ``bdeliver`` heap
-  entry carrying the receiver tuple instead of one entry per neighbor
-  -- O(deg) -> O(1) heap traffic. The entry expands at pop time into a
-  per-receiver cursor the main loop consumes before touching the heap
-  again, so each delivery still runs through the normal dispatch
-  (fault-model hooks included), counts as one processed event, and
-  honours ``max_events``/``stop_predicate`` exactly as per-receiver
-  entries did. Crash plans cancel batched receivers through the
-  broadcast record's ``batch_cancelled`` set, filtered at expansion.
+* **Batched delivery scheduling**: deliveries of one broadcast that
+  share a timestamp are scheduled as a single ``bdeliver`` heap entry
+  carrying the receiver tuple instead of one entry per neighbor --
+  O(deg) -> O(#distinct timestamps) heap traffic. Round-structured
+  schedulers collapse the whole fan-out into one entry; plans with
+  repeated (but not uniform) timestamps -- e.g. quantized random
+  delays -- get one entry per timestamp group, receivers in plan
+  order. Each entry expands at pop time into a per-receiver cursor
+  the main loop consumes before touching the heap again, so every
+  delivery still runs through the normal dispatch (fault-model hooks
+  included), counts as one processed event, and honours
+  ``max_events``/``stop_predicate`` exactly as per-receiver entries
+  did. Because a broadcast's per-neighbor entries always occupied a
+  contiguous seq block, replacing each same-timestamp group with one
+  entry at the group's first seq preserves exact event order. Crash
+  plans cancel batched receivers through the broadcast record's
+  ``batch_cancelled`` set, filtered at expansion.
 
 For a fixed scheduler, seed and crash plan, the event order -- and
 therefore the full-level trace -- is identical to the pre-fast-path
@@ -69,6 +87,7 @@ from heapq import heappop, heappush
 from typing import Any, Callable, Iterable, Mapping, Optional
 
 from .crash import CrashPlan
+from .dynamics.base import edge_key as _edge_key
 from .errors import (ConfigurationError, ModelViolationError,
                      SimulationLimitError)
 from .events import (ACK_PRIORITY, CRASH_PRIORITY, DELIVER_PRIORITY,
@@ -77,7 +96,9 @@ from .faults.base import DROP, FaultModel
 from .faults.crash import CrashFaultModel
 from .process import Process
 from .schedulers.base import Scheduler
-from .trace import Trace, TraceLevel, TraceSink, make_sink
+from .trace import (TOPO_EDGE_DOWN, TOPO_EDGE_UP, TOPO_NODE_DOWN,
+                    TOPO_NODE_UP, Trace, TraceLevel, TraceSink, make_sink)
+from ..topology.graphs import Graph
 
 #: Default ceiling on processed events; prevents runaway executions.
 DEFAULT_MAX_EVENTS = 2_000_000
@@ -110,11 +131,15 @@ class _BroadcastRecord:
     # Per-receiver forged payloads / DROPs from the fault model's
     # broadcast-boundary hook; None on the fault-free fast path.
     overrides: Optional[dict] = None
-    # Receivers scheduled through a single batched ``bdeliver`` entry
-    # (all deliveries at one timestamp), and the subset a crash plan
-    # cancelled before expansion.
+    # Receivers scheduled through batched ``bdeliver`` entries (one
+    # per shared timestamp), and the subset a crash plan cancelled
+    # before expansion.
     batch_receivers: Optional[tuple] = None
     batch_cancelled: Optional[set] = None
+    # Set when the sender's process was reset (node-churn rejoin)
+    # while this broadcast was in flight: its ack is suppressed so the
+    # fresh process never sees an ack for a broadcast it did not send.
+    orphaned: bool = False
 
 
 @dataclass
@@ -176,10 +201,20 @@ class Simulator:
         occurrences to (e.g. a :class:`~repro.macsim.trace.SpillSink`
         with a chosen directory). Overrides ``trace_level``.
     batch_deliveries:
-        Whether same-timestamp broadcast fan-outs are scheduled as a
-        single expanding ``bdeliver`` entry (the default). Event order
-        and traces are identical either way; the flag exists for A/B
-        verification and benchmarking.
+        Whether same-timestamp broadcast fan-outs are scheduled as
+        expanding ``bdeliver`` entries (the default; one entry per
+        shared timestamp). Event order and traces are identical either
+        way; the flag exists for A/B verification and benchmarking.
+    dynamics:
+        An optional
+        :class:`~repro.macsim.dynamics.base.TopologyDynamics` model
+        rewriting the live graph at epoch boundaries (see
+        :mod:`repro.macsim.dynamics`).
+    process_factory:
+        ``factory(label) -> Process`` used to rebuild a node's process
+        when a dynamics model resets it (node-churn rejoin). Populated
+        automatically by :func:`build_simulation`; required only when
+        the dynamics model actually performs resets.
     """
 
     def __init__(self, graph, processes: Mapping[Any, Process],
@@ -192,7 +227,10 @@ class Simulator:
                  validate_plans: Optional[bool] = None,
                  trace_level: "TraceLevel | str" = TraceLevel.FULL,
                  trace_sink: Optional[TraceSink] = None,
-                 batch_deliveries: bool = True) -> None:
+                 batch_deliveries: bool = True,
+                 dynamics=None,
+                 process_factory: Optional[Callable[[Any], Process]]
+                 = None) -> None:
         self.graph = graph
         self.scheduler = scheduler
         self.strict_sizes = strict_sizes
@@ -295,6 +333,26 @@ class Simulator:
         # Step-boundary behaviour (observers, target validation).
         fault_model.attach(self)
 
+        # Topology dynamics: the model is bound against the initial
+        # graph; epochs are applied lazily from the main loop whenever
+        # time is about to advance past the next boundary. The
+        # canonical edge set mirrors self.graph so deltas apply in
+        # O(delta) before the O(E) graph rebuild.
+        self.dynamics = dynamics
+        self._process_factory = process_factory
+        self._scheduler_topo_hook = getattr(scheduler,
+                                            "on_topology_change", None)
+        self._edge_set: Optional[set] = None
+        self._next_epoch: Optional[float] = None
+        if dynamics is not None:
+            dynamics.bind(self)
+            self._next_epoch = dynamics.next_epoch_time(0.0)
+            if self._next_epoch is not None:
+                if self._next_epoch <= 0.0:
+                    raise ConfigurationError(
+                        "topology epochs must have positive times")
+                self._edge_set = set(graph.edges())
+
     # ------------------------------------------------------------------
     # Introspection
     # ------------------------------------------------------------------
@@ -393,15 +451,18 @@ class Simulator:
                     if forged is not DROP and forged is not payload:
                         self._check_size(forged)
 
-        # Delivery-batch detection: when every delivery lands at one
-        # timestamp (round-structured schedulers on any topology), one
-        # ``bdeliver`` entry carrying the receiver tuple replaces the
-        # per-neighbor fan-out -- O(deg) -> O(1) heap traffic. The
-        # receiver tuple preserves plan order, which is exactly the
-        # seq order the per-neighbor entries would have had, so event
-        # order (and the full trace) is unchanged.
+        # Delivery-batch detection: deliveries sharing a timestamp are
+        # scheduled as one ``bdeliver`` entry carrying the receiver
+        # tuple -- O(deg) -> O(#distinct timestamps) heap traffic.
+        # Round-structured schedulers hit the all-equal fast path (the
+        # whole fan-out is one entry); plans with repeated but
+        # non-uniform timestamps are grouped per timestamp, receivers
+        # in plan order. Group order and receiver order both preserve
+        # the seq order the per-neighbor entries would have had (a
+        # broadcast's entries always occupy a contiguous seq block),
+        # so event order (and the full trace) is unchanged.
         deliveries = plan.deliveries
-        batch = None
+        schedule = None
         if self._batch_deliveries and len(deliveries) > 1:
             times = iter(deliveries.values())
             first = next(times)
@@ -409,7 +470,20 @@ class Simulator:
                 if when != first:
                     break
             else:
-                batch = (first, tuple(deliveries))
+                schedule = ((first, tuple(deliveries)),)
+            if schedule is None:
+                # Non-uniform plan: group receivers per timestamp in
+                # one pass; batch only when some timestamp repeats.
+                groups: dict = {}
+                for receiver, when in deliveries.items():
+                    bucket = groups.get(when)
+                    if bucket is None:
+                        groups[when] = [receiver]
+                    else:
+                        bucket.append(receiver)
+                if len(groups) < len(deliveries):
+                    schedule = tuple((when, tuple(group))
+                                     for when, group in groups.items())
 
         if self._cancellable:
             record = _BroadcastRecord(
@@ -421,15 +495,26 @@ class Simulator:
                 overrides=overrides,
             )
             push = self._queue.push
-            if batch is not None:
-                when, receivers = batch
-                record.batch_receivers = receivers
+            if schedule is not None:
                 # Crash plans cancel batched receivers through
                 # record.batch_cancelled (filtered at expansion), so
-                # the entry itself needs no cancellation handle.
-                self._queue.push_light(when, DELIVER_PRIORITY,
-                                       "bdeliver", node=receivers,
-                                       broadcast_id=bid)
+                # batch entries need no cancellation handle; singleton
+                # timestamp groups keep per-receiver handles.
+                delivery_events = record.delivery_events
+                batched: list = []
+                for when, receivers in schedule:
+                    if len(receivers) == 1:
+                        receiver = receivers[0]
+                        delivery_events[receiver] = push(
+                            when, DELIVER_PRIORITY, "deliver",
+                            receiver, bid)
+                    else:
+                        batched.extend(receivers)
+                        self._queue.push_light(when, DELIVER_PRIORITY,
+                                               "bdeliver",
+                                               node=receivers,
+                                               broadcast_id=bid)
+                record.batch_receivers = tuple(batched)
             else:
                 delivery_events = record.delivery_events
                 for receiver, when in deliveries.items():
@@ -456,13 +541,21 @@ class Simulator:
             queue = self._queue
             heap = queue._heap
             seq = queue._next_seq
-            if batch is not None:
-                when, receivers = batch
-                record.batch_receivers = receivers
-                heappush(heap, (when, DELIVER_PRIORITY, seq, "bdeliver",
-                                receivers, bid, None))
-                seq += 1
-                queue._live += 2
+            if schedule is not None:
+                batched = []
+                for when, receivers in schedule:
+                    if len(receivers) == 1:
+                        heappush(heap, (when, DELIVER_PRIORITY, seq,
+                                        "deliver", receivers[0], bid,
+                                        None))
+                    else:
+                        batched.extend(receivers)
+                        heappush(heap, (when, DELIVER_PRIORITY, seq,
+                                        "bdeliver", receivers, bid,
+                                        None))
+                    seq += 1
+                record.batch_receivers = tuple(batched)
+                queue._live += len(schedule) + 1
             else:
                 for receiver, when in deliveries.items():
                     heappush(heap, (when, DELIVER_PRIORITY, seq,
@@ -578,6 +671,7 @@ class Simulator:
         trace_record = self.trace.record
         trace_mac = self._trace_mac
         fast_deliver = not self._cancellable and not self._fault_active
+        dynamics_on = self.dynamics is not None
 
         events_processed = 0
         stop_reason = "quiescent"
@@ -665,10 +759,20 @@ class Simulator:
                 raise ModelViolationError(
                     f"time went backwards: {event_time} < {self.now}")
             if event_time > self.now:
-                if time_hooks:
-                    for hook in time_hooks:
-                        hook(self, event_time)
-                self.now = event_time
+                # Topology epochs fire at time-advance boundaries:
+                # every epoch at or before the next event's timestamp
+                # is applied (in order) before that event runs, so
+                # broadcasts started at the event see the new graph.
+                if dynamics_on:
+                    next_epoch = self._next_epoch
+                    if next_epoch is not None \
+                            and next_epoch <= event_time:
+                        self._advance_topology(event_time)
+                if event_time > self.now:
+                    if time_hooks:
+                        for hook in time_hooks:
+                            hook(self, event_time)
+                    self.now = event_time
 
             kind = entry[3]
             if kind == "deliver":
@@ -774,6 +878,10 @@ class Simulator:
 
     def _dispatch_ack(self, sender: Any, bid: int) -> None:
         record = self._records[bid]
+        if record.orphaned:
+            # The sender's process was reset (node-churn rejoin) while
+            # this broadcast was in flight: no ack is observed.
+            return
         crashed = self._crashed
         if crashed and sender in crashed:
             return
@@ -841,6 +949,127 @@ class Simulator:
                         record.pending.discard(receiver)
 
     # ------------------------------------------------------------------
+    # Topology dynamics
+    # ------------------------------------------------------------------
+    def _advance_topology(self, up_to: float) -> None:
+        """Apply every topology epoch at or before ``up_to``.
+
+        Simulated time advances *to each epoch* (firing time-advance
+        observers) before its delta is applied, so processes reset by
+        the epoch start -- and broadcast -- at the epoch's own
+        timestamp.
+        """
+        dynamics = self.dynamics
+        time_hooks = self._time_hooks
+        while True:
+            when = self._next_epoch
+            if when is None or when > up_to:
+                return
+            if when > self.now:
+                if time_hooks:
+                    for hook in time_hooks:
+                        hook(self, when)
+                self.now = when
+            delta = dynamics.advance(when, self.graph)
+            if delta:
+                self._apply_topology_delta(when, delta)
+            following = dynamics.next_epoch_time(when)
+            if following is not None and following <= when:
+                raise ConfigurationError(
+                    f"{type(dynamics).__name__} produced a "
+                    f"non-advancing epoch time {following} after "
+                    f"{when}")
+            self._next_epoch = following
+
+    def _apply_topology_delta(self, when: float, delta) -> None:
+        """Rewrite the live graph and every topology-derived cache."""
+        edges = self._edge_set
+        graph = self.graph
+        record = self.trace.record
+        for node in delta.departed:
+            if not graph.has_node(node):
+                raise ConfigurationError(
+                    f"dynamics departed unknown node {node!r}")
+            record(when, "topo", node, broadcast_id=TOPO_NODE_DOWN)
+        removed = []
+        for u, v in delta.removed:
+            key = _edge_key(u, v)
+            if key in edges:
+                edges.discard(key)
+                removed.append(key)
+        # Departure isolates the node (the documented contract): any
+        # incident edge the model did not already list is removed too,
+        # so custom models may return bare ``departed`` tuples.
+        for node in delta.departed:
+            for peer in graph.neighbors(node):
+                key = _edge_key(node, peer)
+                if key in edges:
+                    edges.discard(key)
+                    removed.append(key)
+        added = []
+        for u, v in delta.added:
+            if u == v or not graph.has_node(u) or not graph.has_node(v):
+                raise ConfigurationError(
+                    f"dynamics added invalid edge {(u, v)!r}")
+            key = _edge_key(u, v)
+            if key not in edges:
+                edges.add(key)
+                added.append(key)
+        for u, v in removed:
+            record(when, "topo", u, broadcast_id=TOPO_EDGE_DOWN, peer=v)
+        for u, v in added:
+            record(when, "topo", u, broadcast_id=TOPO_EDGE_UP, peer=v)
+        if removed or added:
+            # The node set never changes: departed nodes are isolated,
+            # not deleted, so every label keeps its process.
+            new_graph = Graph(edges, nodes=graph.nodes)
+            self.graph = new_graph
+            self._neighbors = {v: tuple(new_graph.neighbors(v))
+                               for v in new_graph.nodes}
+            hook = self._scheduler_topo_hook
+            if hook is not None:
+                hook()
+        for node in delta.arrived:
+            if not graph.has_node(node):
+                raise ConfigurationError(
+                    f"dynamics rejoined unknown node {node!r}")
+            record(when, "topo", node, broadcast_id=TOPO_NODE_UP)
+            self._reset_process(node)
+
+    def _reset_process(self, label: Any) -> None:
+        """Rebuild ``label``'s process fresh (node-churn rejoin).
+
+        The node's volatile protocol state is lost: a new process is
+        created from the factory, bound and started. An in-flight
+        broadcast of the old process is orphaned (its scheduled
+        deliveries still complete -- they were covered by the topology
+        as of the broadcast -- but no ack is observed).
+        """
+        if label in self._crashed:
+            return
+        factory = self._process_factory
+        if factory is None:
+            raise ConfigurationError(
+                "dynamics reset a process but no process factory is "
+                "available; construct the simulator via "
+                "build_simulation (or pass process_factory=)")
+        old = self._processes[label]
+        record = self._inflight.pop(label, None)
+        if record is not None:
+            record.orphaned = True
+        fresh = factory(label)
+        fresh._bind(self, label)
+        self._processes[label] = fresh
+        del self._labels[id(old)]
+        self._labels[id(fresh)] = label
+        if old.decided:
+            # The node is undecided again; note_decision will balance
+            # this when (if) the fresh process decides.
+            self._undecided_alive += 1
+        if self._started:
+            fresh.on_start()
+
+    # ------------------------------------------------------------------
     # Helpers
     # ------------------------------------------------------------------
     def _check_size(self, payload: Any) -> None:
@@ -864,13 +1093,14 @@ def build_simulation(graph, process_factory: Callable[[Any], Process],
                      validate_plans: Optional[bool] = None,
                      trace_level: "TraceLevel | str" = TraceLevel.FULL,
                      trace_sink: Optional[TraceSink] = None,
-                     batch_deliveries: bool = True
-                     ) -> Simulator:
+                     batch_deliveries: bool = True,
+                     dynamics=None) -> Simulator:
     """Construct a simulator, creating one process per graph node.
 
     ``process_factory(label)`` must return the process for ``label``.
     This is the convenience entry point used throughout the tests,
-    examples and experiments.
+    examples and experiments. The factory is retained by the simulator
+    so topology-dynamics models can rebuild a process on node rejoin.
     """
     processes = {label: process_factory(label) for label in graph.nodes}
     return Simulator(graph, processes, scheduler, crashes=crashes,
@@ -880,4 +1110,6 @@ def build_simulation(graph, process_factory: Callable[[Any], Process],
                      validate_plans=validate_plans,
                      trace_level=trace_level,
                      trace_sink=trace_sink,
-                     batch_deliveries=batch_deliveries)
+                     batch_deliveries=batch_deliveries,
+                     dynamics=dynamics,
+                     process_factory=process_factory)

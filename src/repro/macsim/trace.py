@@ -69,11 +69,22 @@ from typing import Any, Dict, Iterator, List, Optional
 
 #: The record kinds a trace may contain.
 TRACE_KINDS = ("broadcast", "deliver", "ack", "decide", "crash",
-               "discard", "drop")
+               "discard", "drop", "topo")
 _TRACE_KIND_SET = frozenset(TRACE_KINDS)
 
 #: Kinds always materialized in RAM, even by counting/spilling sinks.
-_ESSENTIAL_KINDS = frozenset(("decide", "crash"))
+#: ``topo`` is essential so the connectivity probe (and invariant
+#: replay of dynamic-topology runs) can read the epoch timeline from
+#: any sink -- there is at most a handful of records per epoch.
+_ESSENTIAL_KINDS = frozenset(("decide", "crash", "topo"))
+
+#: ``broadcast_id`` codes of ``topo`` records (dynamic-topology runs;
+#: see :mod:`repro.macsim.dynamics`). Edge events carry the endpoints
+#: in ``node``/``peer``; node events carry the node alone.
+TOPO_EDGE_DOWN = 0
+TOPO_EDGE_UP = 1
+TOPO_NODE_DOWN = 2
+TOPO_NODE_UP = 3
 
 
 class TraceLevel(enum.Enum):
@@ -113,6 +124,11 @@ class TraceRecord:
     * ``drop``: a fault model swallowed the delivery of broadcast
       ``broadcast_id`` (from ``peer``) to ``node``; ``payload`` is the
       original (pre-forgery) payload that was lost.
+    * ``topo``: a topology-dynamics epoch changed the live graph
+      (:mod:`repro.macsim.dynamics`). ``broadcast_id`` is one of the
+      ``TOPO_*`` codes: edge up/down events carry the endpoints in
+      ``node``/``peer``; node leave/join events carry the node alone.
+      All fields are JSON-lossless, so dynamic runs replay exactly.
     """
 
     time: float

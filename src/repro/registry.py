@@ -31,6 +31,9 @@ Builder contracts (enforced by convention, resolved by
 * **fault model** -- ``builder(graph, seed, **params) -> FaultModel``.
 * **overlay** -- ``builder(graph, **params) -> Graph`` (the unreliable
   dual-graph edge set).
+* **dynamics** -- ``builder(graph, seed, **params) ->
+  TopologyDynamics`` (time-varying topology models; see
+  :mod:`repro.macsim.dynamics`).
 * **values** -- ``builder(graph) -> {label: value}`` initial values.
 
 The built-in entries live at the bottom of :mod:`repro.scenario`
@@ -108,11 +111,12 @@ class Registry:
         return f"Registry({self.kind}, {len(self._builders)} entries)"
 
 
-#: The four public scenario axes...
+#: The five public scenario axes...
 ALGORITHMS = Registry("algorithm")
 TOPOLOGIES = Registry("topology")
 SCHEDULERS = Registry("scheduler")
 FAULT_MODELS = Registry("fault model")
+DYNAMICS = Registry("dynamics")
 #: ...plus the two auxiliary ones (dual-graph overlays and initial
 #: value assignments).
 OVERLAYS = Registry("overlay")
@@ -123,5 +127,6 @@ register_algorithm = ALGORITHMS.register
 register_topology = TOPOLOGIES.register
 register_scheduler = SCHEDULERS.register
 register_fault_model = FAULT_MODELS.register
+register_dynamics = DYNAMICS.register
 register_overlay = OVERLAYS.register
 register_values = VALUES.register

@@ -49,11 +49,12 @@ import json
 from dataclasses import dataclass, field, fields, replace
 from typing import Any, Callable, Dict, Iterator, List, Mapping, Optional
 
-from .registry import (ALGORITHMS, FAULT_MODELS, OVERLAYS, SCHEDULERS,
-                       TOPOLOGIES, VALUES, UnknownNameError,
-                       register_algorithm, register_fault_model,
-                       register_overlay, register_scheduler,
-                       register_topology, register_values)
+from .registry import (ALGORITHMS, DYNAMICS, FAULT_MODELS, OVERLAYS,
+                       SCHEDULERS, TOPOLOGIES, VALUES, UnknownNameError,
+                       register_algorithm, register_dynamics,
+                       register_fault_model, register_overlay,
+                       register_scheduler, register_topology,
+                       register_values)
 
 
 class ScenarioError(ValueError):
@@ -287,9 +288,19 @@ class OverlaySpec(Spec):
         return _call_seeded(self.builder(), dict(self.params), seed, graph)
 
 
+class DynamicsSpec(Spec):
+    """A named topology-dynamics model (churn / mobility / scripted)."""
+
+    kind = "dynamics"
+    registry = DYNAMICS
+
+    def build(self, graph, seed: int = 0):
+        return self.builder()(graph, seed, **self.params)
+
+
 _SPEC_CLASSES = {cls.kind: cls for cls in
                  (TopologySpec, SchedulerSpec, AlgorithmSpec, FaultSpec,
-                  OverlaySpec)}
+                  OverlaySpec, DynamicsSpec)}
 
 
 def _call_seeded(builder: Callable, params: Dict[str, Any], seed: int,
@@ -321,6 +332,7 @@ class ResolvedScenario:
     initial_values: Dict[Any, int]
     fault_model: Any = None
     unreliable_graph: Any = None
+    dynamics: Any = None
 
     def simulate(self, *, trace_sink=None):
         """Run the simulation and return the raw
@@ -335,6 +347,7 @@ class ResolvedScenario:
             self.graph, lambda v: factory(v, values[v]), self.scheduler,
             fault_model=self.fault_model,
             unreliable_graph=self.unreliable_graph,
+            dynamics=self.dynamics,
             trace_level=scenario.trace_level, trace_sink=trace_sink)
         result = sim.run(max_events=scenario.max_events,
                          max_time=scenario.max_time)
@@ -360,6 +373,8 @@ class Scenario:
         default_factory=lambda: SchedulerSpec("synchronous"))
     fault: Optional[FaultSpec] = None
     overlay: Optional[OverlaySpec] = None
+    #: Optional time-varying topology model (churn/mobility/scripted).
+    dynamics: Optional[DynamicsSpec] = None
     #: Registered initial-value assignment name (see ``register_values``).
     values: str = "alternating"
     seed: int = 0
@@ -379,7 +394,8 @@ class Scenario:
                 raise ScenarioError(
                     f"Scenario.{name} must be a {cls.__name__}, got "
                     f"{getattr(self, name)!r}")
-        for name, cls in (("fault", FaultSpec), ("overlay", OverlaySpec)):
+        for name, cls in (("fault", FaultSpec), ("overlay", OverlaySpec),
+                          ("dynamics", DynamicsSpec)):
             value = getattr(self, name)
             if value is not None and not isinstance(value, cls):
                 raise ScenarioError(
@@ -403,6 +419,8 @@ class Scenario:
                          if self.fault is not None else None),
             unreliable_graph=(self.overlay.build(graph, self.seed)
                               if self.overlay is not None else None),
+            dynamics=(self.dynamics.build(graph, self.seed)
+                      if self.dynamics is not None else None),
         )
 
     def run_kwargs(self) -> Dict[str, Any]:
@@ -422,6 +440,8 @@ class Scenario:
             out["fault_model"] = resolved.fault_model
         if resolved.unreliable_graph is not None:
             out["unreliable_graph"] = resolved.unreliable_graph
+        if resolved.dynamics is not None:
+            out["dynamics"] = resolved.dynamics
         return out
 
     def run(self, *, trace_sink=None, probe=None):
@@ -478,6 +498,7 @@ class Scenario:
         return replace(self, **{head: _spec_apply(current, rest, value)})
 
     def grid(self, axes: Optional[Mapping[str, Any]] = None,
+             zipped: Optional[Mapping[str, Any]] = None,
              **kw: Any) -> "ScenarioGrid":
         """A declarative sweep grid over dotted-path axes.
 
@@ -487,6 +508,23 @@ class Scenario:
         sweep keys: ``(x, seed)``-style tuples in axis declaration
         order (a single axis keeps plain scalar keys), feeding
         :func:`~repro.analysis.sweeps.parallel_sweep` directly.
+
+        ``zipped`` declares **correlated** axes that advance in
+        lockstep instead of multiplying out -- the E2-style
+        ``(n, seed)`` random-graph pairs::
+
+            # 3 cells, not 9: (n=8, seed=3), (n=12, seed=4), ...
+            base.grid(zipped={"topology.n": [8, 12, 16],
+                              "seed": [3, 4, 5]})
+
+            # 2 x 3 = 6 cells; keys like (0.05, (8, 3))
+            base.grid({"dynamics.rate": [0.05, 0.1]},
+                      zipped={"topology.n": [8, 12, 16],
+                              "seed": [3, 4, 5]})
+
+        The zipped block contributes one key slot (a tuple of its
+        values in declaration order; a single zipped axis keeps plain
+        values), appended after the cartesian values.
         """
         ordered: Dict[str, List[Any]] = {}
         if axes:
@@ -494,7 +532,7 @@ class Scenario:
                 ordered[key] = list(vals)
         for key, vals in kw.items():
             ordered[key.replace("__", ".")] = list(vals)
-        return ScenarioGrid(self, ordered)
+        return ScenarioGrid(self, ordered, zipped=zipped)
 
     # -- serialization ---------------------------------------------------
     def to_dict(self) -> Dict[str, Any]:
@@ -505,6 +543,8 @@ class Scenario:
             "scheduler": self.scheduler.to_dict(),
             "fault": self.fault.to_dict() if self.fault else None,
             "overlay": self.overlay.to_dict() if self.overlay else None,
+            "dynamics": (self.dynamics.to_dict()
+                         if self.dynamics else None),
             "values": self.values,
             "seed": self.seed,
             "trace_level": self.trace_level,
@@ -536,6 +576,7 @@ class Scenario:
                        else SchedulerSpec("synchronous")),
             fault=opt(FaultSpec, "fault"),
             overlay=opt(OverlaySpec, "overlay"),
+            dynamics=opt(DynamicsSpec, "dynamics"),
             values=data.get("values", "alternating"),
             seed=int(data.get("seed", 0)),
             trace_level=data.get("trace_level", "full"),
@@ -593,21 +634,46 @@ class ScenarioGrid:
     declaration order (plain scalars for single-axis grids), so
     seed-replicated grids produce the classic ``(x, seed)`` keys and
     :meth:`~repro.analysis.sweeps.SweepResult.by_x` regroups them.
+
+    ``zipped`` axes advance in lockstep (correlated axes, e.g. E2's
+    ``(n, seed)`` random-graph pairs) and contribute a single trailing
+    key slot; see :meth:`Scenario.grid`.
     """
 
-    def __init__(self, base: Scenario,
-                 axes: Mapping[str, List[Any]]) -> None:
-        if not axes:
+    def __init__(self, base: Scenario, axes: Mapping[str, List[Any]],
+                 zipped: Optional[Mapping[str, Any]] = None) -> None:
+        zipped = {k: list(v) for k, v in (zipped or {}).items()}
+        if not axes and not zipped:
             raise ScenarioError("grid needs at least one axis")
-        for path, values in axes.items():
+        for path, values in dict(axes, **zipped).items():
             if not values:
                 raise ScenarioError(f"grid axis {path!r} is empty")
+        lengths = {len(v) for v in zipped.values()}
+        if len(lengths) > 1:
+            raise ScenarioError(
+                "zipped grid axes must all have the same length, got "
+                + ", ".join(f"{path}: {len(v)}"
+                            for path, v in zipped.items()))
+        overlap = set(axes) & set(zipped)
+        if overlap:
+            raise ScenarioError(
+                f"axes declared both cartesian and zipped: "
+                f"{sorted(overlap)}")
         self.base = base
         self.axes: Dict[str, List[Any]] = {k: list(v)
                                            for k, v in axes.items()}
-        self._single = len(self.axes) == 1
+        self.zipped: Dict[str, List[Any]] = zipped
+        self._single = len(self.axes) == 1 and not zipped
         self._keys: Optional[List[Any]] = None
         self._index: Optional[Dict[Any, int]] = None
+
+    def _zip_combos(self) -> List[Any]:
+        """One key slot per zipped position: plain values for a single
+        zipped axis, declaration-order tuples otherwise."""
+        if len(self.zipped) == 1:
+            (values,) = self.zipped.values()
+            return list(values)
+        return [tuple(combo) for combo in zip(*self.zipped.values())]
 
     def keys(self) -> List[Any]:
         """Structured sweep keys, one per grid cell."""
@@ -615,9 +681,16 @@ class ScenarioGrid:
             if self._single:
                 (values,) = self.axes.values()
                 self._keys = list(values)
-            else:
+            elif not self.zipped:
                 self._keys = [tuple(combo) for combo in
                               itertools.product(*self.axes.values())]
+            elif not self.axes:
+                self._keys = self._zip_combos()
+            else:
+                self._keys = [tuple(combo) + (zslot,) for combo, zslot
+                              in itertools.product(
+                                  itertools.product(*self.axes.values()),
+                                  self._zip_combos())]
         return list(self._keys)
 
     def _key_index(self, key: Any) -> int:
@@ -630,6 +703,24 @@ class ScenarioGrid:
 
     def scenario_at(self, key: Any) -> Scenario:
         """The derived scenario for one sweep key."""
+        if self.zipped:
+            zpaths = list(self.zipped)
+            if self.axes:
+                combo = tuple(key)
+                if len(combo) != len(self.axes) + 1:
+                    raise ScenarioError(
+                        f"key {key!r} does not match grid axes "
+                        f"{list(self.axes)} + zipped {zpaths}")
+                combo, zslot = combo[:-1], combo[-1]
+            else:
+                combo, zslot = (), key
+            zvalues = (zslot,) if len(zpaths) == 1 else tuple(zslot)
+            if len(zvalues) != len(zpaths):
+                raise ScenarioError(
+                    f"key {key!r} does not match zipped axes {zpaths}")
+            overrides = dict(zip(self.axes, combo))
+            overrides.update(zip(zpaths, zvalues))
+            return self.base.override(overrides)
         combo = (key,) if self._single else tuple(key)
         if len(combo) != len(self.axes):
             raise ScenarioError(
@@ -644,6 +735,8 @@ class ScenarioGrid:
         total = 1
         for values in self.axes.values():
             total *= len(values)
+        if self.zipped:
+            total *= len(next(iter(self.zipped.values())))
         return total
 
     def __iter__(self) -> Iterator[Scenario]:
@@ -799,6 +892,45 @@ def _literal(raw: str) -> Any:
     return raw
 
 
+def parse_dynamics_spec(text: str) -> DynamicsSpec:
+    """Parse ``name[:k=v,...]`` dynamics shorthands into a spec.
+
+    The CLI syntax of ``--dynamics``: ``edge-churn:rate=0.05``,
+    ``random-waypoint:radius=0.3,speed=0.1``, or a bare ``name``.
+    Underscores in the name are accepted for the hyphenated built-ins
+    (``edge_churn`` == ``edge-churn``). A bare ``name:value`` binds
+    the builder's first parameter. Unknown names raise
+    :class:`UnknownNameError` listing the live registry.
+    """
+    name, _, args = text.partition(":")
+    if name not in DYNAMICS and "_" in name \
+            and name.replace("_", "-") in DYNAMICS:
+        name = name.replace("_", "-")
+    builder = DYNAMICS.get(name)   # raises UnknownNameError
+    if not args:
+        return DynamicsSpec(name)
+    if "=" in args:
+        params: Dict[str, Any] = {}
+        for pair in args.split(","):
+            key, eq, raw = pair.partition("=")
+            if not eq:
+                raise ScenarioError(
+                    f"bad dynamics param {pair!r} in {text!r} "
+                    f"(expected k=v)")
+            params[key.strip()] = _literal(raw.strip())
+        return DynamicsSpec(name, **params)
+    # Bare positional shorthand: value binds the builder's first
+    # parameter after the (graph, seed) contract arguments.
+    signature = iter(inspect.signature(builder).parameters)
+    next(signature, None)  # graph
+    next(signature, None)  # seed
+    first = next(signature, None)
+    if first is None:
+        raise ScenarioError(
+            f"dynamics {name!r} takes no parameters, got {args!r}")
+    return DynamicsSpec(name, **{first: _literal(args)})
+
+
 # ===========================================================================
 # Built-in catalogue
 # ===========================================================================
@@ -815,11 +947,15 @@ from .macsim.faults import (ByzantineFaultModel, ByzantinePlan,  # noqa: E402
                             CorruptStrategy, CrashFaultModel,
                             EquivocateStrategy, OmissionFaultModel,
                             OmissionPlan, SilentStrategy)
+from .macsim.dynamics import (EdgeChurn, NodeChurn,  # noqa: E402
+                              RandomWaypoint, ScriptedDynamics)
 from .macsim.schedulers import (AdversarialUnreliableScheduler,  # noqa: E402
                                 BernoulliUnreliableScheduler,
                                 EagerDeliveryScheduler,
                                 JitteredRoundScheduler, MaxDelayScheduler,
-                                RandomDelayScheduler, StaggeredScheduler,
+                                PartitionScheduler, RandomDelayScheduler,
+                                ScriptedScheduler, ScriptedStep,
+                                SilencingScheduler, StaggeredScheduler,
                                 SynchronousScheduler)
 from .topology import standard as _topo  # noqa: E402
 
@@ -992,6 +1128,76 @@ def _s_adversarial_unreliable(cutoff: float = 10.0, inner=None):
         cutoff)
 
 
+def _spec_label(key: Any) -> Any:
+    """JSON dict keys are strings; map digit-like ones back to the
+    integer node labels the topologies use."""
+    if isinstance(key, str):
+        try:
+            return int(key)
+        except ValueError:
+            return key
+    return key
+
+
+@register_scheduler("silencing")
+def _s_silencing(silenced=(), release_time: float = 4.0, inner=None):
+    """Withhold broadcasts of the ``silenced`` nodes until release.
+
+    The paper's semi-synchronous adversary (Theorems 3.3/3.9) in
+    spec-friendly form: ``silenced`` is a JSON list of node labels,
+    ``inner`` an optional nested scheduler spec (default: synchronous
+    rounds of length 1).
+    """
+    return SilencingScheduler(
+        inner if inner is not None else SynchronousScheduler(1.0),
+        [_spec_label(v) for v in silenced], release_time)
+
+
+@register_scheduler("partition")
+def _s_partition(side_a=(), release_time: float = 4.0,
+                 round_length: float = 1.0, inner=None):
+    """Delay cross-cut deliveries between two sides until release.
+
+    The Theorem 3.10 partition adversary: ``side_a`` is a JSON list of
+    the nodes on one side of the vertex cut; the other side is the
+    complement. The inner scheduler must be synchronous (pass
+    ``round_length`` instead of a nested spec in the common case).
+    """
+    if inner is None:
+        inner = SynchronousScheduler(round_length)
+    elif not isinstance(inner, SynchronousScheduler):
+        raise ScenarioError(
+            "partition scheduler requires a synchronous inner "
+            "scheduler")
+    return PartitionScheduler(inner, [_spec_label(v) for v in side_a],
+                              release_time)
+
+
+@register_scheduler("scripted")
+def _s_scripted(scripts=None, f_ack: float = 100.0, fallback=None):
+    """Replay hand-scripted delivery plans from a JSON timeline.
+
+    ``scripts`` maps node label -> list of steps for that node's
+    successive broadcasts; each step is ``{"ack": offset,
+    "deliveries": {neighbor: offset}}`` (offsets relative to the
+    broadcast start; unlisted neighbors receive at the ack offset).
+    Node labels appear as JSON strings and are coerced back to ints
+    where digit-like. ``fallback`` is an optional nested scheduler
+    spec for unscripted broadcasts.
+    """
+    table = {}
+    for node_key, steps in (scripts or {}).items():
+        parsed = []
+        for step in steps:
+            offsets = {_spec_label(k): float(v) for k, v in
+                       (step.get("deliveries") or {}).items()}
+            parsed.append(ScriptedStep(
+                delivery_offsets=offsets,
+                ack_offset=float(step.get("ack", 1.0))))
+        table[_spec_label(node_key)] = parsed
+    return ScriptedScheduler(table, fallback=fallback, f_ack=f_ack)
+
+
 # -- algorithms -------------------------------------------------------------
 
 @register_algorithm("two-phase")
@@ -1120,6 +1326,49 @@ def _f_byzantine(graph, seed: int, count: int = 1,
         plans.append(ByzantinePlan(node=v, strategy=strat,
                                    seed=plan_seed))
     return ByzantineFaultModel(plans, budget=budget)
+
+
+# -- dynamics ---------------------------------------------------------------
+# Builder contract: builder(graph, seed, **params) -> TopologyDynamics.
+# Model RNGs derive from the scenario seed through a fixed affine map
+# (seed * 7919 + salt) so one knob reseeds the whole run without the
+# dynamics stream colliding with the scheduler/fault streams.
+
+@register_dynamics("edge-churn")
+def _d_edge_churn(graph, seed: int, rate: float = 0.05,
+                  add_rate: Optional[float] = None,
+                  epoch_length: float = 1.0,
+                  floor: str = "spanning-tree"):
+    """Seeded per-epoch link add/remove churn with a protected floor."""
+    return EdgeChurn(rate=rate, add_rate=add_rate,
+                     epoch_length=epoch_length, floor=floor,
+                     seed=seed * 7919 + 11)
+
+
+@register_dynamics("node-churn")
+def _d_node_churn(graph, seed: int, leave_rate: float = 0.05,
+                  rejoin_rate: float = 0.5, epoch_length: float = 1.0,
+                  protect: int = 1):
+    """Node leave/join churn with process-state reset on rejoin."""
+    return NodeChurn(leave_rate=leave_rate, rejoin_rate=rejoin_rate,
+                     epoch_length=epoch_length, protect=protect,
+                     seed=seed * 7919 + 13)
+
+
+@register_dynamics("random-waypoint")
+def _d_random_waypoint(graph, seed: int, radius: float = 0.35,
+                       speed: float = 0.08, epoch_length: float = 1.0,
+                       stitch: bool = True):
+    """Unit-square random-waypoint mobility with geometric links."""
+    return RandomWaypoint(radius=radius, speed=speed,
+                          epoch_length=epoch_length, stitch=stitch,
+                          seed=seed * 7919 + 17)
+
+
+@register_dynamics("scripted")
+def _d_scripted(graph, seed: int, timeline=None):
+    """Explicit topology timeline (JSON add/remove/leave/join)."""
+    return ScriptedDynamics(timeline or ())
 
 
 # -- overlays ---------------------------------------------------------------

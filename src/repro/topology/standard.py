@@ -17,7 +17,7 @@ from __future__ import annotations
 import random
 from typing import Optional
 
-from .graphs import Graph
+from .graphs import Graph, label_sort_key
 
 
 def clique(n: int) -> Graph:
@@ -186,10 +186,58 @@ def random_geometric(n: int, radius: float,
             dy = pos[i][1] - pos[j][1]
             if dx * dx + dy * dy <= r2:
                 edges.add((i, j))
-    graph = Graph(sorted(edges), nodes=range(n))
     # Stitch components along nearest pairs until connected.
-    while not graph.is_connected():
-        comps = _components(graph)
+    stitch_nearest_components(tuple(range(n)), edges, pos)
+    return Graph(sorted(edges), nodes=range(n))
+
+
+def edge_components(nodes, edges) -> list:
+    """Connected components of an edge set over ``nodes``.
+
+    Components come back largest first (first-seen order among ties),
+    members in canonical node order -- the deterministic convention
+    every stitching caller relies on. ``nodes`` must already be in
+    canonical order (a ``Graph.nodes`` tuple or a range).
+    """
+    adjacency: dict = {v: [] for v in nodes}
+    index = {v: i for i, v in enumerate(nodes)}
+    for u, v in edges:
+        adjacency[u].append(v)
+        adjacency[v].append(u)
+    seen: set = set()
+    comps = []
+    for v in nodes:
+        if v in seen:
+            continue
+        seen.add(v)
+        comp = [v]
+        frontier = [v]
+        while frontier:
+            u = frontier.pop()
+            for w in adjacency[u]:
+                if w not in seen:
+                    seen.add(w)
+                    comp.append(w)
+                    frontier.append(w)
+        comp.sort(key=lambda label: index[label])
+        comps.append(comp)
+    comps.sort(key=len, reverse=True)
+    return comps
+
+
+def stitch_nearest_components(nodes, edges: set, pos) -> None:
+    """Join an edge set's components along nearest pairs until
+    connected, mutating ``edges`` in place.
+
+    The convention shared by :func:`random_geometric` and the
+    random-waypoint mobility model: repeatedly link the largest
+    component to the closest node (by ``pos`` squared distance) of
+    any other component.
+    """
+    while True:
+        comps = edge_components(nodes, edges)
+        if len(comps) <= 1:
+            return
         base = comps[0]
         best = None
         for other in comps[1:]:
@@ -201,24 +249,11 @@ def random_geometric(n: int, radius: float,
                     if best is None or d < best[0]:
                         best = (d, u, v)
         assert best is not None
-        edges.add(tuple(sorted((best[1], best[2]))))
-        graph = Graph(sorted(edges), nodes=range(n))
-    return graph
-
-
-def _components(graph: Graph) -> list:
-    """Connected components as lists of nodes, largest first."""
-    seen: set = set()
-    comps = []
-    for v in graph.nodes:
-        if v in seen:
-            continue
-        comp = sorted(graph.bfs_distances(v),
-                      key=graph.index_of)
-        seen.update(comp)
-        comps.append(comp)
-    comps.sort(key=len, reverse=True)
-    return comps
+        u, v = best[1], best[2]
+        if label_sort_key(u) <= label_sort_key(v):
+            edges.add((u, v))
+        else:
+            edges.add((v, u))
 
 
 def unreliable_overlay(graph: Graph, density: float,
