@@ -46,6 +46,14 @@ try:  # engine >= PR 5
 except ImportError:  # earlier engines
     EdgeChurn = None
 
+try:  # engine >= PR 6
+    from repro.macsim.columnar import ColumnarSink, have_numpy
+except ImportError:  # earlier engines
+    ColumnarSink = None
+
+    def have_numpy() -> bool:
+        return False
+
 try:  # analysis >= PR 1
     from repro.analysis import parallel_sweep
 except ImportError:  # seed engine
@@ -127,6 +135,83 @@ def run_spill_clique(n: int = 24, rounds: int = 40,
         return result.events_processed
     finally:
         sink.cleanup()
+
+
+def run_columnar_clique(n: int = 24, rounds: int = 40,
+                        chunk_records: int = 20_000) -> int:
+    """Full-level ColumnarSink throughput: the spill_clique24 workload
+    writing binary struct-packed column chunks instead of JSONL.
+    Returns events processed; the temp directory is removed before
+    returning."""
+    graph = clique(n)
+    sink = ColumnarSink(chunk_records=chunk_records)
+    try:
+        sim = build_simulation(graph, lambda v: _EchoProcess(v, rounds),
+                               SynchronousScheduler(1.0),
+                               trace_sink=sink)
+        result = sim.run()
+        sink.close()
+        assert len(sink) > 0
+        return result.events_processed
+    finally:
+        sink.cleanup()
+
+
+def build_replay_corpus(n: int = 24, rounds: int = 40,
+                        chunk_records: int = 20_000,
+                        columnar: bool = True):
+    """One spill_clique24-shaped execution persisted to disk for the
+    replay benchmarks: ``(graph, sink)``, with the sink closed and its
+    chunks on disk. Keep the sink referenced -- its temp directory is
+    removed when it is garbage collected."""
+    graph = clique(n)
+    cls = ColumnarSink if columnar else SpillSink
+    sink = cls(chunk_records=chunk_records)
+    sim = build_simulation(graph, lambda v: _EchoProcess(v, rounds),
+                           SynchronousScheduler(1.0), trace_sink=sink)
+    sim.run()
+    sink.close()
+    return graph, sink
+
+
+def run_columnar_replay(graph, directory: str, f_ack: float = 1.0) -> int:
+    """Vectorized disk replay: reopen a columnar spill directory
+    (numpy index rebuild -- the metrics path) and run the
+    whole-chunk invariant audit over it. Returns records verified."""
+    from repro.macsim import check_model_invariants
+
+    sink = ColumnarSink.load(directory)
+    report = check_model_invariants(graph, sink, f_ack)
+    assert report.ok, report.violations[:3]
+    assert sink.broadcast_count() > 0 and sink.decisions() is not None
+    return len(sink)
+
+
+class _ReferenceReplayView:
+    """Presents a disk sink to ``check_model_invariants`` without its
+    ``columnar`` capability flag, pinning the per-record reference
+    replay path (the pre-PR 6 cost of the same audit)."""
+
+    def __init__(self, sink):
+        self._sink = sink
+
+    def of_kind(self, kind):
+        return self._sink.of_kind(kind)
+
+    def __iter__(self):
+        return self._sink.iter_records()
+
+
+def run_reference_replay(graph, sink, f_ack: float = 1.0) -> int:
+    """Record-iterator disk replay baseline: the same invariant audit
+    driven record by record off ``sink``'s chunk iterator. Returns
+    records verified."""
+    from repro.macsim import check_model_invariants
+
+    report = check_model_invariants(graph, _ReferenceReplayView(sink),
+                                    f_ack)
+    assert report.ok, report.violations[:3]
+    return len(sink)
 
 
 def build_query_trace(records: int = 50_000) -> Trace:
@@ -318,3 +403,20 @@ def test_spill_clique_throughput(benchmark):
         pytest.skip("engine predates SpillSink")
     events = benchmark(run_spill_clique, 16, 10)
     assert events > 0
+
+
+def test_columnar_clique_throughput(benchmark):
+    if ColumnarSink is None:
+        import pytest
+        pytest.skip("engine predates ColumnarSink")
+    events = benchmark(run_columnar_clique, 16, 10)
+    assert events > 0
+
+
+def test_columnar_replay_throughput(benchmark):
+    if ColumnarSink is None:
+        import pytest
+        pytest.skip("engine predates ColumnarSink")
+    graph, sink = build_replay_corpus(16, 10)
+    records = benchmark(run_columnar_replay, graph, sink.directory)
+    assert records == len(sink)

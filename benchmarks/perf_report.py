@@ -1,7 +1,7 @@
 """Before/after perf harness: ``python -m benchmarks.perf_report``.
 
 Runs the engine microbenchmarks (:mod:`benchmarks.bench_engine`) and
-writes a JSON report -- ``BENCH_PR5.json`` by default -- containing the
+writes a JSON report -- ``BENCH_PR6.json`` by default -- containing the
 median wall-clock time and rate (events/ops/queries per second) of
 each workload, alongside "before" numbers so every PR from PR 1 onward
 has a perf trajectory to regress against. The ``--check`` gate keeps
@@ -19,6 +19,16 @@ PR 5 addition: ``e13_churn``, the dynamic-topology workload -- an echo
 flood under per-epoch edge churn, measuring the cost of topology-epoch
 application on top of the delivery path (no seed counterpart; gated
 against its own trajectory from this report onward).
+
+PR 6 additions: ``columnar_clique24`` (the spill_clique24 workload
+writing binary columnar chunks), ``columnar_replay24`` /
+``spill_replay24`` (disk replay of the same trace, vectorized vs the
+record-iterator reference), and a ``columnar`` report section
+recording the on-disk bytes-per-record of each format and the replay
+speedup -- with the PR's acceptance gates (columnar <= 1/4 of the
+JSONL bytes, vectorized replay >= 3x) evaluated inline. ``--attach-
+smoke`` embeds a :mod:`benchmarks.spill_smoke` JSON summary (the
+gated 10^8-event run) under ``columnar_smoke``.
 
 "Before" numbers come from, in order of preference:
 
@@ -85,6 +95,23 @@ def _workloads() -> Dict[str, Tuple[Callable[[], int], str]]:
         workloads["e13_churn"] = (
             lambda: bench_engine.run_churn_clique(24, 40, 0.1),
             "events")
+    if bench_engine.ColumnarSink is not None:
+        workloads["columnar_clique24"] = (
+            lambda: bench_engine.run_columnar_clique(24, 40), "events")
+        # Replay corpora are built once, outside the timed region
+        # (like query_trace above): the replay workloads measure the
+        # read side only. The sink objects must stay referenced --
+        # the closures below keep them (and their temp dirs) alive.
+        col_graph, col_sink = bench_engine.build_replay_corpus(
+            24, 40, columnar=True)
+        _, jsonl_sink = bench_engine.build_replay_corpus(
+            24, 40, columnar=False)
+        workloads["columnar_replay24"] = (
+            lambda: bench_engine.run_columnar_replay(
+                col_graph, col_sink.directory), "records")
+        workloads["spill_replay24"] = (
+            lambda: bench_engine.run_reference_replay(
+                col_graph, jsonl_sink), "records")
     return workloads
 
 
@@ -122,6 +149,62 @@ def _rate(entry: dict) -> Optional[float]:
     return None
 
 
+#: The PR 6 acceptance gates on the columnar section.
+COLUMNAR_BYTES_RATIO_MAX = 0.25
+COLUMNAR_REPLAY_SPEEDUP_MIN = 3.0
+
+
+def columnar_report(results: Dict[str, dict]) -> Optional[dict]:
+    """The columnar-format section: on-disk bytes per record for both
+    spill formats on the same workload, plus the replay speedup taken
+    from the measured ``columnar_replay24`` / ``spill_replay24``
+    rates, with the PR 6 acceptance gates evaluated inline."""
+    if bench_engine.ColumnarSink is None or bench_engine.SpillSink is None:
+        return None
+    _, col_sink = bench_engine.build_replay_corpus(24, 40, columnar=True)
+    _, jsonl_sink = bench_engine.build_replay_corpus(24, 40,
+                                                     columnar=False)
+    try:
+        records = len(col_sink)
+        col_bytes = col_sink.spilled_bytes()
+        jsonl_bytes = jsonl_sink.spilled_bytes()
+        section = {
+            "workload": "spill_clique24 (echo flood, clique n=24, "
+                        "40 rounds, full-level trace)",
+            "records": records,
+            "jsonl_bytes": jsonl_bytes,
+            "columnar_bytes": col_bytes,
+            "jsonl_bytes_per_record": round(jsonl_bytes / records, 2),
+            "columnar_bytes_per_record": round(col_bytes / records, 2),
+            "bytes_ratio_columnar_vs_jsonl": round(
+                col_bytes / jsonl_bytes, 4),
+            "numpy": bench_engine.have_numpy(),
+        }
+        vec = results.get("columnar_replay24")
+        ref = results.get("spill_replay24")
+        if vec and ref:
+            section["replay_speedup_vectorized_vs_iterator"] = round(
+                _rate(vec) / _rate(ref), 2)
+        gates = {
+            "bytes_ratio_max": COLUMNAR_BYTES_RATIO_MAX,
+            "replay_speedup_min": COLUMNAR_REPLAY_SPEEDUP_MIN,
+        }
+        ok = (section["bytes_ratio_columnar_vs_jsonl"]
+              <= COLUMNAR_BYTES_RATIO_MAX)
+        speedup = section.get("replay_speedup_vectorized_vs_iterator")
+        if bench_engine.have_numpy():
+            ok = ok and (speedup is not None
+                         and speedup >= COLUMNAR_REPLAY_SPEEDUP_MIN)
+        else:
+            gates["replay_speedup_skipped"] = "numpy unavailable"
+        gates["ok"] = ok
+        section["gates"] = gates
+        return section
+    finally:
+        col_sink.cleanup()
+        jsonl_sink.cleanup()
+
+
 def _measure_seed_tree(seed_tree: str, repeats: int) -> dict:
     """Re-measure the workloads against a seed checkout, in-session."""
     src = os.path.join(seed_tree, "src")
@@ -146,8 +229,13 @@ def main(argv=None) -> int:
     parser = argparse.ArgumentParser(
         prog="python -m benchmarks.perf_report",
         description="Engine microbenchmark report (before/after).")
-    parser.add_argument("--out", default="BENCH_PR5.json",
-                        help="output path (default: BENCH_PR5.json)")
+    parser.add_argument("--out", default="BENCH_PR6.json",
+                        help="output path (default: BENCH_PR6.json)")
+    parser.add_argument("--attach-smoke", default=None, metavar="JSON",
+                        help="embed a benchmarks.spill_smoke --json-out "
+                             "summary (the gated 10^8-event columnar "
+                             "run) under the report's 'columnar_smoke' "
+                             "key")
     parser.add_argument("--repeats", type=int, default=None,
                         help="timings per workload (default 7; 3 smoke)")
     parser.add_argument("--smoke", action="store_true",
@@ -229,8 +317,14 @@ def main(argv=None) -> int:
         probe_rounds = 40 if args.smoke else 120
         spill_probe = bench_engine.run_spill_probe(24, probe_rounds)
 
+    columnar = columnar_report(results)
+    columnar_smoke = None
+    if args.attach_smoke:
+        with open(args.attach_smoke, encoding="utf-8") as handle:
+            columnar_smoke = json.load(handle)
+
     report = {
-        "pr": 5,
+        "pr": 6,
         "notes": {
             "wpaxos_clique32": "full-trace engine vs full-trace seed "
                                "(like-for-like; trace byte-identical)",
@@ -264,6 +358,24 @@ def main(argv=None) -> int:
                          "recompute, plan-pool invalidation, topo "
                          "records -- on top of the delivery path (no "
                          "seed counterpart)",
+            "columnar_clique24": "the spill_clique24 workload writing "
+                                 "binary struct-packed column chunks "
+                                 "(ColumnarSink) instead of JSONL; "
+                                 "compare against spill_clique24 for "
+                                 "the write-side cost of the format",
+            "columnar_replay24": "disk replay of the columnar corpus: "
+                                 "ColumnarSink.load (vectorized index "
+                                 "rebuild = the metrics path) + the "
+                                 "whole-chunk numpy invariant audit",
+            "spill_replay24": "the same audit driven record by record "
+                              "off a chunked-JSONL SpillSink -- the "
+                              "pre-PR 6 replay cost; "
+                              "columnar_replay24 / spill_replay24 is "
+                              "the replay speedup gate",
+            "columnar": "on-disk bytes per record for both spill "
+                        "formats on the same trace, with the PR 6 "
+                        "acceptance gates (columnar <= 1/4 of JSONL, "
+                        "vectorized replay >= 3x) evaluated inline",
         },
         "mode": "smoke" if args.smoke else "full",
         "repeats": repeats,
@@ -273,6 +385,8 @@ def main(argv=None) -> int:
         "after": results,
         "speedup": speedups,
         "spill_probe": spill_probe,
+        "columnar": columnar,
+        "columnar_smoke": columnar_smoke,
     }
     with open(args.out, "w", encoding="utf-8") as handle:
         json.dump(report, handle, indent=2)
@@ -291,6 +405,19 @@ def main(argv=None) -> int:
               f"py heap peak {spill_probe['py_heap_peak_mb']} MB, "
               f"replay {spill_probe['replay_records_per_sec']:,.0f} "
               f"rec/s")
+    if columnar is not None:
+        ratio = columnar["bytes_ratio_columnar_vs_jsonl"]
+        speedup = columnar.get("replay_speedup_vectorized_vs_iterator")
+        print(f"  {'columnar':24s} "
+              f"{columnar['columnar_bytes_per_record']} B/rec vs "
+              f"{columnar['jsonl_bytes_per_record']} B/rec jsonl "
+              f"(ratio {ratio}), replay speedup "
+              f"{speedup if speedup is not None else 'n/a'}x, "
+              f"gates {'ok' if columnar['gates']['ok'] else 'FAILED'}")
+        if not columnar["gates"]["ok"]:
+            print(f"COLUMNAR GATES FAILED: {columnar['gates']}")
+            if args.check or args.check_speedup is not None:
+                return 2
 
     if args.check_speedup is not None:
         slow = {name: ratio for name, ratio in speedups.items()

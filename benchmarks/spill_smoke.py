@@ -3,17 +3,29 @@
 
 Sets a *hard* address-space ceiling (``resource.setrlimit``) at the
 process's current footprint plus ``--headroom-mb``, then drives a
-full-level :class:`~repro.macsim.trace.SpillSink` run of at least
-``--events`` events, streams the trace back through
-``check_model_invariants``, collects metrics, and exports the trace
-with the streaming (schema v5) writer. If any stage's memory grew with
-the trace instead of the chunk size, the allocation fails and the
-smoke exits non-zero -- the ceiling is enforced by the kernel, not by
-sampling.
+full-level disk-spilling run of at least ``--events`` events in the
+chosen ``--format`` (chunked JSONL via
+:class:`~repro.macsim.trace.SpillSink`, or binary columnar chunks via
+:class:`~repro.macsim.columnar.ColumnarSink`), streams the trace back
+through ``check_model_invariants``, collects metrics, and exports the
+trace with the streaming (schema v6) writer. If any stage's memory
+grew with the trace instead of the chunk size, the allocation fails
+and the smoke exits non-zero -- the ceiling is enforced by the
+kernel, not by sampling.
 
-CI runs this at 10^6 events; the acceptance-scale 10^7-event run is
-the same invocation with ``--events 10000000`` (a few minutes of
-wall-clock, same ceiling).
+The smoke reports each format's trace-bytes-per-event ratio, and
+``--disk-budget-mb`` bounds the spill footprint *loudly*: past the
+budget the sink raises
+:class:`~repro.macsim.trace.SpillBudgetError` and the smoke FAILS,
+instead of silently truncating the trace. Columnar runs additionally
+reopen the spill directory (``ColumnarSink.load``) and re-derive the
+metrics from the columns -- the vectorized disk-replay path.
+
+CI runs the JSONL format at 10^6 events and the columnar format at
+10^7; the acceptance-scale 10^8-event columnar run is the same
+invocation with ``--events 100000000 --format columnar
+--headroom-mb 1024`` (the vectorized invariant audit keeps
+O(broadcasts) numpy state, ~75 B per broadcast).
 """
 
 from __future__ import annotations
@@ -24,10 +36,15 @@ import os
 import resource
 import sys
 import tempfile
+import time
 
 from repro.analysis import collect_metrics, save_trace
-from repro.macsim import (Process, SpillSink, build_simulation,
+from repro.macsim import (ColumnarSink, Process, SpillBudgetError,
+                          SpillSink, build_simulation,
                           check_model_invariants)
+# Imported at module level so numpy (pulled in by the columnar fast
+# paths) is resident *before* the VmSize baseline is measured.
+from repro.macsim.columnar import have_numpy
 from repro.macsim.schedulers import SynchronousScheduler
 from repro.topology import clique
 
@@ -68,17 +85,31 @@ def _vm_size_mb() -> float:
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(
         prog="python -m benchmarks.spill_smoke",
-        description="SpillSink bounded-memory smoke (hard RSS ceiling).")
+        description="Spill-sink bounded-memory smoke (hard RSS "
+                    "ceiling, loud disk budget).")
     parser.add_argument("--events", type=int, default=1_000_000,
                         help="minimum events to process (default 1M)")
     parser.add_argument("--nodes", type=int, default=24,
                         help="clique size (default 24)")
+    parser.add_argument("--format", default="jsonl",
+                        choices=("jsonl", "columnar"),
+                        help="spill format: chunked JSONL (SpillSink) "
+                             "or binary columnar chunks (ColumnarSink)")
     parser.add_argument("--headroom-mb", type=int, default=256,
                         help="address-space ceiling above the current "
                              "footprint (default 256 MB); an in-RAM "
                              "full trace of the same run needs far "
-                             "more")
+                             "more. Columnar 10^8-event runs need "
+                             "~1024 (O(broadcasts) audit state)")
+    parser.add_argument("--disk-budget-mb", type=int, default=None,
+                        help="hard spill-bytes budget; exceeding it "
+                             "mid-run FAILS the smoke loudly "
+                             "(SpillBudgetError) instead of silently "
+                             "truncating the trace")
     parser.add_argument("--chunk-records", type=int, default=50_000)
+    parser.add_argument("--json-out", default=None, metavar="PATH",
+                        help="also write the summary JSON to PATH "
+                             "(perf_report --attach-smoke embeds it)")
     parser.add_argument("--skip-rlimit", action="store_true",
                         help="measure without enforcing the ceiling "
                              "(non-Linux debugging)")
@@ -88,6 +119,10 @@ def main(argv=None) -> int:
     # Per full round: n broadcasts x (n-1 deliveries + 1 ack) events.
     per_round = n * n
     rounds = args.events // per_round + 1
+    columnar = args.format == "columnar"
+    sink_cls = ColumnarSink if columnar else SpillSink
+    max_bytes = (None if args.disk_budget_mb is None
+                 else args.disk_budget_mb * 1_000_000)
 
     baseline_mb = _vm_size_mb()
     if not args.skip_rlimit:
@@ -96,11 +131,16 @@ def main(argv=None) -> int:
         print(f"address-space ceiling: {limit / 1e6:,.0f} MB "
               f"(baseline {baseline_mb:,.0f} MB "
               f"+ {args.headroom_mb} MB headroom)")
+    print(f"format: {args.format} "
+          f"(numpy fast paths: {'on' if have_numpy() else 'off'})")
 
     graph = clique(n)
     values = {v: v % 2 for v in graph.nodes}
+    summary = None
     with tempfile.TemporaryDirectory(prefix="spill-smoke-") as spill_dir:
-        sink = SpillSink(spill_dir, chunk_records=args.chunk_records)
+        chunk_dir = os.path.join(spill_dir, "chunks")
+        sink = sink_cls(chunk_dir, chunk_records=args.chunk_records,
+                        max_bytes=max_bytes)
         sim = build_simulation(
             graph, lambda v: _FloodProcess(v, rounds),
             SynchronousScheduler(1.0), trace_sink=sink,
@@ -110,22 +150,41 @@ def main(argv=None) -> int:
         # Each flood round completes in one f_ack (= 1.0); leave slack
         # for the final decision wave rather than inheriting the
         # engine's default time ceiling.
-        result = sim.run(max_events=args.events * 2,
-                         max_time=float(rounds) + 10.0)
-        sink.close()
+        run_start = time.perf_counter()
+        try:
+            result = sim.run(max_events=args.events * 2,
+                             max_time=float(rounds) + 10.0)
+            sink.close()
+        except SpillBudgetError as exc:
+            print(f"FAIL: disk budget exceeded mid-run -- {exc}")
+            print("(the trace was NOT silently truncated; raise "
+                  "--disk-budget-mb or lower --events)")
+            return 1
+        run_seconds = time.perf_counter() - run_start
+        spilled_bytes = sink.spilled_bytes()
+        bytes_per_event = spilled_bytes / max(result.events_processed, 1)
+        bytes_per_record = spilled_bytes / max(len(sink), 1)
         print(f"run: {result.events_processed:,} events, "
               f"{len(sink):,} records, "
               f"{len(sink.chunk_paths())} chunks, "
-              f"stop={result.stop_reason}")
+              f"stop={result.stop_reason}, "
+              f"{result.events_processed / run_seconds:,.0f} ev/s")
+        print(f"spill: {spilled_bytes / 1e6:,.1f} MB on disk -> "
+              f"{bytes_per_event:.1f} B/event, "
+              f"{bytes_per_record:.1f} B/record ({args.format})")
         if result.events_processed < args.events:
             print(f"FAIL: processed fewer than {args.events:,} events")
             return 1
 
+        replay_start = time.perf_counter()
         report = check_model_invariants(graph, sink, 1.0)
+        replay_seconds = time.perf_counter() - replay_start
         if not report.ok:
             print(f"FAIL: invariants violated: {report.violations[:3]}")
             return 1
-        print("invariants: ok (streamed replay)")
+        print(f"invariants: ok "
+              f"({'vectorized' if columnar and have_numpy() else 'streamed'}"
+              f" replay, {len(sink) / replay_seconds:,.0f} rec/s)")
 
         metrics = collect_metrics(
             algorithm="flood", topology=f"clique({n})", graph=graph,
@@ -138,19 +197,69 @@ def main(argv=None) -> int:
             print("FAIL: consensus checks failed on the smoke workload")
             return 1
 
-        export_path = os.path.join(spill_dir, "export.jsonl")
+        if columnar:
+            # Disk-replay verification: reopen the spill directory and
+            # re-derive every counter and the metrics from the columns
+            # (the vectorized ColumnarSink.load path).
+            reopened = ColumnarSink.load(chunk_dir)
+            if (len(reopened) != len(sink)
+                    or reopened.broadcast_count() != sink.broadcast_count()
+                    or reopened.delivery_count() != sink.delivery_count()
+                    or reopened.decision_times() != sink.decision_times()):
+                print("FAIL: reopened columnar sink disagrees with the "
+                      "live one")
+                return 1
+            replay_metrics = collect_metrics(
+                algorithm="flood", topology=f"clique({n})", graph=graph,
+                scheduler=sim.scheduler, trace=reopened,
+                initial_values=values, diameter=1)
+            if not (replay_metrics.agreement
+                    and replay_metrics.termination
+                    and replay_metrics.broadcasts == metrics.broadcasts):
+                print("FAIL: replay metrics diverged from the live run")
+                return 1
+            print(f"reopen: ColumnarSink.load verified "
+                  f"({len(reopened):,} records, metrics match)")
+
+        export_path = os.path.join(spill_dir, "export.trace")
         save_trace(sink, export_path,
                    metadata={"smoke": True, "events": args.events})
         export_mb = os.path.getsize(export_path) / 1e6
-        print(f"export: {export_mb:,.1f} MB (streamed, schema v5)")
+        print(f"export: {export_mb:,.1f} MB (streamed, schema v6, "
+              f"{'columnar' if columnar else 'jsonl'} chunks)")
 
-    peak_mb = resource.getrusage(resource.RUSAGE_SELF).ru_maxrss / 1024
-    print(json.dumps({
-        "events": result.events_processed,
-        "records": len(sink),
-        "ru_maxrss_mb": round(peak_mb, 1),
-        "baseline_vmsize_mb": round(baseline_mb, 1),
-    }))
+        peak_mb = (resource.getrusage(resource.RUSAGE_SELF).ru_maxrss
+                   / 1024)
+        summary = {
+            "format": args.format,
+            "numpy": have_numpy(),
+            "nodes": n,
+            "events": result.events_processed,
+            "records": len(sink),
+            "chunks": len(sink.chunk_paths()),
+            "spilled_bytes": spilled_bytes,
+            "bytes_per_event": round(bytes_per_event, 2),
+            "bytes_per_record": round(bytes_per_record, 2),
+            "export_mb": round(export_mb, 1),
+            "run_seconds": round(run_seconds, 2),
+            "events_per_sec": round(
+                result.events_processed / run_seconds, 1),
+            "replay_seconds": round(replay_seconds, 2),
+            "replay_records_per_sec": round(
+                len(sink) / replay_seconds, 1),
+            "headroom_mb": args.headroom_mb,
+            "rlimit_enforced": not args.skip_rlimit,
+            "ru_maxrss_mb": round(peak_mb, 1),
+            "baseline_vmsize_mb": round(baseline_mb, 1),
+            "disk_budget_mb": args.disk_budget_mb,
+        }
+
+    print(json.dumps(summary))
+    if args.json_out:
+        with open(args.json_out, "w", encoding="utf-8") as handle:
+            json.dump(summary, handle, indent=2)
+            handle.write("\n")
+        print(f"summary written: {args.json_out}")
     print("spill smoke ok: full-level trace replayed, checked and "
           "exported under the memory ceiling")
     return 0

@@ -3,7 +3,16 @@
 `pip install -e . --no-build-isolation` needs `wheel` for PEP 660
 editable installs; offline boxes without it can use
 `python setup.py develop` instead, which this shim enables.
-"""
-from setuptools import setup
 
-setup()
+The ``[fast]`` extra pulls in numpy for the columnar trace engine's
+vectorized replay paths (see ``repro.macsim.columnar``); everything
+works without it through the pure-python fallbacks, just slower.
+"""
+from setuptools import find_packages, setup
+
+setup(
+    name="repro",
+    package_dir={"": "src"},
+    packages=find_packages("src"),
+    extras_require={"fast": ["numpy"]},
+)

@@ -7,19 +7,30 @@ are stored as ``repr`` strings: traces round-trip structurally
 (times, kinds, nodes, broadcast ids) with payloads preserved for
 human inspection rather than re-execution.
 
-Streaming (schema v5)
+Streaming (schema v6)
 ---------------------
-:func:`save_trace` writes a JSON-Lines document: a header line
-(schema / metadata / crash scenario / embedded
-:class:`~repro.scenario.Scenario`) followed by one JSON array of
-records per *chunk*. Records are serialized straight off the sink's iterator,
-so exporting a :class:`~repro.macsim.trace.SpillSink` run of 10^7+
-events never materializes the record list. :func:`load_trace` streams
-the chunks back -- into any :class:`~repro.macsim.trace.TraceSink`
-(pass ``sink=SpillSink(...)`` to keep the reload bounded too) -- and
-still reads the v1-v3 exports of earlier PRs. A v4 file whose header
-embeds a scenario can rebuild and re-execute the exact run
-(:func:`load_scenario`).
+:func:`save_trace` writes a header line (schema / metadata / crash
+scenario / embedded :class:`~repro.scenario.Scenario`) followed by the
+record stream in one of two chunked layouts, declared by the header's
+``format`` field:
+
+* ``jsonl-chunks`` -- one JSON array of records per line, serialized
+  straight off the sink's iterator (the v3-v5 layout, still the
+  default). Exporting a :class:`~repro.macsim.trace.SpillSink` run of
+  10^7+ events never materializes the record list.
+* ``columnar-chunks`` (new in v6) -- written automatically for
+  :class:`~repro.macsim.columnar.ColumnarSink` traces: the sink's
+  binary chunk blobs are copied verbatim after the header
+  (length-prefixed, zero-length sentinel, then a JSON chunk manifest
+  line), so the export is a near-memcpy of the spill directory and
+  stays 5-10x smaller than JSONL.
+
+:func:`load_trace` streams either layout back -- into any
+:class:`~repro.macsim.trace.TraceSink` (pass ``sink=SpillSink(...)``
+or a ``ColumnarSink`` to keep the reload bounded too) -- and still
+reads the v1-v5 exports of earlier PRs. A file whose header embeds a
+scenario can rebuild and re-execute the exact run
+(:func:`load_scenario`); ``repro replay`` works on both layouts.
 
 :func:`trace_to_json` keeps the v2 single-document layout: it is the
 in-memory diff/archival format for small traces (and what the
@@ -36,19 +47,27 @@ simulation.
 from __future__ import annotations
 
 import json
+import struct
 from typing import Any, Dict, Iterable, Iterator, List, Optional
 
 from ..macsim.crash import CrashPlan
 from ..macsim.trace import Trace, TraceRecord, TraceSink
 
-#: Schema version stamped into streamed (JSONL) file exports.
+#: Schema version stamped into streamed file exports.
 #: v4 added the embedded :class:`~repro.scenario.Scenario` (the full
 #: declarative run description, so a trace file can rebuild and
 #: re-execute the exact run); v5 extends the embedded scenario with
 #: the optional ``dynamics`` spec and the record stream with
 #: JSON-lossless ``topo`` records, so dynamic-topology runs replay
-#: byte-identically too. v1-v4 files still load.
-SCHEMA_VERSION = 5
+#: byte-identically too; v6 adds the binary ``columnar-chunks``
+#: layout (``format`` header field) for
+#: :class:`~repro.macsim.columnar.ColumnarSink` traces. v1-v5 files
+#: still load.
+SCHEMA_VERSION = 6
+
+#: Length prefix of each binary chunk blob in columnar exports (a
+#: zero length terminates the stream; the chunk manifest follows).
+_CHUNK_LEN = struct.Struct("<Q")
 
 #: Schema of the single-document layout (:func:`trace_to_json`).
 INLINE_SCHEMA_VERSION = 2
@@ -144,25 +163,32 @@ def save_trace(trace: TraceSink, path: str, *,
                crashes: Iterable[CrashPlan] = (),
                scenario=None,
                chunk_records: int = EXPORT_CHUNK_RECORDS) -> None:
-    """Write a streamed (schema v5) trace export.
+    """Write a streamed (schema v6) trace export.
 
-    Records are written ``chunk_records`` at a time straight off the
-    sink's iterator: peak memory is O(chunk) regardless of trace
-    length, which is what makes exporting a
-    :class:`~repro.macsim.trace.SpillSink` run feasible.
+    JSONL layout: records are written ``chunk_records`` at a time
+    straight off the sink's iterator -- peak memory is O(chunk)
+    regardless of trace length, which is what makes exporting a
+    :class:`~repro.macsim.trace.SpillSink` run feasible. Columnar
+    sinks instead get the binary ``columnar-chunks`` layout: their
+    encoded chunk blobs are copied into the file verbatim, so the
+    export costs one sequential read of the spill directory.
 
     ``scenario`` (a :class:`~repro.scenario.Scenario`, or anything
     with a compatible ``to_dict``) embeds the declarative run
     description in the header; :func:`load_scenario` reads it back so
     the exact execution can be rebuilt and replayed.
     """
+    columnar = getattr(trace, "columnar", False)
     header = {
         "schema": SCHEMA_VERSION,
-        "format": "jsonl-chunks",
+        "format": "columnar-chunks" if columnar else "jsonl-chunks",
         "metadata": metadata or {},
         "crashes": [plan.to_dict() for plan in crashes],
         "scenario": scenario.to_dict() if scenario is not None else None,
     }
+    if columnar:
+        _save_columnar(trace, path, header)
+        return
     with open(path, "w", encoding="utf-8") as handle:
         handle.write(json.dumps(header))
         handle.write("\n")
@@ -178,13 +204,53 @@ def save_trace(trace: TraceSink, path: str, *,
             handle.write("\n")
 
 
+def _save_columnar(trace: TraceSink, path: str, header: dict) -> None:
+    """Binary ``columnar-chunks`` body: header line, length-prefixed
+    chunk blobs copied verbatim, zero sentinel, chunk manifest line."""
+    chunks = 0
+    total = 0
+    with open(path, "wb") as handle:
+        handle.write(json.dumps(header).encode("utf-8"))
+        handle.write(b"\n")
+        for blob in trace.iter_chunk_blobs():
+            handle.write(_CHUNK_LEN.pack(len(blob)))
+            handle.write(blob)
+            chunks += 1
+            total += len(blob)
+        handle.write(_CHUNK_LEN.pack(0))
+        manifest = {"chunks": chunks, "records": len(trace),
+                    "chunk_bytes": total}
+        handle.write(json.dumps(manifest).encode("utf-8"))
+        handle.write(b"\n")
+
+
+def _iter_columnar_blobs(path: str) -> Iterator[bytes]:
+    with open(path, "rb") as handle:
+        handle.readline()  # header
+        while True:
+            prefix = handle.read(_CHUNK_LEN.size)
+            if len(prefix) < _CHUNK_LEN.size:
+                raise ValueError(f"truncated columnar export: {path}")
+            (length,) = _CHUNK_LEN.unpack(prefix)
+            if length == 0:
+                return
+            blob = handle.read(length)
+            if len(blob) < length:
+                raise ValueError(f"truncated columnar export: {path}")
+            yield blob
+
+
 def _read_header(path: str) -> Optional[dict]:
-    """The v3 header line, or ``None`` for v1/v2 single documents."""
-    with open(path, encoding="utf-8") as handle:
+    """The v3+ header line, or ``None`` for v1/v2 single documents.
+
+    Opens in binary: v6 columnar exports carry compressed chunk blobs
+    after the (utf-8 JSON) header line.
+    """
+    with open(path, "rb") as handle:
         first = handle.readline()
     try:
         header = json.loads(first)
-    except json.JSONDecodeError:
+    except (json.JSONDecodeError, UnicodeDecodeError):
         return None
     if isinstance(header, dict) and header.get("schema", 0) >= 3:
         if header["schema"] > SCHEMA_VERSION:
@@ -195,7 +261,14 @@ def _read_header(path: str) -> Optional[dict]:
 
 
 def iter_saved_records(path: str) -> Iterator[TraceRecord]:
-    """Stream the records of a v3 export without materializing them."""
+    """Stream the records of a v3+ export without materializing them
+    (either chunk layout)."""
+    header = _read_header(path)
+    if header is not None and header.get("format") == "columnar-chunks":
+        from ..macsim.columnar import decode_chunk
+        for blob in _iter_columnar_blobs(path):
+            yield from decode_chunk(blob).records()
+        return
     with open(path, encoding="utf-8") as handle:
         handle.readline()  # header
         for line in handle:

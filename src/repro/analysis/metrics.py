@@ -5,7 +5,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Any, Dict, Optional
 
-from ..macsim import RunResult, check_consensus
+from ..macsim import RunResult, TraceSink, check_consensus
 
 
 @dataclass
@@ -49,21 +49,37 @@ class RunMetrics:
 
 
 def collect_metrics(*, algorithm: str, topology: str, graph,
-                    scheduler, result: RunResult,
+                    scheduler, result: Optional[RunResult] = None,
                     initial_values: Dict[Any, int],
                     diameter: Optional[int] = None,
                     faulty: frozenset = frozenset(),
                     untrusted: Optional[frozenset] = None,
-                    extras: Optional[Dict[str, Any]] = None) -> RunMetrics:
+                    extras: Optional[Dict[str, Any]] = None,
+                    trace: Optional[TraceSink] = None,
+                    events: int = 0,
+                    stop_reason: str = "replay") -> RunMetrics:
     """Build a :class:`RunMetrics` from a completed run.
 
     ``faulty`` scopes the consensus properties to correct nodes and
     ``untrusted`` the validity input set (fault-model runs); see
     :func:`repro.macsim.invariants.check_consensus`.
+
+    Pass either a live ``result`` (the simulation path) or a bare
+    ``trace`` sink without one (the disk-replay path: a reloaded
+    export or a reopened :class:`~repro.macsim.columnar.ColumnarSink`
+    spill directory). Every field then comes from the sink's
+    counters/decision index -- O(1) on every sink -- with ``events``
+    and ``stop_reason`` taken from the keyword defaults since the
+    engine loop is not around to report them.
     """
-    report = check_consensus(result.trace, initial_values, faulty=faulty,
+    if result is not None:
+        trace = result.trace
+        events = result.events_processed
+        stop_reason = result.stop_reason
+    elif trace is None:
+        raise TypeError("collect_metrics needs a result or a trace")
+    report = check_consensus(trace, initial_values, faulty=faulty,
                              untrusted=untrusted)
-    trace = result.trace
     times = trace.decision_times()
     per_node = trace.broadcasts_per_node()
     return RunMetrics(
@@ -82,7 +98,7 @@ def collect_metrics(*, algorithm: str, topology: str, graph,
         broadcasts=trace.broadcast_count(),
         max_broadcasts_per_node=max(per_node.values(), default=0),
         deliveries=trace.delivery_count(),
-        events=result.events_processed,
-        stop_reason=result.stop_reason,
+        events=events,
+        stop_reason=stop_reason,
         extras=extras,
     )

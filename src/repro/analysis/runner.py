@@ -74,10 +74,12 @@ def run_consensus(*, algorithm: str, topology: str, graph, scheduler,
 
     ``trace_level``/``trace_sink`` select the trace sink (see
     :mod:`repro.macsim.trace`): invariant replay needs a replayable
-    sink (FULL or SPILL), so invariant checking is skipped
+    sink (FULL, SPILL or COLUMNAR), so invariant checking is skipped
     automatically for counting sinks; consensus checking and all
     metrics work on every sink (they use the decision/crash records
-    and the exact occurrence counters).
+    and the exact occurrence counters). COLUMNAR sinks take the
+    vectorized whole-chunk invariant fast path when numpy is
+    installed.
 
     ``probe(sim)`` may harvest algorithm-specific observables from the
     finished simulator (e.g. round counts); its dict lands in

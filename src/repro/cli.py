@@ -391,11 +391,14 @@ def build_parser() -> argparse.ArgumentParser:
                             "random_waypoint:radius=0.3,speed=0.1 "
                             "(--list-dynamics for the catalogue)")
     run_p.add_argument("--trace-out", default=None,
-                       help="write the execution trace as JSON "
-                            "(streamed chunks, schema v5 with the "
-                            "embedded scenario; see 'repro replay')")
+                       help="write the execution trace "
+                            "(streamed chunks, schema v6 with the "
+                            "embedded scenario; binary columnar body "
+                            "at --trace-level columnar; see "
+                            "'repro replay')")
     run_p.add_argument("--trace-level", default=None,
-                       choices=("full", "decisions", "spill"),
+                       choices=("full", "decisions", "spill",
+                                "columnar"),
                        help="trace sink: 'full' keeps every record "
                             "in RAM (default; replayable, exact); "
                             "'decisions' keeps only decisions/crashes "
@@ -403,7 +406,10 @@ def build_parser() -> argparse.ArgumentParser:
                             "and metrics-only runs); 'spill' streams "
                             "full records to chunked JSONL on disk "
                             "with an in-RAM index (replayable at "
-                            "10^7+ events in bounded memory)")
+                            "10^7+ events in bounded memory); "
+                            "'columnar' streams binary struct-packed "
+                            "column chunks instead (~5-10x smaller, "
+                            "vectorized replay; the 10^8-event mode)")
     run_p.add_argument("--byzantine", type=int, default=0,
                        metavar="K",
                        help="make the last K nodes Byzantine")

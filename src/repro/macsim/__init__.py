@@ -30,8 +30,10 @@ from .invariants import (ConsensusReport, InvariantReport, check_consensus,
                          check_model_invariants)
 from .process import Process
 from .simulator import RunResult, Simulator, build_simulation
-from .trace import (DecisionsSink, IndexedMemorySink, SpillSink, Trace,
-                    TraceLevel, TraceRecord, TraceSink, make_sink)
+from .columnar import ColumnarSink
+from .trace import (DecisionsSink, IndexedMemorySink, SpillBudgetError,
+                    SpillSink, Trace, TraceLevel, TraceRecord, TraceSink,
+                    make_sink)
 from . import dynamics, faults, schedulers
 
 __all__ = [
@@ -65,6 +67,8 @@ __all__ = [
     "IndexedMemorySink",
     "DecisionsSink",
     "SpillSink",
+    "ColumnarSink",
+    "SpillBudgetError",
     "make_sink",
     "InvariantReport",
     "ConsensusReport",

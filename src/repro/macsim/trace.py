@@ -17,7 +17,7 @@ serve three purposes in this reproduction:
 
 Choosing a sink
 ---------------
-Three sinks ship behind the protocol (:func:`make_sink` maps a
+Four sinks ship behind the protocol (:func:`make_sink` maps a
 :class:`TraceLevel` to one):
 
 * :class:`IndexedMemorySink` (``TraceLevel.FULL``, the default) --
@@ -40,6 +40,13 @@ Three sinks ship behind the protocol (:func:`make_sink` maps a
   with O(chunk) memory, so 10^7+-event runs complete in bounded RAM.
   Replayed payloads come back as ``repr`` strings (the export
   convention); decisions/counters keep original objects.
+* :class:`repro.macsim.columnar.ColumnarSink`
+  (``TraceLevel.COLUMNAR``) -- same streaming contract as ``SPILL``
+  but chunks are binary struct-packed *columns* (typed arrays plus
+  per-chunk interned label/payload tables, zlib-compressed): ~5-10x
+  smaller on disk, and replay consumers with a columnar fast path
+  (invariants, metrics rebuild) read whole chunks as numpy views
+  instead of parsing records. The 10^8-event mode.
 
 ``Trace`` remains the concrete in-memory implementation (both FULL and
 DECISIONS levels) for backwards compatibility; ``IndexedMemorySink``
@@ -98,6 +105,11 @@ class TraceLevel(enum.Enum):
     #: Store every occurrence, streamed to chunked JSONL on disk with
     #: an in-RAM decisions/counter index (bounded-memory full traces).
     SPILL = "spill"
+    #: Like SPILL but chunks are binary struct-packed columns (typed
+    #: arrays + interned string tables, zlib): ~5-10x smaller spills
+    #: and vectorized whole-chunk replay. See
+    #: :class:`repro.macsim.columnar.ColumnarSink`.
+    COLUMNAR = "columnar"
 
     @classmethod
     def coerce(cls, value: "TraceLevel | str") -> "TraceLevel":
@@ -384,6 +396,17 @@ DEFAULT_CHUNK_RECORDS = 50_000
 _TUPLE_TAG = "__t__"
 
 
+class SpillBudgetError(RuntimeError):
+    """A disk-spilling sink exceeded its configured byte budget.
+
+    Raised at flush time by :class:`SpillSink` /
+    :class:`repro.macsim.columnar.ColumnarSink` when ``max_bytes`` is
+    set and the chunk files have grown past it. The run fails loudly
+    instead of silently truncating the trace; everything spilled so
+    far remains on disk for post-mortem inspection.
+    """
+
+
 def _pack_label(value: Any) -> Any:
     """JSON-lossless packing for node/peer labels (ints, strings,
     floats, None, and tuples thereof); anything else falls back to
@@ -401,6 +424,18 @@ def _unpack_label(value: Any) -> Any:
             return tuple(_unpack_label(v) for v in value[1:])
         return [_unpack_label(v) for v in value]
     return value
+
+
+#: Kind string -> pre-encoded JSON fragment; saves re-encoding the
+#: same eight literals hundreds of millions of times on the hot spill
+#: path. Doubles as the validity check (``.get`` returns ``None`` for
+#: unknown kinds).
+_KIND_JSON = {k: json.dumps(k) for k in TRACE_KINDS}
+
+#: Kind string replay-interning table: ``_parse`` maps the parsed kind
+#: through this so replayed records share the eight canonical string
+#: objects instead of allocating a fresh one per record.
+_KIND_INTERN = {k: k for k in TRACE_KINDS}
 
 
 class SpillSink(TraceSink):
@@ -424,10 +459,14 @@ class SpillSink(TraceSink):
     The sink owns its directory when none is supplied (a fresh temp
     dir, removed on :meth:`cleanup` or garbage collection). ``close()``
     flushes the tail chunk; queries and iteration stay valid after it.
+    ``max_bytes`` optionally bounds the on-disk footprint: exceeding
+    it raises :class:`SpillBudgetError` at flush time instead of
+    silently truncating the trace.
     """
 
-    __slots__ = ("directory", "chunk_records", "_chunk_paths", "_buffer",
-                 "_spilled", "_by_kind_essential", "_decisions",
+    __slots__ = ("directory", "chunk_records", "max_bytes",
+                 "_chunk_paths", "_buffer", "_spilled", "_spilled_bytes",
+                 "_label_json", "_by_kind_essential", "_decisions",
                  "_decision_times", "_kind_counts", "_broadcasts_by_node",
                  "_owns_dir", "_finalizer", "__weakref__")
 
@@ -437,7 +476,8 @@ class SpillSink(TraceSink):
     payloads_preserialized = True
 
     def __init__(self, directory: Optional[str] = None, *,
-                 chunk_records: int = DEFAULT_CHUNK_RECORDS) -> None:
+                 chunk_records: int = DEFAULT_CHUNK_RECORDS,
+                 max_bytes: Optional[int] = None) -> None:
         if chunk_records <= 0:
             raise ValueError("chunk_records must be positive")
         self._owns_dir = directory is None
@@ -447,9 +487,13 @@ class SpillSink(TraceSink):
             os.makedirs(directory, exist_ok=True)
         self.directory = directory
         self.chunk_records = chunk_records
+        self.max_bytes = max_bytes
         self._chunk_paths: List[str] = []
         self._buffer: List[str] = []
         self._spilled = 0
+        self._spilled_bytes = 0
+        #: label -> pre-encoded JSON fragment (labels repeat per node).
+        self._label_json: Dict[Any, str] = {None: "null"}
         self._by_kind_essential: Dict[str, List[TraceRecord]] = {}
         self._decisions: Dict[Any, Any] = {}
         self._decision_times: Dict[Any, float] = {}
@@ -462,15 +506,28 @@ class SpillSink(TraceSink):
             self._finalizer = None
 
     # -- ingestion -----------------------------------------------------
+    def _label_fragment(self, label: Any) -> str:
+        fragment = self._label_json.get(label)
+        if fragment is None:
+            fragment = self._label_json[label] = json.dumps(
+                _pack_label(label), separators=(",", ":"))
+        return fragment
+
     def record(self, time: float, kind: str, node: Any, *,
                broadcast_id: Optional[int] = None, peer: Any = None,
                payload: Any = None) -> None:
-        if kind not in _TRACE_KIND_SET:
+        kind_json = _KIND_JSON.get(kind)
+        if kind_json is None:
             raise ValueError(f"unknown trace kind: {kind!r}")
-        self._buffer.append(json.dumps(
-            [time, kind, _pack_label(node), broadcast_id,
-             _pack_label(peer),
-             None if payload is None else repr(payload)]))
+        # Hand-assembled JSON array, json.loads-compatible with the
+        # previous json.dumps output: labels and kinds come from the
+        # intern caches, only time and payload are encoded per record.
+        self._buffer.append(
+            f"[{json.dumps(time)}, {kind_json}, "
+            f"{self._label_fragment(node)}, "
+            f"{'null' if broadcast_id is None else broadcast_id}, "
+            f"{self._label_fragment(peer)}, "
+            f"{'null' if payload is None else json.dumps(repr(payload))}]")
         if len(self._buffer) >= self.chunk_records:
             self.flush()
         self._kind_counts[kind] += 1
@@ -502,12 +559,17 @@ class SpillSink(TraceSink):
         :meth:`record` would apply, so reload -> re-export round-trips
         byte-identically."""
         kind = record.kind
-        if kind not in _TRACE_KIND_SET:
+        kind_json = _KIND_JSON.get(kind)
+        if kind_json is None:
             raise ValueError(f"unknown trace kind: {kind!r}")
-        self._buffer.append(json.dumps(
-            [record.time, kind, _pack_label(record.node),
-             record.broadcast_id, _pack_label(record.peer),
-             record.payload]))
+        bid = record.broadcast_id
+        payload = record.payload
+        self._buffer.append(
+            f"[{json.dumps(record.time)}, {kind_json}, "
+            f"{self._label_fragment(record.node)}, "
+            f"{'null' if bid is None else bid}, "
+            f"{self._label_fragment(record.peer)}, "
+            f"{'null' if payload is None else json.dumps(payload)}]")
         if len(self._buffer) >= self.chunk_records:
             self.flush()
         self._kind_counts[kind] += 1
@@ -537,12 +599,19 @@ class SpillSink(TraceSink):
             return
         path = os.path.join(self.directory,
                             f"chunk-{len(self._chunk_paths):05d}.jsonl")
-        with io.open(path, "w", encoding="utf-8") as handle:
-            handle.write("\n".join(self._buffer))
-            handle.write("\n")
+        body = ("\n".join(self._buffer) + "\n").encode("utf-8")
+        with open(path, "wb") as handle:
+            handle.write(body)
         self._chunk_paths.append(path)
         self._spilled += len(self._buffer)
+        self._spilled_bytes += len(body)
         self._buffer = []
+        if (self.max_bytes is not None
+                and self._spilled_bytes > self.max_bytes):
+            raise SpillBudgetError(
+                f"JSONL spill exceeded its disk budget: "
+                f"{self._spilled_bytes:,} bytes > {self.max_bytes:,} "
+                f"({self._spilled:,} records in {self.directory})")
 
     def close(self) -> None:
         self.flush()
@@ -551,6 +620,10 @@ class SpillSink(TraceSink):
         """Remove the spill directory (only if this sink created it)."""
         if self._finalizer is not None:
             self._finalizer()
+
+    def spilled_bytes(self) -> int:
+        """Total bytes written to chunk files so far."""
+        return self._spilled_bytes
 
     # -- replay --------------------------------------------------------
     def __len__(self) -> int:
@@ -571,7 +644,8 @@ class SpillSink(TraceSink):
     @staticmethod
     def _parse(line: str) -> TraceRecord:
         time, kind, node, bid, peer, payload = json.loads(line)
-        return TraceRecord(time, kind, _unpack_label(node),
+        return TraceRecord(time, _KIND_INTERN.get(kind, kind),
+                           _unpack_label(node),
                            broadcast_id=bid, peer=_unpack_label(peer),
                            payload=payload)
 
@@ -618,12 +692,17 @@ class SpillSink(TraceSink):
 def make_sink(level: "TraceLevel | str", **spill_kwargs) -> TraceSink:
     """Construct the sink for a :class:`TraceLevel`.
 
-    ``spill_kwargs`` (``directory``, ``chunk_records``) apply only to
-    :attr:`TraceLevel.SPILL`.
+    ``spill_kwargs`` (``directory``, ``chunk_records``, ``max_bytes``)
+    apply only to the disk-spilling levels (:attr:`TraceLevel.SPILL`
+    and :attr:`TraceLevel.COLUMNAR`).
     """
     level = TraceLevel.coerce(level)
     if level is TraceLevel.SPILL:
         return SpillSink(**spill_kwargs)
+    if level is TraceLevel.COLUMNAR:
+        # Deferred import: columnar.py imports from this module.
+        from .columnar import ColumnarSink
+        return ColumnarSink(**spill_kwargs)
     if spill_kwargs:
         raise ValueError(f"spill options are invalid for {level}")
     if level is TraceLevel.DECISIONS:

@@ -367,7 +367,7 @@ class TestStreamingExport:
                    chunk_records=7)
         with open(path, encoding="utf-8") as fh:
             header = json.loads(fh.readline())
-        assert header["schema"] == 5
+        assert header["schema"] == 6
         reloaded = load_trace(path)
         assert len(reloaded) == len(trace)
         assert reloaded.decision_times() == trace.decision_times()
