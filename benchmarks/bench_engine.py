@@ -54,6 +54,11 @@ except ImportError:  # earlier engines
     def have_numpy() -> bool:
         return False
 
+try:  # engine >= PR 7
+    from repro.macsim.telemetry import Telemetry
+except ImportError:  # earlier engines
+    Telemetry = None
+
 try:  # analysis >= PR 1
     from repro.analysis import parallel_sweep
 except ImportError:  # seed engine
@@ -119,22 +124,34 @@ def run_dense_fanout(n_nodes: int = 96, rounds: int = 3) -> int:
 
 
 def run_spill_clique(n: int = 24, rounds: int = 40,
-                     chunk_records: int = 20_000) -> int:
+                     chunk_records: int = 20_000,
+                     telemetry: bool = False) -> int:
     """Full-level SpillSink throughput: an echo flood whose complete
     trace streams to chunked JSONL on disk. Returns events processed;
-    the sink's temp directory is removed before returning."""
+    the sink's temp directory is removed before returning.
+    ``telemetry=True`` runs the identical workload with a live
+    Telemetry attached (the PR 7 overhead-gate counterpart)."""
     graph = clique(n)
     sink = SpillSink(chunk_records=chunk_records)
     try:
         sim = build_simulation(graph, lambda v: _EchoProcess(v, rounds),
                                SynchronousScheduler(1.0),
-                               trace_sink=sink)
+                               trace_sink=sink,
+                               **({"telemetry": Telemetry()}
+                                  if telemetry else {}))
         result = sim.run()
         sink.close()
         assert len(sink) > 0
+        if telemetry:
+            assert sim.telemetry.counters["deliveries"] > 0
         return result.events_processed
     finally:
         sink.cleanup()
+
+
+def run_spill_clique_tel(n: int = 24, rounds: int = 40) -> int:
+    """``run_spill_clique`` with telemetry on (overhead measurement)."""
+    return run_spill_clique(n, rounds, telemetry=True)
 
 
 def run_columnar_clique(n: int = 24, rounds: int = 40,
@@ -235,17 +252,23 @@ def run_trace_queries(trace: Trace, iterations: int = 100) -> int:
     return 5 * iterations
 
 
-def run_wpaxos_clique(n: int = 32, trace_level=None) -> int:
+def run_wpaxos_clique(n: int = 32, trace_level=None,
+                      telemetry: bool = False) -> int:
     """Full wPAXOS consensus on clique(n); returns events processed.
 
     ``trace_level`` is forwarded when the engine supports it (PR 1+);
     ``None`` means the engine default (full trace) everywhere.
+    ``telemetry=True`` attaches a live Telemetry (PR 7+) so
+    perf_report can price the observability layer against the same
+    run with it off.
     """
     graph = clique(n)
     uid = {v: i + 1 for i, v in enumerate(graph.nodes)}
     kwargs = {}
     if trace_level is not None:
         kwargs["trace_level"] = trace_level
+    if telemetry:
+        kwargs["telemetry"] = Telemetry()
     sim = build_simulation(
         graph,
         lambda v: WPaxosNode(uid[v], graph.index_of(v) % 2, graph.n,
@@ -253,7 +276,15 @@ def run_wpaxos_clique(n: int = 32, trace_level=None) -> int:
         SynchronousScheduler(1.0), **kwargs)
     result = sim.run()
     assert result.stop_reason in ("all_decided", "quiescent_all_decided")
+    if telemetry:
+        assert sim.telemetry.counters["events_processed"] \
+            == result.events_processed
     return result.events_processed
+
+
+def run_wpaxos_clique_tel(n: int = 32) -> int:
+    """``run_wpaxos_clique`` with telemetry on (overhead measurement)."""
+    return run_wpaxos_clique(n, telemetry=True)
 
 
 def run_churn_clique(n: int = 24, rounds: int = 40,
@@ -410,6 +441,14 @@ def test_columnar_clique_throughput(benchmark):
         import pytest
         pytest.skip("engine predates ColumnarSink")
     events = benchmark(run_columnar_clique, 16, 10)
+    assert events > 0
+
+
+def test_wpaxos_clique32_events_telemetry(benchmark):
+    if Telemetry is None:
+        import pytest
+        pytest.skip("engine predates Telemetry")
+    events = benchmark(run_wpaxos_clique_tel, 32)
     assert events > 0
 
 

@@ -30,6 +30,14 @@ JSONL bytes, vectorized replay >= 3x) evaluated inline. ``--attach-
 smoke`` embeds a :mod:`benchmarks.spill_smoke` JSON summary (the
 gated 10^8-event run) under ``columnar_smoke``.
 
+PR 7 additions: ``wpaxos_clique32_tel`` / ``spill_clique24_tel`` --
+the identical workloads with a live
+:class:`~repro.macsim.telemetry.Telemetry` attached -- and a
+``telemetry`` report section pricing the observability layer: the
+gate fails when telemetry-on throughput drops more than
+:data:`TELEMETRY_OVERHEAD_MAX` below telemetry-off on either
+workload.
+
 "Before" numbers come from, in order of preference:
 
 1. ``--seed-tree PATH`` -- a checkout of the seed commit (e.g. a
@@ -91,6 +99,13 @@ def _workloads() -> Dict[str, Tuple[Callable[[], int], str]]:
     if bench_engine.SpillSink is not None:
         workloads["spill_clique24"] = (
             lambda: bench_engine.run_spill_clique(24, 40), "events")
+    if bench_engine.Telemetry is not None:
+        workloads["wpaxos_clique32_tel"] = (
+            lambda: bench_engine.run_wpaxos_clique_tel(32), "events")
+        if bench_engine.SpillSink is not None:
+            workloads["spill_clique24_tel"] = (
+                lambda: bench_engine.run_spill_clique_tel(24, 40),
+                "events")
     if bench_engine.EdgeChurn is not None:
         workloads["e13_churn"] = (
             lambda: bench_engine.run_churn_clique(24, 40, 0.1),
@@ -152,6 +167,73 @@ def _rate(entry: dict) -> Optional[float]:
 #: The PR 6 acceptance gates on the columnar section.
 COLUMNAR_BYTES_RATIO_MAX = 0.25
 COLUMNAR_REPLAY_SPEEDUP_MIN = 3.0
+
+#: The PR 7 acceptance gate: telemetry-on may cost at most this
+#: fraction of telemetry-off throughput on each gated workload pair.
+TELEMETRY_OVERHEAD_MAX = 0.05
+
+#: (off, on) workload pairs the telemetry gate compares.
+TELEMETRY_PAIRS = (
+    ("wpaxos_clique32", "wpaxos_clique32_tel"),
+    ("spill_clique24", "spill_clique24_tel"),
+)
+
+
+def telemetry_report(repeats: int) -> Optional[dict]:
+    """The telemetry-overhead section: for each (off, on) workload
+    pair, freshly measured rates and the fractional overhead
+    ``rate_off / rate_on - 1``, with the <= 5% gate evaluated inline.
+
+    The pairs are re-measured here with *interleaved* repeats (off,
+    on, off, on, ...) rather than read from the global results:
+    workloads in the main sweep run minutes apart, and allocator/GC
+    drift from the heavyweight spill workloads in between dwarfs the
+    few-percent effect this gate prices. Interleaving exposes both
+    sides of each pair to the same environment; min-of-N then cancels
+    the remaining noise. ``None`` when the engine predates telemetry.
+    """
+    if bench_engine.Telemetry is None:
+        return None
+    workloads = _workloads()
+    # The pairs are cheap (~0.3 s per interleaved repeat), so floor
+    # the repeat count: smoke mode's 3 repeats are too noisy for a
+    # 5% gate, and min-of-7 converges on shared runners.
+    repeats = max(repeats, 7)
+    pairs = {}
+    ok = True
+    for off_name, on_name in TELEMETRY_PAIRS:
+        if off_name not in workloads or on_name not in workloads:
+            continue
+        off_fn, _ = workloads[off_name]
+        on_fn, _ = workloads[on_name]
+        off_fn()
+        on_fn()  # warm-up both sides
+        off_times: list = []
+        on_times: list = []
+        units = 0
+        for _ in range(repeats):
+            start = time.perf_counter()
+            units = off_fn()
+            off_times.append(time.perf_counter() - start)
+            start = time.perf_counter()
+            on_fn()
+            on_times.append(time.perf_counter() - start)
+        rate_off = round(units / min(off_times), 1)
+        rate_on = round(units / min(on_times), 1)
+        overhead = rate_off / rate_on - 1.0
+        pairs[on_name] = {
+            "baseline": off_name,
+            "rate_off": rate_off,
+            "rate_on": rate_on,
+            "overhead": round(overhead, 4),
+        }
+        ok = ok and overhead <= TELEMETRY_OVERHEAD_MAX
+    if not pairs:
+        return None
+    return {
+        "pairs": pairs,
+        "gates": {"overhead_max": TELEMETRY_OVERHEAD_MAX, "ok": ok},
+    }
 
 
 def columnar_report(results: Dict[str, dict]) -> Optional[dict]:
@@ -229,8 +311,8 @@ def main(argv=None) -> int:
     parser = argparse.ArgumentParser(
         prog="python -m benchmarks.perf_report",
         description="Engine microbenchmark report (before/after).")
-    parser.add_argument("--out", default="BENCH_PR6.json",
-                        help="output path (default: BENCH_PR6.json)")
+    parser.add_argument("--out", default="BENCH_PR7.json",
+                        help="output path (default: BENCH_PR7.json)")
     parser.add_argument("--attach-smoke", default=None, metavar="JSON",
                         help="embed a benchmarks.spill_smoke --json-out "
                              "summary (the gated 10^8-event columnar "
@@ -318,13 +400,14 @@ def main(argv=None) -> int:
         spill_probe = bench_engine.run_spill_probe(24, probe_rounds)
 
     columnar = columnar_report(results)
+    telemetry = telemetry_report(repeats)
     columnar_smoke = None
     if args.attach_smoke:
         with open(args.attach_smoke, encoding="utf-8") as handle:
             columnar_smoke = json.load(handle)
 
     report = {
-        "pr": 6,
+        "pr": 7,
         "notes": {
             "wpaxos_clique32": "full-trace engine vs full-trace seed "
                                "(like-for-like; trace byte-identical)",
@@ -376,6 +459,21 @@ def main(argv=None) -> int:
                         "formats on the same trace, with the PR 6 "
                         "acceptance gates (columnar <= 1/4 of JSONL, "
                         "vectorized replay >= 3x) evaluated inline",
+            "wpaxos_clique32_tel": "the wpaxos_clique32 workload with "
+                                   "a live Telemetry attached (engine "
+                                   "counters, F_ack/F_prog span "
+                                   "tracking, phase profiler); "
+                                   "compare against wpaxos_clique32 "
+                                   "for the observability overhead",
+            "spill_clique24_tel": "spill_clique24 with telemetry on "
+                                  "(disk-backed sink + span tracking "
+                                  "-- the worst-case counter surface)",
+            "telemetry": "telemetry-on vs telemetry-off overhead per "
+                         "gated pair, re-measured with interleaved "
+                         "repeats so allocator/GC drift between the "
+                         "main sweep's workloads cannot masquerade "
+                         "as observability cost; the PR 7 acceptance "
+                         "gate (overhead <= 5%) evaluated inline",
         },
         "mode": "smoke" if args.smoke else "full",
         "repeats": repeats,
@@ -386,6 +484,7 @@ def main(argv=None) -> int:
         "speedup": speedups,
         "spill_probe": spill_probe,
         "columnar": columnar,
+        "telemetry": telemetry,
         "columnar_smoke": columnar_smoke,
     }
     with open(args.out, "w", encoding="utf-8") as handle:
@@ -416,6 +515,19 @@ def main(argv=None) -> int:
               f"gates {'ok' if columnar['gates']['ok'] else 'FAILED'}")
         if not columnar["gates"]["ok"]:
             print(f"COLUMNAR GATES FAILED: {columnar['gates']}")
+            if args.check or args.check_speedup is not None:
+                return 2
+    if telemetry is not None:
+        worst = max(entry["overhead"]
+                    for entry in telemetry["pairs"].values())
+        print(f"  {'telemetry':24s} overhead "
+              + ", ".join(
+                  f"{entry['overhead']:+.1%} ({name})"
+                  for name, entry in telemetry["pairs"].items())
+              + f", gate {'ok' if telemetry['gates']['ok'] else 'FAILED'}"
+              f" (max {worst:+.1%} <= {TELEMETRY_OVERHEAD_MAX:.0%})")
+        if not telemetry["gates"]["ok"]:
+            print(f"TELEMETRY OVERHEAD GATE FAILED: {telemetry}")
             if args.check or args.check_speedup is not None:
                 return 2
 

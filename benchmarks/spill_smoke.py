@@ -26,6 +26,14 @@ CI runs the JSONL format at 10^6 events and the columnar format at
 invocation with ``--events 100000000 --format columnar
 --headroom-mb 1024`` (the vectorized invariant audit keeps
 O(broadcasts) numpy state, ~75 B per broadcast).
+
+Long runs heartbeat progress every ``--heartbeat-events`` (events/s,
+VmSize, spilled bytes) by slicing the run into resumable
+``sim.run(max_events=...)`` calls -- event-for-event identical to one
+uninterrupted run. ``--telemetry-out PATH`` attaches a
+:class:`~repro.macsim.telemetry.Telemetry` and writes its snapshot;
+on ``SpillBudgetError`` a partial snapshot (marked ``aborted``) is
+still flushed, which is the post-mortem artifact CI uploads.
 """
 
 from __future__ import annotations
@@ -40,7 +48,7 @@ import time
 
 from repro.analysis import collect_metrics, save_trace
 from repro.macsim import (ColumnarSink, Process, SpillBudgetError,
-                          SpillSink, build_simulation,
+                          SpillSink, Telemetry, build_simulation,
                           check_model_invariants)
 # Imported at module level so numpy (pulled in by the columnar fast
 # paths) is resident *before* the VmSize baseline is measured.
@@ -107,6 +115,19 @@ def main(argv=None) -> int:
                              "(SpillBudgetError) instead of silently "
                              "truncating the trace")
     parser.add_argument("--chunk-records", type=int, default=50_000)
+    parser.add_argument("--heartbeat-events", type=int,
+                        default=1_000_000, metavar="N",
+                        help="print a progress heartbeat (events/s, "
+                             "VmSize, spilled bytes) every N events "
+                             "(default 1M; 0 disables). The run is "
+                             "sliced into resumable sim.run() calls, "
+                             "which is event-for-event identical to "
+                             "one uninterrupted run")
+    parser.add_argument("--telemetry-out", default=None, metavar="PATH",
+                        help="attach a Telemetry to the run and write "
+                             "its snapshot to PATH; on SpillBudgetError "
+                             "a *partial* snapshot (marked aborted) is "
+                             "still flushed for the post-mortem")
     parser.add_argument("--json-out", default=None, metavar="PATH",
                         help="also write the summary JSON to PATH "
                              "(perf_report --attach-smoke embeds it)")
@@ -141,40 +162,81 @@ def main(argv=None) -> int:
         chunk_dir = os.path.join(spill_dir, "chunks")
         sink = sink_cls(chunk_dir, chunk_records=args.chunk_records,
                         max_bytes=max_bytes)
+        telemetry = None
+        if args.telemetry_out:
+            # out_path makes record_abort() flush a partial snapshot
+            # to disk even when the budget blows mid-run.
+            telemetry = Telemetry(
+                label=f"spill-smoke-{args.format}-clique{n}",
+                out_path=args.telemetry_out)
         sim = build_simulation(
             graph, lambda v: _FloodProcess(v, rounds),
             SynchronousScheduler(1.0), trace_sink=sink,
             # Validated plans let the engine free each broadcast's
             # book-keeping at its ack (O(n) records in RAM).
-            validate_plans=True)
+            validate_plans=True, telemetry=telemetry)
         # Each flood round completes in one f_ack (= 1.0); leave slack
         # for the final decision wave rather than inheriting the
         # engine's default time ceiling.
+        event_budget = args.events * 2
+        deadline = float(rounds) + 10.0
+        heartbeat = max(0, args.heartbeat_events)
         run_start = time.perf_counter()
+        events_total = 0
         try:
-            result = sim.run(max_events=args.events * 2,
-                             max_time=float(rounds) + 10.0)
+            # The engine resumes exactly where a max_events stop left
+            # off, so slicing the run for heartbeats is pure
+            # observation: the event sequence (and the spilled trace)
+            # is identical to one uninterrupted run.
+            while True:
+                step = (event_budget - events_total if not heartbeat
+                        else min(heartbeat, event_budget - events_total))
+                result = sim.run(max_events=step, max_time=deadline)
+                events_total += result.events_processed
+                if (result.stop_reason != "max_events"
+                        or events_total >= event_budget):
+                    break
+                elapsed = time.perf_counter() - run_start
+                print(f"heartbeat: {events_total:,} events, "
+                      f"{events_total / elapsed:,.0f} ev/s, "
+                      f"vmsize {_vm_size_mb():,.0f} MB, "
+                      f"spilled {sink.spilled_bytes() / 1e6:,.1f} MB "
+                      f"({len(sink.chunk_paths())} chunks)",
+                      flush=True)
             sink.close()
         except SpillBudgetError as exc:
+            if telemetry is not None:
+                # sim.run's abort path already flushed if the error
+                # surfaced mid-loop; re-recording is idempotent and
+                # also covers a budget blown at sink.close().
+                telemetry.record_abort(sim, exc)
+                print(f"telemetry (partial, aborted): "
+                      f"{args.telemetry_out}")
             print(f"FAIL: disk budget exceeded mid-run -- {exc}")
             print("(the trace was NOT silently truncated; raise "
                   "--disk-budget-mb or lower --events)")
             return 1
         run_seconds = time.perf_counter() - run_start
         spilled_bytes = sink.spilled_bytes()
-        bytes_per_event = spilled_bytes / max(result.events_processed, 1)
+        bytes_per_event = spilled_bytes / max(events_total, 1)
         bytes_per_record = spilled_bytes / max(len(sink), 1)
-        print(f"run: {result.events_processed:,} events, "
+        print(f"run: {events_total:,} events, "
               f"{len(sink):,} records, "
               f"{len(sink.chunk_paths())} chunks, "
               f"stop={result.stop_reason}, "
-              f"{result.events_processed / run_seconds:,.0f} ev/s")
+              f"{events_total / run_seconds:,.0f} ev/s")
         print(f"spill: {spilled_bytes / 1e6:,.1f} MB on disk -> "
               f"{bytes_per_event:.1f} B/event, "
               f"{bytes_per_record:.1f} B/record ({args.format})")
-        if result.events_processed < args.events:
+        if events_total < args.events:
             print(f"FAIL: processed fewer than {args.events:,} events")
             return 1
+        if telemetry is not None:
+            telemetry.write(args.telemetry_out)
+            spans = telemetry.counters["broadcasts_acked"]
+            print(f"telemetry: {args.telemetry_out} "
+                  f"({spans:,} spans closed, "
+                  f"{telemetry.events_processed:,} events counted)")
 
         replay_start = time.perf_counter()
         report = check_model_invariants(graph, sink, 1.0)
@@ -234,7 +296,7 @@ def main(argv=None) -> int:
             "format": args.format,
             "numpy": have_numpy(),
             "nodes": n,
-            "events": result.events_processed,
+            "events": events_total,
             "records": len(sink),
             "chunks": len(sink.chunk_paths()),
             "spilled_bytes": spilled_bytes,
@@ -242,8 +304,7 @@ def main(argv=None) -> int:
             "bytes_per_record": round(bytes_per_record, 2),
             "export_mb": round(export_mb, 1),
             "run_seconds": round(run_seconds, 2),
-            "events_per_sec": round(
-                result.events_processed / run_seconds, 1),
+            "events_per_sec": round(events_total / run_seconds, 1),
             "replay_seconds": round(replay_seconds, 2),
             "replay_records_per_sec": round(
                 len(sink) / replay_seconds, 1),
@@ -252,6 +313,9 @@ def main(argv=None) -> int:
             "ru_maxrss_mb": round(peak_mb, 1),
             "baseline_vmsize_mb": round(baseline_mb, 1),
             "disk_budget_mb": args.disk_budget_mb,
+            "telemetry_out": args.telemetry_out,
+            "telemetry_spans": (None if telemetry is None
+                                else len(telemetry.f_ack)),
         }
 
     print(json.dumps(summary))

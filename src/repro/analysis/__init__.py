@@ -3,7 +3,10 @@
 from .metrics import RunMetrics, collect_metrics
 from .runner import (alternating_values, run_consensus, split_values)
 from .stats import correlation, growth_ratio, linear_fit, mean, stdev
-from .sweeps import SweepPoint, SweepResult, parallel_sweep, sweep
+from .sweeps import (SweepPoint, SweepProgress, SweepResult,
+                     parallel_sweep, sweep)
+from .stats_report import (derive_spans, render_stats,
+                           stats_from_file)
 from .tables import format_markdown_table, format_table
 from .export import (crashes_from_json, iter_saved_records,
                      iter_trace_dicts, load_crashes, load_metadata,
@@ -27,6 +30,7 @@ __all__ = [
     "parallel_sweep",
     "SweepResult",
     "SweepPoint",
+    "SweepProgress",
     "save_trace",
     "load_trace",
     "load_crashes",
@@ -38,4 +42,7 @@ __all__ = [
     "trace_to_records",
     "iter_trace_dicts",
     "iter_saved_records",
+    "derive_spans",
+    "render_stats",
+    "stats_from_file",
 ]

@@ -39,8 +39,8 @@ def run_consensus(*, algorithm: str, topology: str, graph, scheduler,
                   dynamics=None,
                   trace_level: "TraceLevel | str" = TraceLevel.FULL,
                   trace_sink: Optional[TraceSink] = None,
-                  probe: Optional[Callable[[Any], Dict[str, Any]]] = None
-                  ) -> RunMetrics:
+                  probe: Optional[Callable[[Any], Dict[str, Any]]] = None,
+                  telemetry=None) -> RunMetrics:
     """Run one consensus execution and return its metrics.
 
     .. note:: New code should usually describe the run as a
@@ -85,6 +85,14 @@ def run_consensus(*, algorithm: str, topology: str, graph, scheduler,
     finished simulator (e.g. round counts); its dict lands in
     :attr:`RunMetrics.extras`. Keep probe results small and picklable
     -- sweeps ship them across process boundaries.
+
+    ``telemetry`` opts into run observability: pass ``True`` (or a
+    :class:`~repro.macsim.telemetry.Telemetry` instance to keep a
+    handle on the raw samples) and the snapshot -- engine counters,
+    empirical F_ack/F_prog/F_cover histograms, phase profile -- lands
+    in ``RunMetrics.extras["telemetry"]``. Telemetry never perturbs
+    the trace: on or off, the same seeded run produces byte-identical
+    records.
     """
     values = initial_values or alternating_values(graph)
     faulty = (frozenset() if fault_model is None
@@ -97,7 +105,8 @@ def run_consensus(*, algorithm: str, topology: str, graph, scheduler,
                            unreliable_graph=unreliable_graph,
                            dynamics=dynamics,
                            trace_level=trace_level,
-                           trace_sink=trace_sink)
+                           trace_sink=trace_sink,
+                           telemetry=telemetry)
     result = sim.run(max_events=max_events, max_time=max_time)
     sink = result.trace
     sink.close()
@@ -114,6 +123,14 @@ def run_consensus(*, algorithm: str, topology: str, graph, scheduler,
         from ..macsim.dynamics import connectivity_report
         extras = dict(extras or {})
         extras["connectivity"] = connectivity_report(graph, sink)
+    tel = sim.telemetry
+    if tel is not None:
+        tel.context.update(algorithm=algorithm, topology=topology,
+                           scheduler=type(scheduler).__name__,
+                           fault_model=(None if fault_model is None
+                                        else type(fault_model).__name__))
+        extras = dict(extras or {})
+        extras["telemetry"] = tel.snapshot()
     return collect_metrics(algorithm=algorithm, topology=topology,
                            graph=graph, scheduler=scheduler,
                            result=result, initial_values=values,

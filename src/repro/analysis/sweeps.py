@@ -31,13 +31,27 @@ inherit them via fork and receive only point indexes; only the
 :class:`SweepPoint` results (plain dataclasses of floats/strings) are
 pickled back. On platforms without ``fork``, or inside daemon workers,
 it transparently degrades to the sequential path.
+
+Progress telemetry
+------------------
+Long sweeps (E9/E13 grids) used to run dark: a deadlocking cell was
+indistinguishable from a slow one until the whole pool drained. Both
+runners now take ``progress=True`` (or the ``MACSIM_SWEEP_PROGRESS=1``
+environment toggle, which reaches sweeps buried inside experiment
+drivers) and emit one heartbeat line per completed point to stderr --
+``done/total``, the point's ``SweepPoint.key``, its runtime, overall
+elapsed and ETA -- flagging stragglers whose runtime exceeds
+:data:`STRAGGLER_FACTOR` x the median of completed points. Heartbeats
+are stderr-only and never alter results or point order.
 """
 
 from __future__ import annotations
 
 import multiprocessing
 import os
+import sys
 from dataclasses import dataclass, field
+from time import perf_counter
 from typing import Any, Callable, Dict, List, Optional, Sequence
 
 from ..macsim.trace import TraceLevel
@@ -108,6 +122,61 @@ def _scalar_axis(key: Any) -> float:
     return float(key)
 
 
+#: A completed point is flagged as a straggler when its runtime
+#: exceeds this multiple of the median completed-point runtime (and
+#: :data:`STRAGGLER_MIN_SECONDS`, so micro-point jitter never flags).
+STRAGGLER_FACTOR = 4.0
+STRAGGLER_MIN_SECONDS = 0.5
+
+
+def _progress_enabled(progress: Optional[bool]) -> bool:
+    if progress is None:
+        return bool(os.environ.get("MACSIM_SWEEP_PROGRESS"))
+    return bool(progress)
+
+
+class SweepProgress:
+    """Heartbeat emitter for sweep runners (stderr by default).
+
+    One :meth:`point_done` call per completed point prints the running
+    tally, the point's key and runtime, total elapsed wall time, a
+    completion-rate ETA for the remainder, and a ``** straggler``
+    marker when the point ran :data:`STRAGGLER_FACTOR` x slower than
+    the median completed point (E13's deadlocking-cell signature).
+    Pure observer: it never reorders or mutates results.
+    """
+
+    def __init__(self, name: str, total: int, stream=None) -> None:
+        self.name = name
+        self.total = total
+        self.stream = stream if stream is not None else sys.stderr
+        self.done = 0
+        self.runtimes: List[float] = []
+        self.stragglers: List[Any] = []
+        self.started = perf_counter()
+
+    def is_straggler(self, seconds: float) -> bool:
+        if len(self.runtimes) < 3 or seconds < STRAGGLER_MIN_SECONDS:
+            return False
+        median = sorted(self.runtimes)[len(self.runtimes) // 2]
+        return seconds > STRAGGLER_FACTOR * median
+
+    def point_done(self, key: Any, seconds: float) -> None:
+        straggler = self.is_straggler(seconds)
+        self.done += 1
+        self.runtimes.append(seconds)
+        elapsed = perf_counter() - self.started
+        eta = elapsed / self.done * (self.total - self.done)
+        mark = ""
+        if straggler:
+            self.stragglers.append(key)
+            mark = "  ** straggler"
+        print(f"[sweep {self.name}] {self.done}/{self.total} "
+              f"key={key!r} {seconds:.2f}s "
+              f"(elapsed {elapsed:.1f}s, eta {eta:.1f}s){mark}",
+              file=self.stream, flush=True)
+
+
 def _run_point(name: str, key: Any,
                build: Callable[[Any], Dict[str, Any]],
                max_events: int, max_time: Optional[float],
@@ -133,7 +202,8 @@ def sweep(name: str, xs: Sequence[Any],
           build: Callable[[Any], Dict[str, Any]],
           *, max_events: int = 20_000_000,
           max_time: Optional[float] = None,
-          trace_level: "TraceLevel | str" = TraceLevel.FULL) -> SweepResult:
+          trace_level: "TraceLevel | str" = TraceLevel.FULL,
+          progress: Optional[bool] = None) -> SweepResult:
     """Run one consensus execution per key in ``xs`` and collect metrics.
 
     ``build(key)`` returns the keyword arguments for
@@ -159,11 +229,21 @@ def sweep(name: str, xs: Sequence[Any],
             "time vs p", [(p, s) for p in probs for s in range(5)],
             lambda key: build_for(prob=key[0], seed=key[1]))
         for p, replicas in result.by_x().items(): ...
+
+    ``progress`` (or ``MACSIM_SWEEP_PROGRESS=1``) emits one heartbeat
+    line per completed point to stderr.
     """
+    xs = list(xs)
+    reporter = (SweepProgress(name, len(xs))
+                if _progress_enabled(progress) else None)
     result = SweepResult(name=name)
     for x in xs:
-        result.points.append(_run_point(name, x, build, max_events,
-                                        max_time, trace_level))
+        t0 = perf_counter()
+        point = _run_point(name, x, build, max_events, max_time,
+                           trace_level)
+        if reporter is not None:
+            reporter.point_done(point.key, perf_counter() - t0)
+        result.points.append(point)
     return result
 
 
@@ -172,10 +252,14 @@ def sweep(name: str, xs: Sequence[Any],
 _FORK_STATE: Optional[tuple] = None
 
 
-def _sweep_worker(index: int) -> SweepPoint:
+def _sweep_worker(index: int) -> tuple:
     name, xs, build, max_events, max_time, trace_level = _FORK_STATE
-    return _run_point(name, xs[index], build, max_events, max_time,
-                      trace_level)
+    t0 = perf_counter()
+    point = _run_point(name, xs[index], build, max_events, max_time,
+                       trace_level)
+    # (index, runtime, point): completion order carries the heartbeat;
+    # the index restores deterministic xs order afterwards.
+    return index, perf_counter() - t0, point
 
 
 def default_workers() -> int:
@@ -188,16 +272,23 @@ def parallel_sweep(name: str, xs: Sequence[Any],
                    *, max_events: int = 20_000_000,
                    max_time: Optional[float] = None,
                    trace_level: "TraceLevel | str" = TraceLevel.FULL,
-                   workers: Optional[int] = None) -> SweepResult:
+                   workers: Optional[int] = None,
+                   progress: Optional[bool] = None) -> SweepResult:
     """Like :func:`sweep`, but fan sweep points out over processes.
 
     Results are deterministic and identical to :func:`sweep`: points
-    are returned in ``xs`` order (``Pool.map`` preserves input order)
-    and each point's execution is fully determined by its scheduler
-    and seed. Structured ``(x, seed)`` keys fan every replica out as
-    its own worker task. Falls back to the sequential path when
-    parallelism is unavailable (no ``fork``; nested inside a daemon
-    worker) or not worth it (fewer than two points, ``workers=1``).
+    come back tagged with their input index and are reassembled into
+    ``xs`` order, and each point's execution is fully determined by
+    its scheduler and seed. Structured ``(x, seed)`` keys fan every
+    replica out as its own worker task. Falls back to the sequential
+    path when parallelism is unavailable (no ``fork``; nested inside
+    a daemon worker) or not worth it (fewer than two points,
+    ``workers=1``).
+
+    ``progress`` (or ``MACSIM_SWEEP_PROGRESS=1``) heartbeats each
+    point to stderr *as it completes* -- completion order, not input
+    order -- so a straggling worker is visible while the rest of the
+    pool drains around it.
     """
     global _FORK_STATE
     xs = list(xs)
@@ -211,13 +302,21 @@ def parallel_sweep(name: str, xs: Sequence[Any],
     )
     if not use_parallel:
         return sweep(name, xs, build, max_events=max_events,
-                     max_time=max_time, trace_level=trace_level)
+                     max_time=max_time, trace_level=trace_level,
+                     progress=progress)
 
+    reporter = (SweepProgress(name, len(xs))
+                if _progress_enabled(progress) else None)
     context = multiprocessing.get_context("fork")
     _FORK_STATE = (name, xs, build, max_events, max_time, trace_level)
+    ordered: List[Optional[SweepPoint]] = [None] * len(xs)
     try:
         with context.Pool(processes=min(workers, len(xs))) as pool:
-            points = pool.map(_sweep_worker, range(len(xs)))
+            for index, seconds, point in pool.imap_unordered(
+                    _sweep_worker, range(len(xs))):
+                ordered[index] = point
+                if reporter is not None:
+                    reporter.point_done(point.key, seconds)
     finally:
         _FORK_STATE = None
-    return SweepResult(name=name, points=points)
+    return SweepResult(name=name, points=ordered)

@@ -1,11 +1,12 @@
 """Command line interface.
 
-Four subcommands::
+Five subcommands::
 
     python -m repro run --algorithm wpaxos --topology grid:5x5 \\
         --scheduler random --seed 7 --trace-out run.json
     python -m repro run --scenario saved_scenario.json
     python -m repro replay run.json
+    python -m repro stats run.json
     python -m repro experiments E3 E4
     python -m repro demo
 
@@ -17,7 +18,12 @@ embed the scenario, and ``replay`` re-executes a saved trace's
 embedded scenario and verifies the records match byte for byte.
 ``--list-algorithms`` / ``--list-topologies`` / ``--list-schedulers``
 print the live registry catalogues (including anything registered by
-user code). ``experiments`` forwards to the E1-E12 drivers; ``demo``
+user code). ``run --telemetry [out.json]`` collects run telemetry
+(engine counters, measured F_ack/F_prog spans, phase profile) without
+perturbing the trace; ``stats`` renders those histograms from a
+telemetry snapshot or *any* trace export -- deriving the spans from
+the records (vectorized on columnar files) when no snapshot is
+embedded. ``experiments`` forwards to the E1-E12 drivers; ``demo``
 runs the impossibility tour.
 """
 
@@ -160,6 +166,8 @@ def _scenario_from_args(args: argparse.Namespace) -> Scenario:
         if args.dynamics is not None:
             base = base.override(
                 {"dynamics": parse_dynamics_spec(args.dynamics)})
+        if args.telemetry is not None:
+            base = base.override({"telemetry": True})
         return base
 
     algorithm = args.algorithm or RUN_DEFAULTS["algorithm"]
@@ -187,6 +195,7 @@ def _scenario_from_args(args: argparse.Namespace) -> Scenario:
         trace_level=trace_level,
         max_time=args.max_time,
         label=topology,
+        telemetry=args.telemetry is not None,
     )
 
 
@@ -239,7 +248,11 @@ def cmd_run(args: argparse.Namespace) -> int:
               else frozenset(fault_model.faulty_nodes()))
     untrusted = (frozenset() if fault_model is None
                  else frozenset(fault_model.lying_nodes()))
-    result = resolved.simulate()
+    telemetry = None
+    if scenario.telemetry:
+        from .macsim.telemetry import Telemetry
+        telemetry = Telemetry(label=scenario.display_label())
+    result = resolved.simulate(telemetry=telemetry)
     report = check_consensus(result.trace, values, faulty=faulty,
                              untrusted=untrusted)
     topology_display = scenario.display_label()
@@ -271,16 +284,36 @@ def cmd_run(args: argparse.Namespace) -> int:
           f"({metrics.normalized_time} x F_ack)")
     print(f"broadcasts:     {metrics.broadcasts} "
           f"(max {metrics.max_broadcasts_per_node} per node)")
+    if telemetry is not None:
+        telemetry.context.update(
+            algorithm=scenario.algorithm.name,
+            topology=topology_display,
+            scheduler=scheduler.describe(), seed=scenario.seed,
+            fault_model=(fault_model.describe()
+                         if fault_model is not None else None))
+        f_ack = telemetry.snapshot()["spans"]["f_ack"]
+        print(f"telemetry:      {telemetry.events_processed} events in "
+              f"{telemetry.wall_seconds:.3f}s wall; measured F_ack "
+              f"p50={f_ack['p50']} p95={f_ack['p95']} "
+              f"max={f_ack['max']} (n={f_ack['count']})")
+        if isinstance(args.telemetry, str):
+            telemetry.write(args.telemetry)
+            print(f"telemetry written: {args.telemetry}")
     if args.trace_out:
         crashes = (fault_model.crash_plans()
                    if fault_model is not None else ())
-        save_trace(result.trace, args.trace_out, metadata={
+        metadata = {
             "algorithm": scenario.algorithm.name,
             "topology": topology_display,
             "scheduler": scheduler.describe(), "seed": scenario.seed,
             "fault_model": (fault_model.describe()
-                            if fault_model is not None else None)},
-            crashes=crashes, scenario=scenario)
+                            if fault_model is not None else None)}
+        if telemetry is not None:
+            # `repro stats` on this export reads the live snapshot
+            # instead of re-deriving spans from the records.
+            metadata["telemetry"] = telemetry.snapshot()
+        save_trace(result.trace, args.trace_out, metadata=metadata,
+                   crashes=crashes, scenario=scenario)
         print(f"trace written:  {args.trace_out} "
               f"({len(result.trace)} records)")
     return 0 if report.ok else 1
@@ -308,6 +341,24 @@ def cmd_replay(args: argparse.Namespace) -> int:
             return 1
         count += 1
     print(f"replay matched: {count} records byte-identical")
+    return 0
+
+
+def cmd_stats(args: argparse.Namespace) -> int:
+    """Render F_ack/F_prog histograms and counters from an artifact."""
+    from .analysis.stats_report import render_stats, stats_from_file
+    try:
+        doc = stats_from_file(args.artifact, derive=args.derive)
+    except OSError as exc:
+        raise SystemExit(str(exc)) from None
+    except (ValueError, KeyError, json.JSONDecodeError) as exc:
+        raise SystemExit(
+            f"{args.artifact}: not a readable trace or telemetry "
+            f"artifact ({exc})") from None
+    if args.json:
+        print(json.dumps(doc, indent=2))
+    else:
+        print(render_stats(doc))
     return 0
 
 
@@ -421,6 +472,14 @@ def build_parser() -> argparse.ArgumentParser:
                             "faulty")
     run_p.add_argument("--crash", default=None, metavar="NODE[@TIME]",
                        help="crash NODE at TIME (default 1.0)")
+    run_p.add_argument("--telemetry", nargs="?", const=True,
+                       default=None, metavar="OUT.json",
+                       help="collect run telemetry (engine counters, "
+                            "measured F_ack/F_prog spans, phase "
+                            "profile; never perturbs the trace) and "
+                            "print a summary line; with a path, also "
+                            "write the snapshot JSON for 'repro "
+                            "stats'")
     run_p.set_defaults(func=cmd_run)
 
     replay_p = sub.add_parser(
@@ -429,6 +488,21 @@ def build_parser() -> argparse.ArgumentParser:
     replay_p.add_argument("trace", help="a schema-v4+ trace export "
                                         "written by run --trace-out")
     replay_p.set_defaults(func=cmd_replay)
+
+    stats_p = sub.add_parser(
+        "stats", help="render F_ack/F_prog histograms and counters "
+                      "from a trace export or telemetry snapshot")
+    stats_p.add_argument("artifact",
+                         help="a trace export (any schema, JSONL or "
+                              "columnar) or a --telemetry JSON file")
+    stats_p.add_argument("--derive", action="store_true",
+                         help="re-derive spans from the records even "
+                              "when the export embeds a live "
+                              "telemetry snapshot")
+    stats_p.add_argument("--json", action="store_true",
+                         help="print the stats document as JSON "
+                              "instead of tables")
+    stats_p.set_defaults(func=cmd_stats)
 
     exp_p = sub.add_parser("experiments",
                            help="regenerate experiment tables")

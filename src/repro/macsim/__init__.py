@@ -30,6 +30,7 @@ from .invariants import (ConsensusReport, InvariantReport, check_consensus,
                          check_model_invariants)
 from .process import Process
 from .simulator import RunResult, Simulator, build_simulation
+from .telemetry import Telemetry
 from .columnar import ColumnarSink
 from .trace import (DecisionsSink, IndexedMemorySink, SpillBudgetError,
                     SpillSink, Trace, TraceLevel, TraceRecord, TraceSink,
@@ -60,6 +61,7 @@ __all__ = [
     "Simulator",
     "RunResult",
     "build_simulation",
+    "Telemetry",
     "Trace",
     "TraceLevel",
     "TraceRecord",

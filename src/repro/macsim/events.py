@@ -117,13 +117,21 @@ class EventQueue:
     public API observes a consistent queue at all times.
     """
 
-    __slots__ = ("_heap", "_next_seq", "_live", "_dead")
+    __slots__ = ("_heap", "_next_seq", "_live", "_dead",
+                 "_cancelled_total", "_compactions", "_compacted_entries")
 
     def __init__(self) -> None:
         self._heap: list = []
         self._next_seq = 0
         self._live = 0
         self._dead = 0
+        # Lifetime telemetry counters (cold paths only): cancellations
+        # ever issued, batch compactions run, and tombstones removed by
+        # compaction rather than popped. `_next_seq` doubles as the
+        # lifetime push count.
+        self._cancelled_total = 0
+        self._compactions = 0
+        self._compacted_entries = 0
 
     def __len__(self) -> int:
         return self._live
@@ -202,6 +210,7 @@ class EventQueue:
             event.cancelled = True
             self._live -= 1
             self._dead += 1
+            self._cancelled_total += 1
             if (self._dead >= _COMPACT_MIN_DEAD
                     and self._dead * 2 > len(self._heap)):
                 self._compact()
@@ -239,4 +248,6 @@ class EventQueue:
         self._heap[:] = [entry for entry in self._heap
                          if entry[6] is None or not entry[6].cancelled]
         heapq.heapify(self._heap)
+        self._compactions += 1
+        self._compacted_entries += self._dead
         self._dead = 0

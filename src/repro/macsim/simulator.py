@@ -84,6 +84,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 from heapq import heappop, heappush
+from time import perf_counter
 from typing import Any, Callable, Iterable, Mapping, Optional
 
 from .crash import CrashPlan
@@ -96,6 +97,7 @@ from .faults.base import DROP, FaultModel
 from .faults.crash import CrashFaultModel
 from .process import Process
 from .schedulers.base import Scheduler
+from .telemetry import Telemetry
 from .trace import (TOPO_EDGE_DOWN, TOPO_EDGE_UP, TOPO_NODE_DOWN,
                     TOPO_NODE_UP, Trace, TraceLevel, TraceSink, make_sink)
 from ..topology.graphs import Graph
@@ -230,7 +232,8 @@ class Simulator:
                  batch_deliveries: bool = True,
                  dynamics=None,
                  process_factory: Optional[Callable[[Any], Process]]
-                 = None) -> None:
+                 = None,
+                 telemetry: "Telemetry | bool | None" = None) -> None:
         self.graph = graph
         self.scheduler = scheduler
         self.strict_sizes = strict_sizes
@@ -239,6 +242,22 @@ class Simulator:
         self.trace = (trace_sink if trace_sink is not None
                       else make_sink(trace_level))
         self.now = 0.0
+
+        # Opt-in observability (engine counters, F_ack/F_prog spans,
+        # phase profiler). Telemetry never emits trace records -- a
+        # telemetry-on run's trace is byte-identical to the same run
+        # with telemetry off -- and when disabled the hot loop pays a
+        # single falsy check per delivery. `_tel_spans` maps in-flight
+        # bid -> [start, first_delivery, last_delivery] (-1.0 for "no
+        # delivery yet"); spans are evicted at the ack, mirroring the
+        # invariant checker's eviction-at-ack replay model.
+        if telemetry:
+            self.telemetry = (telemetry if isinstance(telemetry, Telemetry)
+                              else Telemetry())
+            self._tel_spans: Optional[dict] = {}
+        else:
+            self.telemetry = None
+            self._tel_spans = None
 
         # Normalize the legacy crashes= API into the fault-model
         # subsystem: crash plans become a CrashFaultModel, whose
@@ -432,18 +451,43 @@ class Simulator:
         bid = self._next_bid
         self._next_bid += 1
         neighbors = self._neighbors[sender]
-        plan = self.scheduler.plan(sender=sender, message=payload,
-                                   start_time=self.now, neighbors=neighbors)
-        if self._validate_plans:
-            plan.validate(start_time=self.now, neighbors=neighbors,
-                          f_ack=self.scheduler.f_ack)
+        tel = self.telemetry
+        if tel is None:
+            plan = self.scheduler.plan(sender=sender, message=payload,
+                                       start_time=self.now,
+                                       neighbors=neighbors)
+            if self._validate_plans:
+                plan.validate(start_time=self.now, neighbors=neighbors,
+                              f_ack=self.scheduler.f_ack)
+        else:
+            # Phase profiler: per-*broadcast* sampling only, so the
+            # perf_counter cost amortizes over the whole fan-out.
+            t0 = perf_counter()
+            plan = self.scheduler.plan(sender=sender, message=payload,
+                                       start_time=self.now,
+                                       neighbors=neighbors)
+            t1 = perf_counter()
+            tel.phase_add("scheduler_plan", t1 - t0)
+            if self._validate_plans:
+                plan.validate(start_time=self.now, neighbors=neighbors,
+                              f_ack=self.scheduler.f_ack)
+                tel.phase_add("plan_validate", perf_counter() - t1)
 
         # Broadcast boundary: the fault model may forge per-receiver
         # payloads or drop deliveries for a faulty sender.
         overrides = None
         fault_send = self._fault_send
         if fault_send is not None:
-            overrides = fault_send(sender, payload, neighbors, self.now)
+            if tel is None:
+                overrides = fault_send(sender, payload, neighbors,
+                                       self.now)
+            else:
+                t0 = perf_counter()
+                overrides = fault_send(sender, payload, neighbors,
+                                       self.now)
+                tel.phase_add("fault_hooks", perf_counter() - t0)
+                if overrides:
+                    tel.fault_injections += len(overrides)
             if overrides and self.strict_sizes:
                 # Byzantine nodes are still bound by the MAC layer's
                 # O(1)-ids rule; forged payloads are checked too.
@@ -576,6 +620,8 @@ class Simulator:
                               broadcast_id=bid, payload=payload)
         else:
             self.trace.bump("broadcast", sender)
+        if self._tel_spans is not None:
+            self._tel_spans[bid] = [self.now, -1.0, -1.0]
         return True
 
     def note_decision(self, process: Process, value: Any) -> None:
@@ -672,10 +718,14 @@ class Simulator:
         trace_mac = self._trace_mac
         fast_deliver = not self._cancellable and not self._fault_active
         dynamics_on = self.dynamics is not None
+        tel = self.telemetry
+        tel_spans = self._tel_spans
+        wall_start = perf_counter() if tel is not None else 0.0
 
         events_processed = 0
         stop_reason = "quiescent"
-        while True:
+        try:
+          while True:
             if stop_when_all_decided and self._undecided_alive == 0:
                 stop_reason = "all_decided"
                 break
@@ -721,6 +771,12 @@ class Simulator:
                         kind_counts["deliver"] += 1
                     else:
                         trace_bump("deliver", receiver)
+                    if tel_spans is not None:
+                        span = tel_spans.get(bid)
+                        if span is not None:
+                            if span[1] < 0.0:
+                                span[1] = event_time
+                            span[2] = event_time
                     processes[receiver].on_receive(record.payload)
                 else:
                     self._dispatch_delivery(receiver, bid)
@@ -789,6 +845,12 @@ class Simulator:
                         kind_counts["deliver"] += 1
                     else:
                         trace_bump("deliver", receiver)
+                    if tel_spans is not None:
+                        span = tel_spans.get(entry[5])
+                        if span is not None:
+                            if span[1] < 0.0:
+                                span[1] = event_time
+                            span[2] = event_time
                     processes[receiver].on_receive(record.payload)
                 else:
                     self._dispatch_delivery(entry[4], entry[5])
@@ -812,6 +874,21 @@ class Simulator:
                     raise SimulationLimitError(
                         f"exceeded max_events={max_events}")
                 break
+        except BaseException as exc:
+            # Engine-raised exceptions (SpillBudgetError mid-flush, a
+            # crashing handler, a model violation) flush a *partial*
+            # telemetry snapshot before propagating, so aborted runs
+            # keep their counters for post-mortems.
+            if tel is not None:
+                tel.note_events(events_processed)
+                tel.wall_seconds += perf_counter() - wall_start
+                tel.record_abort(self, exc)
+            raise
+
+        if tel is not None:
+            tel.note_events(events_processed)
+            tel.wall_seconds += perf_counter() - wall_start
+            tel.finalize(self)
 
         if not self._finish_notified:
             self._finish_notified = True
@@ -849,8 +926,18 @@ class Simulator:
                 payload = overrides.get(receiver, payload)
             fault_deliver = self._fault_deliver
             if fault_deliver is not None and payload is not DROP:
-                payload = fault_deliver(record.sender, receiver, payload,
-                                        self.now)
+                tel = self.telemetry
+                if tel is None:
+                    payload = fault_deliver(record.sender, receiver,
+                                            payload, self.now)
+                else:
+                    t0 = perf_counter()
+                    fault_payload = fault_deliver(record.sender, receiver,
+                                                  payload, self.now)
+                    tel.phase_add("fault_hooks", perf_counter() - t0)
+                    if fault_payload is not payload:
+                        tel.fault_injections += 1
+                    payload = fault_payload
             if payload is DROP:
                 # The drop never gates the sender's ack: the faulty
                 # endpoint is exempt from the coverage rule.
@@ -874,6 +961,12 @@ class Simulator:
             self._kind_counts["deliver"] += 1
         else:
             self.trace.bump("deliver", receiver)
+        if self._tel_spans is not None:
+            span = self._tel_spans.get(bid)
+            if span is not None:
+                if span[1] < 0.0:
+                    span[1] = self.now
+                span[2] = self.now
         self._processes[receiver].on_receive(payload)
 
     def _dispatch_ack(self, sender: Any, bid: int) -> None:
@@ -904,6 +997,15 @@ class Simulator:
             self._kind_counts["ack"] += 1
         else:
             self.trace.bump("ack", sender)
+        if self._tel_spans is not None:
+            # Eviction-at-ack: the span closes here and later deliveries
+            # (possible on unreliable-overlay runs) belong to no span --
+            # mirroring the invariant checker's replay model so derived
+            # and live histograms agree.
+            span = self._tel_spans.pop(bid, None)
+            if span is not None:
+                self.telemetry.close_span(span[0], span[1], span[2],
+                                          self.now)
         self._processes[sender].on_ack()
         # With validated plans the ack is a broadcast's final event
         # (deliveries are bounded by the ack time; cancelled ones are
@@ -961,6 +1063,7 @@ class Simulator:
         """
         dynamics = self.dynamics
         time_hooks = self._time_hooks
+        tel = self.telemetry
         while True:
             when = self._next_epoch
             if when is None or when > up_to:
@@ -970,9 +1073,17 @@ class Simulator:
                     for hook in time_hooks:
                         hook(self, when)
                 self.now = when
-            delta = dynamics.advance(when, self.graph)
-            if delta:
-                self._apply_topology_delta(when, delta)
+            if tel is None:
+                delta = dynamics.advance(when, self.graph)
+                if delta:
+                    self._apply_topology_delta(when, delta)
+            else:
+                t0 = perf_counter()
+                delta = dynamics.advance(when, self.graph)
+                if delta:
+                    self._apply_topology_delta(when, delta)
+                tel.topo_epochs += 1
+                tel.phase_add("dynamics_epochs", perf_counter() - t0)
             following = dynamics.next_epoch_time(when)
             if following is not None and following <= when:
                 raise ConfigurationError(
@@ -1094,7 +1205,9 @@ def build_simulation(graph, process_factory: Callable[[Any], Process],
                      trace_level: "TraceLevel | str" = TraceLevel.FULL,
                      trace_sink: Optional[TraceSink] = None,
                      batch_deliveries: bool = True,
-                     dynamics=None) -> Simulator:
+                     dynamics=None,
+                     telemetry: "Telemetry | bool | None" = None,
+                     ) -> Simulator:
     """Construct a simulator, creating one process per graph node.
 
     ``process_factory(label)`` must return the process for ``label``.
@@ -1112,4 +1225,5 @@ def build_simulation(graph, process_factory: Callable[[Any], Process],
                      trace_sink=trace_sink,
                      batch_deliveries=batch_deliveries,
                      dynamics=dynamics,
-                     process_factory=process_factory)
+                     process_factory=process_factory,
+                     telemetry=telemetry)

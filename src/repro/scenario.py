@@ -334,21 +334,28 @@ class ResolvedScenario:
     unreliable_graph: Any = None
     dynamics: Any = None
 
-    def simulate(self, *, trace_sink=None):
+    def simulate(self, *, trace_sink=None, telemetry=None):
         """Run the simulation and return the raw
         :class:`~repro.macsim.simulator.RunResult` (trace included,
         closed). This is the byte-identity/replay entry point; use
-        :meth:`Scenario.run` when you want metrics."""
+        :meth:`Scenario.run` when you want metrics.
+
+        ``telemetry`` (a bool or a
+        :class:`~repro.macsim.telemetry.Telemetry` to keep a handle
+        on) defaults to the scenario's ``telemetry`` field."""
         from .macsim import build_simulation
         scenario = self.scenario
         values = self.initial_values
         factory = self.factory
+        if telemetry is None:
+            telemetry = scenario.telemetry
         sim = build_simulation(
             self.graph, lambda v: factory(v, values[v]), self.scheduler,
             fault_model=self.fault_model,
             unreliable_graph=self.unreliable_graph,
             dynamics=self.dynamics,
-            trace_level=scenario.trace_level, trace_sink=trace_sink)
+            trace_level=scenario.trace_level, trace_sink=trace_sink,
+            telemetry=telemetry)
         result = sim.run(max_events=scenario.max_events,
                          max_time=scenario.max_time)
         result.trace.close()
@@ -385,6 +392,10 @@ class Scenario:
     #: Optional display label (lands in ``RunMetrics.topology``);
     #: defaults to ``topology.describe()``.
     label: Optional[str] = None
+    #: Opt-in run telemetry (engine counters, empirical F_ack/F_prog
+    #: spans, phase profile); the snapshot lands in
+    #: ``RunMetrics.extras["telemetry"]``. Never perturbs the trace.
+    telemetry: bool = False
 
     def __post_init__(self) -> None:
         for name, cls in (("algorithm", AlgorithmSpec),
@@ -444,16 +455,21 @@ class Scenario:
             out["dynamics"] = resolved.dynamics
         return out
 
-    def run(self, *, trace_sink=None, probe=None):
+    def run(self, *, trace_sink=None, probe=None, telemetry=None):
         """Execute once and return
         :class:`~repro.analysis.metrics.RunMetrics` -- exactly what
         the equivalent ``run_consensus`` call returns (the A/B tests
-        pin byte-identical traces)."""
+        pin byte-identical traces). ``telemetry`` overrides the
+        scenario's ``telemetry`` field (bool or a
+        :class:`~repro.macsim.telemetry.Telemetry` instance)."""
         from .analysis.runner import run_consensus
+        if telemetry is None:
+            telemetry = self.telemetry
         return run_consensus(max_events=self.max_events,
                              max_time=self.max_time,
                              trace_level=self.trace_level,
                              trace_sink=trace_sink, probe=probe,
+                             telemetry=telemetry,
                              **self.run_kwargs())
 
     def simulate(self, *, trace_sink=None):
@@ -536,7 +552,7 @@ class Scenario:
 
     # -- serialization ---------------------------------------------------
     def to_dict(self) -> Dict[str, Any]:
-        return {
+        out: Dict[str, Any] = {
             "schema": "scenario/v1",
             "algorithm": self.algorithm.to_dict(),
             "topology": self.topology.to_dict(),
@@ -553,6 +569,11 @@ class Scenario:
             "check_invariants": self.check_invariants,
             "label": self.label,
         }
+        # Emitted only when set: keeps pre-PR7 scenario documents (and
+        # their golden round-trips) byte-stable.
+        if self.telemetry:
+            out["telemetry"] = True
+        return out
 
     @classmethod
     def from_dict(cls, data: Mapping[str, Any]) -> "Scenario":
@@ -586,6 +607,7 @@ class Scenario:
                       else float(data["max_time"])),
             check_invariants=bool(data.get("check_invariants", True)),
             label=data.get("label"),
+            telemetry=bool(data.get("telemetry", False)),
         )
 
     def to_json(self, *, indent: Optional[int] = 2) -> str:
