@@ -65,6 +65,13 @@ except ImportError:  # seed engine
     parallel_sweep = None
 from repro.analysis import sweep
 
+try:  # analysis >= PR 8 (work-stealing executor)
+    from repro.analysis import saturating_workers
+    HAVE_SWEEP_EXECUTORS = True
+except ImportError:  # earlier trees: parallel_sweep has no executor arg
+    saturating_workers = None
+    HAVE_SWEEP_EXECUTORS = False
+
 try:
     from repro.core.wpaxos import WPaxosConfig, WPaxosNode
 except ImportError:  # pragma: no cover - wpaxos is part of the seed
@@ -327,6 +334,60 @@ def run_sweep_parallel(sizes=SWEEP_SIZES) -> int:
     result = parallel_sweep("bench-sweep", sizes, _sweep_point_build,
                             trace_level=TraceLevel.DECISIONS)
     assert result.all_correct()
+    return len(result.points)
+
+
+# --- uneven-grid sweep: the work-stealing acceptance workload ----------
+#
+# A grid where every 4th cell does UNEVEN_SLOW_FACTOR x the echo rounds
+# of the others. The PR 7 pool executor hands tasks out dynamically
+# too, but at half the cores and one IPC round-trip per point; the
+# work-stealing executor saturates every available core and amortizes
+# the handout over guided-size chunks, so the mixed fast/straggler grid
+# is where the gap shows. Cell sizes are chosen so one fast cell costs
+# ~15-20 ms -- heavy enough that scheduling, not fork/IPC overhead,
+# decides the comparison. Keys carry the round count, making each
+# cell's cost explicit and deterministic.
+
+UNEVEN_POINTS = 24
+UNEVEN_N = 16
+UNEVEN_FAST_ROUNDS = 24
+UNEVEN_SLOW_FACTOR = 4
+
+
+def uneven_keys(points: int = UNEVEN_POINTS,
+                fast_rounds: int = UNEVEN_FAST_ROUNDS,
+                slow_factor: int = UNEVEN_SLOW_FACTOR):
+    """``points`` echo-round counts, every 4th one ``slow_factor``x."""
+    return tuple(
+        fast_rounds * (slow_factor if i % 4 == 3 else 1)
+        for i in range(points))
+
+
+def _uneven_build(rounds):
+    graph = clique(UNEVEN_N)
+    return dict(
+        graph=graph, scheduler=SynchronousScheduler(1.0),
+        factory=lambda v, val: _EchoProcess(v, int(rounds)),
+        initial_values={v: 0 for v in graph.nodes},
+        topology=f"clique({UNEVEN_N})x{int(rounds)}")
+
+
+def run_sweep_uneven(executor: str = "steal", points: int = UNEVEN_POINTS,
+                     workers=None) -> int:
+    """The uneven grid through one of the parallel executors.
+
+    ``executor="pool"`` is the PR 7 one-task-per-point baseline at its
+    own defaults (half the cores); ``"steal"`` is the PR 8
+    work-stealing pool at its defaults (every available core, chunked
+    claims). Identical work either way -- only the scheduling
+    differs."""
+    xs = uneven_keys(points)
+    result = parallel_sweep("bench-uneven", xs, _uneven_build,
+                            trace_level=TraceLevel.DECISIONS,
+                            workers=workers, executor=executor,
+                            progress=False)
+    assert len(result.points) == len(xs)
     return len(result.points)
 
 

@@ -110,6 +110,11 @@ def _workloads() -> Dict[str, Tuple[Callable[[], int], str]]:
         workloads["e13_churn"] = (
             lambda: bench_engine.run_churn_clique(24, 40, 0.1),
             "events")
+    if bench_engine.HAVE_SWEEP_EXECUTORS:
+        workloads["sweep_uneven_steal"] = (
+            lambda: bench_engine.run_sweep_uneven("steal"), "points")
+        workloads["sweep_uneven_pool"] = (
+            lambda: bench_engine.run_sweep_uneven("pool"), "points")
     if bench_engine.ColumnarSink is not None:
         workloads["columnar_clique24"] = (
             lambda: bench_engine.run_columnar_clique(24, 40), "events")
@@ -236,6 +241,118 @@ def telemetry_report(repeats: int) -> Optional[dict]:
     }
 
 
+#: The PR 8 acceptance gate: on the uneven grid, the work-stealing
+#: executor must beat the one-task-per-point pool by this factor...
+SWEEP_FABRIC_SPEEDUP_MIN = 1.5
+#: ...but only on machines with enough cores for scheduling to matter.
+#: Below this, both executors serialize and the ratio measures noise.
+SWEEP_FABRIC_MIN_CORES = 4
+
+
+def _cache_roundtrip() -> dict:
+    """The result-cache subgate: one small scenario grid run twice
+    against the same fresh cache directory. The second pass must be
+    100% cache hits and reproduce byte-identical points."""
+    import shutil
+    import tempfile
+    from dataclasses import asdict
+
+    from repro.analysis.cache import ResultCache
+    from repro.scenario import (AlgorithmSpec, Scenario, SchedulerSpec,
+                                TopologySpec)
+
+    base = Scenario(
+        algorithm=AlgorithmSpec("wpaxos"),
+        topology=TopologySpec("clique", n=4),
+        scheduler=SchedulerSpec("synchronous", f_ack=1.0))
+    grid = base.grid({"topology.n": [4, 6, 8]})
+    tmp = tempfile.mkdtemp(prefix="macsim-bench-cache-")
+    try:
+        first = grid.run(name="bench-cache", cache=ResultCache(tmp),
+                         parallel=False)
+        second_cache = ResultCache(tmp)
+        second = grid.run(name="bench-cache", cache=second_cache,
+                          parallel=False)
+        identical = (
+            json.dumps([asdict(p) for p in first.points])
+            == json.dumps([asdict(p) for p in second.points]))
+        return {
+            "points": len(first.points),
+            "second_pass_hits": second_cache.hits,
+            "second_pass_misses": second_cache.misses,
+            "second_pass_hit_ratio": round(second_cache.hit_ratio, 4),
+            "identical": identical,
+            "ok": (second_cache.misses == 0
+                   and second_cache.hits == len(first.points)
+                   and identical),
+        }
+    finally:
+        shutil.rmtree(tmp, ignore_errors=True)
+
+
+def sweep_fabric_report(repeats: int) -> Optional[dict]:
+    """The PR 8 sweep-fabric section: work-stealing vs pool executor
+    on the uneven grid, plus the cache round-trip subgate.
+
+    The two executors are re-measured here with *interleaved* repeats
+    (pool, steal, pool, steal, ...) for the same reason the telemetry
+    gate does it: the comparison is a ratio of two multi-second sweeps
+    and must see the same machine state on both sides; min-of-N then
+    cancels the remaining noise.
+
+    The speedup gate needs real parallelism to be meaningful: with
+    fewer than :data:`SWEEP_FABRIC_MIN_CORES` available cores both
+    executors degenerate to (near-)serial execution and the uneven
+    grid's straggler cells block everyone equally. On such machines
+    the gate records the core count and passes as skipped; CI runners
+    enforce it. ``None`` when the tree predates the executors.
+    """
+    if not bench_engine.HAVE_SWEEP_EXECUTORS:
+        return None
+    cores = bench_engine.saturating_workers()
+    repeats = max(min(repeats, 5), 3)
+    bench_engine.run_sweep_uneven("pool")
+    bench_engine.run_sweep_uneven("steal")  # warm-up both sides
+    pool_times: list = []
+    steal_times: list = []
+    points = 0
+    for _ in range(repeats):
+        start = time.perf_counter()
+        points = bench_engine.run_sweep_uneven("pool")
+        pool_times.append(time.perf_counter() - start)
+        start = time.perf_counter()
+        bench_engine.run_sweep_uneven("steal")
+        steal_times.append(time.perf_counter() - start)
+    speedup = round(min(pool_times) / min(steal_times), 2)
+    cache = _cache_roundtrip()
+    gates: dict = {
+        "speedup_min": SWEEP_FABRIC_SPEEDUP_MIN,
+        "min_cores": SWEEP_FABRIC_MIN_CORES,
+    }
+    if cores < SWEEP_FABRIC_MIN_CORES:
+        gates["speedup_skipped"] = (
+            f"only {cores} core(s) available; the straggler gate "
+            f"needs >= {SWEEP_FABRIC_MIN_CORES}")
+        ok = True
+    else:
+        ok = speedup >= SWEEP_FABRIC_SPEEDUP_MIN
+    ok = ok and cache["ok"]
+    gates["ok"] = ok
+    return {
+        "workload": f"uneven grid: {bench_engine.UNEVEN_POINTS} echo "
+                    f"cells on clique({bench_engine.UNEVEN_N}), every "
+                    f"4th cell {bench_engine.UNEVEN_SLOW_FACTOR}x "
+                    f"rounds",
+        "points": points,
+        "cores": cores,
+        "pool_seconds": round(min(pool_times), 4),
+        "steal_seconds": round(min(steal_times), 4),
+        "speedup_steal_vs_pool": speedup,
+        "cache_roundtrip": cache,
+        "gates": gates,
+    }
+
+
 def columnar_report(results: Dict[str, dict]) -> Optional[dict]:
     """The columnar-format section: on-disk bytes per record for both
     spill formats on the same workload, plus the replay speedup taken
@@ -311,8 +428,8 @@ def main(argv=None) -> int:
     parser = argparse.ArgumentParser(
         prog="python -m benchmarks.perf_report",
         description="Engine microbenchmark report (before/after).")
-    parser.add_argument("--out", default="BENCH_PR7.json",
-                        help="output path (default: BENCH_PR7.json)")
+    parser.add_argument("--out", default="BENCH_PR8.json",
+                        help="output path (default: BENCH_PR8.json)")
     parser.add_argument("--attach-smoke", default=None, metavar="JSON",
                         help="embed a benchmarks.spill_smoke --json-out "
                              "summary (the gated 10^8-event columnar "
@@ -401,13 +518,14 @@ def main(argv=None) -> int:
 
     columnar = columnar_report(results)
     telemetry = telemetry_report(repeats)
+    sweep_fabric = sweep_fabric_report(repeats)
     columnar_smoke = None
     if args.attach_smoke:
         with open(args.attach_smoke, encoding="utf-8") as handle:
             columnar_smoke = json.load(handle)
 
     report = {
-        "pr": 7,
+        "pr": 8,
         "notes": {
             "wpaxos_clique32": "full-trace engine vs full-trace seed "
                                "(like-for-like; trace byte-identical)",
@@ -474,6 +592,22 @@ def main(argv=None) -> int:
                          "main sweep's workloads cannot masquerade "
                          "as observability cost; the PR 7 acceptance "
                          "gate (overhead <= 5%) evaluated inline",
+            "sweep_uneven_steal": "the uneven grid (24 echo cells, "
+                                  "every 4th cell 4x rounds) through "
+                                  "the PR 8 work-stealing executor: "
+                                  "persistent forked workers pulling "
+                                  "guided-size chunks off a shared "
+                                  "counter",
+            "sweep_uneven_pool": "the identical uneven grid through "
+                                 "the PR 7 one-task-per-point "
+                                 "multiprocessing.Pool baseline",
+            "sweep_fabric": "steal vs pool on the uneven grid with "
+                            "interleaved repeats, plus the result-"
+                            "cache round-trip subgate (second pass "
+                            "100% hits, byte-identical points); the "
+                            "PR 8 acceptance gate (steal >= 1.5x "
+                            "pool) evaluated inline, skipped below "
+                            "4 cores where both executors serialize",
         },
         "mode": "smoke" if args.smoke else "full",
         "repeats": repeats,
@@ -485,6 +619,7 @@ def main(argv=None) -> int:
         "spill_probe": spill_probe,
         "columnar": columnar,
         "telemetry": telemetry,
+        "sweep_fabric": sweep_fabric,
         "columnar_smoke": columnar_smoke,
     }
     with open(args.out, "w", encoding="utf-8") as handle:
@@ -528,6 +663,21 @@ def main(argv=None) -> int:
               f" (max {worst:+.1%} <= {TELEMETRY_OVERHEAD_MAX:.0%})")
         if not telemetry["gates"]["ok"]:
             print(f"TELEMETRY OVERHEAD GATE FAILED: {telemetry}")
+            if args.check or args.check_speedup is not None:
+                return 2
+    if sweep_fabric is not None:
+        cache = sweep_fabric["cache_roundtrip"]
+        skipped = "speedup_skipped" in sweep_fabric["gates"]
+        print(f"  {'sweep_fabric':24s} steal "
+              f"{sweep_fabric['steal_seconds']}s vs pool "
+              f"{sweep_fabric['pool_seconds']}s "
+              f"({sweep_fabric['speedup_steal_vs_pool']}x"
+              f"{', gate skipped: ' + str(sweep_fabric['cores']) + ' core(s)' if skipped else ''}), "
+              f"cache 2nd pass {cache['second_pass_hits']}/"
+              f"{cache['points']} hits, gates "
+              f"{'ok' if sweep_fabric['gates']['ok'] else 'FAILED'}")
+        if not sweep_fabric["gates"]["ok"]:
+            print(f"SWEEP FABRIC GATES FAILED: {sweep_fabric['gates']}")
             if args.check or args.check_speedup is not None:
                 return 2
 

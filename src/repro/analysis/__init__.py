@@ -1,10 +1,14 @@
 """Experiment harness: runners, metrics, statistics, table rendering."""
 
+from .cache import (CacheError, CacheVerificationError, ResultCache,
+                    cached_run, default_cache_dir)
 from .metrics import RunMetrics, collect_metrics
 from .runner import (alternating_values, run_consensus, split_values)
 from .stats import correlation, growth_ratio, linear_fit, mean, stdev
-from .sweeps import (SweepPoint, SweepProgress, SweepResult,
-                     parallel_sweep, sweep)
+from .sweeps import (SweepError, SweepPoint, SweepProgress,
+                     SweepResult, SweepTimeoutError, SweepWorkerError,
+                     default_workers, parallel_sweep,
+                     saturating_workers, sweep)
 from .stats_report import (derive_spans, render_stats,
                            stats_from_file)
 from .tables import format_markdown_table, format_table
@@ -31,6 +35,16 @@ __all__ = [
     "SweepResult",
     "SweepPoint",
     "SweepProgress",
+    "SweepError",
+    "SweepTimeoutError",
+    "SweepWorkerError",
+    "default_workers",
+    "saturating_workers",
+    "ResultCache",
+    "CacheError",
+    "CacheVerificationError",
+    "cached_run",
+    "default_cache_dir",
     "save_trace",
     "load_trace",
     "load_crashes",

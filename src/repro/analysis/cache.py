@@ -1,0 +1,274 @@
+"""Scenario-keyed result cache.
+
+Every sweep cell in this repo is a *deterministic* function of its
+:class:`~repro.scenario.Scenario`: the frozen scenario document fully
+determines the run, so its canonical JSON is a content address for the
+run's :class:`~repro.analysis.metrics.RunMetrics`. :class:`ResultCache`
+exploits that: a SHA-256 digest over ``Scenario.canonical_json()``
+(salted with a code/schema version string) keys a JSON file per cell,
+so overlapping grids, re-runs and interrupted ``repro regen``
+invocations dedup instead of recomputing.
+
+Layout and durability
+---------------------
+``<directory>/<digest[:2]>/<digest>.json`` -- two-level fan-out keeps
+directory listings sane at 10^5-cell scale. Every entry embeds the
+full scenario document it was computed from; a hit is only served when
+the stored document equals the requested scenario's (digest-collision
+and corruption guard). Writes go through a temp file + ``os.replace``
+so a killed sweep never leaves a torn entry, and each stored point
+lands as soon as the parent collects it -- an interrupted grid resumes
+from its completed cells.
+
+Invalidation
+------------
+Three ways, by design:
+
+* change any scenario field -- the digest moves, the old entry is
+  simply never read again;
+* bump the cache ``salt`` (e.g. when engine semantics change in a
+  PR) -- every digest moves;
+* ``verify="replay"`` -- every hit is re-executed and compared,
+  turning the cache into a determinism regression harness
+  (mismatches raise :class:`CacheVerificationError`).
+
+``prune(max_bytes)`` evicts least-recently-*used* entries (hits bump
+mtime) to bound the on-disk footprint.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import tempfile
+from typing import Any, Dict, List, Optional
+
+from .metrics import RunMetrics
+
+#: Entry schema; folded into every digest so format changes invalidate
+#: old caches wholesale.
+CACHE_SCHEMA = "macsim-cache/v1"
+
+#: Default on-disk location (overridable per-cache or via environment).
+CACHE_DIR_ENV = "MACSIM_CACHE_DIR"
+DEFAULT_CACHE_DIR = ".macsim-cache"
+
+
+class CacheError(RuntimeError):
+    """A cache entry could not be read or written."""
+
+
+class CacheVerificationError(CacheError):
+    """A replay-verified hit diverged from the stored metrics."""
+
+
+def default_cache_dir() -> str:
+    """The cache directory: ``$MACSIM_CACHE_DIR`` or ``.macsim-cache``."""
+    return os.environ.get(CACHE_DIR_ENV) or DEFAULT_CACHE_DIR
+
+
+def _roundtrip(metrics: RunMetrics) -> RunMetrics:
+    """Normalize metrics through the JSON wire format (tuples become
+    lists etc.) so fresh and cached values compare equal."""
+    return RunMetrics.from_dict(json.loads(json.dumps(
+        metrics.to_dict())))
+
+
+class ResultCache:
+    """Disk cache of per-scenario :class:`RunMetrics`.
+
+    ``salt`` is folded into every digest (bump it when a code change
+    invalidates old results). ``verify="replay"`` (or ``True``)
+    re-executes every hit and compares against the stored metrics.
+    Counters (``hits``/``misses``/``stores``/``skipped``) accumulate
+    over the cache's lifetime; ``hit_ratio``/:meth:`describe` report
+    them.
+    """
+
+    def __init__(self, directory: Optional[str] = None, *,
+                 salt: str = "", verify: Any = False) -> None:
+        self.directory = directory or default_cache_dir()
+        self.salt = salt
+        self.verify = verify
+        self.hits = 0
+        self.misses = 0
+        self.stores = 0
+        #: Puts skipped because the metrics were not JSON-serializable
+        #: (e.g. a probe harvested live objects into ``extras``).
+        self.skipped = 0
+
+    # -- addressing --------------------------------------------------
+
+    def digest(self, scenario) -> str:
+        return scenario.digest(salt=self.salt)
+
+    def path(self, scenario) -> str:
+        digest = self.digest(scenario)
+        return os.path.join(self.directory, digest[:2],
+                            digest + ".json")
+
+    # -- core operations ---------------------------------------------
+
+    def get(self, scenario) -> Optional[RunMetrics]:
+        """The cached metrics for ``scenario``, or ``None`` on a miss.
+
+        Unreadable, corrupt, schema-mismatched or digest-colliding
+        entries all count as misses (the sweep recomputes and
+        overwrites them); only a replay-verification failure raises.
+        """
+        path = self.path(scenario)
+        try:
+            with open(path, encoding="utf-8") as handle:
+                doc = json.load(handle)
+        except (OSError, json.JSONDecodeError, UnicodeDecodeError):
+            self.misses += 1
+            return None
+        if (not isinstance(doc, dict)
+                or doc.get("schema") != CACHE_SCHEMA
+                or doc.get("scenario") != scenario.to_dict()):
+            self.misses += 1
+            return None
+        try:
+            metrics = RunMetrics.from_dict(doc["metrics"])
+        except (KeyError, TypeError):
+            self.misses += 1
+            return None
+        if self.verify:
+            fresh = _roundtrip(scenario.run())
+            if fresh != metrics:
+                raise CacheVerificationError(
+                    f"replay-verified cache hit diverged for "
+                    f"{self.digest(scenario)}: cached {metrics!r} "
+                    f"vs fresh {fresh!r}")
+        self.hits += 1
+        try:
+            os.utime(path)   # LRU recency for prune()
+        except OSError:
+            pass
+        return metrics
+
+    def put(self, scenario, metrics: RunMetrics) -> bool:
+        """Store ``metrics`` under ``scenario``'s digest (atomic).
+
+        Returns ``False`` (and counts ``skipped``) when the metrics
+        cannot be JSON-serialized instead of failing the sweep.
+        """
+        doc = {
+            "schema": CACHE_SCHEMA,
+            "digest": self.digest(scenario),
+            "salt": self.salt,
+            "scenario": scenario.to_dict(),
+            "metrics": metrics.to_dict(),
+        }
+        try:
+            text = json.dumps(doc, sort_keys=True)
+        except (TypeError, ValueError):
+            self.skipped += 1
+            return False
+        path = self.path(scenario)
+        parent = os.path.dirname(path)
+        os.makedirs(parent, exist_ok=True)
+        fd, tmp = tempfile.mkstemp(dir=parent, suffix=".tmp")
+        try:
+            with os.fdopen(fd, "w", encoding="utf-8") as handle:
+                handle.write(text)
+            os.replace(tmp, path)
+        except OSError:
+            try:
+                os.unlink(tmp)
+            except OSError:
+                pass
+            raise CacheError(f"could not write cache entry {path}")
+        self.stores += 1
+        return True
+
+    def run(self, scenario) -> RunMetrics:
+        """Cached single-cell execution: get, else run + store.
+
+        Fresh results are normalized through the JSON wire format so
+        a later hit returns an *equal* value.
+        """
+        metrics = self.get(scenario)
+        if metrics is not None:
+            return metrics
+        metrics = scenario.run()
+        if self.put(scenario, metrics):
+            return _roundtrip(metrics)
+        return metrics
+
+    # -- bookkeeping -------------------------------------------------
+
+    @property
+    def hit_ratio(self) -> float:
+        looked = self.hits + self.misses
+        return self.hits / looked if looked else 0.0
+
+    def stats(self) -> Dict[str, Any]:
+        return {"hits": self.hits, "misses": self.misses,
+                "stores": self.stores, "skipped": self.skipped,
+                "hit_ratio": self.hit_ratio,
+                "directory": self.directory}
+
+    def describe(self) -> str:
+        return (f"{self.hits} hits / {self.misses} misses "
+                f"({self.hit_ratio:.1%} hit rate)")
+
+    # -- maintenance -------------------------------------------------
+
+    def entries(self) -> List[str]:
+        """Paths of every entry currently on disk."""
+        found: List[str] = []
+        if not os.path.isdir(self.directory):
+            return found
+        for shard in sorted(os.listdir(self.directory)):
+            shard_dir = os.path.join(self.directory, shard)
+            if not os.path.isdir(shard_dir):
+                continue
+            for entry in sorted(os.listdir(shard_dir)):
+                if entry.endswith(".json"):
+                    found.append(os.path.join(shard_dir, entry))
+        return found
+
+    def prune(self, max_bytes: int) -> int:
+        """Evict least-recently-used entries until the cache fits in
+        ``max_bytes``; returns the number of entries removed."""
+        stamped = []
+        for path in self.entries():
+            try:
+                info = os.stat(path)
+            except OSError:
+                continue
+            stamped.append((info.st_mtime, info.st_size, path))
+        stamped.sort()
+        total = sum(size for _, size, _ in stamped)
+        removed = 0
+        for _, size, path in stamped:
+            if total <= max_bytes:
+                break
+            try:
+                os.unlink(path)
+            except OSError:
+                continue
+            total -= size
+            removed += 1
+        return removed
+
+    def clear(self) -> int:
+        """Delete every entry; returns the number removed."""
+        removed = 0
+        for path in self.entries():
+            try:
+                os.unlink(path)
+                removed += 1
+            except OSError:
+                continue
+        return removed
+
+
+def cached_run(scenario, cache: Optional[ResultCache] = None
+               ) -> RunMetrics:
+    """Run one scenario through an optional cache (the single-cell
+    counterpart of ``ScenarioGrid.run(cache=...)``)."""
+    if cache is None:
+        return scenario.run()
+    return cache.run(scenario)

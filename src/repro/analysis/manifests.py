@@ -1,0 +1,287 @@
+"""Scenario-native experiment manifests.
+
+The E-drivers' report tables are built from *row blocks*: one base
+:class:`~repro.scenario.Scenario` plus axes swept over it (a
+:class:`~repro.scenario.ScenarioGrid`) or a single hand-built cell.
+:class:`ManifestBlock` / :class:`ExperimentManifest` make that
+structure a JSON document (schema ``manifest/v1``), so an experiment's
+entire cell population can be written to a file, diffed, regenerated
+from the :class:`~repro.analysis.cache.ResultCache`, resumed after an
+interruption (every completed cell is already on disk) and re-run only
+where a scenario or the cache salt changed.
+
+Migrated drivers (``MANIFEST_SOURCES``) export a ``manifest()``
+function returning their blocks built from the *same* module-level
+scenario definitions their ``run()`` executes -- so ``repro regen E9``
+and ``repro regen --manifest e9.manifest.json`` share cache entries
+cell for cell.
+
+:func:`regenerate` renders a deterministic per-block table (no
+timings, no environment) -- two regenerations from the same cells are
+byte-identical, which CI's ``regen-smoke`` job pins.
+"""
+
+from __future__ import annotations
+
+import importlib
+import json
+import os
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional
+
+from ..scenario import (Scenario, ScenarioError, ScenarioGrid,
+                        _from_jsonable, _jsonable)
+from .cache import ResultCache, cached_run
+from .sweeps import SweepPoint, SweepResult
+from .tables import format_table
+
+MANIFEST_SCHEMA = "manifest/v1"
+
+#: Experiment drivers that define their row blocks as manifests (the
+#: migrated set); each module exports ``manifest() -> ExperimentManifest``
+#: and a cache-aware ``run(cache=..., workers=...)``.
+MANIFEST_SOURCES: Dict[str, str] = {
+    "E1": "repro.experiments.e1_single_hop",
+    "E2": "repro.experiments.e2_wpaxos_scaling",
+    "E9": "repro.experiments.e9_unreliable_links",
+    "E12": "repro.experiments.e12_byzantine",
+    "E13": "repro.experiments.e13_churn",
+}
+
+
+class ManifestError(ScenarioError):
+    """A manifest document could not be parsed or executed."""
+
+
+def _axes_jsonable(axes: Dict[str, List[Any]]) -> Dict[str, Any]:
+    # Manifests are JSON documents: tuples flatten to lists here (grid
+    # axis values are scalars or Specs throughout the repo).
+    return {path: [_jsonable(v) for v in values]
+            for path, values in axes.items()}
+
+
+def _axes_from_jsonable(raw: Any, where: str) -> Dict[str, List[Any]]:
+    if raw is None:
+        return {}
+    if not isinstance(raw, dict):
+        raise ManifestError(f"{where} must be an object of "
+                            f"path -> value list, got {raw!r}")
+    out: Dict[str, List[Any]] = {}
+    for path, values in raw.items():
+        if not isinstance(values, list):
+            raise ManifestError(
+                f"{where}[{path!r}] must be a list, got {values!r}")
+        out[path] = [_from_jsonable(v) for v in values]
+    return out
+
+
+@dataclass
+class ManifestBlock:
+    """One row block: a base scenario plus swept axes.
+
+    Empty ``axes`` and ``zipped`` describe a single hand-built cell
+    (E1's staggered-start run, E13's waypoint run). Otherwise the
+    block denotes ``base.grid(axes, zipped=zipped)``.
+    """
+
+    name: str
+    base: Scenario
+    axes: Dict[str, List[Any]] = field(default_factory=dict)
+    zipped: Dict[str, List[Any]] = field(default_factory=dict)
+    note: str = ""
+
+    def is_single(self) -> bool:
+        return not self.axes and not self.zipped
+
+    def grid(self) -> ScenarioGrid:
+        if self.is_single():
+            raise ManifestError(
+                f"block {self.name!r} is a single cell, not a grid")
+        return self.base.grid(self.axes or None,
+                              zipped=self.zipped or None)
+
+    def cells(self) -> int:
+        return 1 if self.is_single() else len(self.grid())
+
+    def scenarios(self) -> List[Scenario]:
+        if self.is_single():
+            return [self.base]
+        return self.grid().scenarios()
+
+    def run(self, *, cache: Optional[ResultCache] = None,
+            parallel: bool = True, workers: Optional[int] = None,
+            executor: str = "steal",
+            progress: Optional[bool] = None) -> SweepResult:
+        """Execute (or regenerate from cache) every cell."""
+        if self.is_single():
+            metrics = cached_run(self.base, cache)
+            point = SweepPoint(x=0.0, metrics=metrics, key=None)
+            return SweepResult(name=self.name, points=[point])
+        return self.grid().run(name=self.name, cache=cache,
+                               parallel=parallel, workers=workers,
+                               executor=executor, progress=progress)
+
+    def to_dict(self) -> Dict[str, Any]:
+        out: Dict[str, Any] = {
+            "name": self.name,
+            "base": self.base.to_dict(),
+        }
+        if self.axes:
+            out["axes"] = _axes_jsonable(self.axes)
+        if self.zipped:
+            out["zipped"] = _axes_jsonable(self.zipped)
+        if self.note:
+            out["note"] = self.note
+        return out
+
+    @classmethod
+    def from_dict(cls, data: Any) -> "ManifestBlock":
+        if not isinstance(data, dict) or "base" not in data:
+            raise ManifestError(f"not a manifest block: {data!r}")
+        name = data.get("name")
+        if not name:
+            raise ManifestError("manifest block is missing 'name'")
+        return cls(
+            name=str(name),
+            base=Scenario.from_dict(data["base"]),
+            axes=_axes_from_jsonable(data.get("axes"), "axes"),
+            zipped=_axes_from_jsonable(data.get("zipped"), "zipped"),
+            note=str(data.get("note", "")),
+        )
+
+
+@dataclass
+class ExperimentManifest:
+    """An experiment's full cell population, as a JSON document."""
+
+    experiment: str
+    title: str = ""
+    blocks: List[ManifestBlock] = field(default_factory=list)
+
+    def cells(self) -> int:
+        return sum(block.cells() for block in self.blocks)
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "schema": MANIFEST_SCHEMA,
+            "experiment": self.experiment,
+            "title": self.title,
+            "blocks": [block.to_dict() for block in self.blocks],
+        }
+
+    @classmethod
+    def from_dict(cls, data: Any) -> "ExperimentManifest":
+        if not isinstance(data, dict):
+            raise ManifestError(f"not a manifest dict: {data!r}")
+        schema = data.get("schema")
+        if schema != MANIFEST_SCHEMA:
+            raise ManifestError(
+                f"unsupported manifest schema {schema!r} "
+                f"(expected {MANIFEST_SCHEMA!r})")
+        return cls(
+            experiment=str(data.get("experiment", "")),
+            title=str(data.get("title", "")),
+            blocks=[ManifestBlock.from_dict(raw)
+                    for raw in data.get("blocks", [])],
+        )
+
+    def to_json(self, *, indent: Optional[int] = 2) -> str:
+        return json.dumps(self.to_dict(), indent=indent)
+
+    @classmethod
+    def from_json(cls, text: str) -> "ExperimentManifest":
+        try:
+            data = json.loads(text)
+        except json.JSONDecodeError as exc:
+            raise ManifestError(
+                f"invalid manifest JSON: {exc}") from None
+        return cls.from_dict(data)
+
+    @classmethod
+    def from_file(cls, path: str) -> "ExperimentManifest":
+        with open(path, encoding="utf-8") as handle:
+            return cls.from_json(handle.read())
+
+    def dump(self, path: str) -> None:
+        with open(path, "w", encoding="utf-8") as handle:
+            handle.write(self.to_json())
+            handle.write("\n")
+
+
+def available_manifests() -> List[str]:
+    """IDs of the drivers that export manifests."""
+    return list(MANIFEST_SOURCES)
+
+
+def load_manifest(experiment_id: str) -> ExperimentManifest:
+    """The manifest a migrated E-driver exports."""
+    module_name = MANIFEST_SOURCES.get(experiment_id.upper())
+    if module_name is None:
+        raise ManifestError(
+            f"no manifest source for {experiment_id!r}; migrated "
+            f"drivers: {', '.join(MANIFEST_SOURCES)}")
+    module = importlib.import_module(module_name)
+    return module.manifest()
+
+
+def write_manifests(directory: str,
+                    ids: Optional[List[str]] = None) -> List[str]:
+    """Write one ``<id>.manifest.json`` per migrated driver."""
+    os.makedirs(directory, exist_ok=True)
+    paths = []
+    for experiment_id in (ids or available_manifests()):
+        manifest = load_manifest(experiment_id)
+        path = os.path.join(
+            directory, f"{manifest.experiment.lower()}.manifest.json")
+        manifest.dump(path)
+        paths.append(path)
+    return paths
+
+
+def _cell_value(value: Any) -> Any:
+    if value is None:
+        return None
+    if isinstance(value, float):
+        return value
+    return value
+
+
+def block_table(block: ManifestBlock,
+                result: SweepResult) -> tuple:
+    """Deterministic (headers, rows) for one regenerated block."""
+    headers = ["cell", "x", "correct", "agree", "valid", "term",
+               "decision time", "events"]
+    rows = []
+    for point in result.points:
+        metrics = point.metrics
+        label = "-" if point.key is None else repr(point.key)
+        rows.append([
+            label, point.x, metrics.correct, metrics.agreement,
+            metrics.validity, metrics.termination,
+            _cell_value(metrics.last_decision), metrics.events])
+    return headers, rows
+
+
+def regenerate(manifest: ExperimentManifest, *,
+               cache: Optional[ResultCache] = None,
+               parallel: bool = True,
+               workers: Optional[int] = None,
+               executor: str = "steal",
+               progress: Optional[bool] = None) -> str:
+    """Regenerate every block table; deterministic text output.
+
+    Cache hits skip execution entirely; fresh cells are persisted as
+    they complete, so an interrupted regeneration resumes from its
+    finished cells on the next invocation.
+    """
+    parts = [f"=== {manifest.experiment}: {manifest.title} "
+             f"({manifest.cells()} cells) ==="]
+    for block in manifest.blocks:
+        result = block.run(cache=cache, parallel=parallel,
+                           workers=workers, executor=executor,
+                           progress=progress)
+        headers, rows = block_table(block, result)
+        title = block.name if not block.note else (
+            f"{block.name} -- {block.note}")
+        parts.append(format_table(headers, rows, title=title))
+    return "\n\n".join(parts)

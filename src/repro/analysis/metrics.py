@@ -2,8 +2,8 @@
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import Any, Dict, Optional
+from dataclasses import asdict, dataclass, fields
+from typing import Any, Dict, Mapping, Optional
 
 from ..macsim import RunResult, TraceSink, check_consensus
 
@@ -32,6 +32,22 @@ class RunMetrics:
     #: Algorithm-specific observables harvested by a runner ``probe``
     #: (e.g. Ben-Or round counts); ``None`` when no probe ran.
     extras: Optional[Dict[str, Any]] = None
+
+    def to_dict(self) -> Dict[str, Any]:
+        """Plain-dict form (the result-cache wire format).
+
+        Every field is a JSON scalar except ``extras``, which is
+        JSON-pure by construction (telemetry snapshots, connectivity
+        reports, probe harvests of scalars).
+        """
+        return asdict(self)
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "RunMetrics":
+        """Rebuild from :meth:`to_dict` output (unknown keys ignored,
+        for forward compatibility with newer cache entries)."""
+        known = {f.name for f in fields(cls)}
+        return cls(**{k: v for k, v in data.items() if k in known})
 
     @property
     def normalized_time(self) -> Optional[float]:

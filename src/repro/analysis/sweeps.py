@@ -25,30 +25,56 @@ scalar axis is the first numeric leaf of the key, unless ``build``
 returns an explicit ``x`` entry; :meth:`SweepResult.by_x` regroups the
 replicas for aggregation.
 
-``parallel_sweep`` uses the ``fork`` start method so the (typically
+Executors
+---------
+``parallel_sweep`` takes ``executor=``:
+
+* ``"steal"`` (default) -- a persistent fork-based worker pool whose
+  workers *pull* point indexes from a shared counter in small chunks
+  (guided self-scheduling: chunk size shrinks toward 1 near the tail),
+  so an uneven grid -- E9/E13's deadlocking cells run orders of
+  magnitude slower than their neighbors -- keeps every core busy
+  instead of idling behind stragglers. Defaults to one worker per
+  core (:func:`saturating_workers`). Supports an optional per-point
+  wall-clock ``point_timeout`` with ``point_retries`` (SIGALRM-based,
+  for deadlock-prone cells; deterministic non-termination is better
+  bounded with ``max_time``/``max_events``).
+* ``"pool"`` -- the pre-PR-8 ``multiprocessing.Pool.imap_unordered``
+  path, one task per point, half-the-cores default
+  (:func:`default_workers`). Kept as a comparison baseline and proof
+  that all executors produce byte-identical results.
+* ``"serial"`` -- force the sequential path.
+
+All executors use the ``fork`` start method so the (typically
 unpicklable) ``build`` closures never cross a process boundary: workers
 inherit them via fork and receive only point indexes; only the
 :class:`SweepPoint` results (plain dataclasses of floats/strings) are
 pickled back. On platforms without ``fork``, or inside daemon workers,
-it transparently degrades to the sequential path.
+both transparently degrade to the sequential path.
 
 Progress telemetry
 ------------------
 Long sweeps (E9/E13 grids) used to run dark: a deadlocking cell was
-indistinguishable from a slow one until the whole pool drained. Both
-runners now take ``progress=True`` (or the ``MACSIM_SWEEP_PROGRESS=1``
+indistinguishable from a slow one until the whole pool drained. All
+runners take ``progress=True`` (or the ``MACSIM_SWEEP_PROGRESS=1``
 environment toggle, which reaches sweeps buried inside experiment
-drivers) and emit one heartbeat line per completed point to stderr --
-``done/total``, the point's ``SweepPoint.key``, its runtime, overall
-elapsed and ETA -- flagging stragglers whose runtime exceeds
-:data:`STRAGGLER_FACTOR` x the median of completed points. Heartbeats
-are stderr-only and never alter results or point order.
+drivers; ``0``/``false``/``no``/``off``/empty disable it) and emit one
+heartbeat line per completed point to stderr -- ``done/total``, the
+point's ``SweepPoint.key``, its runtime, overall elapsed and ETA --
+flagging stragglers whose runtime exceeds :data:`STRAGGLER_FACTOR` x
+the median of completed points. After the last point a single summary
+line reports total points, wall time, points/s, straggler count, cache
+hit ratio (when a result cache was consulted) and, for the
+work-stealing executor, per-worker utilization and chunk-steal counts.
+Heartbeats are stderr-only and never alter results or point order.
 """
 
 from __future__ import annotations
 
 import multiprocessing
 import os
+import queue as queue_module
+import signal
 import sys
 from dataclasses import dataclass, field
 from time import perf_counter
@@ -58,6 +84,18 @@ from ..macsim.trace import TraceLevel
 from .metrics import RunMetrics
 from .runner import ProcessFactory, run_consensus
 from .stats import linear_fit
+
+
+class SweepError(RuntimeError):
+    """A sweep could not complete."""
+
+
+class SweepWorkerError(SweepError):
+    """A sweep worker raised or died; carries the failing point."""
+
+
+class SweepTimeoutError(SweepError):
+    """A sweep point exceeded ``point_timeout`` on every attempt."""
 
 
 @dataclass(slots=True)
@@ -77,6 +115,10 @@ class SweepResult:
 
     name: str
     points: List[SweepPoint] = field(default_factory=list)
+    #: Executor telemetry (worker counts, per-worker points/chunks/
+    #: busy-seconds) for parallel runs; ``None`` on sequential paths.
+    #: Observability only -- never part of the measured results.
+    executor_stats: Optional[Dict[str, Any]] = None
 
     @property
     def xs(self) -> List[float]:
@@ -128,10 +170,15 @@ def _scalar_axis(key: Any) -> float:
 STRAGGLER_FACTOR = 4.0
 STRAGGLER_MIN_SECONDS = 0.5
 
+#: Environment values that disable ``MACSIM_SWEEP_PROGRESS`` (any
+#: other non-empty value enables it).
+_FALSY_ENV = frozenset({"", "0", "false", "no", "off"})
+
 
 def _progress_enabled(progress: Optional[bool]) -> bool:
     if progress is None:
-        return bool(os.environ.get("MACSIM_SWEEP_PROGRESS"))
+        value = os.environ.get("MACSIM_SWEEP_PROGRESS", "")
+        return value.strip().lower() not in _FALSY_ENV
     return bool(progress)
 
 
@@ -143,7 +190,11 @@ class SweepProgress:
     completion-rate ETA for the remainder, and a ``** straggler``
     marker when the point ran :data:`STRAGGLER_FACTOR` x slower than
     the median completed point (E13's deadlocking-cell signature).
-    Pure observer: it never reorders or mutates results.
+    :meth:`note_cached` accounts result-cache hits that skipped
+    execution; :meth:`finish` prints the closing summary line (and a
+    per-worker utilization line when the work-stealing executor hands
+    over its stats). Pure observer: it never reorders or mutates
+    results.
     """
 
     def __init__(self, name: str, total: int, stream=None) -> None:
@@ -151,6 +202,7 @@ class SweepProgress:
         self.total = total
         self.stream = stream if stream is not None else sys.stderr
         self.done = 0
+        self.cache_hits = 0
         self.runtimes: List[float] = []
         self.stragglers: List[Any] = []
         self.started = perf_counter()
@@ -176,12 +228,44 @@ class SweepProgress:
               f"(elapsed {elapsed:.1f}s, eta {eta:.1f}s){mark}",
               file=self.stream, flush=True)
 
+    def note_cached(self, count: int) -> None:
+        """Account ``count`` points served from the result cache."""
+        if count <= 0:
+            return
+        self.cache_hits += count
+        self.done += count
+        print(f"[sweep {self.name}] {self.done}/{self.total} "
+              f"({count} cached point{'s' if count != 1 else ''} "
+              f"reused)", file=self.stream, flush=True)
+
+    def finish(self, worker_stats: Optional[List[dict]] = None) -> None:
+        """Print the closing summary line after the last heartbeat."""
+        elapsed = perf_counter() - self.started
+        rate = self.done / elapsed if elapsed > 0 else float("inf")
+        hit_ratio = self.cache_hits / self.total if self.total else 0.0
+        print(f"[sweep {self.name}] summary: {self.done}/{self.total} "
+              f"points in {elapsed:.2f}s ({rate:.1f} points/s, "
+              f"{len(self.stragglers)} stragglers, "
+              f"cache {self.cache_hits}/{self.total} hits "
+              f"[{hit_ratio:.0%}])", file=self.stream, flush=True)
+        if worker_stats:
+            cells = []
+            for entry in worker_stats:
+                busy = entry.get("busy_seconds", 0.0)
+                util = busy / elapsed if elapsed > 0 else 0.0
+                cells.append(f"w{entry['worker']}="
+                             f"{entry['points']}pt/"
+                             f"{entry['chunks']}steals/"
+                             f"{util:.0%}util")
+            print(f"[sweep {self.name}] workers: {' '.join(cells)}",
+                  file=self.stream, flush=True)
+
 
 def _run_point(name: str, key: Any,
                build: Callable[[Any], Dict[str, Any]],
                max_events: int, max_time: Optional[float],
                trace_level: "TraceLevel | str") -> SweepPoint:
-    """Execute one sweep point; shared by both runners."""
+    """Execute one sweep point; shared by all runners."""
     spec = dict(build(key))
     graph = spec.pop("graph")
     scheduler = spec.pop("scheduler")
@@ -203,7 +287,10 @@ def sweep(name: str, xs: Sequence[Any],
           *, max_events: int = 20_000_000,
           max_time: Optional[float] = None,
           trace_level: "TraceLevel | str" = TraceLevel.FULL,
-          progress: Optional[bool] = None) -> SweepResult:
+          progress: Optional[bool] = None,
+          reporter: Optional[SweepProgress] = None,
+          on_point: Optional[Callable[[SweepPoint], None]] = None,
+          ) -> SweepResult:
     """Run one consensus execution per key in ``xs`` and collect metrics.
 
     ``build(key)`` returns the keyword arguments for
@@ -231,11 +318,15 @@ def sweep(name: str, xs: Sequence[Any],
         for p, replicas in result.by_x().items(): ...
 
     ``progress`` (or ``MACSIM_SWEEP_PROGRESS=1``) emits one heartbeat
-    line per completed point to stderr.
+    line per completed point to stderr plus a closing summary line.
+    ``on_point`` is called with each completed :class:`SweepPoint` in
+    completion order (the result-cache store hook). A caller-owned
+    ``reporter`` suppresses the summary (the caller finishes it).
     """
     xs = list(xs)
-    reporter = (SweepProgress(name, len(xs))
-                if _progress_enabled(progress) else None)
+    owns_reporter = reporter is None
+    if owns_reporter and _progress_enabled(progress):
+        reporter = SweepProgress(name, len(xs))
     result = SweepResult(name=name)
     for x in xs:
         t0 = perf_counter()
@@ -244,16 +335,22 @@ def sweep(name: str, xs: Sequence[Any],
         if reporter is not None:
             reporter.point_done(point.key, perf_counter() - t0)
         result.points.append(point)
+        if on_point is not None:
+            on_point(point)
+    if owns_reporter and reporter is not None:
+        reporter.finish()
     return result
 
 
-# Sweep specification the forked workers inherit; indexed by
-# _sweep_worker. Only valid between fork and pool teardown.
+# Sweep specification the forked workers inherit: (name, xs, build,
+# max_events, max_time, trace_level, point_timeout, point_retries).
+# Only valid between fork and executor teardown.
 _FORK_STATE: Optional[tuple] = None
 
 
 def _sweep_worker(index: int) -> tuple:
-    name, xs, build, max_events, max_time, trace_level = _FORK_STATE
+    """Legacy pool-executor worker: one task per point index."""
+    name, xs, build, max_events, max_time, trace_level = _FORK_STATE[:6]
     t0 = perf_counter()
     point = _run_point(name, xs[index], build, max_events, max_time,
                        trace_level)
@@ -263,8 +360,226 @@ def _sweep_worker(index: int) -> tuple:
 
 
 def default_workers() -> int:
-    """Worker count for :func:`parallel_sweep` (half the cores, >=1)."""
+    """Pool-executor worker count (half the cores, >= 1)."""
     return max(1, (os.cpu_count() or 2) // 2)
+
+
+def saturating_workers() -> int:
+    """Work-stealing worker count: one per *available* core."""
+    try:
+        return max(1, len(os.sched_getaffinity(0)))
+    except (AttributeError, OSError):
+        return max(1, os.cpu_count() or 1)
+
+
+#: Upper bound on a single work-stealing claim. Chunks amortize the
+#: shared-counter lock and result-queue traffic on huge grids without
+#: re-creating pool-sized head-of-line blocking: near the tail the
+#: guided rule below shrinks claims back to single points.
+CHUNK_MAX = 16
+
+
+def _claim_chunk(counter, total: int, workers: int):
+    """Claim the next chunk of point indexes (guided self-scheduling).
+
+    Chunk size is ``remaining / (2 * workers)`` clamped to
+    ``[1, CHUNK_MAX]``: big grids hand out multi-point chunks while
+    plenty of work remains, and the final claims degrade to one point
+    each so no worker gets stuck behind a straggler's tail.
+    """
+    with counter.get_lock():
+        start = counter.value
+        if start >= total:
+            return None
+        remaining = total - start
+        size = min(max(1, min(CHUNK_MAX, remaining // (2 * workers))),
+                   remaining)
+        counter.value = start + size
+    return start, size
+
+
+class _PointTimeout(Exception):
+    """Internal SIGALRM marker; never escapes the worker."""
+
+
+def _raise_point_timeout(signum, frame):
+    raise _PointTimeout()
+
+
+def _run_point_guarded(name: str, key: Any, build, max_events: int,
+                       max_time: Optional[float], trace_level,
+                       timeout: Optional[float],
+                       retries: int) -> SweepPoint:
+    """Run one point under an optional wall-clock timeout + retries."""
+    if timeout is None:
+        return _run_point(name, key, build, max_events, max_time,
+                          trace_level)
+    attempts = max(1, int(retries) + 1)
+    for _ in range(attempts):
+        signal.setitimer(signal.ITIMER_REAL, float(timeout))
+        try:
+            return _run_point(name, key, build, max_events, max_time,
+                              trace_level)
+        except _PointTimeout:
+            continue
+        finally:
+            signal.setitimer(signal.ITIMER_REAL, 0.0)
+    raise SweepTimeoutError(
+        f"sweep point {key!r} exceeded point_timeout={timeout}s wall "
+        f"clock on all {attempts} attempt(s); a *deterministic* "
+        f"deadlock is better bounded with max_time/max_events")
+
+
+def _steal_worker(worker_id: int, workers: int, total: int,
+                  counter, results) -> None:
+    """Work-stealing worker loop: claim chunks until the counter drains.
+
+    Every completed point is shipped back immediately as
+    ``("point", index, seconds, point, worker_id)``; a failure ships
+    ``("error", index, kind, text)`` and stops this worker; the final
+    ``("done", worker_id, points, chunks, busy_seconds)`` marker
+    carries the utilization/steal telemetry.
+    """
+    (name, xs, build, max_events, max_time, trace_level,
+     timeout, retries) = _FORK_STATE
+    if timeout is not None:
+        signal.signal(signal.SIGALRM, _raise_point_timeout)
+    points = chunks = 0
+    busy = 0.0
+    try:
+        while True:
+            claim = _claim_chunk(counter, total, workers)
+            if claim is None:
+                break
+            chunks += 1
+            start, size = claim
+            for index in range(start, start + size):
+                t0 = perf_counter()
+                try:
+                    point = _run_point_guarded(
+                        name, xs[index], build, max_events, max_time,
+                        trace_level, timeout, retries)
+                except SweepTimeoutError as exc:
+                    results.put(("error", index, "timeout", str(exc)))
+                    return
+                except BaseException as exc:
+                    results.put(("error", index, "exception",
+                                 f"{type(exc).__name__}: {exc}"))
+                    return
+                seconds = perf_counter() - t0
+                busy += seconds
+                points += 1
+                results.put(("point", index, seconds, point,
+                             worker_id))
+    finally:
+        results.put(("done", worker_id, points, chunks, busy))
+
+
+def _run_steal(name: str, xs: list, build, max_events: int,
+               max_time: Optional[float], trace_level, workers: int,
+               reporter: Optional[SweepProgress],
+               on_point: Optional[Callable[[SweepPoint], None]],
+               point_timeout: Optional[float],
+               point_retries: int):
+    """Parent side of the work-stealing executor.
+
+    Forks ``workers`` persistent processes over a shared next-index
+    counter, drains the result queue as points complete (heartbeats +
+    ``on_point`` fire in completion order), then reassembles points
+    into input-index order -- byte-identical to the sequential path.
+    """
+    global _FORK_STATE
+    context = multiprocessing.get_context("fork")
+    counter = context.Value("l", 0)
+    results = context.Queue()
+    _FORK_STATE = (name, xs, build, max_events, max_time, trace_level,
+                   point_timeout, point_retries)
+    procs = [context.Process(target=_steal_worker,
+                             args=(i, workers, len(xs), counter,
+                                   results),
+                             daemon=True)
+             for i in range(workers)]
+    ordered: List[Optional[SweepPoint]] = [None] * len(xs)
+    stats: List[Optional[dict]] = [None] * workers
+    failure: Optional[tuple] = None
+    try:
+        for proc in procs:
+            proc.start()
+        pending_workers = workers
+        while pending_workers > 0 and failure is None:
+            try:
+                message = results.get(timeout=1.0)
+            except queue_module.Empty:
+                dead = [i for i, proc in enumerate(procs)
+                        if stats[i] is None and not proc.is_alive()]
+                if dead:
+                    codes = [procs[i].exitcode for i in dead]
+                    failure = ("worker", None,
+                               f"sweep worker(s) {dead} died without "
+                               f"reporting (exit codes {codes})")
+                continue
+            kind = message[0]
+            if kind == "point":
+                _, index, seconds, point, _worker = message
+                ordered[index] = point
+                if on_point is not None:
+                    on_point(point)
+                if reporter is not None:
+                    reporter.point_done(point.key, seconds)
+            elif kind == "done":
+                _, worker_id, points, chunks, busy = message
+                stats[worker_id] = {
+                    "worker": worker_id, "points": points,
+                    "chunks": chunks,
+                    "busy_seconds": round(busy, 4)}
+                pending_workers -= 1
+            else:  # "error"
+                _, index, err_kind, text = message
+                failure = (err_kind, xs[index], text)
+    finally:
+        for proc in procs:
+            if proc.is_alive():
+                proc.terminate()
+        for proc in procs:
+            proc.join(timeout=5.0)
+        results.close()
+        results.join_thread()
+        _FORK_STATE = None
+    if failure is not None:
+        err_kind, key, text = failure
+        if err_kind == "timeout":
+            raise SweepTimeoutError(text)
+        suffix = "" if key is None else f" (point {key!r})"
+        raise SweepWorkerError(f"{text}{suffix}")
+    missing = [i for i, p in enumerate(ordered) if p is None]
+    if missing:
+        raise SweepWorkerError(
+            f"sweep lost points at indexes {missing}")
+    return ordered, [s for s in stats if s is not None]
+
+
+def _run_pool(name: str, xs: list, build, max_events: int,
+              max_time: Optional[float], trace_level, workers: int,
+              reporter: Optional[SweepProgress],
+              on_point: Optional[Callable[[SweepPoint], None]]):
+    """Legacy executor: ``Pool.imap_unordered``, one task per point."""
+    global _FORK_STATE
+    context = multiprocessing.get_context("fork")
+    _FORK_STATE = (name, xs, build, max_events, max_time, trace_level,
+                   None, 0)
+    ordered: List[Optional[SweepPoint]] = [None] * len(xs)
+    try:
+        with context.Pool(processes=min(workers, len(xs))) as pool:
+            for index, seconds, point in pool.imap_unordered(
+                    _sweep_worker, range(len(xs))):
+                ordered[index] = point
+                if on_point is not None:
+                    on_point(point)
+                if reporter is not None:
+                    reporter.point_done(point.key, seconds)
+    finally:
+        _FORK_STATE = None
+    return ordered
 
 
 def parallel_sweep(name: str, xs: Sequence[Any],
@@ -273,7 +588,13 @@ def parallel_sweep(name: str, xs: Sequence[Any],
                    max_time: Optional[float] = None,
                    trace_level: "TraceLevel | str" = TraceLevel.FULL,
                    workers: Optional[int] = None,
-                   progress: Optional[bool] = None) -> SweepResult:
+                   progress: Optional[bool] = None,
+                   executor: str = "steal",
+                   point_timeout: Optional[float] = None,
+                   point_retries: int = 0,
+                   reporter: Optional[SweepProgress] = None,
+                   on_point: Optional[Callable[[SweepPoint], None]]
+                   = None) -> SweepResult:
     """Like :func:`sweep`, but fan sweep points out over processes.
 
     Results are deterministic and identical to :func:`sweep`: points
@@ -285,17 +606,34 @@ def parallel_sweep(name: str, xs: Sequence[Any],
     a daemon worker) or not worth it (fewer than two points,
     ``workers=1``).
 
+    ``executor`` selects the fan-out strategy (module docstring):
+    ``"steal"`` (chunked work stealing over all cores, the default),
+    ``"pool"`` (the pre-PR-8 one-task-per-point pool at half the
+    cores) or ``"serial"``. ``point_timeout``/``point_retries`` bound
+    a point's wall clock on the stealing executor; exhausting the
+    retries raises :class:`SweepTimeoutError`.
+
     ``progress`` (or ``MACSIM_SWEEP_PROGRESS=1``) heartbeats each
     point to stderr *as it completes* -- completion order, not input
     order -- so a straggling worker is visible while the rest of the
-    pool drains around it.
+    pool drains around it, then prints a summary line. ``on_point``
+    fires in the parent, in completion order, with each completed
+    point (the result-cache store hook, so interrupted sweeps keep
+    their finished work). A caller-owned ``reporter`` suppresses the
+    summary (the caller finishes it).
     """
-    global _FORK_STATE
     xs = list(xs)
+    if executor not in ("steal", "pool", "serial"):
+        raise ValueError(
+            f"unknown sweep executor {executor!r} "
+            f"(expected 'steal', 'pool' or 'serial')")
     if workers is None:
-        workers = min(default_workers(), len(xs))
+        pool_size = (saturating_workers() if executor == "steal"
+                     else default_workers())
+        workers = min(pool_size, len(xs)) if xs else 1
     use_parallel = (
-        len(xs) > 1
+        executor != "serial"
+        and len(xs) > 1
         and workers > 1
         and "fork" in multiprocessing.get_all_start_methods()
         and not multiprocessing.current_process().daemon
@@ -303,20 +641,25 @@ def parallel_sweep(name: str, xs: Sequence[Any],
     if not use_parallel:
         return sweep(name, xs, build, max_events=max_events,
                      max_time=max_time, trace_level=trace_level,
-                     progress=progress)
+                     progress=progress, reporter=reporter,
+                     on_point=on_point)
 
-    reporter = (SweepProgress(name, len(xs))
-                if _progress_enabled(progress) else None)
-    context = multiprocessing.get_context("fork")
-    _FORK_STATE = (name, xs, build, max_events, max_time, trace_level)
-    ordered: List[Optional[SweepPoint]] = [None] * len(xs)
-    try:
-        with context.Pool(processes=min(workers, len(xs))) as pool:
-            for index, seconds, point in pool.imap_unordered(
-                    _sweep_worker, range(len(xs))):
-                ordered[index] = point
-                if reporter is not None:
-                    reporter.point_done(point.key, seconds)
-    finally:
-        _FORK_STATE = None
-    return SweepResult(name=name, points=ordered)
+    owns_reporter = reporter is None
+    if owns_reporter and _progress_enabled(progress):
+        reporter = SweepProgress(name, len(xs))
+    if executor == "pool":
+        ordered = _run_pool(name, xs, build, max_events, max_time,
+                            trace_level, workers, reporter, on_point)
+        executor_stats = {"executor": "pool",
+                          "workers": min(workers, len(xs))}
+        worker_stats = None
+    else:
+        ordered, worker_stats = _run_steal(
+            name, xs, build, max_events, max_time, trace_level,
+            workers, reporter, on_point, point_timeout, point_retries)
+        executor_stats = {"executor": "steal", "workers": workers,
+                          "per_worker": worker_stats}
+    if owns_reporter and reporter is not None:
+        reporter.finish(worker_stats=worker_stats)
+    return SweepResult(name=name, points=ordered,
+                       executor_stats=executor_stats)

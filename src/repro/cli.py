@@ -370,6 +370,85 @@ def cmd_experiments(args: argparse.Namespace) -> int:
     return experiments_main(forwarded)
 
 
+def cmd_regen(args: argparse.Namespace) -> int:
+    """Regenerate experiment tables through the sweep fabric.
+
+    Cells are served from the scenario-hash result cache when their
+    digest is already stored; fresh cells run through the selected
+    sweep executor and are persisted as they complete, so an
+    interrupted regeneration resumes and only invalidated cells
+    (changed scenario or cache salt) re-run.
+    """
+    import inspect
+    import os
+    from .analysis import manifests as manifests_module
+    from .analysis.cache import ResultCache
+    from .analysis.manifests import (ExperimentManifest,
+                                     ManifestError, regenerate,
+                                     write_manifests)
+
+    if args.progress:
+        os.environ["MACSIM_SWEEP_PROGRESS"] = "1"
+    if args.write_manifests:
+        try:
+            paths = write_manifests(args.write_manifests,
+                                    ids=args.ids or None)
+        except ManifestError as exc:
+            raise SystemExit(str(exc)) from None
+        for path in paths:
+            print(path)
+        return 0
+
+    cache = None
+    if not args.fresh:
+        cache = ResultCache(args.cache, salt=args.salt,
+                            verify="replay" if args.verify else False)
+    failures = []
+    if args.manifest:
+        for path in args.manifest:
+            try:
+                manifest = ExperimentManifest.from_file(path)
+            except (OSError, ManifestError) as exc:
+                raise SystemExit(f"{path}: {exc}") from None
+            print(regenerate(manifest, cache=cache,
+                             workers=args.workers,
+                             executor=args.executor))
+            print()
+    else:
+        from .experiments import ALL_EXPERIMENTS
+        modules = dict(ALL_EXPERIMENTS)
+        wanted = ([i.upper() for i in args.ids] if args.ids
+                  else list(manifests_module.MANIFEST_SOURCES))
+        unknown = [i for i in wanted if i not in modules]
+        if unknown:
+            raise SystemExit(
+                f"unknown experiment ids: {', '.join(unknown)} "
+                f"(known: {', '.join(modules)})")
+        for experiment_id in wanted:
+            module = modules[experiment_id]
+            parameters = inspect.signature(module.run).parameters
+            kwargs = {}
+            if "cache" in parameters:
+                kwargs["cache"] = cache
+                if "workers" in parameters:
+                    kwargs["workers"] = args.workers
+            else:
+                print(f"note: {experiment_id} is not manifest-"
+                      f"migrated; running fresh", file=sys.stderr)
+            report = module.run(**kwargs)
+            print(report.render_markdown() if args.markdown
+                  else report.render())
+            print()
+            if not report.passed:
+                failures.append(experiment_id)
+    if cache is not None:
+        print(f"cache: {cache.describe()} [{cache.directory}]")
+    if failures:
+        print(f"FAILED: {', '.join(failures)}")
+        return 1
+    return 0
+
+
 def cmd_demo(_args: argparse.Namespace) -> int:
     import importlib.util
     import os
@@ -510,6 +589,41 @@ def build_parser() -> argparse.ArgumentParser:
                        help="experiment ids (default: all)")
     exp_p.add_argument("--markdown", action="store_true")
     exp_p.set_defaults(func=cmd_experiments)
+
+    regen_p = sub.add_parser(
+        "regen", help="regenerate experiment tables through the "
+                      "scenario-hash result cache")
+    regen_p.add_argument("ids", nargs="*",
+                         help="experiment ids (default: every "
+                              "manifest-migrated driver)")
+    regen_p.add_argument("--manifest", action="append", default=[],
+                         metavar="FILE",
+                         help="regenerate from a manifest JSON file "
+                              "instead of a driver (repeatable)")
+    regen_p.add_argument("--write-manifests", metavar="DIR",
+                         help="write each driver's manifest JSON to "
+                              "DIR and exit")
+    regen_p.add_argument("--cache", metavar="DIR",
+                         help="cache directory (default: "
+                              "$MACSIM_CACHE_DIR or .macsim-cache)")
+    regen_p.add_argument("--salt", default="",
+                         help="cache version salt; changing it "
+                              "invalidates every cached cell")
+    regen_p.add_argument("--fresh", action="store_true",
+                         help="bypass the cache entirely")
+    regen_p.add_argument("--verify", action="store_true",
+                         help="re-execute every cache hit and fail "
+                              "on divergence (replay verification)")
+    regen_p.add_argument("--workers", type=int, default=None,
+                         help="sweep worker count (default: all "
+                              "cores for the stealing executor)")
+    regen_p.add_argument("--executor", default="steal",
+                         choices=("steal", "pool", "serial"),
+                         help="sweep executor (default: steal)")
+    regen_p.add_argument("--progress", action="store_true",
+                         help="heartbeat sweep progress to stderr")
+    regen_p.add_argument("--markdown", action="store_true")
+    regen_p.set_defaults(func=cmd_regen)
 
     demo_p = sub.add_parser("demo",
                             help="run the impossibility tour")

@@ -65,6 +65,43 @@ def _base_scenario(topology: TopologySpec, n: int, relay: bool,
         label=("multihop" if relay else "clique") + f"({n})")
 
 
+def _topologies(clique_n: int = CLIQUE_N,
+                multihop_n: int = MULTIHOP_N):
+    """The within-bound (topology, n, relay) rows; one grid per
+    (topology, strategy) pair, shared by ``run()`` and
+    ``manifest()``."""
+    return [
+        (TopologySpec("clique", n=clique_n), clique_n, False),
+        (TopologySpec("random", n=multihop_n,
+                      density=MULTIHOP_EDGE_PROB, seed=MULTIHOP_SEED),
+         multihop_n, True),
+    ]
+
+
+def manifest():
+    """The within-bound grids as a scenario-native manifest.
+
+    The past-the-bound violation run is hand-wired (it digs decide
+    records out of the raw trace) and deliberately stays outside the
+    manifest/cache layer.
+    """
+    from ..analysis.manifests import ExperimentManifest, ManifestBlock
+    blocks = []
+    for topology, n, relay in _topologies():
+        f_assumed = max_tolerance(n)
+        counts = list(range(f_assumed + 1))
+        kind = "multihop" if relay else "clique"
+        for strategy_name in STRATEGIES:
+            blocks.append(ManifestBlock(
+                f"{kind}-{strategy_name}",
+                _base_scenario(topology, n, relay, strategy_name),
+                axes={"fault.count": counts}))
+    return ExperimentManifest(
+        experiment="E12",
+        title="Byzantine consensus under the fault-model subsystem",
+        blocks=blocks)
+
+
 def _violation_run():
     """Budget past the bound: targeted split-world equivocation.
 
@@ -91,7 +128,8 @@ def _violation_run():
 
 
 def run(*, clique_n=CLIQUE_N, multihop_n=MULTIHOP_N,
-        strategies=STRATEGIES) -> ExperimentReport:
+        strategies=STRATEGIES, cache=None,
+        workers=None) -> ExperimentReport:
     report = ExperimentReport(
         experiment_id="E12",
         title="Byzantine consensus under the fault-model subsystem",
@@ -105,20 +143,14 @@ def run(*, clique_n=CLIQUE_N, multihop_n=MULTIHOP_N,
     )
 
     # --- within the bound: clique and multi-hop grids ------------------
-    scenarios = [
-        (TopologySpec("clique", n=clique_n), clique_n, False),
-        (TopologySpec("random", n=multihop_n,
-                      density=MULTIHOP_EDGE_PROB, seed=MULTIHOP_SEED),
-         multihop_n, True),
-    ]
     all_safe = True
-    for topology, n, relay in scenarios:
+    for topology, n, relay in _topologies(clique_n, multihop_n):
         f_assumed = max_tolerance(n)
         byz_counts = tuple(range(f_assumed + 1))
         for strategy_name in strategies:
             base = _base_scenario(topology, n, relay, strategy_name)
             series = base.grid({"fault.count": list(byz_counts)}).run(
-                name="byzantine")
+                name="byzantine", cache=cache, workers=workers)
             for b, point in zip(byz_counts, series.points):
                 m = point.metrics
                 report.add_row(

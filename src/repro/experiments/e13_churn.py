@@ -58,6 +58,72 @@ def _base(algorithm: str, topology: TopologySpec,
         label=label)
 
 
+#: Shared block ingredients: ``run()`` and ``manifest()`` build their
+#: scenarios from the same helpers, so both address identical cache
+#: entries cell for cell.
+CHURN0 = DynamicsSpec("edge-churn", rate=0.0, epoch_length=1.0)
+
+
+def _clique_spec(n: int = CLIQUE_N) -> TopologySpec:
+    return TopologySpec("clique", n=n)
+
+
+def _geo_spec(n: int = GEO_N) -> TopologySpec:
+    return TopologySpec("geometric", n=n, radius=GEO_RADIUS, seed=SEED)
+
+
+def _waypoint_scenario(geo_n: int = GEO_N) -> Scenario:
+    return _base(
+        "wpaxos", _geo_spec(geo_n),
+        DynamicsSpec("random-waypoint", radius=GEO_RADIUS, speed=0.06,
+                     epoch_length=1.0),
+        f"geometric({geo_n})")
+
+
+def _node_churn_scenario(clique_n: int = CLIQUE_N) -> Scenario:
+    return _base(
+        "wpaxos", _clique_spec(clique_n),
+        DynamicsSpec("node-churn", leave_rate=0.05, rejoin_rate=0.5,
+                     epoch_length=1.0),
+        f"clique({clique_n})")
+
+
+ZIP_NS = (8, 12, 16)
+ZIP_SEEDS = (SEED, SEED + 1, SEED + 2)
+
+
+def manifest():
+    """This experiment's row blocks as a scenario-native manifest."""
+    from ..analysis.manifests import ExperimentManifest, ManifestBlock
+    rate_axis = {"dynamics.rate": list(RATES)}
+    blocks = [
+        ManifestBlock(f"clique-churn-{algorithm}",
+                      _base(algorithm, _clique_spec(), CHURN0,
+                            f"clique({CLIQUE_N})"),
+                      axes=dict(rate_axis))
+        for algorithm in ALGORITHMS
+    ]
+    blocks.extend([
+        ManifestBlock("geometric-churn",
+                      _base("wpaxos", _geo_spec(), CHURN0,
+                            f"geometric({GEO_N})"),
+                      axes=dict(rate_axis)),
+        ManifestBlock("random-waypoint", _waypoint_scenario(),
+                      note="mobility, not churn: nodes drift"),
+        ManifestBlock("node-churn", _node_churn_scenario(),
+                      note="leave/rejoin with state reset"),
+        ManifestBlock("rate-x-n",
+                      _base("wpaxos", _clique_spec(), CHURN0, None),
+                      axes=dict(rate_axis),
+                      zipped={"topology.n": list(ZIP_NS),
+                              "seed": list(ZIP_SEEDS)}),
+    ])
+    return ExperimentManifest(
+        experiment="E13",
+        title="Consensus under topology churn and mobility",
+        blocks=blocks)
+
+
 def _row(report: ExperimentReport, m, dynamics_label: str,
          rate) -> None:
     conn = (m.extras or {}).get("connectivity") or {}
@@ -69,7 +135,8 @@ def _row(report: ExperimentReport, m, dynamics_label: str,
 
 
 def run(*, rates=RATES, algorithms=ALGORITHMS,
-        clique_n=CLIQUE_N, geo_n=GEO_N) -> ExperimentReport:
+        clique_n=CLIQUE_N, geo_n=GEO_N, cache=None,
+        workers=None) -> ExperimentReport:
     report = ExperimentReport(
         experiment_id="E13",
         title="Consensus under topology churn and mobility",
@@ -84,8 +151,8 @@ def run(*, rates=RATES, algorithms=ALGORITHMS,
     )
 
     # --- churn rate x algorithm on the clique --------------------------
-    clique = TopologySpec("clique", n=clique_n)
-    churn = DynamicsSpec("edge-churn", rate=0.0, epoch_length=1.0)
+    clique = _clique_spec(clique_n)
+    churn = CHURN0
     safety_ok = True
     zero_rate_ok = True
     decided = 0
@@ -103,7 +170,7 @@ def run(*, rates=RATES, algorithms=ALGORITHMS,
     for algorithm in algorithms:
         base = _base(algorithm, clique, churn, f"clique({clique_n})")
         series = base.grid({"dynamics.rate": list(rates)}).run(
-            name=algorithm)
+            name=algorithm, cache=cache, workers=workers)
         for rate, point in zip(rates, series.points):
             m = point.metrics
             _row(report, m, "edge-churn", rate)
@@ -115,30 +182,21 @@ def run(*, rates=RATES, algorithms=ALGORITHMS,
         "algorithm decides correctly at rate 0", ok=zero_rate_ok)
 
     # --- wPAXOS on a geometric graph: churn and mobility ---------------
-    geometric = TopologySpec("geometric", n=geo_n, radius=GEO_RADIUS,
-                             seed=SEED)
+    from ..analysis.cache import cached_run
+    geometric = _geo_spec(geo_n)
     base = _base("wpaxos", geometric, churn, f"geometric({geo_n})")
-    series = base.grid({"dynamics.rate": list(rates)}).run(name="wpaxos")
+    series = base.grid({"dynamics.rate": list(rates)}).run(
+        name="wpaxos", cache=cache, workers=workers)
     for rate, point in zip(rates, series.points):
         m = point.metrics
         _row(report, m, "edge-churn", rate)
         _tally(m)
-    waypoint = _base(
-        "wpaxos", geometric,
-        DynamicsSpec("random-waypoint", radius=GEO_RADIUS, speed=0.06,
-                     epoch_length=1.0),
-        f"geometric({geo_n})")
-    m = waypoint.run()
+    m = cached_run(_waypoint_scenario(geo_n), cache)
     _row(report, m, "random-waypoint", "-")
     _tally(m)
 
     # --- wPAXOS under node churn (leave/rejoin with state reset) -------
-    node_churn = _base(
-        "wpaxos", clique,
-        DynamicsSpec("node-churn", leave_rate=0.05, rejoin_rate=0.5,
-                     epoch_length=1.0),
-        f"clique({clique_n})")
-    m = node_churn.run()
+    m = cached_run(_node_churn_scenario(clique_n), cache)
     _row(report, m, "node-churn", 0.05)
     _tally(m)
 
@@ -146,9 +204,9 @@ def run(*, rates=RATES, algorithms=ALGORITHMS,
     zip_base = _base("wpaxos", clique, churn, None)
     zip_grid = zip_base.grid(
         {"dynamics.rate": list(rates)},
-        zipped={"topology.n": [8, 12, 16], "seed": [SEED, SEED + 1,
-                                                    SEED + 2]})
-    series = zip_grid.run(name="wpaxos")
+        zipped={"topology.n": list(ZIP_NS),
+                "seed": list(ZIP_SEEDS)})
+    series = zip_grid.run(name="wpaxos", cache=cache, workers=workers)
     latency_by_rate = {}
     for point in series.points:
         rate, (n, _seed) = point.key

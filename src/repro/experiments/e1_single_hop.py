@@ -26,6 +26,7 @@ from .common import ExperimentReport
 
 N_SWEEP = (1, 2, 3, 5, 8, 13, 21, 34, 55)
 F_SWEEP = (0.5, 1.0, 2.0, 4.0, 8.0)
+RANDOM_SEEDS = (0, 1, 2, 3, 4)
 
 #: Two-Phase with label uids (``uid_base=0``: node label == uid on
 #: cliques, the construction this experiment has always used).
@@ -34,9 +35,39 @@ BASE = Scenario(
     topology=TopologySpec("clique", n=10),
     scheduler=SchedulerSpec("synchronous", f_ack=1.0))
 
+#: Witness-path bases, shared by ``run()`` and ``manifest()`` so the
+#: driver and its manifest address identical cache entries.
+RANDOM_BASE = BASE.override(
+    {"scheduler": SchedulerSpec("random", f_ack=2.0),
+     "label": "clique(12)"})
+STAGGERED = BASE.override(
+    {"topology.n": 12,
+     "scheduler": SchedulerSpec("staggered", step=0.25, max_degree=16),
+     "label": "clique(12)"})
+
+
+def manifest():
+    """This experiment's row blocks as a scenario-native manifest."""
+    from ..analysis.manifests import ExperimentManifest, ManifestBlock
+    return ExperimentManifest(
+        experiment="E1",
+        title="Two-Phase Consensus in single hop networks",
+        blocks=[
+            ManifestBlock("time-vs-n", BASE,
+                          axes={"topology.n": list(N_SWEEP)}),
+            ManifestBlock("time-vs-fack", BASE,
+                          axes={"scheduler.f_ack": list(F_SWEEP)}),
+            ManifestBlock("random-scheduler", RANDOM_BASE,
+                          axes={"topology.n": [12],
+                                "scheduler.seed": list(RANDOM_SEEDS)}),
+            ManifestBlock("staggered", STAGGERED,
+                          note="adversarial staggered-start witness"),
+        ])
+
 
 def run(*, n_sweep=N_SWEEP, f_sweep=F_SWEEP,
-        random_seeds=range(5)) -> ExperimentReport:
+        random_seeds=RANDOM_SEEDS, cache=None,
+        workers=None) -> ExperimentReport:
     report = ExperimentReport(
         experiment_id="E1",
         title="Two-Phase Consensus in single hop networks",
@@ -48,7 +79,7 @@ def run(*, n_sweep=N_SWEEP, f_sweep=F_SWEEP,
 
     # --- time vs n (fixed F_ack = 1) ---------------------------------
     n_series = BASE.grid({"topology.n": list(n_sweep)}).run(
-        name="two-phase", parallel=False)
+        name="two-phase", parallel=False, cache=cache)
     times_vs_n = []
     for n, point in zip(n_sweep, n_series.points):
         metrics = point.metrics
@@ -66,7 +97,7 @@ def run(*, n_sweep=N_SWEEP, f_sweep=F_SWEEP,
 
     # --- time vs F_ack (fixed n = 10) ---------------------------------
     f_series = BASE.grid({"scheduler.f_ack": list(f_sweep)}).run(
-        name="two-phase", parallel=False)
+        name="two-phase", parallel=False, cache=cache)
     times_vs_f = []
     for f_ack, point in zip(f_sweep, f_series.points):
         metrics = point.metrics
@@ -83,11 +114,10 @@ def run(*, n_sweep=N_SWEEP, f_sweep=F_SWEEP,
     # --- adversarial and random schedulers ----------------------------
     # The seed-replicated grid fans out across workers: one sweep
     # point per (n, seed) key, identical results to the old loop.
-    random_series = BASE.override(
-        {"scheduler": SchedulerSpec("random", f_ack=2.0),
-         "label": "clique(12)"},
-    ).grid({"topology.n": [12],
-            "scheduler.seed": list(random_seeds)}).run(name="two-phase")
+    random_series = RANDOM_BASE.grid(
+        {"topology.n": [12],
+         "scheduler.seed": list(random_seeds)},
+    ).run(name="two-phase", cache=cache, workers=workers)
     worst_ratio = 0.0
     for point in random_series.points:
         metrics = point.metrics
@@ -99,12 +129,8 @@ def run(*, n_sweep=N_SWEEP, f_sweep=F_SWEEP,
                            metrics.normalized_time)
         if not metrics.correct:
             report.conclude(f"random seed {seed} failed", ok=False)
-    staggered = BASE.override(
-        {"topology.n": 12,
-         "scheduler": SchedulerSpec("staggered", step=0.25,
-                                    max_degree=16),
-         "label": "clique(12)"})
-    metrics = staggered.run()
+    from ..analysis.cache import cached_run
+    metrics = cached_run(STAGGERED, cache)
     report.add_row("staggered", 12, metrics.f_ack, metrics.correct,
                    metrics.last_decision, metrics.normalized_time)
     report.conclude(

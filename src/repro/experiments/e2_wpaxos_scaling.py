@@ -24,15 +24,58 @@ from .common import ExperimentReport
 LINE_DIAMETERS = (4, 9, 19, 29, 39)
 CLIQUE_SIZES = (4, 8, 16, 32, 48)
 F_SWEEP = (0.5, 1.0, 2.0, 4.0)
+MESH_SHAPES = ((4, 4), (6, 6), (8, 8))
+RANDOM_SPOTS = ((24, 1), (48, 2))
 
 BASE = Scenario(
     algorithm=AlgorithmSpec("wpaxos"),
     topology=TopologySpec("line", n=13),
     scheduler=SchedulerSpec("synchronous", f_ack=1.0))
 
+CLIQUE_BASE = BASE.override({"topology": TopologySpec("clique", n=4)})
+F_BASE = BASE.override({"label": "line(D=12)"})
+
+
+def _mesh_zip(shapes=MESH_SHAPES):
+    """Correlated (topology, label) axes for the grid spot checks."""
+    return {"topology": [TopologySpec("grid", rows=r, cols=c)
+                         for r, c in shapes],
+            "label": [f"grid({r}x{c})" for r, c in shapes]}
+
+
+def _random_zip(spots=RANDOM_SPOTS):
+    """Correlated (topology, scheduler, label) random spot checks."""
+    return {"topology": [TopologySpec("random", n=n, density=0.08,
+                                      seed=seed) for n, seed in spots],
+            "scheduler": [SchedulerSpec("random", f_ack=1.0, seed=seed)
+                          for n, seed in spots],
+            "label": [f"random({n})" for n, _ in spots]}
+
+
+def manifest():
+    """This experiment's row blocks as a scenario-native manifest."""
+    from ..analysis.manifests import ExperimentManifest, ManifestBlock
+    return ExperimentManifest(
+        experiment="E2",
+        title="wPAXOS scaling in multihop networks",
+        blocks=[
+            ManifestBlock("time-vs-D-lines", BASE,
+                          axes={"topology.n": [int(d) + 1 for d
+                                               in LINE_DIAMETERS]}),
+            ManifestBlock("time-vs-n-cliques", CLIQUE_BASE,
+                          axes={"topology.n": [int(n) for n
+                                               in CLIQUE_SIZES]}),
+            ManifestBlock("mesh-grids", BASE, zipped=_mesh_zip()),
+            ManifestBlock("random-graphs", BASE,
+                          zipped=_random_zip()),
+            ManifestBlock("time-vs-fack", F_BASE,
+                          axes={"scheduler.f_ack": list(F_SWEEP)}),
+        ])
+
 
 def run(*, line_diameters=LINE_DIAMETERS, clique_sizes=CLIQUE_SIZES,
-        f_sweep=F_SWEEP) -> ExperimentReport:
+        f_sweep=F_SWEEP, cache=None,
+        workers=None) -> ExperimentReport:
     report = ExperimentReport(
         experiment_id="E2",
         title="wPAXOS scaling in multihop networks",
@@ -45,7 +88,7 @@ def run(*, line_diameters=LINE_DIAMETERS, clique_sizes=CLIQUE_SIZES,
     # --- time vs D on lines (parallel grid) ----------------------------
     line_series = BASE.grid(
         {"topology.n": [int(d) + 1 for d in line_diameters]},
-    ).run(name="wpaxos")
+    ).run(name="wpaxos", cache=cache, workers=workers)
     points = []
     for d, point in zip(line_diameters, line_series.points):
         metrics = point.metrics
@@ -62,10 +105,9 @@ def run(*, line_diameters=LINE_DIAMETERS, clique_sizes=CLIQUE_SIZES,
         f"factor small)", ok=0.5 <= slope <= 12.0)
 
     # --- time vs n at fixed D (cliques, D=1; parallel grid) ------------
-    clique_series = BASE.override(
-        {"topology": TopologySpec("clique", n=4)},
-    ).grid({"topology.n": [int(n) for n in clique_sizes]}).run(
-        name="wpaxos")
+    clique_series = CLIQUE_BASE.grid(
+        {"topology.n": [int(n) for n in clique_sizes]},
+    ).run(name="wpaxos", cache=cache, workers=workers)
     clique_times = []
     for n, point in zip(clique_sizes, clique_series.points):
         metrics = point.metrics
@@ -78,20 +120,18 @@ def run(*, line_diameters=LINE_DIAMETERS, clique_sizes=CLIQUE_SIZES,
         f"time vs n at fixed D=1: slope={slope_n:.4f} (claim: ~0, no "
         f"n dependence beyond D)", ok=abs(slope_n) < 0.1)
 
-    # --- grids and random graphs ---------------------------------------
-    for rows, cols in ((4, 4), (6, 6), (8, 8)):
-        metrics = BASE.override(
-            {"topology": TopologySpec("grid", rows=rows, cols=cols),
-             "label": f"grid({rows}x{cols})"}).run()
+    # --- grids and random graphs (zipped spot-check grids) -------------
+    mesh_series = BASE.grid(zipped=_mesh_zip()).run(
+        name="wpaxos", cache=cache, workers=workers)
+    for (rows, cols), point in zip(MESH_SHAPES, mesh_series.points):
+        metrics = point.metrics
         report.add_row(f"grid {rows}x{cols}", metrics.n,
                        metrics.diameter, 1.0, metrics.correct,
                        metrics.last_decision, metrics.time_per_diameter)
-    for n, seed in ((24, 1), (48, 2)):
-        metrics = BASE.override(
-            {"topology": TopologySpec("random", n=n, density=0.08,
-                                      seed=seed),
-             "scheduler": SchedulerSpec("random", f_ack=1.0, seed=seed),
-             "label": f"random({n})"}).run()
+    random_series = BASE.grid(zipped=_random_zip()).run(
+        name="wpaxos", cache=cache, workers=workers)
+    for (n, _seed), point in zip(RANDOM_SPOTS, random_series.points):
+        metrics = point.metrics
         report.add_row(f"random({n})", metrics.n, metrics.diameter,
                        1.0, metrics.correct, metrics.last_decision,
                        metrics.time_per_diameter)
@@ -99,8 +139,9 @@ def run(*, line_diameters=LINE_DIAMETERS, clique_sizes=CLIQUE_SIZES,
             report.conclude(f"random n={n} failed", ok=False)
 
     # --- time vs F_ack (parallel grid) ---------------------------------
-    f_series = BASE.override({"label": "line(D=12)"}).grid(
-        {"scheduler.f_ack": list(f_sweep)}).run(name="wpaxos")
+    f_series = F_BASE.grid(
+        {"scheduler.f_ack": list(f_sweep)}).run(
+        name="wpaxos", cache=cache, workers=workers)
     f_points = []
     for f_ack, point in zip(f_sweep, f_series.points):
         metrics = point.metrics

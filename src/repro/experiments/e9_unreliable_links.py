@@ -30,6 +30,7 @@ from .common import ExperimentReport
 
 PROBS = (0.0, 0.25, 0.5, 0.75, 1.0)
 SEEDS = range(5)
+CUTOFFS = (5.0, 10.0, 20.0)
 
 #: Reliable line(12) plus 15%-density unreliable chords; invariant
 #: replay is off because deadlocking runs hit the time limit mid-ack.
@@ -45,8 +46,32 @@ BASE = Scenario(
     max_events=5_000_000,
     max_time=2_000.0)
 
+#: Links work, then vanish at a cutoff time; shared by ``run()`` and
+#: ``manifest()`` so both address identical cache entries.
+ADVERSARIAL_BASE = BASE.override(
+    {"scheduler": SchedulerSpec(
+        "adversarial-unreliable", cutoff=5.0,
+        inner=SchedulerSpec("synchronous", f_ack=1.0))})
 
-def run(*, probs=PROBS, seeds=SEEDS) -> ExperimentReport:
+
+def manifest():
+    """This experiment's row blocks as a scenario-native manifest."""
+    from ..analysis.manifests import ExperimentManifest, ManifestBlock
+    return ExperimentManifest(
+        experiment="E9",
+        title="wPAXOS over unreliable links (dual-graph model)",
+        blocks=[
+            ManifestBlock("bernoulli", BASE,
+                          axes={"scheduler.p": list(PROBS),
+                                "scheduler.seed": list(SEEDS)},
+                          note="deadlock-prone cells at mid p"),
+            ManifestBlock("adversarial", ADVERSARIAL_BASE,
+                          axes={"scheduler.cutoff": list(CUTOFFS)}),
+        ])
+
+
+def run(*, probs=PROBS, seeds=SEEDS, cache=None,
+        workers=None) -> ExperimentReport:
     report = ExperimentReport(
         experiment_id="E9",
         title="wPAXOS over unreliable links (dual-graph model)",
@@ -61,7 +86,7 @@ def run(*, probs=PROBS, seeds=SEEDS) -> ExperimentReport:
     # replica is one sweep point, grouped back per probability below.
     bernoulli = BASE.grid({"scheduler.p": list(probs),
                            "scheduler.seed": list(seeds)}).run(
-        name="wpaxos-unreliable")
+        name="wpaxos-unreliable", cache=cache, workers=workers)
 
     liveness_ever_lost = False
     total = len(list(seeds))
@@ -81,12 +106,9 @@ def run(*, probs=PROBS, seeds=SEEDS) -> ExperimentReport:
             liveness_ever_lost = True
 
     # Adversarial policy: links work, then vanish.
-    adversarial = BASE.override(
-        {"scheduler": SchedulerSpec(
-            "adversarial-unreliable", cutoff=5.0,
-            inner=SchedulerSpec("synchronous", f_ack=1.0))},
-    ).grid({"scheduler.cutoff": [5.0, 10.0, 20.0]}).run(
-        name="wpaxos-unreliable-adv")
+    adversarial = ADVERSARIAL_BASE.grid(
+        {"scheduler.cutoff": list(CUTOFFS)},
+    ).run(name="wpaxos-unreliable-adv", cache=cache, workers=workers)
     agree = sum(p.metrics.agreement and p.metrics.validity
                 for p in adversarial.points)
     finished = sum(p.metrics.termination for p in adversarial.points)

@@ -43,6 +43,7 @@ matches the legacy CLI factories parameter for parameter.
 
 from __future__ import annotations
 
+import hashlib
 import inspect
 import itertools
 import json
@@ -613,6 +614,31 @@ class Scenario:
     def to_json(self, *, indent: Optional[int] = 2) -> str:
         return json.dumps(self.to_dict(), indent=indent)
 
+    def canonical_json(self) -> str:
+        """Whitespace-free, key-sorted JSON: the stable content form.
+
+        Two scenarios that run identically serialize identically
+        (specs normalize their params on construction), so this string
+        -- and the :meth:`digest` over it -- is a content address for
+        the run's results.
+        """
+        return json.dumps(self.to_dict(), sort_keys=True,
+                          separators=(",", ":"))
+
+    def digest(self, *, salt: str = "") -> str:
+        """SHA-256 hex digest of :meth:`canonical_json`.
+
+        ``salt`` folds a code/schema version into the digest so a
+        result cache can be invalidated wholesale when engine
+        semantics change (see
+        :class:`repro.analysis.cache.ResultCache`).
+        """
+        hasher = hashlib.sha256()
+        hasher.update(salt.encode("utf-8"))
+        hasher.update(b"\x00")
+        hasher.update(self.canonical_json().encode("utf-8"))
+        return hasher.hexdigest()
+
     @classmethod
     def from_json(cls, text: str) -> "Scenario":
         try:
@@ -764,39 +790,118 @@ class ScenarioGrid:
     def __iter__(self) -> Iterator[Scenario]:
         return iter(self.scenarios())
 
+    def _point_x(self, key: Any) -> float:
+        """The plotting axis a sweep would assign this cell's key."""
+        from .analysis.sweeps import _scalar_axis
+        try:
+            return _scalar_axis(key)
+        except ValueError:
+            # Non-numeric axis (e.g. sweeping whole fault specs):
+            # the cell's position is the plotting axis.
+            return float(self._key_index(key))
+
     def _point_kwargs(self, key: Any) -> Dict[str, Any]:
         """Sweep ``build(key)`` hook: the run kwargs for one cell."""
         kwargs = self.scenario_at(key).run_kwargs()
         kwargs.pop("algorithm")   # sweep passes its own name
-        from .analysis.sweeps import _scalar_axis
-        try:
-            _scalar_axis(key)
-        except ValueError:
-            # Non-numeric axis (e.g. sweeping whole fault specs):
-            # the cell's position is the plotting axis.
-            kwargs["x"] = float(self._key_index(key))
+        kwargs["x"] = self._point_x(key)
         return kwargs
 
     def run(self, *, name: Optional[str] = None, parallel: bool = True,
-            workers: Optional[int] = None):
+            workers: Optional[int] = None, cache=None,
+            executor: str = "steal",
+            progress: Optional[bool] = None,
+            point_timeout: Optional[float] = None,
+            point_retries: int = 0):
         """Execute the whole grid and return a
         :class:`~repro.analysis.sweeps.SweepResult`.
 
         ``parallel=True`` (default) fans cells out over
-        :func:`~repro.analysis.sweeps.parallel_sweep` workers; results
-        are byte-identical to the sequential path either way.
+        :func:`~repro.analysis.sweeps.parallel_sweep` workers
+        (``executor`` selects work stealing vs the legacy pool);
+        results are byte-identical to the sequential path either way.
+
+        ``cache`` (a :class:`repro.analysis.cache.ResultCache`) serves
+        cells whose scenario digest is already stored and persists
+        fresh cells *as they complete*, so an interrupted grid resumes
+        where it stopped and overlapping grids dedup their shared
+        cells. Cached metrics are stored in *canonical* form -- the
+        ``algorithm`` field carries the scenario's algorithm name, as
+        ``Scenario.run()`` would report it, not this grid's display
+        ``name`` -- and are relabeled on the way out, so entries are
+        shared across differently-named grids, single-cell
+        ``cached_run`` calls and ``verify="replay"`` re-executions.
         """
-        from .analysis.sweeps import parallel_sweep, sweep
+        from dataclasses import replace
+
+        from .analysis.sweeps import (SweepPoint, SweepProgress,
+                                      SweepResult, _progress_enabled,
+                                      parallel_sweep, sweep)
         base = self.base
         label = name or base.algorithm.name
-        if parallel:
-            return parallel_sweep(
-                label, self.keys(), self._point_kwargs,
-                max_events=base.max_events, max_time=base.max_time,
-                trace_level=base.trace_level, workers=workers)
-        return sweep(label, self.keys(), self._point_kwargs,
-                     max_events=base.max_events, max_time=base.max_time,
-                     trace_level=base.trace_level)
+        keys = self.keys()
+        run_kwargs = dict(max_events=base.max_events,
+                          max_time=base.max_time,
+                          trace_level=base.trace_level)
+        if cache is None:
+            if parallel:
+                return parallel_sweep(
+                    label, keys, self._point_kwargs,
+                    workers=workers, executor=executor,
+                    progress=progress, point_timeout=point_timeout,
+                    point_retries=point_retries, **run_kwargs)
+            return sweep(label, keys, self._point_kwargs,
+                         progress=progress, **run_kwargs)
+
+        points: List[Optional[SweepPoint]] = [None] * len(keys)
+        miss_keys: List[Any] = []
+        miss_slots: List[int] = []
+        for slot, key in enumerate(keys):
+            scenario = self.scenario_at(key)
+            metrics = cache.get(scenario)
+            if metrics is not None:
+                if metrics.algorithm != label:
+                    metrics = replace(metrics, algorithm=label)
+                points[slot] = SweepPoint(x=self._point_x(key),
+                                          metrics=metrics, key=key)
+            else:
+                miss_keys.append(key)
+                miss_slots.append(slot)
+        reporter = (SweepProgress(label, len(keys))
+                    if _progress_enabled(progress) else None)
+        if reporter is not None:
+            reporter.note_cached(len(keys) - len(miss_keys))
+        worker_stats = None
+        executor_stats = None
+        if miss_keys:
+            def _store(point) -> None:
+                scenario = self.scenario_at(point.key)
+                canonical = point.metrics
+                if canonical.algorithm != scenario.algorithm.name:
+                    canonical = replace(
+                        canonical, algorithm=scenario.algorithm.name)
+                cache.put(scenario, canonical)
+
+            if parallel:
+                fresh = parallel_sweep(
+                    label, miss_keys, self._point_kwargs,
+                    workers=workers, executor=executor,
+                    point_timeout=point_timeout,
+                    point_retries=point_retries, reporter=reporter,
+                    on_point=_store, **run_kwargs)
+            else:
+                fresh = sweep(label, miss_keys, self._point_kwargs,
+                              reporter=reporter, on_point=_store,
+                              **run_kwargs)
+            for slot, point in zip(miss_slots, fresh.points):
+                points[slot] = point
+            executor_stats = fresh.executor_stats
+            if executor_stats is not None:
+                worker_stats = executor_stats.get("per_worker")
+        if reporter is not None:
+            reporter.finish(worker_stats=worker_stats)
+        return SweepResult(name=label, points=points,
+                           executor_stats=executor_stats)
 
 
 # ---------------------------------------------------------------------------
