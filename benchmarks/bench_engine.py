@@ -72,6 +72,13 @@ except ImportError:  # earlier trees: parallel_sweep has no executor arg
     saturating_workers = None
     HAVE_SWEEP_EXECUTORS = False
 
+try:  # engine >= PR 9 (consensus-as-a-service runtime)
+    from repro.macsim.service import run_service
+    HAVE_SERVICE = True
+except ImportError:  # earlier engines
+    run_service = None
+    HAVE_SERVICE = False
+
 try:
     from repro.core.wpaxos import WPaxosConfig, WPaxosNode
 except ImportError:  # pragma: no cover - wpaxos is part of the seed
@@ -389,6 +396,45 @@ def run_sweep_uneven(executor: str = "steal", points: int = UNEVEN_POINTS,
                             progress=False)
     assert len(result.points) == len(xs)
     return len(result.points)
+
+
+# --- consensus-as-a-service workloads (PR 9) --------------------------
+#
+# End-to-end request throughput of the multi-group serve loop: the
+# closed-loop workload, frontend batching, slot derivation and the
+# multiplexed GroupRuntime all sit on the measured path, so this prices
+# the whole service stack, not just the engine underneath. Sized so one
+# run costs ~0.5 s: heavy enough to dominate per-call setup, light
+# enough for interleaved repeats.
+
+SERVE_GROUPS = 8
+SERVE_CLIENTS = 96
+SERVE_REQUESTS_PER_CLIENT = 3
+
+
+def _serve_base():
+    from repro.scenario import (AlgorithmSpec, Scenario, SchedulerSpec,
+                                TopologySpec)
+    return Scenario(algorithm=AlgorithmSpec("wpaxos"),
+                    topology=TopologySpec("clique", n=5),
+                    scheduler=SchedulerSpec("synchronous", f_ack=1.0),
+                    seed=0)
+
+
+def run_serve_multigroup(groups: int = SERVE_GROUPS,
+                         clients: int = SERVE_CLIENTS,
+                         shards: int = 1) -> int:
+    """Serve a full closed-loop session; returns committed requests."""
+    report = run_service(
+        _serve_base(), groups=groups, clients=clients, shards=shards,
+        requests_per_client=SERVE_REQUESTS_PER_CLIENT)
+    assert report.failed == 0
+    return report.requests
+
+
+def run_serve_sharded(shards=None) -> int:
+    """The same session across forked shards (auto = one per core)."""
+    return run_serve_multigroup(shards=shards)
 
 
 def run_spill_probe(n: int = 24, rounds: int = 120,

@@ -1,7 +1,7 @@
 """Before/after perf harness: ``python -m benchmarks.perf_report``.
 
 Runs the engine microbenchmarks (:mod:`benchmarks.bench_engine`) and
-writes a JSON report -- ``BENCH_PR6.json`` by default -- containing the
+writes a JSON report -- ``BENCH_PR9.json`` by default -- containing the
 median wall-clock time and rate (events/ops/queries per second) of
 each workload, alongside "before" numbers so every PR from PR 1 onward
 has a perf trajectory to regress against. The ``--check`` gate keeps
@@ -37,6 +37,14 @@ the identical workloads with a live
 gate fails when telemetry-on throughput drops more than
 :data:`TELEMETRY_OVERHEAD_MAX` below telemetry-off on either
 workload.
+
+PR 9 additions: ``serve_groups8`` -- the consensus-as-a-service stack
+end to end (closed-loop clients, frontend batching, slot derivation,
+multiplexed engines), in committed requests/second -- and a
+``service`` report section with the p50/p99-latency-vs-offered-load
+curve over a (groups, shards) x clients grid and the PR's acceptance
+gates: 1-group slot-0 byte-identity, zero failed slots, and an
+end-to-end wall request-throughput floor on every cell.
 
 "Before" numbers come from, in order of preference:
 
@@ -115,6 +123,9 @@ def _workloads() -> Dict[str, Tuple[Callable[[], int], str]]:
             lambda: bench_engine.run_sweep_uneven("steal"), "points")
         workloads["sweep_uneven_pool"] = (
             lambda: bench_engine.run_sweep_uneven("pool"), "points")
+    if bench_engine.HAVE_SERVICE:
+        workloads["serve_groups8"] = (
+            lambda: bench_engine.run_serve_multigroup(), "requests")
     if bench_engine.ColumnarSink is not None:
         workloads["columnar_clique24"] = (
             lambda: bench_engine.run_columnar_clique(24, 40), "events")
@@ -353,6 +364,81 @@ def sweep_fabric_report(repeats: int) -> Optional[dict]:
     }
 
 
+#: The PR 9 acceptance gates on the service section: the serve loop
+#: must commit every request (no failed slots), the 1-group service's
+#: first slot must stay byte-identical to the base scenario's own run,
+#: and every grid cell must sustain at least this end-to-end wall-clock
+#: request throughput (conservative: a single core does ~1000 req/s).
+SERVICE_MIN_WALL_RPS = 50.0
+
+#: (groups, shards) x clients grid the latency curve sweeps.
+SERVICE_GRID = ((1, 1), (4, 1), (8, 2))
+SERVICE_LOADS = (32, 96)
+
+
+def service_report() -> Optional[dict]:
+    """The PR 9 consensus-as-a-service section: p50/p99 latency and
+    throughput vs offered load over a (groups, shards) x clients grid,
+    with the byte-identity and request-throughput gates inline.
+
+    Latencies are in virtual time (multiples of F_ack) and exactly
+    reproducible; ``wall_req_per_sec`` is the end-to-end wall-clock
+    rate of the whole serve loop (workload draws, batching, slot
+    derivation, multiplexed engines) that the throughput gate floors.
+    ``None`` when the tree predates the service runtime.
+    """
+    if not bench_engine.HAVE_SERVICE:
+        return None
+    from repro.analysis.export import trace_to_json
+    from repro.macsim.service import ConsensusService, WorkloadGenerator
+
+    base = bench_engine._serve_base()
+    workload = WorkloadGenerator(groups=1, clients=8, seed=0,
+                                 requests_per_client=2)
+    probe = ConsensusService(base, workload, capture_first_slot=True)
+    probe.run()
+    identical = (trace_to_json(probe.first_slot_trace)
+                 == trace_to_json(base.simulate().trace))
+
+    curve = []
+    failed = 0
+    for groups, shards in SERVICE_GRID:
+        for clients in SERVICE_LOADS:
+            start = time.perf_counter()
+            rep = bench_engine.run_service(
+                base, groups=groups, clients=clients, shards=shards,
+                requests_per_client=2)
+            wall = time.perf_counter() - start
+            failed += rep.failed
+            latency = rep.latency
+            curve.append({
+                "groups": groups,
+                "shards": shards,
+                "clients": clients,
+                "requests": rep.requests,
+                "slots": rep.slots,
+                "p50": round(latency.get("p50", 0.0), 2),
+                "p99": round(latency.get("p99", 0.0), 2),
+                "virtual_req_per_time": round(rep.throughput, 4),
+                "wall_req_per_sec": round(rep.requests / wall, 1),
+            })
+    min_rps = min(row["wall_req_per_sec"] for row in curve)
+    gates = {
+        "byte_identity": identical,
+        "failed_slots": failed,
+        "wall_rps_min": SERVICE_MIN_WALL_RPS,
+        "wall_rps_measured_min": min_rps,
+        "ok": (identical and failed == 0
+               and min_rps >= SERVICE_MIN_WALL_RPS),
+    }
+    return {
+        "workload": "closed-loop Zipf/lognormal clients over wpaxos "
+                    "clique(5) slots, (groups, shards) x clients grid",
+        "curve": curve,
+        "gates": gates,
+    }
+
+
 def columnar_report(results: Dict[str, dict]) -> Optional[dict]:
     """The columnar-format section: on-disk bytes per record for both
     spill formats on the same workload, plus the replay speedup taken
@@ -428,8 +514,8 @@ def main(argv=None) -> int:
     parser = argparse.ArgumentParser(
         prog="python -m benchmarks.perf_report",
         description="Engine microbenchmark report (before/after).")
-    parser.add_argument("--out", default="BENCH_PR8.json",
-                        help="output path (default: BENCH_PR8.json)")
+    parser.add_argument("--out", default="BENCH_PR9.json",
+                        help="output path (default: BENCH_PR9.json)")
     parser.add_argument("--attach-smoke", default=None, metavar="JSON",
                         help="embed a benchmarks.spill_smoke --json-out "
                              "summary (the gated 10^8-event columnar "
@@ -519,13 +605,14 @@ def main(argv=None) -> int:
     columnar = columnar_report(results)
     telemetry = telemetry_report(repeats)
     sweep_fabric = sweep_fabric_report(repeats)
+    service = service_report()
     columnar_smoke = None
     if args.attach_smoke:
         with open(args.attach_smoke, encoding="utf-8") as handle:
             columnar_smoke = json.load(handle)
 
     report = {
-        "pr": 8,
+        "pr": 9,
         "notes": {
             "wpaxos_clique32": "full-trace engine vs full-trace seed "
                                "(like-for-like; trace byte-identical)",
@@ -608,6 +695,20 @@ def main(argv=None) -> int:
                             "PR 8 acceptance gate (steal >= 1.5x "
                             "pool) evaluated inline, skipped below "
                             "4 cores where both executors serialize",
+            "serve_groups8": "the whole consensus-as-a-service stack "
+                             "end to end: 8 multiplexed groups, 96 "
+                             "closed-loop Zipf/lognormal clients, 3 "
+                             "requests each, batched into wpaxos "
+                             "clique(5) slots on one engine shard; "
+                             "the unit is committed client requests",
+            "service": "p50/p99 request latency (virtual time) and "
+                       "throughput vs offered load over a (groups, "
+                       "shards) x clients grid, with the PR 9 "
+                       "acceptance gates evaluated inline: 1-group "
+                       "slot-0 trace byte-identical to the base "
+                       "scenario's own run, zero failed slots, and "
+                       "every cell above the end-to-end wall request-"
+                       "throughput floor",
         },
         "mode": "smoke" if args.smoke else "full",
         "repeats": repeats,
@@ -620,6 +721,7 @@ def main(argv=None) -> int:
         "columnar": columnar,
         "telemetry": telemetry,
         "sweep_fabric": sweep_fabric,
+        "service": service,
         "columnar_smoke": columnar_smoke,
     }
     with open(args.out, "w", encoding="utf-8") as handle:
@@ -678,6 +780,22 @@ def main(argv=None) -> int:
               f"{'ok' if sweep_fabric['gates']['ok'] else 'FAILED'}")
         if not sweep_fabric["gates"]["ok"]:
             print(f"SWEEP FABRIC GATES FAILED: {sweep_fabric['gates']}")
+            if args.check or args.check_speedup is not None:
+                return 2
+
+    if service is not None:
+        worst = min(row["wall_req_per_sec"] for row in service["curve"])
+        hot = max(service["curve"], key=lambda row: row["p99"])
+        print(f"  {'service':24s} "
+              f"{len(service['curve'])} cells, slowest "
+              f"{worst:,.0f} req/s wall (floor "
+              f"{SERVICE_MIN_WALL_RPS:,.0f}), hottest cell p99 "
+              f"{hot['p99']} vt ({hot['groups']}g x {hot['shards']}s "
+              f"@ {hot['clients']} clients), byte-identity "
+              f"{'ok' if service['gates']['byte_identity'] else 'FAILED'}, "
+              f"gates {'ok' if service['gates']['ok'] else 'FAILED'}")
+        if not service["gates"]["ok"]:
+            print(f"SERVICE GATES FAILED: {service['gates']}")
             if args.check or args.check_speedup is not None:
                 return 2
 

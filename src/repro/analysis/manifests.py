@@ -43,6 +43,7 @@ MANIFEST_SCHEMA = "manifest/v1"
 MANIFEST_SOURCES: Dict[str, str] = {
     "E1": "repro.experiments.e1_single_hop",
     "E2": "repro.experiments.e2_wpaxos_scaling",
+    "E3": "repro.experiments.e3_baselines",
     "E9": "repro.experiments.e9_unreliable_links",
     "E12": "repro.experiments.e12_byzantine",
     "E13": "repro.experiments.e13_churn",
@@ -267,19 +268,37 @@ def regenerate(manifest: ExperimentManifest, *,
                parallel: bool = True,
                workers: Optional[int] = None,
                executor: str = "steal",
-               progress: Optional[bool] = None) -> str:
+               progress: Optional[bool] = None,
+               block_stats: Optional[List[Dict[str, Any]]] = None) -> str:
     """Regenerate every block table; deterministic text output.
 
     Cache hits skip execution entirely; fresh cells are persisted as
     they complete, so an interrupted regeneration resumes from its
     finished cells on the next invocation.
+
+    ``block_stats``, when a list, collects one per-block cache
+    accounting dict (``experiment`` / ``block`` / ``cells`` /
+    ``hits`` / ``misses``) as blocks execute. The counters live here
+    -- not in the returned text -- so two regenerations from the same
+    cells stay byte-identical (the CI regen-smoke pin) while the
+    caller can still report which blocks were served from cache.
     """
     parts = [f"=== {manifest.experiment}: {manifest.title} "
              f"({manifest.cells()} cells) ==="]
     for block in manifest.blocks:
+        before = ((cache.hits, cache.misses) if cache is not None
+                  else (0, 0))
         result = block.run(cache=cache, parallel=parallel,
                            workers=workers, executor=executor,
                            progress=progress)
+        if block_stats is not None and cache is not None:
+            block_stats.append({
+                "experiment": manifest.experiment,
+                "block": block.name,
+                "cells": block.cells(),
+                "hits": cache.hits - before[0],
+                "misses": cache.misses - before[1],
+            })
         headers, rows = block_table(block, result)
         title = block.name if not block.note else (
             f"{block.name} -- {block.note}")

@@ -203,6 +203,7 @@ class SweepProgress:
         self.stream = stream if stream is not None else sys.stderr
         self.done = 0
         self.cache_hits = 0
+        self.cache_misses = 0
         self.runtimes: List[float] = []
         self.stragglers: List[Any] = []
         self.started = perf_counter()
@@ -238,6 +239,17 @@ class SweepProgress:
               f"({count} cached point{'s' if count != 1 else ''} "
               f"reused)", file=self.stream, flush=True)
 
+    def note_misses(self, count: int) -> None:
+        """Account ``count`` points a result cache could not serve.
+
+        Silent (the misses' own heartbeats follow as they execute);
+        the counter feeds the closing summary line so a cached sweep
+        reports its hit/miss split explicitly rather than leaving
+        misses to be inferred from the total.
+        """
+        if count > 0:
+            self.cache_misses += count
+
     def finish(self, worker_stats: Optional[List[dict]] = None) -> None:
         """Print the closing summary line after the last heartbeat."""
         elapsed = perf_counter() - self.started
@@ -246,7 +258,8 @@ class SweepProgress:
         print(f"[sweep {self.name}] summary: {self.done}/{self.total} "
               f"points in {elapsed:.2f}s ({rate:.1f} points/s, "
               f"{len(self.stragglers)} stragglers, "
-              f"cache {self.cache_hits}/{self.total} hits "
+              f"cache {self.cache_hits}/{self.total} hits, "
+              f"{self.cache_misses} misses "
               f"[{hit_ratio:.0%}])", file=self.stream, flush=True)
         if worker_stats:
             cells = []

@@ -1,6 +1,6 @@
 """Command line interface.
 
-Five subcommands::
+Subcommands::
 
     python -m repro run --algorithm wpaxos --topology grid:5x5 \\
         --scheduler random --seed 7 --trace-out run.json
@@ -8,6 +8,9 @@ Five subcommands::
     python -m repro replay run.json
     python -m repro stats run.json
     python -m repro experiments E3 E4
+    python -m repro regen --manifest results/MANIFEST.json
+    python -m repro serve --groups 8 --shards 0 --clients 200
+    python -m repro cache stats
     python -m repro demo
 
 ``run`` executes one consensus instance and prints its metrics; every
@@ -23,8 +26,19 @@ user code). ``run --telemetry [out.json]`` collects run telemetry
 perturbing the trace; ``stats`` renders those histograms from a
 telemetry snapshot or *any* trace export -- deriving the spans from
 the records (vectorized on columnar files) when no snapshot is
-embedded. ``experiments`` forwards to the E1-E12 drivers; ``demo``
+embedded. ``experiments`` forwards to the E1-E14 drivers; ``demo``
 runs the impossibility tour.
+
+``serve`` drives the consensus-as-a-service stack
+(:mod:`repro.macsim.service`): a closed-loop Zipf/lognormal client
+workload over ``--groups`` multiplexed consensus groups, optionally
+sharded across forked engines (``--shards 0`` = one per core), and
+prints the end-to-end latency table, per-group attribution and shard
+utilization. With ``--groups 1 --shards 1``, ``--trace-out`` exports
+the first slot's trace -- byte-identical to ``repro run`` of the same
+scenario and accepted by ``replay``. ``cache`` maintains the
+scenario-hash result cache used by ``regen`` and the sweep fabric:
+``stats`` / ``prune --max-bytes 500M`` / ``clear``.
 """
 
 from __future__ import annotations
@@ -404,6 +418,7 @@ def cmd_regen(args: argparse.Namespace) -> int:
         cache = ResultCache(args.cache, salt=args.salt,
                             verify="replay" if args.verify else False)
     failures = []
+    block_stats: list = []
     if args.manifest:
         for path in args.manifest:
             try:
@@ -412,7 +427,8 @@ def cmd_regen(args: argparse.Namespace) -> int:
                 raise SystemExit(f"{path}: {exc}") from None
             print(regenerate(manifest, cache=cache,
                              workers=args.workers,
-                             executor=args.executor))
+                             executor=args.executor,
+                             block_stats=block_stats))
             print()
     else:
         from .experiments import ALL_EXPERIMENTS
@@ -428,6 +444,8 @@ def cmd_regen(args: argparse.Namespace) -> int:
             module = modules[experiment_id]
             parameters = inspect.signature(module.run).parameters
             kwargs = {}
+            before = ((cache.hits, cache.misses)
+                      if cache is not None else (0, 0))
             if "cache" in parameters:
                 kwargs["cache"] = cache
                 if "workers" in parameters:
@@ -436,17 +454,202 @@ def cmd_regen(args: argparse.Namespace) -> int:
                 print(f"note: {experiment_id} is not manifest-"
                       f"migrated; running fresh", file=sys.stderr)
             report = module.run(**kwargs)
+            if cache is not None and "cache" in parameters:
+                block_stats.append({
+                    "experiment": experiment_id,
+                    "block": "*",
+                    "cells": (cache.hits - before[0]
+                              + cache.misses - before[1]),
+                    "hits": cache.hits - before[0],
+                    "misses": cache.misses - before[1],
+                })
             print(report.render_markdown() if args.markdown
                   else report.render())
             print()
             if not report.passed:
                 failures.append(experiment_id)
     if cache is not None:
+        # Per-block accounting first, aggregate footer last. All
+        # `cache:`-prefixed: regeneration output above the footer
+        # stays byte-identical between passes (CI diffs it with these
+        # lines filtered out).
+        for entry in block_stats:
+            print(f"cache: {entry['experiment']}/{entry['block']}: "
+                  f"{entry['hits']} hits / {entry['misses']} misses "
+                  f"({entry['cells']} cells)")
         print(f"cache: {cache.describe()} [{cache.directory}]")
     if failures:
         print(f"FAILED: {', '.join(failures)}")
         return 1
     return 0
+
+
+def cmd_serve(args: argparse.Namespace) -> int:
+    """Serve a closed-loop workload over multiplexed consensus groups.
+
+    The scenario flags describe the per-slot consensus configuration
+    (every slot derives from it with a ``(group, slot)`` seed); the
+    workload flags shape the closed-loop client population. Prints the
+    end-to-end latency table, per-group attribution and shard
+    utilization; ``--trace-out`` (1 group, 1 shard) exports the first
+    slot's trace, which is byte-identical to the equivalent
+    ``repro run`` of the same scenario and replayable with
+    ``repro replay``.
+    """
+    import os
+    from .macsim.service import ShardedService, WorkloadGenerator
+
+    if args.progress:
+        os.environ["MACSIM_SWEEP_PROGRESS"] = "1"
+    scenario_ns = argparse.Namespace(
+        scenario=args.scenario, algorithm=args.algorithm,
+        topology=args.topology, scheduler=args.scheduler,
+        f_ack=args.f_ack, seed=args.seed, trace_level=None,
+        max_time=args.max_time, byzantine=0, omission=0, crash=None,
+        byz_strategy="corrupt", dynamics=None, telemetry=None)
+    try:
+        base = _scenario_from_args(scenario_ns)
+    except (ScenarioError, UnknownNameError, ValueError) as exc:
+        raise SystemExit(str(exc)) from None
+
+    if args.groups < 1:
+        raise SystemExit("--groups must be >= 1")
+    if args.shards is not None and args.shards < 0:
+        raise SystemExit("--shards must be >= 0 (0 = one per core)")
+    if args.shards == 0:
+        args.shards = None  # auto: saturate the machine
+    capture = args.trace_out is not None
+    if capture and (args.groups != 1 or args.shards not in (None, 1)):
+        raise SystemExit("--trace-out requires --groups 1 and "
+                         "--shards 1 (the byte-identity export "
+                         "is the base scenario's own slot)")
+    try:
+        workload = WorkloadGenerator(
+            groups=args.groups, clients=args.clients,
+            seed=args.workload_seed, zipf_s=args.zipf,
+            think_mu=args.think_mu, think_sigma=args.think_sigma,
+            requests_per_client=args.requests_per_client)
+    except ValueError as exc:
+        raise SystemExit(str(exc)) from None
+    service = ShardedService(
+        base, workload, shards=args.shards, batch_size=args.batch,
+        telemetry=args.telemetry is not None,
+        capture_first_slot=capture, horizon=args.horizon,
+        progress=True if args.progress else None)
+    report = service.run()
+
+    shards_used = len(report.shards or ())
+    print(f"scenario:       {base.algorithm.name} on "
+          f"{base.display_label()}, "
+          f"scheduler {base.scheduler.name}, seed={base.seed}")
+    print(f"service:        {args.groups} group(s) across "
+          f"{shards_used} shard(s), batch={args.batch}")
+    print(f"workload:       {workload.describe()}")
+    latency = report.latency
+    if latency["count"]:
+        print(f"latency:        p50={latency['p50']:.2f} "
+              f"p95={latency['p95']:.2f} p99={latency['p99']:.2f} "
+              f"max={latency['max']:.2f} mean={latency['mean']:.2f} "
+              f"(virtual time, n={latency['count']})")
+    print(f"requests:       {report.requests} committed, "
+          f"{report.failed} failed, {report.slots} slots, "
+          f"{report.events} engine events")
+    print(f"throughput:     {report.throughput:.3f} req/virtual-time "
+          f"over {report.virtual_time:.1f} vt; "
+          f"{report.wall_throughput:.0f} req/s wall "
+          f"({report.wall_seconds:.2f}s)")
+    for gid, stats in sorted(report.per_group.items()):
+        print(f"  group {gid}: {stats.requests} requests, "
+              f"{stats.slots} slots, {stats.events} events, "
+              f"last commit {stats.last_commit:.1f}")
+    for row in report.shards or ():
+        mark = "  ** straggler" if row.get("straggler") else ""
+        print(f"  shard {row['shard']}: {row['groups']} group(s), "
+              f"{row['requests']} requests, "
+              f"{row['wall_seconds']:.2f}s "
+              f"({row.get('utilization', 0.0):.0%} util){mark}")
+    if report.telemetry is not None:
+        totals = report.telemetry["totals"]
+        print(f"telemetry:      {totals['events_processed']} events "
+              f"across {totals['slots']} slots in "
+              f"{totals['wall_seconds']:.3f}s engine wall "
+              f"({len(report.telemetry['groups'])} groups attributed)")
+        if isinstance(args.telemetry, str):
+            with open(args.telemetry, "w", encoding="utf-8") as out:
+                json.dump(report.telemetry, out, indent=2)
+                out.write("\n")
+            print(f"telemetry written: {args.telemetry}")
+    if capture:
+        save_trace(service.first_slot_trace, args.trace_out,
+                   metadata={"service": "slot(group=0, slot=0)"},
+                   scenario=service.first_slot_scenario)
+        print(f"trace written:  {args.trace_out} "
+              f"({len(service.first_slot_trace)} records, "
+              f"byte-identical to 'repro run' of the scenario)")
+    if args.json_out:
+        with open(args.json_out, "w", encoding="utf-8") as out:
+            json.dump(report.to_dict(), out, indent=2)
+            out.write("\n")
+        print(f"report written: {args.json_out}")
+    return 0 if report.failed == 0 else 1
+
+
+def cmd_cache(args: argparse.Namespace) -> int:
+    """Inspect and maintain the scenario-hash result cache."""
+    from .analysis.cache import ResultCache
+
+    import os
+    cache = ResultCache(args.cache, salt=args.salt)
+    if args.action == "stats":
+        entries = cache.entries()
+        total = 0
+        for path in entries:
+            try:
+                total += os.path.getsize(path)
+            except OSError:
+                pass
+        doc = {
+            "directory": str(cache.directory),
+            "entries": len(entries),
+            "bytes": total,
+        }
+        if args.json:
+            print(json.dumps(doc, indent=2))
+        else:
+            print(f"cache directory: {doc['directory']}")
+            print(f"entries:         {doc['entries']}")
+            print(f"size:            {doc['bytes']} bytes "
+                  f"({doc['bytes'] / 1_048_576:.2f} MiB)")
+        return 0
+    if args.action == "prune":
+        if args.max_bytes is None:
+            raise SystemExit("cache prune requires --max-bytes")
+        removed = cache.prune(args.max_bytes)
+        print(f"pruned {removed} entr{'y' if removed == 1 else 'ies'} "
+              f"(LRU) to fit {args.max_bytes} bytes "
+              f"[{cache.directory}]")
+        return 0
+    if args.action == "clear":
+        removed = cache.clear()
+        print(f"cleared {removed} entr{'y' if removed == 1 else 'ies'} "
+              f"[{cache.directory}]")
+        return 0
+    raise SystemExit(f"unknown cache action {args.action!r}")
+
+
+def _parse_bytes(text: str) -> int:
+    """Parse a byte budget: plain int or K/M/G-suffixed (binary)."""
+    text = text.strip()
+    units = {"K": 1 << 10, "M": 1 << 20, "G": 1 << 30}
+    if text and text[-1].upper() in units:
+        try:
+            return int(float(text[:-1]) * units[text[-1].upper()])
+        except ValueError:
+            raise SystemExit(f"--max-bytes: cannot parse {text!r}")
+    try:
+        return int(text)
+    except ValueError:
+        raise SystemExit(f"--max-bytes: cannot parse {text!r}")
 
 
 def cmd_demo(_args: argparse.Namespace) -> int:
@@ -624,6 +827,91 @@ def build_parser() -> argparse.ArgumentParser:
                          help="heartbeat sweep progress to stderr")
     regen_p.add_argument("--markdown", action="store_true")
     regen_p.set_defaults(func=cmd_regen)
+
+    serve_p = sub.add_parser(
+        "serve", help="serve a closed-loop client workload over "
+                      "multiplexed consensus groups")
+    serve_p.add_argument("--algorithm", choices=ALGORITHMS.names(),
+                         default=None,
+                         help="per-slot consensus algorithm "
+                              f"(default: {RUN_DEFAULTS['algorithm']})")
+    serve_p.add_argument("--topology", default="clique:5",
+                         help="per-group topology (default: clique:5)")
+    serve_p.add_argument("--scheduler", choices=SCHEDULERS.names(),
+                         default="synchronous",
+                         help="default: synchronous")
+    serve_p.add_argument("--f-ack", type=float, default=None)
+    serve_p.add_argument("--seed", type=int, default=None,
+                         help="base consensus seed (each slot derives "
+                              "its own from (group, slot))")
+    serve_p.add_argument("--max-time", type=float, default=None)
+    serve_p.add_argument("--scenario", default=None, metavar="FILE",
+                         help="base slot scenario from a JSON file "
+                              "(flags override its fields)")
+    serve_p.add_argument("--groups", type=int, default=4,
+                         help="consensus groups to serve (default: 4)")
+    serve_p.add_argument("--shards", type=int, default=1,
+                         help="forked engine shards; 0 = one per core "
+                              "(default: 1, in-process)")
+    serve_p.add_argument("--clients", type=int, default=100,
+                         help="closed-loop client population "
+                              "(default: 100)")
+    serve_p.add_argument("--requests-per-client", type=int, default=2,
+                         help="session length per client (default: 2)")
+    serve_p.add_argument("--batch", type=int, default=8,
+                         help="frontend batch window per consensus "
+                              "slot (default: 8)")
+    serve_p.add_argument("--zipf", type=float, default=1.1,
+                         help="Zipf skew of group popularity "
+                              "(default: 1.1)")
+    serve_p.add_argument("--think-mu", type=float, default=3.0,
+                         help="lognormal think-time mu; median think "
+                              "= exp(mu) virtual time units "
+                              "(default: 3.0)")
+    serve_p.add_argument("--think-sigma", type=float, default=1.0,
+                         help="lognormal think-time sigma "
+                              "(default: 1.0)")
+    serve_p.add_argument("--workload-seed", type=int, default=0,
+                         help="workload seed (default: 0)")
+    serve_p.add_argument("--horizon", type=float, default=None,
+                         help="virtual-time admission deadline "
+                              "(arrivals past it are dropped)")
+    serve_p.add_argument("--telemetry", nargs="?", const=True,
+                         default=None, metavar="OUT.json",
+                         help="per-slot engine telemetry, accumulated "
+                              "per group; with a path, write the "
+                              "service-telemetry/v1 snapshot JSON")
+    serve_p.add_argument("--trace-out", default=None, metavar="FILE",
+                         help="export the first slot's trace "
+                              "(requires --groups 1 --shards 1; "
+                              "byte-identical to 'repro run' of the "
+                              "same scenario, replayable)")
+    serve_p.add_argument("--json-out", default=None, metavar="FILE",
+                         help="write the full service report as JSON")
+    serve_p.add_argument("--progress", action="store_true",
+                         help="heartbeat shard progress to stderr")
+    serve_p.set_defaults(func=cmd_serve)
+
+    cache_p = sub.add_parser(
+        "cache", help="inspect and maintain the scenario-hash result "
+                      "cache")
+    cache_p.add_argument("action",
+                         choices=("stats", "prune", "clear"),
+                         help="stats: entry count and size; prune: "
+                              "LRU-evict down to --max-bytes; clear: "
+                              "remove every entry")
+    cache_p.add_argument("--cache", metavar="DIR",
+                         help="cache directory (default: "
+                              "$MACSIM_CACHE_DIR or .macsim-cache)")
+    cache_p.add_argument("--salt", default="",
+                         help="cache version salt (affects digests, "
+                              "not maintenance)")
+    cache_p.add_argument("--max-bytes", type=_parse_bytes,
+                         default=None, metavar="N[K|M|G]",
+                         help="byte budget for prune, e.g. 500M")
+    cache_p.add_argument("--json", action="store_true",
+                         help="machine-readable stats output")
+    cache_p.set_defaults(func=cmd_cache)
 
     demo_p = sub.add_parser("demo",
                             help="run the impossibility tour")

@@ -8,7 +8,7 @@ records the tables these produce.
 from . import (e1_single_hop, e2_wpaxos_scaling, e3_baselines,
                e4_time_lower_bound, e5_anonymous, e6_unknown_n, e7_flp,
                e8_ablations, e9_unreliable_links, e10_randomized,
-               e11_fprog, e12_byzantine, e13_churn)
+               e11_fprog, e12_byzantine, e13_churn, e14_service)
 from .common import ExperimentReport
 
 ALL_EXPERIMENTS = (
@@ -25,6 +25,7 @@ ALL_EXPERIMENTS = (
     ("E11", e11_fprog),
     ("E12", e12_byzantine),
     ("E13", e13_churn),
+    ("E14", e14_service),
 )
 
 __all__ = ["ALL_EXPERIMENTS", "ExperimentReport"]

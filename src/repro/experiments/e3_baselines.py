@@ -9,31 +9,70 @@ records:
 
 * decision times (claim: wPAXOS flat, baselines grow linearly in n);
 * maximum per-node broadcast counts (claim: Theta(D)-ish vs Theta(n)).
+
+All series are declarative scenario grids: one base
+:class:`~repro.scenario.Scenario` per algorithm over correlated
+``(topology.arms, topology.size)`` axes, so the driver and its
+``manifest()`` address identical cache entries -- ``repro regen E3``
+and ``repro experiments E3`` share cells.
 """
 
 from __future__ import annotations
 
-from ..analysis import growth_ratio, parallel_sweep, run_consensus
-from ..core.baselines import GatherAllConsensus, PaxosFloodNode
-from ..core.wpaxos import WPaxosConfig, WPaxosNode
-from ..macsim.schedulers import SynchronousScheduler
-from ..topology import star, star_of_cliques
+from ..analysis import growth_ratio
+from ..analysis.cache import cached_run
+from ..scenario import AlgorithmSpec, Scenario, SchedulerSpec, TopologySpec
+from ..topology import star_of_cliques
 from .common import ExperimentReport
 
 ARM_SWEEP = ((4, 6), (6, 8), (8, 10), (10, 12))
 
-#: Per-algorithm process factories, given (graph, uid map, n).
-_ALGORITHMS = {
-    "wpaxos": lambda uid, n: (
-        lambda v, val: WPaxosNode(uid[v], val, n, WPaxosConfig())),
-    "flood-paxos": lambda uid, n: (
-        lambda v, val: PaxosFloodNode(uid[v], val, n)),
-    "gatherall": lambda uid, n: (
-        lambda v, val: GatherAllConsensus(uid[v], val, n)),
-}
+#: The three contenders; registry builders replicate the legacy
+#: factories (uids are label order + 1 on every topology).
+ALGORITHMS = ("wpaxos", "flood-paxos", "gatherall")
+
+BASE = Scenario(
+    algorithm=AlgorithmSpec("wpaxos"),
+    topology=TopologySpec("star-of-cliques", arms=4, size=6),
+    scheduler=SchedulerSpec("synchronous", f_ack=1.0))
+
+#: A plain star (hub bottleneck, D=2) for good measure.
+STAR_BASE = BASE.override({"topology": TopologySpec("star", n=41),
+                           "label": "star(41)"})
+STAR_ALGORITHMS = ("wpaxos", "gatherall")
 
 
-def run(*, arm_sweep=ARM_SWEEP) -> ExperimentReport:
+def _algo(base: Scenario, name: str) -> Scenario:
+    return base.override({"algorithm": AlgorithmSpec(name)})
+
+
+def _soc_zip(arm_sweep=ARM_SWEEP):
+    """Correlated (arms, size, label) axes for the bottleneck sweep."""
+    return {
+        "topology.arms": [int(arms) for arms, _ in arm_sweep],
+        "topology.size": [int(size) for _, size in arm_sweep],
+        "label": [f"star_of_cliques({arms},{size})"
+                  for arms, size in arm_sweep],
+    }
+
+
+def manifest():
+    """This experiment's row blocks as a scenario-native manifest."""
+    from ..analysis.manifests import ExperimentManifest, ManifestBlock
+    blocks = [ManifestBlock(f"soc-{name}", _algo(BASE, name),
+                            zipped=_soc_zip())
+              for name in ALGORITHMS]
+    blocks += [ManifestBlock(f"star-{name}", _algo(STAR_BASE, name),
+                             note="hub bottleneck, D=2")
+               for name in STAR_ALGORITHMS]
+    return ExperimentManifest(
+        experiment="E3",
+        title="wPAXOS vs flooding baselines at bottlenecks",
+        blocks=blocks)
+
+
+def run(*, arm_sweep=ARM_SWEEP, cache=None,
+        workers=None) -> ExperimentReport:
     report = ExperimentReport(
         experiment_id="E3",
         title="wPAXOS vs flooding baselines at bottlenecks",
@@ -44,35 +83,21 @@ def run(*, arm_sweep=ARM_SWEEP) -> ExperimentReport:
                  "decision time", "max bcasts/node"],
     )
 
-    # One parallel sweep per algorithm over the (arms, size) points;
-    # rows are then emitted in the original per-topology order. The
-    # graphs are built once up front: the build closures reference
-    # them and forked sweep workers inherit them, so neither the
-    # workers nor the row loop rebuild a topology.
-    graphs = [star_of_cliques(arms, size) for arms, size in arm_sweep]
-    diameters = [graph.diameter() for graph in graphs]
-
-    def make_build(algorithm_name):
-        def build(index):
-            arms, size = arm_sweep[int(index)]
-            graph = graphs[int(index)]
-            uid = {v: i + 1 for i, v in enumerate(graph.nodes)}
-            factory = _ALGORITHMS[algorithm_name](uid, graph.n)
-            return dict(graph=graph,
-                        scheduler=SynchronousScheduler(1.0),
-                        factory=factory,
-                        topology=f"star_of_cliques({arms},{size})")
-        return build
-
+    # One grid per algorithm over the zipped (arms, size) points; rows
+    # are then emitted in the original per-topology order. Diameters
+    # are structural, so they are computed once here rather than in
+    # the sweep workers.
+    diameters = [star_of_cliques(arms, size).diameter()
+                 for arms, size in arm_sweep]
     sweeps = {
-        name: parallel_sweep(name, range(len(arm_sweep)),
-                             make_build(name))
-        for name in _ALGORITHMS
+        name: _algo(BASE, name).grid(zipped=_soc_zip(arm_sweep)).run(
+            name=name, cache=cache, workers=workers)
+        for name in ALGORITHMS
     }
-    series: dict = {"wpaxos": [], "flood-paxos": [], "gatherall": []}
+    series: dict = {name: [] for name in ALGORITHMS}
     for index, (arms, size) in enumerate(arm_sweep):
         diameter = diameters[index]
-        for name in _ALGORITHMS:
+        for name in ALGORITHMS:
             metrics = sweeps[name].points[index].metrics
             n = metrics.n
             series[name].append((n, metrics.last_decision,
@@ -83,19 +108,9 @@ def run(*, arm_sweep=ARM_SWEEP) -> ExperimentReport:
             if not metrics.correct:
                 report.conclude(f"{name} on n={n} failed", ok=False)
 
-    # A plain star (hub bottleneck, D=2) for good measure.
-    graph = star(41)
-    n = graph.n
-    uid = {v: i + 1 for i, v in enumerate(graph.nodes)}
-    for name, factory in (
-            ("wpaxos", lambda v, val: WPaxosNode(uid[v], val, n,
-                                                 WPaxosConfig())),
-            ("gatherall", lambda v, val: GatherAllConsensus(uid[v], val,
-                                                            n))):
-        metrics = run_consensus(
-            algorithm=name, topology="star(41)", graph=graph,
-            scheduler=SynchronousScheduler(1.0), factory=factory)
-        report.add_row("star(41)", n, 2, name, metrics.correct,
+    for name in STAR_ALGORITHMS:
+        metrics = cached_run(_algo(STAR_BASE, name), cache)
+        report.add_row("star(41)", metrics.n, 2, name, metrics.correct,
                        metrics.last_decision,
                        metrics.max_broadcasts_per_node)
 

@@ -1,0 +1,57 @@
+"""Consensus as a service: multi-group runtime over the MAC-layer engine.
+
+The engine (`repro.macsim`) executes one consensus instance per
+simulator; this package turns it into a long-lived *service* in the
+sense of the fault-tolerant follow-up work (Newport-Robinson,
+arXiv:1810.02848): many independent consensus groups multiplexed over
+shared scheduling, fed by a closed-loop client workload, sharded
+across forked engines one per core.
+
+Layers (bottom up):
+
+* :mod:`.runtime` -- :class:`GroupRuntime`: interleaves many
+  simulators in global virtual-time order with byte-identical
+  per-group traces (1 group == a standalone ``Scenario.simulate()``).
+* :mod:`.frontend` -- per-group proposal queues batching client
+  requests into consensus *slots*.
+* :mod:`.workload` -- :class:`WorkloadGenerator`: deterministic
+  closed-loop clients, Zipf group popularity, lognormal think times.
+* :mod:`.loop` -- :class:`ConsensusService`: the virtual-time serve
+  loop (latency = commit - arrival) with per-group telemetry
+  attribution.
+* :mod:`.placement` -- rendezvous group placement and
+  ``NodeChurn``-driven rebalancing.
+* :mod:`.sharded` -- :class:`ShardedService`: fork one engine per
+  core, aggregate exactly.
+"""
+
+from .frontend import Request, ServiceFrontend
+from .loop import (ConsensusService, GroupStats, ServiceReport,
+                   latency_summary, slot_scenario, slot_seed)
+from .placement import (GroupPlacement, PlacementMove,
+                        placement_under_churn, rendezvous_host,
+                        rendezvous_place)
+from .runtime import GroupRun, GroupRuntime
+from .sharded import ShardedService, run_service
+from .workload import WorkloadGenerator
+
+__all__ = [
+    "ConsensusService",
+    "GroupPlacement",
+    "GroupRun",
+    "GroupRuntime",
+    "GroupStats",
+    "PlacementMove",
+    "Request",
+    "ServiceFrontend",
+    "ServiceReport",
+    "ShardedService",
+    "WorkloadGenerator",
+    "latency_summary",
+    "placement_under_churn",
+    "rendezvous_host",
+    "rendezvous_place",
+    "run_service",
+    "slot_scenario",
+    "slot_seed",
+]

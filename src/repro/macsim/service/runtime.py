@@ -1,0 +1,246 @@
+"""Multi-group runtime: many consensus instances, one event loop.
+
+The engine runs one consensus instance per :class:`Simulator`; a
+service runs thousands of *groups* concurrently. :class:`GroupRuntime`
+multiplexes independent simulators over a single virtual-time loop:
+per-group state (graph, processes, queue, trace sink, telemetry) stays
+on each group's own simulator -- built exactly the way
+``ResolvedScenario.simulate()`` builds it -- while the runtime owns
+only the shared schedule: which group's next event is globally
+earliest, and how far that group may advance before another group's
+event is due.
+
+Determinism contract
+--------------------
+
+* Each group is advanced with ``stop_predicate`` time slices, never
+  with ``max_time`` limits (the engine's ``max_time`` check discards
+  the popped heap entry, so it is terminal-only; the predicate is
+  checked *before* the pop and is safe to resume from). The predicate
+  stops a slice once the group's next event would pass the granted
+  window, so slicing never perturbs which events run or in what order.
+* A group's trace is therefore byte-identical to the trace of an
+  unsliced ``scenario.simulate()`` of the same scenario, and its final
+  :class:`RunResult` carries the same decisions, end time, accumulated
+  event count and terminal stop reason. With a single group the
+  runtime degenerates to exactly one uninterrupted engine call.
+* Groups are fully independent: K groups under one runtime produce
+  the same per-group results as K standalone runs, regardless of how
+  the runtime interleaves them.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Any, Callable, List, Optional
+
+from ..simulator import RunResult, Simulator
+
+__all__ = ["GroupRun", "GroupRuntime"]
+
+
+@dataclass
+class GroupRun:
+    """Completed execution of one group's consensus instance."""
+
+    group_id: Any
+    scenario: Any
+    result: RunResult
+    #: Global (service virtual-time) instant the instance started.
+    start_time: float
+    #: Engine ``run()`` invocations spent advancing this group.
+    slices: int
+    #: The group's :class:`~repro.macsim.telemetry.Telemetry`
+    #: instance when telemetry was enabled, else ``None``.
+    telemetry: Any = None
+    #: Opaque caller data attached at ``add_group`` time (the serve
+    #: layer stores the batch of client requests riding this slot).
+    context: Any = None
+
+    @property
+    def finish_time(self) -> float:
+        """Global instant the instance's last event ran."""
+        return self.start_time + self.result.end_time
+
+
+def _stop_immediately(sim: Simulator) -> bool:
+    return True
+
+
+class _Group:
+    """Per-group bookkeeping the runtime keeps between slices."""
+
+    __slots__ = ("group_id", "order", "scenario", "sim", "offset",
+                 "remaining", "consumed", "slices", "context")
+
+    def __init__(self, group_id: Any, order: int, scenario: Any,
+                 sim: Simulator, offset: float, context: Any) -> None:
+        self.group_id = group_id
+        self.order = order
+        self.scenario = scenario
+        self.sim = sim
+        self.offset = offset
+        self.remaining = scenario.max_events
+        self.consumed = 0
+        self.slices = 0
+        self.context = context
+
+
+class GroupRuntime:
+    """Interleave many independent consensus simulations in global
+    virtual-time order.
+
+    Groups are registered with :meth:`add_group` (each carries its own
+    :class:`~repro.scenario.Scenario`, optional trace sink and
+    telemetry) and advanced with :meth:`advance`, which processes all
+    pending events up to a global horizon -- always picking the group
+    whose next event is globally earliest -- and returns the groups
+    that ran to completion. ``advance(None)`` drains everything.
+    """
+
+    def __init__(self) -> None:
+        self._active: List[_Group] = []
+        self._finished: List[GroupRun] = []
+        self._order = 0
+
+    # ------------------------------------------------------------------
+    # Registration
+    # ------------------------------------------------------------------
+    def add_group(self, scenario: Any, *, group_id: Any = None,
+                  start_time: float = 0.0, trace_sink: Any = None,
+                  telemetry: Any = None, context: Any = None) -> None:
+        """Register one consensus instance.
+
+        ``start_time`` offsets the group's local clock: its events run
+        at global time ``start_time + local_time``. The instance is
+        built from ``scenario`` exactly as ``scenario.simulate()``
+        would build it, and its ``on_start`` hooks fire here (without
+        processing any events), so the group immediately has a defined
+        next-event time for the shared schedule.
+        """
+        if group_id is None:
+            group_id = self._order
+        resolved = scenario.resolve()
+        sim = resolved.build(trace_sink=trace_sink, telemetry=telemetry)
+        group = _Group(group_id, self._order, scenario, sim,
+                       start_time, context)
+        self._order += 1
+        self._active.append(group)
+        # Fire on_start (queueing the initial broadcasts) without
+        # consuming events; the engine checks the predicate before
+        # every pop, so this costs zero events and leaves the trace
+        # exactly as a standalone run's first call would.
+        self._slice(group, local_limit=None,
+                    predicate=_stop_immediately)
+        if group in self._active and sim.next_event_time() is None:
+            # Nothing was scheduled at start: one more call lets the
+            # engine return its own quiescent verdict (zero events).
+            self._slice(group, local_limit=None, predicate=None)
+
+    # ------------------------------------------------------------------
+    # Shared scheduling
+    # ------------------------------------------------------------------
+    def next_time(self) -> Optional[float]:
+        """Global timestamp of the earliest pending event across all
+        active groups, or ``None`` when nothing is left to run."""
+        best: Optional[float] = None
+        for group in self._active:
+            t = group.offset + group.sim.next_event_time()
+            if best is None or t < best:
+                best = t
+        return best
+
+    @property
+    def active_groups(self) -> int:
+        return len(self._active)
+
+    def advance(self, until: Optional[float] = None) -> List[GroupRun]:
+        """Process every pending event with global time ``<= until``
+        (all of them when ``until`` is ``None``), interleaving groups
+        in global time order, ties broken by registration order.
+
+        Returns the :class:`GroupRun` records of groups that reached a
+        terminal state (decided, quiescent, or out of budget) since
+        the previous call.
+        """
+        inf = math.inf
+        while self._active:
+            best: Optional[_Group] = None
+            best_t = inf
+            next_t = inf
+            for group in self._active:
+                t = group.offset + group.sim.next_event_time()
+                if best is None or t < best_t:
+                    if best is not None and best_t < next_t:
+                        next_t = best_t
+                    best, best_t = group, t
+                elif t < next_t:
+                    next_t = t
+            if until is not None and best_t > until:
+                break
+            limit = next_t if until is None else min(next_t, until)
+            if limit is inf:
+                # Last group standing with no horizon: run it to its
+                # terminal state in one uninterrupted engine call --
+                # the single-group path is literally a standalone run.
+                self._slice(best, local_limit=None, predicate=None)
+            else:
+                self._slice(best, local_limit=limit - best.offset,
+                            predicate=None)
+        finished, self._finished = self._finished, []
+        return finished
+
+    def run(self) -> List[GroupRun]:
+        """Drain every group to completion and return their runs,
+        ordered by completion."""
+        return self.advance(None)
+
+    # ------------------------------------------------------------------
+    # Internals
+    # ------------------------------------------------------------------
+    def _slice(self, group: _Group, *, local_limit: Optional[float],
+               predicate: Optional[Callable[[Simulator], bool]]) -> None:
+        """Advance one group by a bounded engine call and absorb the
+        outcome (event budget, terminal detection)."""
+        sim = group.sim
+        if predicate is None and local_limit is not None:
+            def predicate(s: Simulator, _limit=local_limit) -> bool:
+                t = s.next_event_time()
+                return t is not None and t > _limit
+        res = sim.run(max_events=group.remaining,
+                      max_time=group.scenario.max_time,
+                      stop_predicate=predicate)
+        group.consumed += res.events_processed
+        group.remaining -= res.events_processed
+        group.slices += 1
+        if res.stop_reason != "predicate":
+            self._finish(group, res, res.stop_reason)
+        elif group.remaining <= 0:
+            # The slice ended exactly on the scenario's event budget; a
+            # standalone run would have stopped on ``max_events`` at
+            # this same event.
+            self._finish(group, res, "max_events")
+        elif sim.all_decided:
+            # Completion is detected between slices exactly where the
+            # standalone loop would have stopped: before the next event.
+            self._finish(group, res, "all_decided")
+
+    def _finish(self, group: _Group, res: RunResult, reason: str) -> None:
+        final = RunResult(trace=group.sim.trace,
+                          decisions=res.decisions,
+                          decision_times=res.decision_times,
+                          end_time=res.end_time,
+                          events_processed=group.consumed,
+                          stop_reason=reason)
+        final.trace.close()
+        self._active.remove(group)
+        self._finished.append(GroupRun(
+            group_id=group.group_id,
+            scenario=group.scenario,
+            result=final,
+            start_time=group.offset,
+            slices=group.slices,
+            telemetry=group.sim.telemetry,
+            context=group.context,
+        ))

@@ -673,6 +673,35 @@ class Simulator:
                                        broadcast_id=record.bid)
 
     # ------------------------------------------------------------------
+    # Multiplexing API
+    # ------------------------------------------------------------------
+    @property
+    def all_decided(self) -> bool:
+        """Whether every non-crashed process has decided.
+
+        Mirrors the ``stop_when_all_decided`` condition checked at the
+        top of :meth:`run`'s loop, so external multiplexers can detect
+        completion between time slices without spending a ``run`` call.
+        """
+        return self._undecided_alive == 0
+
+    def next_event_time(self) -> Optional[float]:
+        """Timestamp of the earliest pending event, or ``None`` when
+        the simulation is quiescent.
+
+        Accounts for a half-consumed ``bdeliver`` batch cursor (whose
+        remaining deliveries are ordered before anything left on the
+        heap), so the value is exact even when a previous ``run`` call
+        stopped mid-batch. This is the shared-scheduling hook that lets
+        a multi-group runtime interleave several simulators in global
+        time order without reaching into their queues.
+        """
+        batch = self._pending_batch
+        if batch is not None:
+            return batch[0]
+        return self._queue.peek_time()
+
+    # ------------------------------------------------------------------
     # Main loop
     # ------------------------------------------------------------------
     def run(self, *, max_events: int = DEFAULT_MAX_EVENTS,

@@ -335,11 +335,16 @@ class ResolvedScenario:
     unreliable_graph: Any = None
     dynamics: Any = None
 
-    def simulate(self, *, trace_sink=None, telemetry=None):
-        """Run the simulation and return the raw
-        :class:`~repro.macsim.simulator.RunResult` (trace included,
-        closed). This is the byte-identity/replay entry point; use
-        :meth:`Scenario.run` when you want metrics.
+    def build(self, *, trace_sink=None, telemetry=None):
+        """Construct (but do not run) the scenario's simulator.
+
+        This is the per-group half of the engine API: everything that
+        belongs to one consensus instance -- graph, processes, queue,
+        trace sink, telemetry -- lives on the returned
+        :class:`~repro.macsim.simulator.Simulator`, while *when* it
+        runs is the caller's business. ``simulate()`` drives it to
+        completion in one call; the multi-group service runtime
+        interleaves many built simulators over one loop.
 
         ``telemetry`` (a bool or a
         :class:`~repro.macsim.telemetry.Telemetry` to keep a handle
@@ -350,13 +355,21 @@ class ResolvedScenario:
         factory = self.factory
         if telemetry is None:
             telemetry = scenario.telemetry
-        sim = build_simulation(
+        return build_simulation(
             self.graph, lambda v: factory(v, values[v]), self.scheduler,
             fault_model=self.fault_model,
             unreliable_graph=self.unreliable_graph,
             dynamics=self.dynamics,
             trace_level=scenario.trace_level, trace_sink=trace_sink,
             telemetry=telemetry)
+
+    def simulate(self, *, trace_sink=None, telemetry=None):
+        """Run the simulation and return the raw
+        :class:`~repro.macsim.simulator.RunResult` (trace included,
+        closed). This is the byte-identity/replay entry point; use
+        :meth:`Scenario.run` when you want metrics."""
+        scenario = self.scenario
+        sim = self.build(trace_sink=trace_sink, telemetry=telemetry)
         result = sim.run(max_events=scenario.max_events,
                          max_time=scenario.max_time)
         result.trace.close()
@@ -871,6 +884,7 @@ class ScenarioGrid:
                     if _progress_enabled(progress) else None)
         if reporter is not None:
             reporter.note_cached(len(keys) - len(miss_keys))
+            reporter.note_misses(len(miss_keys))
         worker_stats = None
         executor_stats = None
         if miss_keys:

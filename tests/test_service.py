@@ -1,0 +1,446 @@
+"""Consensus-as-a-service tests (PR 9).
+
+The load-bearing contracts:
+
+* **Byte-identity** -- a 1-group :class:`GroupRuntime` run produces
+  the *same bytes* as the scenario's own ``simulate()``: identical
+  trace records across FULL / SPILL / COLUMNAR sinks, identical
+  decisions, times and event counts (pinned by a hypothesis property
+  over scenario parameters).
+* **Multiplexing is invisible** -- K interleaved groups decide exactly
+  what K standalone runs decide, even though their event loops are
+  time-sliced through one scheduler.
+* **Sharding is exact** -- a forked :class:`ShardedService` run equals
+  the serial run on everything but wall-clock fields.
+* **Placement** -- rendezvous hashing moves only the groups it must
+  under churn, and composes with :class:`NodeChurn` deterministically.
+"""
+
+import json
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.analysis.export import trace_to_json, trace_to_records
+from repro.cli import main
+from repro.macsim.columnar import ColumnarSink, have_numpy
+from repro.macsim.dynamics import NodeChurn
+from repro.macsim.service import (ConsensusService, GroupPlacement,
+                                  GroupRuntime, ShardedService,
+                                  WorkloadGenerator, latency_summary,
+                                  placement_under_churn,
+                                  rendezvous_place, run_service,
+                                  slot_scenario, slot_seed)
+from repro.macsim.trace import SpillSink
+from repro.scenario import (AlgorithmSpec, Scenario, SchedulerSpec,
+                            TopologySpec)
+from repro.topology import clique
+
+BASE = Scenario(
+    algorithm=AlgorithmSpec("wpaxos"),
+    topology=TopologySpec("clique", n=5),
+    scheduler=SchedulerSpec("synchronous", f_ack=1.0),
+    seed=0)
+
+
+def _report_dict(report):
+    """Report dict with the wall-clock-dependent fields stripped."""
+    data = report.to_dict(include_latencies=True)
+    data.pop("wall_seconds")
+    data.pop("wall_throughput", None)
+    if report.telemetry is not None:
+        # Engine wall seconds are measured, not simulated.
+        data["telemetry"]["totals"].pop("wall_seconds")
+        for group in data["telemetry"]["groups"].values():
+            group.pop("wall_seconds", None)
+    return data
+
+
+# ----------------------------------------------------------------------
+# Tentpole: 1-group byte-identity with the standalone engine
+# ----------------------------------------------------------------------
+class TestSingleGroupIdentity:
+    @settings(max_examples=8, deadline=None)
+    @given(n=st.integers(min_value=3, max_value=6),
+           f_ack=st.sampled_from([0.5, 1.0, 2.0]),
+           seed=st.integers(min_value=0, max_value=4),
+           scheduler=st.sampled_from(["synchronous", "random"]))
+    def test_byte_identity_property(self, n, f_ack, seed, scheduler):
+        spec = (SchedulerSpec("random", f_ack=f_ack, seed=seed)
+                if scheduler == "random"
+                else SchedulerSpec("synchronous", f_ack=f_ack))
+        scenario = BASE.override({
+            "topology.n": n, "seed": seed, "scheduler": spec})
+        standalone = scenario.simulate()
+        runtime = GroupRuntime()
+        runtime.add_group(scenario)
+        (run,) = runtime.run()
+        assert run.result.decisions == standalone.decisions
+        assert run.result.decision_times == standalone.decision_times
+        assert run.result.end_time == standalone.end_time
+        assert run.result.events_processed == standalone.events_processed
+        assert run.result.stop_reason == standalone.stop_reason
+        assert (trace_to_json(run.result.trace)
+                == trace_to_json(standalone.trace))
+
+    def test_byte_identity_spill_sink(self, tmp_path):
+        reference = BASE.simulate()
+        runtime = GroupRuntime()
+        runtime.add_group(BASE, trace_sink=SpillSink(
+            str(tmp_path / "svc"), chunk_records=64))
+        (run,) = runtime.run()
+        assert (trace_to_records(run.result.trace)
+                == trace_to_records(reference.trace))
+
+    @pytest.mark.skipif(not have_numpy(), reason="numpy unavailable")
+    def test_byte_identity_columnar_sink(self, tmp_path):
+        reference = BASE.simulate()
+        runtime = GroupRuntime()
+        runtime.add_group(BASE, trace_sink=ColumnarSink(
+            str(tmp_path / "svc"), chunk_records=64))
+        (run,) = runtime.run()
+        assert (trace_to_records(run.result.trace)
+                == trace_to_records(reference.trace))
+
+
+# ----------------------------------------------------------------------
+# Tentpole: K multiplexed groups == K independent runs
+# ----------------------------------------------------------------------
+class TestMultiGroupEquivalence:
+    SEEDS = (0, 1, 2)
+
+    def test_interleaved_equals_standalone(self):
+        scenarios = [BASE.override({"seed": seed,
+                                    "topology.n": 4 + seed})
+                     for seed in self.SEEDS]
+        runtime = GroupRuntime()
+        for gid, scenario in enumerate(scenarios):
+            runtime.add_group(scenario, group_id=gid)
+        runs = {run.group_id: run for run in runtime.run()}
+        assert len(runs) == len(scenarios)
+        interleaved = sum(run.slices > 1 for run in runs.values())
+        assert interleaved >= 2  # real time-slicing, not serial runs
+        for gid, scenario in enumerate(scenarios):
+            standalone = scenario.simulate()
+            result = runs[gid].result
+            assert result.decisions == standalone.decisions
+            assert result.decision_times == standalone.decision_times
+            assert result.end_time == standalone.end_time
+            assert (result.events_processed
+                    == standalone.events_processed)
+            assert (trace_to_json(result.trace)
+                    == trace_to_json(standalone.trace))
+
+    def test_staggered_starts_offset_times(self):
+        runtime = GroupRuntime()
+        runtime.add_group(BASE, group_id="a")
+        runtime.add_group(BASE, group_id="b", start_time=100.0)
+        runs = {run.group_id: run for run in runtime.run()}
+        assert (runs["b"].finish_time
+                == pytest.approx(runs["a"].finish_time + 100.0))
+        # Offsets shift global time only; local results are identical.
+        assert (runs["a"].result.end_time
+                == runs["b"].result.end_time)
+
+    def test_advance_until_is_resumable(self):
+        standalone = BASE.simulate()
+        runtime = GroupRuntime()
+        runtime.add_group(BASE, group_id=0)
+        finished = []
+        horizon = 2.0
+        while runtime.active_groups:
+            finished.extend(runtime.advance(until=horizon))
+            horizon += 2.0
+        (run,) = finished
+        assert run.slices > 1
+        assert run.result.decisions == standalone.decisions
+        assert (trace_to_json(run.result.trace)
+                == trace_to_json(standalone.trace))
+
+
+# ----------------------------------------------------------------------
+# Workload determinism
+# ----------------------------------------------------------------------
+class TestWorkload:
+    def test_draws_are_deterministic(self):
+        a = WorkloadGenerator(groups=4, clients=16, seed=7)
+        b = WorkloadGenerator(groups=4, clients=16, seed=7)
+        for client in range(16):
+            assert a.client_group(client) == b.client_group(client)
+            for request in range(3):
+                assert (a.think_time(client, request)
+                        == b.think_time(client, request))
+
+    def test_group_partition_is_exact(self):
+        workload = WorkloadGenerator(groups=6, clients=48, seed=3)
+        shard_a = workload.clients_for_groups({0, 1, 2})
+        shard_b = workload.clients_for_groups({3, 4, 5})
+        assert sorted(shard_a + shard_b) == list(range(48))
+
+    def test_zipf_skews_toward_group_zero(self):
+        workload = WorkloadGenerator(groups=8, clients=400, seed=0,
+                                     zipf_s=1.5)
+        counts = [0] * 8
+        for client in range(400):
+            counts[workload.client_group(client)] += 1
+        assert counts[0] == max(counts)
+        assert counts[0] > 400 // 8
+
+
+# ----------------------------------------------------------------------
+# Slot derivation
+# ----------------------------------------------------------------------
+class TestSlotDerivation:
+    def test_slot_zero_of_group_zero_is_base(self):
+        assert slot_seed(BASE.seed, 0, 0) == BASE.seed
+        assert slot_scenario(BASE, 0, 0) is BASE
+
+    def test_slots_get_distinct_seeds(self):
+        seeds = {slot_seed(0, group, slot)
+                 for group in range(4) for slot in range(8)}
+        assert len(seeds) == 32
+
+
+# ----------------------------------------------------------------------
+# Serve loop and sharding
+# ----------------------------------------------------------------------
+class TestConsensusService:
+    def test_first_slot_byte_identity(self):
+        workload = WorkloadGenerator(groups=1, clients=8, seed=0)
+        service = ConsensusService(BASE, workload,
+                                   capture_first_slot=True)
+        report = service.run()
+        assert report.failed == 0
+        assert (trace_to_json(service.first_slot_trace)
+                == trace_to_json(BASE.simulate().trace))
+
+    def test_report_is_deterministic(self):
+        def once():
+            workload = WorkloadGenerator(groups=3, clients=24, seed=1)
+            return ConsensusService(BASE, workload,
+                                    telemetry=True).run()
+        assert _report_dict(once()) == _report_dict(once())
+
+    def test_all_requests_commit(self):
+        workload = WorkloadGenerator(groups=2, clients=20, seed=0,
+                                     requests_per_client=2)
+        report = ConsensusService(BASE, workload).run()
+        assert report.requests == workload.total_requests()
+        assert report.failed == 0
+        assert len(report.latencies) == report.requests
+        assert report.latency["count"] == report.requests
+        assert all(lat > 0 for lat in report.latencies)
+
+    def test_telemetry_attribution(self):
+        workload = WorkloadGenerator(groups=2, clients=16, seed=0)
+        report = ConsensusService(BASE, workload, telemetry=True).run()
+        snapshot = report.telemetry
+        assert snapshot["schema"] == "service-telemetry/v1"
+        assert sorted(snapshot["groups"]) == ["0", "1"]
+        totals = snapshot["totals"]
+        assert totals["slots"] == report.slots
+        assert totals["events_processed"] == report.events
+        per_group = {gid: entry["events_processed"]
+                     for gid, entry in snapshot["groups"].items()}
+        assert sum(per_group.values()) == report.events
+
+
+class TestShardedService:
+    def test_sharded_equals_serial(self):
+        workload = WorkloadGenerator(groups=5, clients=40, seed=2,
+                                     requests_per_client=2)
+        serial = ConsensusService(BASE, workload, telemetry=True).run()
+        sharded = ShardedService(BASE, workload, shards=3,
+                                 telemetry=True).run()
+        serial_dict = _report_dict(serial)
+        sharded_dict = _report_dict(sharded)
+        # Shard rows and latency order differ by construction; the
+        # multisets and every per-group stat must not.
+        serial_dict.pop("shards", None)
+        sharded_dict.pop("shards", None)
+        assert sorted(serial_dict.pop("latencies")) == \
+            sorted(sharded_dict.pop("latencies"))
+        assert serial_dict == sharded_dict
+
+    def test_placement_covers_all_groups(self):
+        workload = WorkloadGenerator(groups=7, clients=7, seed=0)
+        service = ShardedService(BASE, workload, shards=3)
+        placement = service.placement()
+        spread = sorted(g for groups in placement.values()
+                        for g in groups)
+        assert spread == list(range(7))
+
+    def test_run_service_wrapper(self):
+        report = run_service(BASE, groups=2, clients=12, shards=1,
+                             requests_per_client=1)
+        assert report.failed == 0
+        assert report.requests == 12
+        assert report.shards and report.shards[0]["groups"] == 2
+
+
+# ----------------------------------------------------------------------
+# Latency summary
+# ----------------------------------------------------------------------
+class TestLatencySummary:
+    def test_nearest_rank_percentiles(self):
+        latencies = [float(i) for i in range(1, 101)]
+        summary = latency_summary(latencies)
+        assert summary["count"] == 100
+        assert summary["p50"] == 50.0
+        assert summary["p99"] == 99.0
+        assert summary["max"] == 100.0
+
+    def test_empty(self):
+        assert latency_summary([]) == {"count": 0}
+
+
+# ----------------------------------------------------------------------
+# Placement and rebalancing under churn
+# ----------------------------------------------------------------------
+class TestPlacement:
+    HOSTS = ["h0", "h1", "h2", "h3"]
+    GROUPS = list(range(16))
+
+    def test_rendezvous_is_deterministic_and_total(self):
+        a = rendezvous_place(self.GROUPS, self.HOSTS)
+        b = rendezvous_place(self.GROUPS, self.HOSTS)
+        assert a == b
+        assert sorted(a) == self.GROUPS
+        assert set(a.values()) <= set(self.HOSTS)
+
+    def test_departure_moves_only_orphans(self):
+        placement = GroupPlacement(hosts=list(self.HOSTS),
+                                   groups=list(self.GROUPS))
+        before = dict(placement.assignment)
+        orphans = {g for g, h in before.items() if h == "h1"}
+        moves = placement.rebalance(departed=["h1"])
+        assert {move.group for move in moves} == orphans
+        for group, host in placement.assignment.items():
+            if group not in orphans:
+                assert host == before[group]
+
+    def test_arrival_steals_minimally(self):
+        placement = GroupPlacement(hosts=list(self.HOSTS),
+                                   groups=list(self.GROUPS))
+        before = dict(placement.assignment)
+        moves = placement.rebalance(arrived=["h9"])
+        # Rendezvous: every move lands on the new host, nothing else
+        # shuffles.
+        assert all(move.target == "h9" for move in moves)
+        for group, host in placement.assignment.items():
+            if host != "h9":
+                assert host == before[group]
+
+    def test_churn_timeline_is_deterministic(self):
+        graph = clique(6)
+
+        def timeline():
+            placement = GroupPlacement(
+                hosts=sorted(graph.nodes), groups=list(range(12)))
+            churn = NodeChurn(leave_rate=0.3, rejoin_rate=0.5,
+                              epoch_length=5.0, seed=4)
+            return placement_under_churn(placement, churn, graph,
+                                         epochs=5)
+
+        def flat(entries):
+            return [(t, [(m.group, m.source, m.target) for m in moves])
+                    for t, moves in entries]
+
+        first, second = timeline(), timeline()
+        assert len(first) == 5
+        assert flat(first) == flat(second)
+        assert any(moves for _, moves in first)
+
+
+# ----------------------------------------------------------------------
+# CLI: repro serve / repro cache
+# ----------------------------------------------------------------------
+class TestServeCommand:
+    def test_serve_smoke(self, capsys):
+        code = main(["serve", "--groups", "2", "--clients", "16",
+                     "--requests-per-client", "1"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "latency:" in out
+        assert "group 0:" in out
+        assert "shard 0:" in out
+
+    def test_serve_trace_out_replays(self, tmp_path, capsys):
+        trace_path = str(tmp_path / "slot0.json")
+        code = main(["serve", "--groups", "1", "--clients", "8",
+                     "--trace-out", trace_path])
+        assert code == 0
+        assert "byte-identical" in capsys.readouterr().out
+        code = main(["replay", trace_path])
+        assert code == 0
+        assert "replay matched" in capsys.readouterr().out
+
+    def test_serve_trace_out_needs_single_group(self):
+        with pytest.raises(SystemExit):
+            main(["serve", "--groups", "2", "--trace-out", "x.json"])
+
+    def test_serve_json_and_telemetry_out(self, tmp_path, capsys):
+        report_path = tmp_path / "report.json"
+        telemetry_path = tmp_path / "telemetry.json"
+        code = main(["serve", "--groups", "2", "--clients", "12",
+                     "--json-out", str(report_path),
+                     "--telemetry", str(telemetry_path)])
+        assert code == 0
+        report = json.loads(report_path.read_text())
+        assert report["failed"] == 0
+        snapshot = json.loads(telemetry_path.read_text())
+        assert snapshot["schema"] == "service-telemetry/v1"
+
+
+class TestCacheCommand:
+    def _populate(self, directory, cells=3):
+        from repro.analysis.cache import ResultCache, cached_run
+        cache = ResultCache(str(directory))
+        for seed in range(cells):
+            cached_run(BASE.override({"seed": seed,
+                                      "topology.n": 4}), cache)
+        return cache
+
+    def test_stats(self, tmp_path, capsys):
+        self._populate(tmp_path)
+        code = main(["cache", "stats", "--cache", str(tmp_path)])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "entries:         3" in out
+
+    def test_stats_json(self, tmp_path, capsys):
+        self._populate(tmp_path)
+        code = main(["cache", "stats", "--cache", str(tmp_path),
+                     "--json"])
+        assert code == 0
+        data = json.loads(capsys.readouterr().out)
+        assert data["entries"] == 3
+        assert data["bytes"] > 0
+
+    def test_prune_to_budget(self, tmp_path, capsys):
+        cache = self._populate(tmp_path)
+        keep = max(len(open(p, "rb").read()) for p in cache.entries())
+        code = main(["cache", "prune", "--cache", str(tmp_path),
+                     "--max-bytes", str(keep)])
+        assert code == 0
+        assert "pruned" in capsys.readouterr().out
+        assert len(cache.entries()) < 3
+
+    def test_prune_requires_budget(self, tmp_path):
+        with pytest.raises(SystemExit):
+            main(["cache", "prune", "--cache", str(tmp_path)])
+
+    def test_clear(self, tmp_path, capsys):
+        cache = self._populate(tmp_path)
+        code = main(["cache", "clear", "--cache", str(tmp_path)])
+        assert code == 0
+        assert "cleared 3" in capsys.readouterr().out
+        assert cache.entries() == []
+
+    def test_parse_bytes_suffixes(self):
+        from repro.cli import _parse_bytes
+        assert _parse_bytes("1024") == 1024
+        assert _parse_bytes("4K") == 4096
+        assert _parse_bytes("2M") == 2 * 1024 ** 2
+        assert _parse_bytes("1G") == 1024 ** 3

@@ -115,7 +115,7 @@ class TestSweepSummary:
         assert "[sweep demo] summary: 3/3 points in" in summary
         assert "points/s" in summary
         assert "0 stragglers" in summary
-        assert "cache 1/3 hits [33%]" in summary
+        assert "cache 1/3 hits, 0 misses [33%]" in summary
 
     def test_summary_includes_worker_stats(self):
         stream = io.StringIO()
@@ -135,7 +135,7 @@ class TestSweepSummary:
         reporter.finish()
         out = stream.getvalue()
         assert "summary: 2/2 points" in out
-        assert "cache 0/2 hits [0%]" in out
+        assert "cache 0/2 hits, 0 misses [0%]" in out
 
 
 # ----------------------------------------------------------------------
@@ -439,7 +439,7 @@ class TestCachedGrid:
                  parallel=False, progress=True)
         err = capsys.readouterr().err
         assert "(2 cached points reused)" in err
-        assert "cache 2/2 hits [100%]" in err
+        assert "cache 2/2 hits, 0 misses [100%]" in err
 
 
 # ----------------------------------------------------------------------
