@@ -79,6 +79,12 @@ except ImportError:  # earlier engines
     run_service = None
     HAVE_SERVICE = False
 
+try:  # service >= PR 10 (request tracing + metrics registry)
+    from repro.macsim.service import RequestTracer  # noqa: F401
+    HAVE_TRACING = HAVE_SERVICE
+except ImportError:  # earlier service layers
+    HAVE_TRACING = False
+
 try:
     from repro.core.wpaxos import WPaxosConfig, WPaxosNode
 except ImportError:  # pragma: no cover - wpaxos is part of the seed
@@ -435,6 +441,30 @@ def run_serve_multigroup(groups: int = SERVE_GROUPS,
 def run_serve_sharded(shards=None) -> int:
     """The same session across forked shards (auto = one per core)."""
     return run_serve_multigroup(shards=shards)
+
+
+def run_serve_traced(groups: int = SERVE_GROUPS,
+                     clients: int = SERVE_CLIENTS,
+                     shards: int = 1) -> int:
+    """``run_serve_multigroup`` with request tracing and the windowed
+    metrics registry attached -- the tracing-overhead gate's "on"
+    side. Returns committed requests (same unit as the off side)."""
+    report = serve_traced_report(groups=groups, clients=clients,
+                                 shards=shards)
+    return report.requests
+
+
+def serve_traced_report(groups: int = SERVE_GROUPS,
+                        clients: int = SERVE_CLIENTS,
+                        shards: int = 1):
+    """The full traced-serve report (spans + metrics + scheduler
+    profile), for sections that read the overhead fraction."""
+    report = run_service(
+        _serve_base(), groups=groups, clients=clients, shards=shards,
+        requests_per_client=SERVE_REQUESTS_PER_CLIENT,
+        trace_requests=True, metrics_window=50.0)
+    assert report.failed == 0
+    return report
 
 
 def run_spill_probe(n: int = 24, rounds: int = 120,

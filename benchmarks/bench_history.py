@@ -1,0 +1,173 @@
+"""Bench trajectory report: ``python -m benchmarks.bench_history``.
+
+Every PR commits a ``BENCH_PR<N>.json`` snapshot
+(:mod:`benchmarks.perf_report`), but each snapshot only compares
+itself against the PR 1 baseline -- drift *across* PRs is invisible
+without opening seven files. This module merges every committed
+``BENCH_PR*.json`` in the repository root into one per-workload
+trajectory table: one row per workload, one column per PR, cells in
+the workload's native rate unit (``events_per_sec`` /
+``ops_per_sec`` / ... -- whichever ``*_per_sec`` key the snapshot's
+``after`` section carries).
+
+Workloads appear and disappear across PRs (spill workloads start at
+PR 3, serve at PR 9); missing cells render as ``-``. The final two
+columns put the trajectory in context: the best rate any PR achieved,
+and the latest rate as a fraction of that best. A latest rate more
+than :data:`REGRESSION_THRESHOLD` below the best is flagged
+``** regressed`` -- and ``--check`` turns those flags into a non-zero
+exit for CI.
+
+``--markdown`` emits a GitHub-flavoured table instead of aligned
+ASCII. ``--dir`` points at a different snapshot directory (tests).
+"""
+
+from __future__ import annotations
+
+import argparse
+import glob
+import json
+import os
+import re
+import sys
+from typing import Any, Dict, List, Optional, Tuple
+
+sys.path.insert(
+    0, os.path.join(os.path.dirname(os.path.dirname(
+        os.path.abspath(__file__))), "src"))
+
+from repro.analysis.tables import format_markdown_table, format_table
+
+#: Latest rate below this fraction of the best-ever rate flags the
+#: workload as regressed (matches perf_report's PR-1 gate threshold).
+REGRESSION_THRESHOLD = 0.20
+
+_BENCH_RE = re.compile(r"BENCH_PR(\d+)\.json$")
+
+
+def find_reports(directory: str) -> List[Tuple[int, str]]:
+    """``(pr, path)`` for every ``BENCH_PR<N>.json``, PR-ascending."""
+    found = []
+    for path in glob.glob(os.path.join(directory, "BENCH_PR*.json")):
+        match = _BENCH_RE.search(os.path.basename(path))
+        if match:
+            found.append((int(match.group(1)), path))
+    return sorted(found)
+
+
+def _rate(entry: Any) -> Optional[Tuple[str, float]]:
+    """The ``(unit, value)`` of an ``after`` entry's rate key."""
+    if not isinstance(entry, dict):
+        return None
+    for key, value in entry.items():
+        if key.endswith("_per_sec") and isinstance(value, (int, float)):
+            return key, float(value)
+    return None
+
+
+def build_history(directory: str = ".") -> Dict[str, Any]:
+    """Merge every snapshot into a per-workload trajectory dict.
+
+    Returns ``{"prs": [1, 3, ...], "workloads": {name: {"unit": ...,
+    "rates": {pr: rate}, "best": ..., "best_pr": ..., "latest": ...,
+    "latest_pr": ..., "ratio": latest/best, "regressed": bool}}}``.
+    Workloads keep first-seen order (the order PRs introduced them).
+    """
+    reports = find_reports(directory)
+    if not reports:
+        raise FileNotFoundError(
+            f"no BENCH_PR*.json snapshots under {directory!r}")
+    prs = [pr for pr, _ in reports]
+    workloads: Dict[str, Dict[str, Any]] = {}
+    for pr, path in reports:
+        with open(path, "r", encoding="utf-8") as handle:
+            doc = json.load(handle)
+        for name, entry in doc.get("after", {}).items():
+            rate = _rate(entry)
+            if rate is None:
+                continue
+            unit, value = rate
+            record = workloads.setdefault(
+                name, {"unit": unit, "rates": {}})
+            record["rates"][pr] = value
+    for record in workloads.values():
+        rates = record["rates"]
+        best_pr = max(rates, key=lambda pr: rates[pr])
+        latest_pr = max(rates)
+        record["best"] = rates[best_pr]
+        record["best_pr"] = best_pr
+        record["latest"] = rates[latest_pr]
+        record["latest_pr"] = latest_pr
+        record["ratio"] = (rates[latest_pr] / rates[best_pr]
+                           if rates[best_pr] > 0 else 0.0)
+        record["regressed"] = (
+            record["ratio"] < 1.0 - REGRESSION_THRESHOLD)
+    return {"prs": prs, "workloads": workloads}
+
+
+def history_table(history: Dict[str, Any]) -> Tuple[List[str],
+                                                    List[list]]:
+    """``(headers, rows)`` of the trajectory table."""
+    prs = history["prs"]
+    headers = (["workload", "unit"] + [f"PR{pr}" for pr in prs]
+               + ["best", "latest/best"])
+    rows = []
+    for name, record in history["workloads"].items():
+        cells: List[Any] = [name,
+                            record["unit"].replace("_per_sec", "/s")]
+        for pr in prs:
+            value = record["rates"].get(pr)
+            cells.append("-" if value is None else f"{value:,.0f}")
+        flag = "  ** regressed" if record["regressed"] else ""
+        cells.append(f"{record['best']:,.0f} (PR{record['best_pr']})")
+        cells.append(f"{record['ratio']:.0%}{flag}")
+        rows.append(cells)
+    return headers, rows
+
+
+def render_history(history: Dict[str, Any],
+                   markdown: bool = False) -> str:
+    headers, rows = history_table(history)
+    if markdown:
+        return format_markdown_table(headers, rows)
+    return format_table(
+        headers, rows,
+        title=f"bench trajectory ({len(history['prs'])} snapshots)")
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="benchmarks.bench_history",
+        description="Merge BENCH_PR*.json into a per-workload "
+                    "rate-trajectory table.")
+    parser.add_argument("--dir", default=".",
+                        help="directory holding BENCH_PR*.json "
+                             "(default: current directory)")
+    parser.add_argument("--markdown", action="store_true",
+                        help="emit a GitHub-flavoured markdown table")
+    parser.add_argument("--check", action="store_true",
+                        help="exit 2 when any workload's latest rate "
+                             "regressed more than "
+                             f"{REGRESSION_THRESHOLD:.0%} below its "
+                             "best")
+    args = parser.parse_args(argv)
+    try:
+        history = build_history(args.dir)
+    except FileNotFoundError as exc:
+        raise SystemExit(str(exc)) from None
+    regressed = [name for name, record in history["workloads"].items()
+                 if record["regressed"]]
+    try:
+        print(render_history(history, markdown=args.markdown))
+        if regressed:
+            print(f"\nregressed (> {REGRESSION_THRESHOLD:.0%} below "
+                  f"best): {', '.join(regressed)}")
+    except BrokenPipeError:  # downstream pager/grep closed early
+        sys.stderr.close()
+    if regressed and args.check:
+        return 2
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -278,10 +278,12 @@ def regenerate(manifest: ExperimentManifest, *,
 
     ``block_stats``, when a list, collects one per-block cache
     accounting dict (``experiment`` / ``block`` / ``cells`` /
-    ``hits`` / ``misses``) as blocks execute. The counters live here
-    -- not in the returned text -- so two regenerations from the same
-    cells stay byte-identical (the CI regen-smoke pin) while the
-    caller can still report which blocks were served from cache.
+    ``hits`` / ``misses`` / ``stragglers``) as blocks execute. The
+    counters live here -- not in the returned text -- so two
+    regenerations from the same cells stay byte-identical (the CI
+    regen-smoke pin) while the caller can still report which blocks
+    were served from cache and which sweep keys straggled
+    (:func:`repro.analysis.sweeps.flag_stragglers`).
     """
     parts = [f"=== {manifest.experiment}: {manifest.title} "
              f"({manifest.cells()} cells) ==="]
@@ -292,12 +294,14 @@ def regenerate(manifest: ExperimentManifest, *,
                            workers=workers, executor=executor,
                            progress=progress)
         if block_stats is not None and cache is not None:
+            stats = result.executor_stats or {}
             block_stats.append({
                 "experiment": manifest.experiment,
                 "block": block.name,
                 "cells": block.cells(),
                 "hits": cache.hits - before[0],
                 "misses": cache.misses - before[1],
+                "stragglers": list(stats.get("stragglers", ())),
             })
         headers, rows = block_table(block, result)
         title = block.name if not block.note else (

@@ -35,6 +35,8 @@ from typing import Any, Dict, Iterable, List, Optional, Tuple
 from ..macsim.telemetry import TELEMETRY_SCHEMA, summarize_samples
 from ..macsim.trace import TRACE_KINDS
 from . import export as _export
+from .service_stats import (SERVICE_SCHEMAS, SERVICE_STATS_SCHEMA,
+                            render_service_stats, service_doc)
 from .tables import format_table
 
 __all__ = ["SPAN_RULES", "KIND_TO_COUNTER", "derive_spans",
@@ -314,9 +316,19 @@ def stats_from_file(path: str, *, derive: bool = False) -> Dict[str, Any]:
         return _stats_from_inline(document, path, derive=derive)
     if first_doc.get("schema") == TELEMETRY_SCHEMA:
         return _doc_from_snapshot(first_doc, path, "telemetry")
+    if first_doc.get("schema") in SERVICE_SCHEMAS:
+        # Compact (single-line) service artifact: the first line is
+        # the whole document.
+        return service_doc(first_doc, path)
     if first_doc.get("schema") in (1, _export.INLINE_SCHEMA_VERSION) \
             and "records" in first_doc:
         return _stats_from_inline(first_doc, path, derive=derive)
+    if isinstance(first_doc.get("schema"), str):
+        # An unrecognized *named* schema would crash the export
+        # header parser (integer versions only) -- fail here, naming
+        # what this command can ingest.
+        raise ValueError(_unsupported_artifact(path,
+                                               first_doc["schema"]))
     return _stats_from_export(path, derive=derive)
 
 
@@ -324,8 +336,10 @@ def _stats_from_inline(document: Dict[str, Any], path: str, *,
                        derive: bool) -> Dict[str, Any]:
     if document.get("schema") == TELEMETRY_SCHEMA:
         return _doc_from_snapshot(document, path, "telemetry")
+    if document.get("schema") in SERVICE_SCHEMAS:
+        return service_doc(document, path)
     if "records" not in document:
-        raise ValueError(f"not a trace or telemetry artifact: {path}")
+        raise ValueError(_unsupported_artifact(path, document.get("schema")))
     embedded = (document.get("metadata") or {}).get("telemetry")
     if embedded and not derive:
         return _doc_from_snapshot(embedded, path, "embedded-telemetry")
@@ -335,10 +349,19 @@ def _stats_from_inline(document: Dict[str, Any], path: str, *,
     return _doc_from_derivation(samples, counts, path, "derived-inline")
 
 
+def _unsupported_artifact(path: str, schema: Any = None) -> str:
+    """Error text naming every schema ``repro stats`` understands."""
+    got = f" (schema: {schema!r})" if schema is not None else ""
+    return (f"not a stats-able artifact: {path}{got}; expected a "
+            f"trace export (v1-v{_export.SCHEMA_VERSION}, JSONL or "
+            f"columnar), a {TELEMETRY_SCHEMA} snapshot, or one of: "
+            + ", ".join(SERVICE_SCHEMAS))
+
+
 def _stats_from_export(path: str, *, derive: bool) -> Dict[str, Any]:
     header = _export._read_header(path)
     if header is None:
-        raise ValueError(f"not a trace or telemetry artifact: {path}")
+        raise ValueError(_unsupported_artifact(path))
     embedded = (header.get("metadata") or {}).get("telemetry")
     if embedded and not derive:
         return _doc_from_snapshot(embedded, path, "embedded-telemetry")
@@ -369,6 +392,8 @@ def _fmt(value: Any) -> str:
 
 def render_stats(doc: Dict[str, Any]) -> str:
     """The stats document as aligned ASCII tables."""
+    if doc.get("schema") == SERVICE_STATS_SCHEMA:
+        return render_service_stats(doc)
     blocks: List[str] = []
     context = doc.get("context") or {}
     head = [f"source: {doc['source']}"]

@@ -116,7 +116,8 @@ class SweepResult:
     name: str
     points: List[SweepPoint] = field(default_factory=list)
     #: Executor telemetry (worker counts, per-worker points/chunks/
-    #: busy-seconds) for parallel runs; ``None`` on sequential paths.
+    #: busy-seconds, flagged ``stragglers`` keys) for parallel runs;
+    #: ``None`` on sequential paths.
     #: Observability only -- never part of the measured results.
     executor_stats: Optional[Dict[str, Any]] = None
 
@@ -169,6 +170,27 @@ def _scalar_axis(key: Any) -> float:
 #: :data:`STRAGGLER_MIN_SECONDS`, so micro-point jitter never flags).
 STRAGGLER_FACTOR = 4.0
 STRAGGLER_MIN_SECONDS = 0.5
+
+
+def flag_stragglers(runtimes: Sequence[tuple]) -> List[Any]:
+    """Post-hoc straggler detection over ``(key, seconds)`` pairs.
+
+    Applies the same rule as the live heartbeat marker
+    (:meth:`SweepProgress.is_straggler`) but against the *complete*
+    runtime distribution, so the flagged set is deterministic rather
+    than dependent on completion order: a key is a straggler when its
+    runtime is at least :data:`STRAGGLER_MIN_SECONDS` and exceeds
+    :data:`STRAGGLER_FACTOR` x the median runtime. Fewer than four
+    points never flag (too little signal for a median to mean much).
+    Returns the flagged keys in input order.
+    """
+    if len(runtimes) < 4:
+        return []
+    ordered = sorted(seconds for _, seconds in runtimes)
+    median = ordered[len(ordered) // 2]
+    return [key for key, seconds in runtimes
+            if seconds >= STRAGGLER_MIN_SECONDS
+            and seconds > STRAGGLER_FACTOR * median]
 
 #: Environment values that disable ``MACSIM_SWEEP_PROGRESS`` (any
 #: other non-empty value enables it).
@@ -514,6 +536,7 @@ def _run_steal(name: str, xs: list, build, max_events: int,
              for i in range(workers)]
     ordered: List[Optional[SweepPoint]] = [None] * len(xs)
     stats: List[Optional[dict]] = [None] * workers
+    runtimes: List[tuple] = []
     failure: Optional[tuple] = None
     try:
         for proc in procs:
@@ -535,6 +558,7 @@ def _run_steal(name: str, xs: list, build, max_events: int,
             if kind == "point":
                 _, index, seconds, point, _worker = message
                 ordered[index] = point
+                runtimes.append((point.key, seconds))
                 if on_point is not None:
                     on_point(point)
                 if reporter is not None:
@@ -568,7 +592,7 @@ def _run_steal(name: str, xs: list, build, max_events: int,
     if missing:
         raise SweepWorkerError(
             f"sweep lost points at indexes {missing}")
-    return ordered, [s for s in stats if s is not None]
+    return ordered, [s for s in stats if s is not None], runtimes
 
 
 def _run_pool(name: str, xs: list, build, max_events: int,
@@ -581,18 +605,20 @@ def _run_pool(name: str, xs: list, build, max_events: int,
     _FORK_STATE = (name, xs, build, max_events, max_time, trace_level,
                    None, 0)
     ordered: List[Optional[SweepPoint]] = [None] * len(xs)
+    runtimes: List[tuple] = []
     try:
         with context.Pool(processes=min(workers, len(xs))) as pool:
             for index, seconds, point in pool.imap_unordered(
                     _sweep_worker, range(len(xs))):
                 ordered[index] = point
+                runtimes.append((point.key, seconds))
                 if on_point is not None:
                     on_point(point)
                 if reporter is not None:
                     reporter.point_done(point.key, seconds)
     finally:
         _FORK_STATE = None
-    return ordered
+    return ordered, runtimes
 
 
 def parallel_sweep(name: str, xs: Sequence[Any],
@@ -661,17 +687,20 @@ def parallel_sweep(name: str, xs: Sequence[Any],
     if owns_reporter and _progress_enabled(progress):
         reporter = SweepProgress(name, len(xs))
     if executor == "pool":
-        ordered = _run_pool(name, xs, build, max_events, max_time,
-                            trace_level, workers, reporter, on_point)
+        ordered, runtimes = _run_pool(
+            name, xs, build, max_events, max_time, trace_level,
+            workers, reporter, on_point)
         executor_stats = {"executor": "pool",
-                          "workers": min(workers, len(xs))}
+                          "workers": min(workers, len(xs)),
+                          "stragglers": flag_stragglers(runtimes)}
         worker_stats = None
     else:
-        ordered, worker_stats = _run_steal(
+        ordered, worker_stats, runtimes = _run_steal(
             name, xs, build, max_events, max_time, trace_level,
             workers, reporter, on_point, point_timeout, point_retries)
         executor_stats = {"executor": "steal", "workers": workers,
-                          "per_worker": worker_stats}
+                          "per_worker": worker_stats,
+                          "stragglers": flag_stragglers(runtimes)}
     if owns_reporter and reporter is not None:
         reporter.finish(worker_stats=worker_stats)
     return SweepResult(name=name, points=ordered,

@@ -366,9 +366,7 @@ def cmd_stats(args: argparse.Namespace) -> int:
     except OSError as exc:
         raise SystemExit(str(exc)) from None
     except (ValueError, KeyError, json.JSONDecodeError) as exc:
-        raise SystemExit(
-            f"{args.artifact}: not a readable trace or telemetry "
-            f"artifact ({exc})") from None
+        raise SystemExit(f"{args.artifact}: {exc}") from None
     if args.json:
         print(json.dumps(doc, indent=2))
     else:
@@ -462,6 +460,7 @@ def cmd_regen(args: argparse.Namespace) -> int:
                               + cache.misses - before[1]),
                     "hits": cache.hits - before[0],
                     "misses": cache.misses - before[1],
+                    "stragglers": [],
                 })
             print(report.render_markdown() if args.markdown
                   else report.render())
@@ -470,14 +469,24 @@ def cmd_regen(args: argparse.Namespace) -> int:
                 failures.append(experiment_id)
     if cache is not None:
         # Per-block accounting first, aggregate footer last. All
-        # `cache:`-prefixed: regeneration output above the footer
-        # stays byte-identical between passes (CI diffs it with these
-        # lines filtered out).
+        # `cache:`/`stragglers:`-prefixed: regeneration output above
+        # the footer stays byte-identical between passes (CI diffs it
+        # with these lines filtered out -- a second pass is all cache
+        # hits, so both counters legitimately differ).
         for entry in block_stats:
             print(f"cache: {entry['experiment']}/{entry['block']}: "
                   f"{entry['hits']} hits / {entry['misses']} misses "
                   f"({entry['cells']} cells)")
         print(f"cache: {cache.describe()} [{cache.directory}]")
+        flagged = [(entry["experiment"], entry["block"], key)
+                   for entry in block_stats
+                   for key in entry.get("stragglers", ())]
+        if flagged:
+            cells = " ".join(f"{exp}/{blk}:{key!r}"
+                             for exp, blk, key in flagged)
+            print(f"stragglers: {len(flagged)} ({cells})")
+        else:
+            print("stragglers: none")
     if failures:
         print(f"FAILED: {', '.join(failures)}")
         return 1
@@ -531,11 +540,23 @@ def cmd_serve(args: argparse.Namespace) -> int:
             requests_per_client=args.requests_per_client)
     except ValueError as exc:
         raise SystemExit(str(exc)) from None
+    trace_requests = args.trace_requests is not None
+    metrics_window = args.metrics_window
+    if args.metrics_out is not None and metrics_window is None:
+        metrics_window = 50.0
+    metrics_prom = (args.metrics_out is not None
+                    and args.metrics_out.endswith((".prom", ".txt")))
+    live_metrics_out = (args.metrics_out
+                        if args.metrics_out and not metrics_prom
+                        else None)
     service = ShardedService(
         base, workload, shards=args.shards, batch_size=args.batch,
         telemetry=args.telemetry is not None,
         capture_first_slot=capture, horizon=args.horizon,
-        progress=True if args.progress else None)
+        progress=True if args.progress else None,
+        trace_requests=trace_requests,
+        metrics_window=metrics_window,
+        metrics_out=live_metrics_out)
     report = service.run()
 
     shards_used = len(report.shards or ())
@@ -579,6 +600,35 @@ def cmd_serve(args: argparse.Namespace) -> int:
                 json.dump(report.telemetry, out, indent=2)
                 out.write("\n")
             print(f"telemetry written: {args.telemetry}")
+    if report.tracing is not None:
+        from .analysis.service_stats import reduce_spans
+        reduced = reduce_spans(report.tracing)
+        queueing = reduced["breakdown"]["queueing"]
+        service_t = reduced["breakdown"]["service"]
+        sched = (report.tracing.get("scheduler") or {}).get("totals", {})
+        line = (f"tracing:        {reduced['requests']} spans; "
+                f"queueing p50={queueing.get('p50', 0.0):.2f} "
+                f"service p50={service_t.get('p50', 0.0):.2f} vt")
+        if sched:
+            line += (f"; scheduler overhead "
+                     f"{sched.get('overhead_fraction', 0.0):.1%} of "
+                     f"{sched.get('advance_seconds', 0.0):.3f}s advance")
+        print(line)
+        if isinstance(args.trace_requests, str):
+            with open(args.trace_requests, "w", encoding="utf-8") as out:
+                json.dump(report.tracing, out, indent=2)
+                out.write("\n")
+            print(f"spans written:  {args.trace_requests}")
+    if args.metrics_out is not None and report.metrics is not None:
+        if metrics_prom:
+            from .macsim.service import prometheus_text
+            with open(args.metrics_out, "w", encoding="utf-8") as out:
+                out.write(prometheus_text(report.metrics))
+        else:
+            with open(args.metrics_out, "w", encoding="utf-8") as out:
+                json.dump(report.metrics, out, indent=2)
+                out.write("\n")
+        print(f"metrics written: {args.metrics_out}")
     if capture:
         save_trace(service.first_slot_trace, args.trace_out,
                    metadata={"service": "slot(group=0, slot=0)"},
@@ -592,6 +642,190 @@ def cmd_serve(args: argparse.Namespace) -> int:
             out.write("\n")
         print(f"report written: {args.json_out}")
     return 0 if report.failed == 0 else 1
+
+
+def _top_metrics_doc(document: dict, path: str) -> dict:
+    """Resolve any supported artifact to a service-metrics snapshot.
+
+    Accepts a ``service-metrics/v1`` snapshot directly, a serve
+    ``--json-out`` report (its ``metrics`` key), or a
+    ``service-spans/v1`` artifact -- spans carry every arrival and
+    commit timestamp, so a registry replay of them synthesizes the
+    identical windowed series.
+    """
+    from .macsim.service import (METRICS_SCHEMA, SPAN_SCHEMA,
+                                 MetricsRegistry)
+    schema = document.get("schema")
+    if schema == METRICS_SCHEMA:
+        return document
+    if schema == SPAN_SCHEMA:
+        registry = MetricsRegistry(window=50.0)
+        for rec in document.get("requests", ()):
+            registry.record_arrival(rec["enqueue"], rec["group"])
+            if rec.get("ok"):
+                registry.record_commit(rec["reply"], rec["group"],
+                                       rec["reply"] - rec["enqueue"])
+            else:
+                registry.record_failure(rec["reply"], rec["group"])
+        return registry.snapshot()
+    if isinstance(document.get("metrics"), dict):
+        return document["metrics"]
+    raise SystemExit(
+        f"{path}: not a service metrics source (expected a "
+        f"service-metrics/v1 or service-spans/v1 artifact, or a "
+        f"'repro serve --json-out' report with a 'metrics' key -- "
+        f"run serve with --metrics-out or --trace-requests)")
+
+
+def _top_frame(doc: dict, source: str, upto: int,
+               shard_rows=None) -> str:
+    """One rendered frame: headline, time-series tail, per-group
+    table. ``upto`` bounds the window index (exclusive; replay mode
+    reveals windows one frame at a time)."""
+    from .analysis.tables import format_table
+    windows = doc.get("windows", [])[:upto]
+    totals = doc.get("totals", {})
+    lines = [f"repro top -- {source}",
+             f"window={doc.get('window')}vt  "
+             f"windows={len(windows)}/{len(doc.get('windows', []))}  "
+             f"shards={','.join(str(s) for s in doc.get('shards', []))}"]
+    arrivals = sum(w["arrivals"] for w in windows)
+    commits = sum(w["commits"] for w in windows)
+    final = upto >= len(doc.get("windows", []))
+    if final:
+        lines.append(
+            f"arrivals={totals.get('arrivals', arrivals)}  "
+            f"commits={totals.get('commits', commits)}  "
+            f"failed={totals.get('failed', 0)}  "
+            f"in-flight={totals.get('in_flight_final', 0)}")
+    else:
+        lines.append(f"arrivals={arrivals}  commits={commits}  "
+                     f"in-flight={windows[-1]['in_flight'] if windows else 0}")
+    blocks = ["\n".join(lines)]
+    tail = windows[-12:]
+    wrows = [[w["start"], w["arrivals"], w["commits"], w["rps"],
+              w["in_flight"], w["latency"].get("p50"),
+              w["latency"].get("p99")] for w in tail]
+    blocks.append(format_table(
+        ["t", "arrivals", "commits", "rps", "in-flight", "p50",
+         "p99"], wrows, title="time series"))
+    if final and doc.get("groups"):
+        grows = []
+        for gid, cell in doc["groups"].items():
+            share = (cell.get("commits", 0) / commits) if commits else 0.0
+            grows.append([gid, cell.get("arrivals"),
+                          cell.get("commits"), f"{share:.1%}",
+                          cell.get("queue_peak"),
+                          cell.get("latency", {}).get("p50"),
+                          cell.get("latency", {}).get("p99")])
+        blocks.append(format_table(
+            ["group", "arrivals", "commits", "share", "queue peak",
+             "p50", "p99"], grows, title="per-group"))
+    else:
+        # Replay mode: accumulate per-window group counts.
+        acc: dict = {}
+        for win in windows:
+            for gid, cell in win.get("groups", {}).items():
+                gacc = acc.setdefault(gid, {"arrivals": 0,
+                                            "commits": 0})
+                gacc["arrivals"] += cell["arrivals"]
+                gacc["commits"] += cell["commits"]
+        grows = [[gid, cell["arrivals"], cell["commits"],
+                  f"{(cell['commits'] / commits) if commits else 0.0:.1%}"]
+                 for gid, cell in sorted(acc.items(),
+                                         key=lambda kv: int(kv[0]))]
+        blocks.append(format_table(
+            ["group", "arrivals", "commits", "share"], grows,
+            title="per-group (so far)"))
+    if final and shard_rows:
+        srows = [[row.get("shard"), row.get("groups"),
+                  row.get("requests"), row.get("wall_seconds"),
+                  f"{row.get('utilization', 0.0):.0%}",
+                  row.get("straggler", False)] for row in shard_rows]
+        blocks.append(format_table(
+            ["shard", "groups", "requests", "wall s", "util",
+             "straggler"], srows, title="per-shard"))
+    return "\n\n".join(blocks)
+
+
+def cmd_top(args: argparse.Namespace) -> int:
+    """Live/replayed service metrics table (`repro top`).
+
+    ``--once`` prints the final frame and exits (CI mode);
+    ``--follow`` polls the artifact (a serve run with
+    ``--metrics-out`` rewrites it on every window rollover) and
+    redraws; the default replays a saved artifact's windows as
+    animation frames.
+    """
+    import os
+    import time
+
+    def load():
+        with open(args.artifact, encoding="utf-8") as handle:
+            document = json.load(handle)
+        if not isinstance(document, dict):
+            raise SystemExit(f"{args.artifact}: not a JSON object")
+        shard_rows = (document.get("shards")
+                      if isinstance(document.get("shards"), list)
+                      and document.get("shards")
+                      and isinstance(document["shards"][0], dict)
+                      else None)
+        return _top_metrics_doc(document, args.artifact), shard_rows
+
+    try:
+        doc, shard_rows = load()
+    except (OSError, json.JSONDecodeError) as exc:
+        raise SystemExit(f"{args.artifact}: {exc}") from None
+    if args.json:
+        print(json.dumps(doc, indent=2))
+        return 0
+    is_tty = sys.stdout.isatty()
+    clear = "\x1b[2J\x1b[H" if is_tty else ""
+
+    def show(frame: str) -> None:
+        if clear:
+            sys.stdout.write(clear)
+        try:
+            print(frame)
+            sys.stdout.flush()
+        except BrokenPipeError:  # downstream pager/head closed early
+            sys.stderr.close()
+            raise SystemExit(0)
+
+    total = len(doc.get("windows", []))
+    if args.once or total == 0 or (not is_tty and not args.follow):
+        # Non-interactive stdout gets the final frame only.
+        show(_top_frame(doc, args.artifact, total, shard_rows))
+        return 0
+    if args.follow:
+        last_mtime = None
+        while True:
+            try:
+                mtime = os.path.getmtime(args.artifact)
+            except OSError:
+                break
+            if mtime != last_mtime:
+                last_mtime = mtime
+                try:
+                    doc, shard_rows = load()
+                except (OSError, json.JSONDecodeError, SystemExit):
+                    break
+                show(_top_frame(doc, args.artifact,
+                                len(doc.get("windows", [])),
+                                shard_rows))
+            try:
+                time.sleep(args.interval)
+            except KeyboardInterrupt:
+                break
+        return 0
+    for upto in range(1, total + 1):
+        show(_top_frame(doc, args.artifact, upto, shard_rows))
+        if upto < total:
+            try:
+                time.sleep(args.interval)
+            except KeyboardInterrupt:
+                return 0
+    return 0
 
 
 def cmd_cache(args: argparse.Namespace) -> int:
@@ -773,10 +1007,13 @@ def build_parser() -> argparse.ArgumentParser:
 
     stats_p = sub.add_parser(
         "stats", help="render F_ack/F_prog histograms and counters "
-                      "from a trace export or telemetry snapshot")
+                      "from a trace export or telemetry snapshot, or "
+                      "service tables from serve artifacts")
     stats_p.add_argument("artifact",
                          help="a trace export (any schema, JSONL or "
-                              "columnar) or a --telemetry JSON file")
+                              "columnar), a --telemetry JSON file, or "
+                              "a serve artifact (service-telemetry/v1, "
+                              "service-spans/v1, service-metrics/v1)")
     stats_p.add_argument("--derive", action="store_true",
                          help="re-derive spans from the records even "
                               "when the export embeds a live "
@@ -881,6 +1118,27 @@ def build_parser() -> argparse.ArgumentParser:
                          help="per-slot engine telemetry, accumulated "
                               "per group; with a path, write the "
                               "service-telemetry/v1 snapshot JSON")
+    serve_p.add_argument("--trace-requests", nargs="?", const=True,
+                         default=None, metavar="OUT.json",
+                         help="request-level span tracing (enqueue -> "
+                              "batch-admit -> slot-start -> decide -> "
+                              "reply per proposal, plus the cross-"
+                              "group scheduler overhead profile); "
+                              "with a path, write the "
+                              "service-spans/v1 artifact JSON")
+    serve_p.add_argument("--metrics-out", default=None, metavar="FILE",
+                         help="write the windowed service-metrics/v1 "
+                              "snapshot; .prom/.txt renders "
+                              "Prometheus text, anything else JSON "
+                              "(live-updated on window rollovers for "
+                              "single-shard runs -- point 'repro top "
+                              "--follow' at it)")
+    serve_p.add_argument("--metrics-window", type=float, default=None,
+                         metavar="VT",
+                         help="metrics window width in virtual time "
+                              "(default: 50 when --metrics-out is "
+                              "set; setting it enables the registry "
+                              "even without --metrics-out)")
     serve_p.add_argument("--trace-out", default=None, metavar="FILE",
                          help="export the first slot's trace "
                               "(requires --groups 1 --shards 1; "
@@ -891,6 +1149,28 @@ def build_parser() -> argparse.ArgumentParser:
     serve_p.add_argument("--progress", action="store_true",
                          help="heartbeat shard progress to stderr")
     serve_p.set_defaults(func=cmd_serve)
+
+    top_p = sub.add_parser(
+        "top", help="live (or replayed) per-group service metrics "
+                    "table from a serve artifact")
+    top_p.add_argument("artifact",
+                       help="a service-metrics/v1 snapshot "
+                            "(serve --metrics-out), a serve "
+                            "--json-out report, or a "
+                            "service-spans/v1 artifact")
+    top_p.add_argument("--once", action="store_true",
+                       help="print the final frame and exit "
+                            "(machine/CI mode)")
+    top_p.add_argument("--follow", action="store_true",
+                       help="poll the artifact and redraw as a "
+                            "running serve rewrites it")
+    top_p.add_argument("--interval", type=float, default=0.5,
+                       help="seconds between frames/polls "
+                            "(default: 0.5)")
+    top_p.add_argument("--json", action="store_true",
+                       help="print the resolved metrics snapshot as "
+                            "JSON instead of tables")
+    top_p.set_defaults(func=cmd_top)
 
     cache_p = sub.add_parser(
         "cache", help="inspect and maintain the scenario-hash result "

@@ -12,7 +12,10 @@ What the table shows:
 
 * **Latency grows with offered load at fixed capacity** -- queueing
   behind a group's in-flight slot dominates once arrivals outpace
-  slot decision time.
+  slot decision time. The ``queue p50`` / ``serve p50`` columns
+  (request-span breakdown, PR 10) show it directly: the service
+  component stays O(F_ack) while the queueing component absorbs the
+  extra load.
 * **Sharding is exact** -- the same (groups, clients) cell run on 1
   shard and on many produces the *same* latency sample (the workload
   derives every client from the seed alone), so shard count is purely
@@ -24,6 +27,7 @@ What the table shows:
 from __future__ import annotations
 
 from ..analysis.export import trace_to_json
+from ..analysis.service_stats import reduce_spans
 from ..macsim.service import ConsensusService, WorkloadGenerator, run_service
 from ..scenario import AlgorithmSpec, Scenario, SchedulerSpec, TopologySpec
 from .common import ExperimentReport
@@ -52,7 +56,8 @@ def run(*, grid=GRID, loads=LOADS, requests_per_client=2,
                      "deciding under sustained load; latency = "
                      "queueing + O(F_ack) decision time"),
         headers=["groups", "shards", "clients", "requests", "p50",
-                 "p99", "throughput", "slots", "req/slot"],
+                 "p99", "queue p50", "serve p50", "throughput",
+                 "slots", "req/slot"],
     )
 
     # Determinism anchor: slot (group 0, slot 0) of a 1-group service
@@ -72,18 +77,26 @@ def run(*, grid=GRID, loads=LOADS, requests_per_client=2,
     by_cell = {}
     for groups, shards in grid:
         for clients in loads:
+            # trace_requests splits each cell's latency into
+            # queueing (enqueue -> batch admission) vs service
+            # (slot execution) -- virtual time, zero effect on the
+            # measured results (the tracer only annotates).
             rep = run_service(
                 BASE, groups=groups, clients=clients, shards=shards,
                 seed=workload_seed,
-                requests_per_client=requests_per_client)
+                requests_per_client=requests_per_client,
+                trace_requests=True)
             failures += rep.failed
             latency = rep.latency
+            breakdown = reduce_spans(rep.tracing)["breakdown"]
             req_per_slot = (rep.requests / rep.slots
                             if rep.slots else 0.0)
             report.add_row(
                 groups, shards, clients, rep.requests,
                 round(latency.get("p50", 0.0), 2),
                 round(latency.get("p99", 0.0), 2),
+                round(breakdown["queueing"].get("p50", 0.0), 2),
+                round(breakdown["service"].get("p50", 0.0), 2),
                 round(rep.throughput, 3),
                 rep.slots, round(req_per_slot, 2))
             by_cell[(groups, shards, clients)] = rep

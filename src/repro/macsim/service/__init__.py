@@ -23,6 +23,10 @@ Layers (bottom up):
   ``NodeChurn``-driven rebalancing.
 * :mod:`.sharded` -- :class:`ShardedService`: fork one engine per
   core, aggregate exactly.
+* :mod:`.tracing` -- :class:`RequestTracer` span trees
+  (``service-spans/v1``) and the windowed :class:`MetricsRegistry`
+  (``service-metrics/v1``) behind ``repro serve --trace-requests`` /
+  ``--metrics-out`` / ``repro top``.
 """
 
 from .frontend import Request, ServiceFrontend
@@ -33,6 +37,8 @@ from .placement import (GroupPlacement, PlacementMove,
                         rendezvous_place)
 from .runtime import GroupRun, GroupRuntime
 from .sharded import ShardedService, run_service
+from .tracing import (METRICS_SCHEMA, SPAN_SCHEMA, SPAN_STAGES,
+                      MetricsRegistry, RequestTracer, prometheus_text)
 from .workload import WorkloadGenerator
 
 __all__ = [
@@ -41,13 +47,19 @@ __all__ = [
     "GroupRun",
     "GroupRuntime",
     "GroupStats",
+    "METRICS_SCHEMA",
+    "MetricsRegistry",
     "PlacementMove",
     "Request",
+    "RequestTracer",
+    "SPAN_SCHEMA",
+    "SPAN_STAGES",
     "ServiceFrontend",
     "ServiceReport",
     "ShardedService",
     "WorkloadGenerator",
     "latency_summary",
+    "prometheus_text",
     "placement_under_churn",
     "rendezvous_host",
     "rendezvous_place",

@@ -40,6 +40,7 @@ class ServiceFrontend:
         self.batch_size = batch_size
         self._queues: Dict[int, Deque[Request]] = {}
         self.submitted = 0
+        self._peaks: Dict[int, int] = {}
 
     def submit(self, request: Request) -> None:
         """Queue one proposal for its group."""
@@ -48,6 +49,14 @@ class ServiceFrontend:
             queue = self._queues[request.group] = deque()
         queue.append(request)
         self.submitted += 1
+        depth = len(queue)
+        if depth > self._peaks.get(request.group, 0):
+            self._peaks[request.group] = depth
+
+    def queue_peaks(self) -> Dict[int, int]:
+        """Peak queue depth observed per group (queueing-pressure
+        gauge for the metrics registry)."""
+        return dict(self._peaks)
 
     def pending(self, group: int) -> int:
         queue = self._queues.get(group)

@@ -27,13 +27,13 @@ with ``capture_first_slot=True`` holds a trace byte-identical to
 from __future__ import annotations
 
 import heapq
-import math
 from dataclasses import dataclass, field
 from time import perf_counter
 from typing import Any, Dict, List, Optional, Sequence
 
 from .frontend import Request, ServiceFrontend
 from .runtime import GroupRun, GroupRuntime
+from .tracing import MetricsRegistry, RequestTracer, latency_summary
 from .workload import WorkloadGenerator
 
 __all__ = ["ConsensusService", "GroupStats", "ServiceReport",
@@ -62,26 +62,6 @@ def slot_scenario(base: Any, group: int, slot: int) -> Any:
     if seed == base.seed:
         return base
     return base.override({"seed": seed})
-
-
-def latency_summary(latencies: Sequence[float]) -> Dict[str, Any]:
-    """Nearest-rank percentile summary of a latency sample."""
-    n = len(latencies)
-    if n == 0:
-        return {"count": 0}
-    ordered = sorted(latencies)
-
-    def pct(q: float) -> float:
-        return ordered[max(0, math.ceil(q * n) - 1)]
-
-    return {
-        "count": n,
-        "mean": sum(ordered) / n,
-        "p50": pct(0.50),
-        "p95": pct(0.95),
-        "p99": pct(0.99),
-        "max": ordered[-1],
-    }
 
 
 @dataclass
@@ -116,6 +96,10 @@ class ServiceReport:
     per_group: Dict[int, GroupStats] = field(default_factory=dict)
     telemetry: Optional[Dict[str, Any]] = None
     shards: Optional[List[Dict[str, Any]]] = None
+    #: ``service-spans/v1`` snapshot when request tracing was on.
+    tracing: Optional[Dict[str, Any]] = None
+    #: ``service-metrics/v1`` snapshot when the metrics registry was on.
+    metrics: Optional[Dict[str, Any]] = None
 
     @property
     def latency(self) -> Dict[str, Any]:
@@ -155,6 +139,10 @@ class ServiceReport:
             out["telemetry"] = self.telemetry
         if self.shards is not None:
             out["shards"] = self.shards
+        if self.tracing is not None:
+            out["tracing"] = self.tracing
+        if self.metrics is not None:
+            out["metrics"] = self.metrics
         if include_latencies:
             out["latencies"] = list(self.latencies)
         return out
@@ -194,6 +182,16 @@ class ConsensusService:
     horizon:
         Optional virtual-time admission deadline: arrivals past it are
         dropped (in-flight and queued work still drains).
+    tracer:
+        Optional :class:`~repro.macsim.service.tracing.RequestTracer`;
+        when set, every committed slot records one span per request
+        and the runtime runs with its scheduler profile on, both
+        landing in ``report.tracing``.
+    metrics:
+        Optional
+        :class:`~repro.macsim.service.tracing.MetricsRegistry`; when
+        set, arrivals and commits feed its windowed time series and
+        the snapshot lands in ``report.metrics``.
     """
 
     def __init__(self, base: Any, workload: WorkloadGenerator, *,
@@ -202,9 +200,13 @@ class ConsensusService:
                  slot_trace_level: Optional[str] = "decisions",
                  telemetry: bool = False,
                  capture_first_slot: bool = False,
-                 horizon: Optional[float] = None) -> None:
+                 horizon: Optional[float] = None,
+                 tracer: Optional[RequestTracer] = None,
+                 metrics: Optional[MetricsRegistry] = None) -> None:
         self.base = base
         self.workload = workload
+        self.tracer = tracer
+        self.metrics = metrics
         if group_ids is None:
             group_ids = range(workload.groups)
         self.group_ids = sorted(group_ids)
@@ -222,8 +224,10 @@ class ConsensusService:
     def run(self) -> ServiceReport:
         wall_start = perf_counter()
         wl = self.workload
+        tracer = self.tracer
+        metrics = self.metrics
         frontend = ServiceFrontend(batch_size=self.batch_size)
-        runtime = GroupRuntime()
+        runtime = GroupRuntime(profile=tracer is not None)
         served = self.group_ids
         stats: Dict[int, GroupStats] = {g: GroupStats() for g in served}
         slot_counts: Dict[int, int] = {g: 0 for g in served}
@@ -284,14 +288,27 @@ class ConsensusService:
                 self.first_slot_trace = run.result.trace
             if run.telemetry is not None:
                 self._accumulate_telemetry(tel_groups, gid, run)
+            if tracer is not None:
+                times = run.result.decision_times
+                t_decide = (run.start_time + max(times.values())
+                            if times else t_commit)
+                tracer.record_slot(group=gid, slot=_slot, batch=batch,
+                                   start=run.start_time,
+                                   decide=t_decide, reply=t_commit,
+                                   ok=ok)
             for req in batch:
                 if ok:
                     committed += 1
                     gstats.requests += 1
                     latencies.append(t_commit - req.arrival)
+                    if metrics is not None:
+                        metrics.record_commit(t_commit, gid,
+                                              t_commit - req.arrival)
                 else:
                     failed += 1
                     gstats.failed += 1
+                    if metrics is not None:
+                        metrics.record_failure(t_commit, gid)
                 nxt = req.index + 1
                 if nxt < wl.requests_per_client:
                     wake = t_commit + wl.think_time(req.client, nxt)
@@ -313,12 +330,35 @@ class ConsensusService:
             frontend.submit(Request(client=client, index=index,
                                     group=gid, arrival=wake))
             virtual_end = max(virtual_end, wake)
+            if metrics is not None:
+                metrics.record_arrival(wake, gid)
             if not busy[gid]:
                 start_slot(gid, wake)
 
         telemetry = None
         if self.telemetry_enabled:
             telemetry = self._telemetry_snapshot(tel_groups)
+        tracing = None
+        if tracer is not None:
+            tracing = tracer.snapshot(
+                scheduler=runtime.scheduler_profile())
+        metrics_doc = None
+        if metrics is not None:
+            metrics.set_queue_peaks(frontend.queue_peaks())
+            metrics.add_counter("frontend_submitted", frontend.submitted)
+            metrics.add_counter("slots_committed", total_slots)
+            metrics.add_counter("engine_events", total_events)
+            if telemetry is not None:
+                heap_keys = ("events_pushed", "events_popped",
+                             "events_cancelled", "heap_compactions",
+                             "heap_compacted_entries")
+                counters = telemetry["totals"]["counters"]
+                for key in heap_keys:
+                    if key in counters:
+                        metrics.add_counter(f"engine_{key}",
+                                            counters[key])
+            metrics_doc = metrics.snapshot()
+            metrics.flush()
         return ServiceReport(
             groups=len(served),
             clients=wl.clients,
@@ -331,6 +371,8 @@ class ConsensusService:
             latencies=latencies,
             per_group=stats,
             telemetry=telemetry,
+            tracing=tracing,
+            metrics=metrics_doc,
         )
 
     # ------------------------------------------------------------------

@@ -33,9 +33,11 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass
-from typing import Any, Callable, List, Optional
+from time import perf_counter
+from typing import Any, Callable, Dict, List, Optional
 
 from ..simulator import RunResult, Simulator
+from ..telemetry import MonotonicProfile
 
 __all__ = ["GroupRun", "GroupRuntime"]
 
@@ -99,10 +101,47 @@ class GroupRuntime:
     that ran to completion. ``advance(None)`` drains everything.
     """
 
-    def __init__(self) -> None:
+    def __init__(self, *, profile: bool = False) -> None:
         self._active: List[_Group] = []
         self._finished: List[GroupRun] = []
         self._order = 0
+        self._in_advance = False
+        #: Opt-in wall-clock split of :meth:`advance` into time spent
+        #: *inside* engine ``run()`` calls vs the cross-group
+        #: scheduling loop around them -- the number the ROADMAP's
+        #: 10-100x scale item needs. ``None`` (the default) keeps the
+        #: hot path free of clock reads.
+        self.profile: Optional[MonotonicProfile] = (
+            MonotonicProfile(("advance", "engine", "startup"))
+            if profile else None)
+
+    def scheduler_profile(self) -> Optional[Dict[str, Any]]:
+        """Snapshot of the opt-in advance/engine wall-clock split.
+
+        ``overhead_seconds`` is the time :meth:`advance` spent picking
+        the globally earliest group and computing slice windows --
+        everything *except* the engine calls it issued. ``startup`` is
+        engine time spent outside ``advance`` (the ``on_start`` slices
+        :meth:`add_group` fires). Returns ``None`` when profiling is
+        off.
+        """
+        if self.profile is None:
+            return None
+        snap = self.profile.snapshot()
+        advance = snap["advance"]["seconds"]
+        engine = snap["engine"]["seconds"]
+        overhead = max(0.0, advance - engine)
+        return {
+            "advance_calls": snap["advance"]["calls"],
+            "advance_seconds": advance,
+            "engine_slices": snap["engine"]["calls"],
+            "engine_seconds": engine,
+            "startup_slices": snap["startup"]["calls"],
+            "startup_seconds": snap["startup"]["seconds"],
+            "overhead_seconds": overhead,
+            "overhead_fraction": (overhead / advance) if advance > 0.0
+            else 0.0,
+        }
 
     # ------------------------------------------------------------------
     # Registration
@@ -164,6 +203,9 @@ class GroupRuntime:
         terminal state (decided, quiescent, or out of budget) since
         the previous call.
         """
+        profile = self.profile
+        t_enter = perf_counter() if profile is not None else 0.0
+        self._in_advance = True
         inf = math.inf
         while self._active:
             best: Optional[_Group] = None
@@ -188,6 +230,9 @@ class GroupRuntime:
             else:
                 self._slice(best, local_limit=limit - best.offset,
                             predicate=None)
+        self._in_advance = False
+        if profile is not None:
+            profile.add("advance", perf_counter() - t_enter)
         finished, self._finished = self._finished, []
         return finished
 
@@ -208,9 +253,18 @@ class GroupRuntime:
             def predicate(s: Simulator, _limit=local_limit) -> bool:
                 t = s.next_event_time()
                 return t is not None and t > _limit
-        res = sim.run(max_events=group.remaining,
-                      max_time=group.scenario.max_time,
-                      stop_predicate=predicate)
+        profile = self.profile
+        if profile is None:
+            res = sim.run(max_events=group.remaining,
+                          max_time=group.scenario.max_time,
+                          stop_predicate=predicate)
+        else:
+            t_run = perf_counter()
+            res = sim.run(max_events=group.remaining,
+                          max_time=group.scenario.max_time,
+                          stop_predicate=predicate)
+            profile.add("engine" if self._in_advance else "startup",
+                        perf_counter() - t_run)
         group.consumed += res.events_processed
         group.remaining -= res.events_processed
         group.slices += 1

@@ -27,16 +27,33 @@ from ...analysis.sweeps import (STRAGGLER_FACTOR, SweepProgress,
                                 _progress_enabled, saturating_workers)
 from .loop import ConsensusService, GroupStats, ServiceReport
 from .placement import rendezvous_place
+from .tracing import MetricsRegistry, RequestTracer
 from .workload import WorkloadGenerator
 
 __all__ = ["ShardedService", "run_service"]
 
 
-def _shard_worker(conn, base, workload, group_ids,
-                  service_kwargs) -> None:
+def _observers(shard: int, trace_requests: bool,
+               metrics_window: Optional[float],
+               out_path: Optional[str] = None):
+    """Per-shard tracer/metrics instances (``None`` when disabled)."""
+    tracer = RequestTracer(shard=shard) if trace_requests else None
+    metrics = None
+    if metrics_window is not None:
+        metrics = MetricsRegistry(window=metrics_window, shard=shard,
+                                  out_path=out_path)
+    return tracer, metrics
+
+
+def _shard_worker(conn, shard, base, workload, group_ids,
+                  service_kwargs, trace_requests,
+                  metrics_window) -> None:
     """Child entry point: serve one shard's groups, ship the report."""
     try:
+        tracer, metrics = _observers(shard, trace_requests,
+                                     metrics_window)
         service = ConsensusService(base, workload, group_ids=group_ids,
+                                   tracer=tracer, metrics=metrics,
                                    **service_kwargs)
         report = service.run()
         conn.send(("ok", report))
@@ -70,7 +87,10 @@ class ShardedService:
                  telemetry: bool = False,
                  capture_first_slot: bool = False,
                  horizon: Optional[float] = None,
-                 progress: Optional[bool] = None) -> None:
+                 progress: Optional[bool] = None,
+                 trace_requests: bool = False,
+                 metrics_window: Optional[float] = None,
+                 metrics_out: Optional[str] = None) -> None:
         self.base = base
         self.workload = workload
         if group_ids is None:
@@ -81,6 +101,13 @@ class ShardedService:
                                 saturating_workers()))
         self.shards = max(1, int(shards))
         self.progress = progress
+        #: Request tracing + windowed metrics (``None`` window =
+        #: metrics off). ``metrics_out`` live-flushes the JSON
+        #: snapshot on window rollovers -- inline (single-shard) runs
+        #: only; forked runs write one merged snapshot at the end.
+        self.trace_requests = bool(trace_requests)
+        self.metrics_window = metrics_window
+        self.metrics_out = metrics_out
         self._service_kwargs: Dict[str, Any] = {
             "batch_size": batch_size,
             "slot_trace_level": slot_trace_level,
@@ -121,9 +148,13 @@ class ShardedService:
 
     # ------------------------------------------------------------------
     def _run_inline(self) -> ServiceReport:
+        tracer, metrics = _observers(0, self.trace_requests,
+                                     self.metrics_window,
+                                     out_path=self.metrics_out)
         service = ConsensusService(
             self.base, self.workload, group_ids=self.group_ids,
             capture_first_slot=self.capture_first_slot,
+            tracer=tracer, metrics=metrics,
             **self._service_kwargs)
         report = service.run()
         self.first_slot_trace = service.first_slot_trace
@@ -147,8 +178,9 @@ class ShardedService:
             parent_conn, child_conn = ctx.Pipe(duplex=False)
             proc = ctx.Process(
                 target=_shard_worker,
-                args=(child_conn, self.base, self.workload, groups,
-                      self._service_kwargs))
+                args=(child_conn, shard, self.base, self.workload,
+                      groups, self._service_kwargs,
+                      self.trace_requests, self.metrics_window))
             proc.start()
             child_conn.close()
             children.append((shard, groups, proc, parent_conn))
@@ -211,6 +243,10 @@ def _merge_reports(workload: WorkloadGenerator,
     latencies: List[float] = []
     telemetry_parts = [r.telemetry for r in reports
                        if r.telemetry is not None]
+    tracing_parts = [r.tracing for r in reports
+                     if r.tracing is not None]
+    metrics_parts = [r.metrics for r in reports
+                     if r.metrics is not None]
     for report in reports:
         per_group.update(report.per_group)
         latencies.extend(report.latencies)
@@ -249,6 +285,10 @@ def _merge_reports(workload: WorkloadGenerator,
         latencies=latencies,
         per_group=per_group,
         telemetry=telemetry,
+        tracing=(RequestTracer.merge_snapshots(tracing_parts)
+                 if tracing_parts else None),
+        metrics=(MetricsRegistry.merge_snapshots(metrics_parts)
+                 if metrics_parts else None),
     )
 
 
@@ -260,7 +300,10 @@ def run_service(base: Any, *, groups: int, clients: int,
                 telemetry: bool = False,
                 capture_first_slot: bool = False,
                 horizon: Optional[float] = None,
-                progress: Optional[bool] = None) -> ServiceReport:
+                progress: Optional[bool] = None,
+                trace_requests: bool = False,
+                metrics_window: Optional[float] = None,
+                metrics_out: Optional[str] = None) -> ServiceReport:
     """One-call service run: build the workload, shard, serve, merge."""
     workload = WorkloadGenerator(
         groups=groups, clients=clients, seed=seed, zipf_s=zipf_s,
@@ -269,5 +312,7 @@ def run_service(base: Any, *, groups: int, clients: int,
     service = ShardedService(
         base, workload, shards=shards, batch_size=batch_size,
         telemetry=telemetry, capture_first_slot=capture_first_slot,
-        horizon=horizon, progress=progress)
+        horizon=horizon, progress=progress,
+        trace_requests=trace_requests, metrics_window=metrics_window,
+        metrics_out=metrics_out)
     return service.run()

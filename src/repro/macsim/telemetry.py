@@ -55,7 +55,7 @@ from time import perf_counter
 from typing import Any, Dict, List, Optional, Sequence
 
 __all__ = ["Telemetry", "TELEMETRY_SCHEMA", "PHASES", "quantile",
-           "summarize_samples"]
+           "summarize_samples", "MonotonicProfile"]
 
 #: Schema tag stamped into telemetry snapshots and ``--telemetry``
 #: JSON files (what ``repro stats`` keys its detection on).
@@ -103,6 +103,34 @@ def summarize_samples(samples) -> Dict[str, Any]:
         "max": data[-1],
         "mean": math.fsum(data) / n,
     }
+
+
+class MonotonicProfile:
+    """Named monotonic wall-clock accumulators.
+
+    The phase-profiler primitive behind :attr:`Telemetry.phase_seconds`,
+    factored out so other layers (the service's cross-group scheduler,
+    request tracing) can accumulate coarse-grained wall time without
+    carrying a full :class:`Telemetry`. Accumulation is two float adds
+    per sample; reading the clock stays the caller's job so disabled
+    profiles cost nothing.
+    """
+
+    __slots__ = ("seconds", "calls")
+
+    def __init__(self, names: Sequence[str]):
+        self.seconds: Dict[str, float] = {name: 0.0 for name in names}
+        self.calls: Dict[str, int] = {name: 0 for name in names}
+
+    def add(self, name: str, seconds: float) -> None:
+        self.seconds[name] += seconds
+        self.calls[name] += 1
+
+    def snapshot(self) -> Dict[str, Any]:
+        return {
+            name: {"seconds": self.seconds[name], "calls": self.calls[name]}
+            for name in self.seconds
+        }
 
 
 def _sink_count(sink, kind: str) -> int:
